@@ -1,0 +1,147 @@
+package revalidate
+
+import (
+	"fmt"
+
+	"repro/internal/regexpsym"
+	"repro/internal/schema"
+)
+
+// SchemaBuilder constructs abstract XML schemas programmatically, as an
+// alternative to loading XSD or DTD text. Content models use the same
+// expression syntax as StringCaster (`a, b?`, `(x | y)*`, `item{1,10}`,
+// `EMPTY`).
+//
+//	b := u.NewSchema()
+//	b.SimpleType("Qty", revalidate.Facets{Base: "positiveInteger", MaxExclusive: revalidate.F(100)})
+//	b.ComplexType("Item", "productName, quantity", map[string]string{
+//	    "productName": "string", "quantity": "Qty",
+//	})
+//	b.Root("item", "Item")
+//	s, err := b.Build()
+type SchemaBuilder struct {
+	u    *Universe
+	s    *schema.Schema
+	errs []error
+	// deferred child-type bindings, resolved at Build (so declaration
+	// order does not matter).
+	bindings []binding
+	roots    []rootDecl
+}
+
+type binding struct {
+	typeName string
+	label    string
+	childRef string
+}
+
+type rootDecl struct {
+	label   string
+	typeRef string
+}
+
+// NewSchema starts a schema builder in this universe.
+func (u *Universe) NewSchema() *SchemaBuilder {
+	return &SchemaBuilder{u: u, s: schema.New(u.alpha)}
+}
+
+// Facets declares a simple type. Base names the primitive value space
+// ("string", "boolean", "decimal", "integer", "positiveInteger", "date",
+// "anySimpleType"); the remaining fields are the optional constraining
+// facets (use F for the numeric pointers).
+type Facets struct {
+	Base         string
+	MinInclusive *float64
+	MaxInclusive *float64
+	MinExclusive *float64
+	MaxExclusive *float64
+	MinLength    int // ≤0 for unset (a 0-length minimum is vacuous)
+	MaxLength    int // ≤0 for unset
+	Enumeration  []string
+}
+
+// F returns a pointer to v, for the numeric facet fields.
+func F(v float64) *float64 { return &v }
+
+// SimpleType declares a facet-constrained simple type.
+func (b *SchemaBuilder) SimpleType(name string, facets Facets) *SchemaBuilder {
+	base, ok := schema.BaseKindByName(facets.Base)
+	if facets.Base != "" && !ok {
+		b.errs = append(b.errs, fmt.Errorf("revalidate: simple type %q: unknown base %q", name, facets.Base))
+		return b
+	}
+	st := schema.NewSimpleType(base)
+	st.MinInclusive = facets.MinInclusive
+	st.MaxInclusive = facets.MaxInclusive
+	st.MinExclusive = facets.MinExclusive
+	st.MaxExclusive = facets.MaxExclusive
+	if facets.MinLength > 0 {
+		st.MinLength = facets.MinLength
+	}
+	if facets.MaxLength > 0 {
+		st.MaxLength = facets.MaxLength
+	} else {
+		st.MaxLength = -1
+	}
+	st.Enumeration = append([]string(nil), facets.Enumeration...)
+	if _, err := b.s.AddSimpleType(name, st); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// ComplexType declares a complex type with the given content-model
+// expression; children maps each label used in the expression to the name
+// of its type (which may be declared before or after this call).
+func (b *SchemaBuilder) ComplexType(name, contentModel string, children map[string]string) *SchemaBuilder {
+	expr, err := regexpsym.Parse(contentModel)
+	if err != nil {
+		b.errs = append(b.errs, fmt.Errorf("revalidate: complex type %q: %w", name, err))
+		return b
+	}
+	if _, err := b.s.AddComplexType(name, expr); err != nil {
+		b.errs = append(b.errs, err)
+		return b
+	}
+	for label, childRef := range children {
+		b.bindings = append(b.bindings, binding{typeName: name, label: label, childRef: childRef})
+	}
+	return b
+}
+
+// Root declares that documents may be rooted at label, typed by typeRef.
+func (b *SchemaBuilder) Root(label, typeRef string) *SchemaBuilder {
+	b.roots = append(b.roots, rootDecl{label: label, typeRef: typeRef})
+	return b
+}
+
+// Build resolves all references, compiles content models (checking the
+// 1-unambiguity / UPA constraint), runs the productivity analysis, and
+// returns the finished schema.
+func (b *SchemaBuilder) Build() (*Schema, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, bind := range b.bindings {
+		τ := b.s.TypeByName(bind.typeName)
+		child := b.s.TypeByName(bind.childRef)
+		if child == schema.NoType {
+			return nil, fmt.Errorf("revalidate: type %q: label %q references undeclared type %q",
+				bind.typeName, bind.label, bind.childRef)
+		}
+		if err := b.s.SetChildType(τ, bind.label, child); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range b.roots {
+		τ := b.s.TypeByName(r.typeRef)
+		if τ == schema.NoType {
+			return nil, fmt.Errorf("revalidate: root %q references undeclared type %q", r.label, r.typeRef)
+		}
+		b.s.SetRoot(r.label, τ)
+	}
+	if err := b.s.Compile(); err != nil {
+		return nil, err
+	}
+	return &Schema{u: b.u, s: b.s}, nil
+}

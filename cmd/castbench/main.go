@@ -1,0 +1,292 @@
+// Command castbench regenerates every table and figure of the paper's
+// evaluation section (EDBT'04 §6), plus the ablations DESIGN.md calls out:
+//
+//	-table1   Table 1: abstract-schema view of POType1 (Figure 1a)
+//	-table2   Table 2: input document file sizes, 2..1000 items
+//	-exp1     Figure 3a: Experiment 1 validation times (billTo optional→required)
+//	-exp2     Figure 3b: Experiment 2 validation times (maxExclusive 200→100)
+//	-table3   Table 3: nodes visited during Experiment 2
+//	-mods     extension: incremental revalidation after edits vs. full
+//	-stream   extension: streaming cast vs. parse+tree pipelines
+//	-prep     preprocessing cost (relations + IDA construction)
+//	-all      everything (default when no flag is given)
+//
+// Wall-clock numbers are machine-dependent; the shapes (constant vs.
+// linear, cast vs. baseline ratios) are what reproduce the paper.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cast"
+	"repro/internal/strcast"
+	"repro/internal/stream"
+	"repro/internal/subsume"
+	"repro/internal/update"
+	"repro/internal/wgen"
+	"repro/internal/xmltree"
+)
+
+var itemCounts = wgen.PaperItemCounts
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "Table 1: abstract schema for POType1")
+		table2 = flag.Bool("table2", false, "Table 2: input file sizes")
+		exp1   = flag.Bool("exp1", false, "Figure 3a: Experiment 1 times")
+		exp2   = flag.Bool("exp2", false, "Figure 3b: Experiment 2 times")
+		table3 = flag.Bool("table3", false, "Table 3: nodes visited in Experiment 2")
+		mods   = flag.Bool("mods", false, "extension: incremental revalidation after edits")
+		strm   = flag.Bool("stream", false, "extension: streaming cast vs parse+tree pipelines")
+		prep   = flag.Bool("prep", false, "preprocessing cost breakdown")
+		all    = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+	any := *table1 || *table2 || *exp1 || *exp2 || *table3 || *mods || *strm || *prep
+	if *all || !any {
+		*table1, *table2, *exp1, *exp2, *table3, *mods, *strm, *prep =
+			true, true, true, true, true, true, true, true
+	}
+
+	ps := wgen.NewPaperSchemas()
+	if *table1 {
+		runTable1(ps)
+	}
+	if *table2 {
+		runTable2()
+	}
+	if *exp1 {
+		runExperiment1(ps)
+	}
+	if *exp2 {
+		runExperiment2(ps)
+	}
+	if *table3 {
+		runTable3(ps)
+	}
+	if *mods {
+		runModifications(ps)
+	}
+	if *strm {
+		runStreaming(ps)
+	}
+	if *prep {
+		runPreprocessing(ps)
+	}
+}
+
+func runTable1(ps *wgen.PaperSchemas) {
+	fmt.Println("== Table 1: abstract XML Schema type for POType1 (Figure 1a) ==")
+	fmt.Print(ps.Source1.String())
+	fmt.Println()
+}
+
+func runTable2() {
+	fmt.Println("== Table 2: file sizes for input documents ==")
+	fmt.Printf("%12s %14s\n", "# Item Nodes", "Size (Bytes)")
+	for _, n := range itemCounts {
+		doc := wgen.PODocument(wgen.PODocOptions{Items: n, IncludeBillTo: true, Seed: 2004})
+		fmt.Printf("%12d %14d\n", n, len(wgen.POXMLBytes(doc)))
+	}
+	fmt.Println()
+}
+
+// timeIt reports the per-validation wall time of fn, amortized over enough
+// iterations to exceed ~40ms.
+func timeIt(fn func()) time.Duration {
+	fn() // warm up
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed > 40*time.Millisecond || iters > 1<<20 {
+			return elapsed / time.Duration(iters)
+		}
+		iters *= 4
+	}
+}
+
+func runExperiment1(ps *wgen.PaperSchemas) {
+	fmt.Println("== Figure 3a / Experiment 1: validate Fig-1a documents against Fig-2 ==")
+	fmt.Println("   (billTo optional in source, required in target; documents contain billTo)")
+	engine := cast.MustNew(ps.Source1, ps.Target, cast.Options{})
+	base := baseline.New(ps.Target)
+	fmt.Printf("%8s %16s %16s %10s\n", "items", "schema-cast", "full (Xerces-style)", "speedup")
+	for _, n := range itemCounts {
+		doc := wgen.PODocument(wgen.PODocOptions{Items: n, IncludeBillTo: true, Seed: 2004})
+		castTime := timeIt(func() {
+			if _, err := engine.Validate(doc); err != nil {
+				fatal(err)
+			}
+		})
+		fullTime := timeIt(func() {
+			if _, err := base.Validate(doc); err != nil {
+				fatal(err)
+			}
+		})
+		fmt.Printf("%8d %13dns %16dns %9.1fx\n", n, castTime.Nanoseconds(), fullTime.Nanoseconds(),
+			float64(fullTime)/float64(castTime))
+	}
+	fmt.Println("   expected shape: cast constant in item count, full linear")
+	fmt.Println()
+}
+
+func runExperiment2(ps *wgen.PaperSchemas) {
+	fmt.Println("== Figure 3b / Experiment 2: validate maxExclusive=200 documents against maxExclusive=100 ==")
+	fmt.Println("   (every quantity must be checked; cast skips the other item children)")
+	engine := cast.MustNew(ps.Source2, ps.Target, cast.Options{})
+	base := baseline.New(ps.Target)
+	fmt.Printf("%8s %16s %16s %10s\n", "items", "schema-cast", "full (Xerces-style)", "speedup")
+	for _, n := range itemCounts {
+		doc := wgen.PODocument(wgen.PODocOptions{Items: n, IncludeBillTo: true, MaxQuantity: 99, Seed: 2004})
+		castTime := timeIt(func() {
+			if _, err := engine.Validate(doc); err != nil {
+				fatal(err)
+			}
+		})
+		fullTime := timeIt(func() {
+			if _, err := base.Validate(doc); err != nil {
+				fatal(err)
+			}
+		})
+		fmt.Printf("%8d %13dns %16dns %9.2fx\n", n, castTime.Nanoseconds(), fullTime.Nanoseconds(),
+			float64(fullTime)/float64(castTime))
+	}
+	fmt.Println("   expected shape: both linear, cast faster by a constant factor")
+	fmt.Println("   (~1.4-1.5x here; the paper's modified Xerces reported ~1.3x)")
+	fmt.Println()
+}
+
+func runTable3(ps *wgen.PaperSchemas) {
+	fmt.Println("== Table 3: number of nodes traversed during validation in Experiment 2 ==")
+	engine := cast.MustNew(ps.Source2, ps.Target, cast.Options{})
+	base := baseline.New(ps.Target)
+	fmt.Printf("%12s %14s %14s %8s\n", "# Item Nodes", "Schema Cast", "Full", "ratio")
+	for _, n := range itemCounts {
+		doc := wgen.PODocument(wgen.PODocOptions{Items: n, IncludeBillTo: true, MaxQuantity: 99, Seed: 2004})
+		cs, err := engine.Validate(doc)
+		if err != nil {
+			fatal(err)
+		}
+		bs, err := base.Validate(doc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%12d %14d %14d %7.0f%%\n", n, cs.NodesVisited(), bs.NodesVisited(),
+			100*float64(cs.NodesVisited())/float64(bs.NodesVisited()))
+	}
+	fmt.Println("   expected shape: cast visits ~70% of the nodes (paper: ~80% on its tree layout)")
+	fmt.Println()
+}
+
+func runModifications(ps *wgen.PaperSchemas) {
+	fmt.Println("== Extension: incremental revalidation after k edits (same schema) ==")
+	engine := cast.MustNew(ps.Target, ps.Target, cast.Options{})
+	base := baseline.New(ps.Target)
+	const items = 1000
+	fmt.Printf("%8s %18s %18s %10s\n", "edits", "incremental", "full revalidation", "speedup")
+	for _, edits := range []int{1, 4, 16, 64} {
+		// Rebuild document + edits each timing round so state stays fixed;
+		// the edit cost itself is excluded by pre-building outside fn.
+		doc := wgen.PODocument(wgen.PODocOptions{Items: items, IncludeBillTo: true, Seed: 7})
+		tk := update.NewTracker(doc)
+		applyEdits(tk, doc, edits)
+		trie := tk.Finalize()
+		incTime := timeIt(func() {
+			if _, err := engine.ValidateModified(doc, trie); err != nil {
+				fatal(err)
+			}
+		})
+		fullTime := timeIt(func() {
+			if _, err := base.Validate(doc); err != nil {
+				fatal(err)
+			}
+		})
+		fmt.Printf("%8d %15dns %15dns %9.1fx\n", edits, incTime.Nanoseconds(), fullTime.Nanoseconds(),
+			float64(fullTime)/float64(incTime))
+	}
+	fmt.Println("   expected shape: incremental cost grows with edits, not document size")
+	fmt.Println()
+}
+
+// applyEdits applies k legal quantity edits spread across the items.
+func applyEdits(tk *update.Tracker, doc *xmltree.Node, k int) {
+	items := doc.Children[2].Children
+	for i := 0; i < k; i++ {
+		item := items[(i*37)%len(items)]
+		qtyText := item.Children[1].Children[0]
+		if err := tk.SetText(qtyText, "7"); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runStreaming(ps *wgen.PaperSchemas) {
+	fmt.Println("== Extension: streaming pipelines (documents arrive as bytes) ==")
+	data := wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 500, IncludeBillTo: true, Seed: 11}))
+	engine := cast.MustNew(ps.Source1, ps.Target, cast.Options{})
+	streamCaster, err := stream.NewCaster(ps.Source1, ps.Target)
+	if err != nil {
+		fatal(err)
+	}
+	streamFull := stream.NewValidator(ps.Target)
+	treeTime := timeIt(func() {
+		doc, err := xmltree.ParseString(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := engine.Validate(doc); err != nil {
+			fatal(err)
+		}
+	})
+	scTime := timeIt(func() {
+		if _, err := streamCaster.Validate(bytes.NewReader(data)); err != nil {
+			fatal(err)
+		}
+	})
+	sfTime := timeIt(func() {
+		if _, err := streamFull.Validate(bytes.NewReader(data)); err != nil {
+			fatal(err)
+		}
+	})
+	fmt.Printf("  parse + tree cast:        %v per 500-item document\n", treeTime)
+	fmt.Printf("  streaming cast:           %v (O(depth) memory, subsumed subtrees skimmed)\n", scTime)
+	fmt.Printf("  streaming full:           %v\n", sfTime)
+	fmt.Println()
+}
+
+func runPreprocessing(ps *wgen.PaperSchemas) {
+	fmt.Println("== Preprocessing cost (static, once per schema pair) ==")
+	relTime := timeIt(func() {
+		subsume.MustCompute(ps.Source1, ps.Target)
+	})
+	engTime := timeIt(func() {
+		cast.MustNew(ps.Source1, ps.Target, cast.Options{})
+	})
+	rel := subsume.MustCompute(ps.Source1, ps.Target)
+	st := rel.Stats()
+	fmt.Printf("  R_sub/R_dis computation: %v (%d subsumed, %d disjoint pairs over %d×%d types)\n",
+		relTime, st.SubsumedPairs, st.DisjointPairs, st.SrcTypes, st.DstTypes)
+	fmt.Printf("  full engine (relations + content IDAs): %v\n", engTime)
+	idaTime := timeIt(func() {
+		a := ps.Source1.TypeOf(ps.Source1.TypeByName("POType1")).DFA
+		b := ps.Target.TypeOf(ps.Target.TypeByName("POType2")).DFA
+		strcast.New(a, b)
+	})
+	fmt.Printf("  one content-model IDA pair (POType1/POType2): %v\n", idaTime)
+	fmt.Println("  memory depends only on schema sizes — never on documents (§7)")
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "castbench:", err)
+	os.Exit(1)
+}

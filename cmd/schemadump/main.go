@@ -1,0 +1,110 @@
+// Command schemadump prints the abstract-XML-schema view of an XSD or DTD
+// — the (Σ, T, ρ, R) tables of EDBT'04 (its Table 1 renders the POType1
+// row of Figure 1a) — and optionally the compiled content-model DFAs.
+//
+// Usage:
+//
+//	schemadump schema.xsd
+//	schemadump -dfa POType1 schema.xsd
+//	schemadump -relations other.xsd schema.xsd   # R_sub / R_dis vs. another schema
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/fa"
+	"repro/internal/schema"
+	"repro/internal/subsume"
+	"repro/internal/xsd"
+)
+
+func main() {
+	var (
+		dfaType   = flag.String("dfa", "", "also dump the compiled DFA of this type")
+		relations = flag.String("relations", "", "compute R_sub/R_dis against this second schema")
+		dtdRoot   = flag.String("dtd-root", "", "root element for DTD schemas without a DOCTYPE")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: schemadump [flags] schema.(xsd|dtd)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	alpha := fa.NewAlphabet()
+	s, err := load(flag.Arg(0), alpha, *dtdRoot)
+	exitOn(err)
+
+	fmt.Print(s.String())
+	fmt.Printf("DTD-shaped: %v\n", s.IsDTD())
+	if s.Ident != nil {
+		fmt.Println("identity constraints:")
+		for _, c := range s.Ident.Constraints() {
+			fmt.Printf("  %s\n", c)
+		}
+	}
+
+	if *dfaType != "" {
+		id := s.TypeByName(*dfaType)
+		if id == schema.NoType {
+			exitOn(fmt.Errorf("type %q not found", *dfaType))
+		}
+		t := s.TypeOf(id)
+		if t.Simple {
+			fmt.Printf("\n%s is a simple type (%s); no content DFA\n", t.Name, t.Value)
+		} else {
+			fmt.Printf("\ncontent-model DFA of %s:\n%s", t.Name, t.DFA.Dump(alpha.Names()))
+		}
+	}
+
+	if *relations != "" {
+		other, err := load(*relations, alpha, *dtdRoot)
+		exitOn(err)
+		rel, err := subsume.Compute(s, other)
+		exitOn(err)
+		fmt.Printf("\nrelations %s (source) vs %s (target):\n", flag.Arg(0), *relations)
+		for _, a := range s.Types {
+			var subs, diss []string
+			for _, b := range other.Types {
+				if rel.Subsumed(a.ID, b.ID) {
+					subs = append(subs, b.Name)
+				}
+				if rel.Disjoint(a.ID, b.ID) {
+					diss = append(diss, b.Name)
+				}
+			}
+			fmt.Printf("  %-16s ≤ {%s}\n", a.Name, strings.Join(subs, ", "))
+			fmt.Printf("  %-16s ⊘ {%s}\n", a.Name, strings.Join(diss, ", "))
+		}
+		st := rel.Stats()
+		fmt.Printf("  %d subsumed pairs, %d disjoint pairs over %d×%d types\n",
+			st.SubsumedPairs, st.DisjointPairs, st.SrcTypes, st.DstTypes)
+	}
+}
+
+func load(path string, alpha *fa.Alphabet, dtdRoot string) (*schema.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := string(data)
+	if strings.HasSuffix(path, ".dtd") ||
+		(!strings.HasSuffix(path, ".xsd") && strings.Contains(text, "<!ELEMENT")) {
+		return dtd.Parse(text, dtd.Options{Alpha: alpha, Root: dtdRoot})
+	}
+	return xsd.ParseString(text, xsd.Options{Alpha: alpha})
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schemadump:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,159 @@
+// Catalog: identity constraints (xs:key / xs:keyref) enforced alongside
+// structural revalidation during an editing session. Keys and references
+// are indexed once; after each edit, structure is revalidated with the
+// schema cast machinery and the identity constraints are re-checked
+// incrementally — only the scopes the edit touched are re-evaluated.
+//
+//	go run ./examples/catalog
+package main
+
+import (
+	"fmt"
+	"log"
+
+	revalidate "repro"
+)
+
+const catalogXSD = `
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="catalog" type="CatalogType">
+    <xsd:key name="skuKey">
+      <xsd:selector xpath="products/product"/>
+      <xsd:field xpath="sku"/>
+    </xsd:key>
+    <xsd:keyref name="bundleRef" refer="skuKey">
+      <xsd:selector xpath="bundles/bundle/part"/>
+      <xsd:field xpath="."/>
+    </xsd:keyref>
+  </xsd:element>
+  <xsd:complexType name="CatalogType">
+    <xsd:sequence>
+      <xsd:element name="products" type="ProductsType"/>
+      <xsd:element name="bundles" type="BundlesType"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="ProductsType">
+    <xsd:sequence>
+      <xsd:element name="product" type="ProductType" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="ProductType">
+    <xsd:sequence>
+      <xsd:element name="sku" type="xsd:string"/>
+      <xsd:element name="title" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="BundlesType">
+    <xsd:sequence>
+      <xsd:element name="bundle" type="BundleType" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="BundleType">
+    <xsd:sequence>
+      <xsd:element name="part" type="xsd:string" minOccurs="1" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+
+const catalogXML = `
+<catalog>
+  <products>
+    <product><sku>LAMP-01</sku><title>Desk Lamp</title></product>
+    <product><sku>KETL-02</sku><title>Tea Kettle</title></product>
+    <product><sku>MOWR-03</sku><title>Lawnmower</title></product>
+  </products>
+  <bundles>
+    <bundle><part>LAMP-01</part><part>KETL-02</part></bundle>
+  </bundles>
+</catalog>`
+
+func main() {
+	u := revalidate.NewUniverse()
+	s, err := u.LoadXSDString(catalogXSD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("declared identity constraints:")
+	for _, c := range s.IdentityConstraints() {
+		fmt.Println("  ", c)
+	}
+
+	doc, err := revalidate.ParseDocumentString(catalogXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Validate(doc); err != nil {
+		log.Fatal("structure: ", err)
+	}
+	if err := s.ValidateIdentity(doc); err != nil {
+		log.Fatal("identity: ", err)
+	}
+	fmt.Println("\ninitial catalog: structurally valid, keys consistent")
+
+	// Same-schema incremental revalidation for structure…
+	caster, err := revalidate.NewCaster(s, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// …and an identity index for incremental key checking.
+	keys, err := s.BuildIdentityIndex(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// step applies one insertion, revalidates structure + identity
+	// incrementally, and rolls the insertion back when either check fails
+	// (an editor would refuse to commit the change).
+	step := func(desc string, parent, subtree revalidate.Elem) {
+		es := doc.Edit()
+		if err := es.AppendChild(parent, subtree); err != nil {
+			log.Fatalf("%s: %v", desc, err)
+		}
+		changes := es.Done()
+		verdict := "✓ committed"
+		failed := false
+		if err := caster.ValidateModified(doc, changes); err != nil {
+			verdict = "✗ structure: " + err.Error()
+			failed = true
+		} else if err := keys.ValidateModified(doc, changes); err != nil {
+			verdict = "✗ identity: " + err.Error()
+			failed = true
+		}
+		if failed {
+			undo := doc.Edit()
+			if err := undo.Delete(subtree); err != nil {
+				log.Fatal(err)
+			}
+			if err := caster.ValidateModified(doc, undo.Done()); err != nil {
+				log.Fatal("rollback broke the document: ", err)
+			}
+			verdict += " (rolled back)"
+		}
+		fmt.Printf("%-42s %s\n", desc, verdict)
+	}
+
+	products, _ := doc.Root().First("products")
+	bundles, _ := doc.Root().First("bundles")
+
+	step("add product VASE-04", products,
+		revalidate.Element("product",
+			revalidate.Element("sku", revalidate.Text("VASE-04")),
+			revalidate.Element("title", revalidate.Text("Lapis Vase"))))
+
+	step("bundle VASE-04 with LAMP-01", bundles,
+		revalidate.Element("bundle",
+			revalidate.Element("part", revalidate.Text("VASE-04")),
+			revalidate.Element("part", revalidate.Text("LAMP-01"))))
+
+	step("add duplicate sku LAMP-01 (key!)", products,
+		revalidate.Element("product",
+			revalidate.Element("sku", revalidate.Text("LAMP-01")),
+			revalidate.Element("title", revalidate.Text("Copycat Lamp"))))
+
+	step("reference a missing sku (keyref!)", bundles,
+		revalidate.Element("bundle",
+			revalidate.Element("part", revalidate.Text("GONE-99"))))
+
+	step("add empty bundle (structure!)", bundles,
+		revalidate.Element("bundle"))
+}

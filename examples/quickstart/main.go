@@ -1,0 +1,112 @@
+// Quickstart: load a source and a target schema, then decide whether
+// documents valid under the source are valid under the target — without
+// re-reading the parts of the document the schemas agree on.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	revalidate "repro"
+)
+
+// The paper's Figure 1 scenario: version 1 of a purchase-order schema makes
+// billTo optional; version 2 requires it.
+const schemaV1 = `
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType1"/>
+  <xsd:complexType name="POType1">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="Address"/>
+      <xsd:element name="billTo" type="Address" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="xsd:string" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+
+const schemaV2 = `
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType2"/>
+  <xsd:complexType name="POType2">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="Address"/>
+      <xsd:element name="billTo" type="Address"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="xsd:string" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+
+const withBillTo = `
+<purchaseOrder>
+  <shipTo><name>Alice</name><street>1 Main St</street></shipTo>
+  <billTo><name>Bob</name><street>2 Oak Ave</street></billTo>
+  <items><item>lawnmower</item><item>tea kettle</item></items>
+</purchaseOrder>`
+
+const withoutBillTo = `
+<purchaseOrder>
+  <shipTo><name>Alice</name><street>1 Main St</street></shipTo>
+  <items><item>lawnmower</item></items>
+</purchaseOrder>`
+
+func main() {
+	// Schemas that will be compared must share one Universe.
+	u := revalidate.NewUniverse()
+	v1, err := u.LoadXSDString(schemaV1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v2, err := u.LoadXSDString(schemaV2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Preprocess the pair once; validate many documents afterwards.
+	caster, err := revalidate.NewCaster(v1, v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, src := range []string{withBillTo, withoutBillTo} {
+		doc, err := revalidate.ParseDocumentString(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The documents are v1-valid (check it, to honour the contract).
+		if err := v1.Validate(doc); err != nil {
+			log.Fatalf("input is not v1-valid: %v", err)
+		}
+		stats, err := caster.ValidateStats(doc)
+		if err != nil {
+			fmt.Printf("✗ not valid under v2: %v\n", err)
+		} else {
+			fmt.Printf("✓ valid under v2\n")
+		}
+		fmt.Printf("  work: %d of %d nodes visited, %d subtrees skipped as subsumed\n\n",
+			stats.NodesVisited(), doc.NodeCount(), stats.SubsumedSkips)
+	}
+}

@@ -1,0 +1,67 @@
+package revalidate
+
+import (
+	"fmt"
+
+	"repro/internal/ident"
+)
+
+// Identity constraints (xs:unique / xs:key / xs:keyref) are validated
+// separately from structure: the paper's formalism — and therefore the
+// schema cast machinery — covers structural constraints, with key
+// constraints named as the extension under development (§7). This file
+// supplies that extension, including incremental re-checking after edits.
+
+// HasIdentityConstraints reports whether the schema declared any
+// xs:unique/key/keyref constraints.
+func (s *Schema) HasIdentityConstraints() bool { return s.s.Ident != nil }
+
+// IdentityConstraints describes the declared constraints (for diagnostics).
+func (s *Schema) IdentityConstraints() []string {
+	if s.s.Ident == nil {
+		return nil
+	}
+	cs := s.s.Ident.Constraints()
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// ValidateIdentity checks the document against the schema's identity
+// constraints. A schema without constraints accepts everything. Structural
+// validity is checked separately (Schema.Validate or a Caster).
+func (s *Schema) ValidateIdentity(doc *Document) error {
+	if s.s.Ident == nil {
+		return nil
+	}
+	return s.s.Ident.Validate(doc.root)
+}
+
+// IdentityIndex caches per-scope key/unique tuples so that identity
+// constraints can be re-checked incrementally after an edit session: only
+// scopes whose subtree was touched are re-evaluated.
+type IdentityIndex struct {
+	idx *ident.Index
+}
+
+// BuildIdentityIndex evaluates the constraints over the document (which
+// must currently satisfy them) and returns the incremental index.
+func (s *Schema) BuildIdentityIndex(doc *Document) (*IdentityIndex, error) {
+	if s.s.Ident == nil {
+		return nil, fmt.Errorf("revalidate: schema declares no identity constraints")
+	}
+	idx, err := s.s.Ident.BuildIndex(doc.root)
+	if err != nil {
+		return nil, err
+	}
+	return &IdentityIndex{idx: idx}, nil
+}
+
+// ValidateModified re-checks identity constraints after an edit session,
+// re-evaluating only scopes the change set touched. On success the index
+// absorbs the new state, so subsequent edit sessions can keep using it.
+func (ii *IdentityIndex) ValidateModified(doc *Document, changes *ChangeSet) error {
+	return ii.idx.ValidateModified(doc.root, changes.trie)
+}

@@ -1,0 +1,102 @@
+package cast
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/wgen"
+	"repro/internal/xmltree"
+)
+
+func TestBuildLabelIndex(t *testing.T) {
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 3, IncludeBillTo: true, Seed: 1})
+	idx := BuildLabelIndex(doc)
+	if len(idx["item"]) != 3 {
+		t.Fatalf("item instances = %d, want 3", len(idx["item"]))
+	}
+	if len(idx["purchaseOrder"]) != 1 || len(idx["quantity"]) != 3 {
+		t.Fatal("index counts wrong")
+	}
+	// Tombstoned nodes are excluded.
+	doc.Children[2].Children[0].Delta = xmltree.DeltaDelete
+	idx2 := BuildLabelIndex(doc)
+	if len(idx2["item"]) != 2 {
+		t.Fatalf("tombstoned item still indexed: %d", len(idx2["item"]))
+	}
+}
+
+func TestValidateDTDExperiment1(t *testing.T) {
+	_, e1, _ := paperEngines(t, Options{})
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 50, IncludeBillTo: true, Seed: 2})
+	idx := BuildLabelIndex(doc)
+	st, err := e1.ValidateDTD(doc, idx)
+	if err != nil {
+		t.Fatalf("DTD cast should pass: %v (%s)", err, st)
+	}
+	// Only purchaseOrder instances need checking (every other label's type
+	// pair is subsumed): constant work.
+	if st.ElementsVisited > 3 {
+		t.Fatalf("expected ~2 visited elements, got %s", st)
+	}
+	bad := wgen.PODocument(wgen.PODocOptions{Items: 50, IncludeBillTo: false, Seed: 2})
+	if _, err := e1.ValidateDTD(bad, BuildLabelIndex(bad)); err == nil {
+		t.Fatal("missing billTo must fail in DTD mode too")
+	}
+}
+
+func TestValidateDTDExperiment2(t *testing.T) {
+	_, _, e2 := paperEngines(t, Options{})
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 50, IncludeBillTo: true, MaxQuantity: 99, Seed: 3})
+	idx := BuildLabelIndex(doc)
+	st, err := e2.ValidateDTD(doc, idx)
+	if err != nil {
+		t.Fatalf("DTD cast should pass: %v", err)
+	}
+	// Exactly the quantity instances (plus the root and its text) do work.
+	if st.TextNodesVisited != 50 {
+		t.Fatalf("expected 50 quantity values read, got %s", st)
+	}
+	// An out-of-range quantity fails.
+	doc.Children[2].Children[10].Children[1].Children[0].Text = "120"
+	if _, err := e2.ValidateDTD(doc, BuildLabelIndex(doc)); err == nil {
+		t.Fatal("quantity 120 must fail")
+	}
+}
+
+func TestValidateDTDAgreesWithTopDown(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	rng := rand.New(rand.NewSource(55))
+	engines := []*Engine{
+		MustNew(ps.Source1, ps.Target, Options{}),
+		MustNew(ps.Target, ps.Source1, Options{}),
+		MustNew(ps.Source2, ps.Target, Options{}),
+		MustNew(ps.Target, ps.Source2, Options{}),
+	}
+	for _, eng := range engines {
+		gen := wgen.NewGenerator(eng.Src, rng)
+		base := baseline.New(eng.Dst)
+		for i := 0; i < 40; i++ {
+			doc, ok := gen.Document()
+			if !ok {
+				t.Fatal("generation failed")
+			}
+			_, wantErr := base.Validate(doc)
+			_, gotErr := eng.ValidateDTD(doc, BuildLabelIndex(doc))
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("DTD mode disagrees: dtd=%v full=%v\n%s", gotErr, wantErr, doc)
+			}
+		}
+	}
+}
+
+func TestValidateDTDErrorPaths(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	e := MustNew(ps.Source1, ps.Target, Options{})
+	if _, err := e.ValidateDTD(xmltree.NewText("x"), LabelIndex{}); err == nil {
+		t.Fatal("text root must fail")
+	}
+	if _, err := e.ValidateDTD(xmltree.NewElement("nope"), LabelIndex{}); err == nil {
+		t.Fatal("unknown root must fail")
+	}
+}

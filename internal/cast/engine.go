@@ -1,0 +1,150 @@
+// Package cast implements the paper's core contribution: schema cast
+// validation of XML documents (EDBT'04 §3.2), schema cast validation with
+// modifications (§3.3), and the DTD label-index optimization (§3.4).
+//
+// An Engine preprocesses a (source, target) schema pair — computing the
+// R_sub/R_dis relations and the per-type-pair immediate decision automata
+// for content models — and then validates documents known to conform to the
+// source schema against the target schema, skipping subsumed subtrees and
+// rejecting at the first disjoint pair.
+package cast
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/schema"
+	"repro/internal/strcast"
+	"repro/internal/subsume"
+)
+
+// Options tune the engine; the zero value is the paper's full algorithm.
+type Options struct {
+	// DisableContentIDA turns off the §4 immediate decision automata for
+	// content models; children label strings are then scanned fully with
+	// the target DFA, which is what the paper's modified-Xerces prototype
+	// did. Kept as an ablation switch.
+	DisableContentIDA bool
+	// DisableRelations turns off the R_sub/R_dis consultation, reducing
+	// the engine to a full top-down revalidation (another ablation).
+	DisableRelations bool
+}
+
+// Engine validates documents valid under Src against Dst.
+// After New, an Engine is safe for concurrent use.
+type Engine struct {
+	Src, Dst *schema.Schema
+	Rel      *subsume.Relations
+	opts     Options
+
+	full *baseline.Validator // target-side full validation (inserted subtrees)
+
+	mu      sync.Mutex
+	casters map[typePair]*strcast.Caster
+}
+
+type typePair struct{ src, dst schema.TypeID }
+
+// New preprocesses the schema pair: both schemas must be compiled and share
+// one alphabet. Content-model cast automata for all type pairs reachable
+// from the shared roots are built eagerly; other pairs are built on demand.
+func New(src, dst *schema.Schema, opts Options) (*Engine, error) {
+	rel, err := subsume.Compute(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Src:     src,
+		Dst:     dst,
+		Rel:     rel,
+		opts:    opts,
+		full:    baseline.New(dst),
+		casters: map[typePair]*strcast.Caster{},
+	}
+	if !opts.DisableContentIDA {
+		e.precomputeCasters()
+	}
+	return e, nil
+}
+
+// MustNew is New that panics on error; for tests and examples.
+func MustNew(src, dst *schema.Schema, opts Options) *Engine {
+	e, err := New(src, dst, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// precomputeCasters builds string casters for every (complex, complex) type
+// pair reachable from the root labels both schemas accept, skipping pairs
+// the relations already decide.
+func (e *Engine) precomputeCasters() {
+	seen := map[typePair]bool{}
+	var queue []typePair
+	push := func(p typePair) {
+		if !seen[p] {
+			seen[p] = true
+			queue = append(queue, p)
+		}
+	}
+	for sym, τ := range e.Src.Roots {
+		if τp, ok := e.Dst.Roots[sym]; ok {
+			push(typePair{τ, τp})
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		a, b := e.Src.TypeOf(p.src), e.Dst.TypeOf(p.dst)
+		if a.Simple || b.Simple {
+			continue
+		}
+		decided := e.Rel.Subsumed(p.src, p.dst) || e.Rel.Disjoint(p.src, p.dst)
+		if !decided {
+			e.casters[p] = strcast.New(a.DFA, b.DFA)
+		}
+		// Descend into shared child labels even below decided pairs: a
+		// pair decided here may recur undecided elsewhere... it cannot —
+		// pairs are global — but its children pairs can differ from it,
+		// and with-modifications validation revisits children of subsumed
+		// pairs when edits landed below them.
+		for sym, ω := range a.Child {
+			if ν, ok := b.Child[sym]; ok {
+				push(typePair{ω, ν})
+			}
+		}
+	}
+}
+
+// caster returns (building if needed) the string caster for a complex type
+// pair.
+func (e *Engine) caster(τ, τp schema.TypeID) *strcast.Caster {
+	p := typePair{τ, τp}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.casters[p]; ok {
+		return c
+	}
+	c := strcast.New(e.Src.TypeOf(τ).DFA, e.Dst.TypeOf(τp).DFA)
+	e.casters[p] = c
+	return c
+}
+
+// PrecomputedCasters reports how many content-model cast automata the
+// engine holds; diagnostics for the preprocessing benchmarks.
+func (e *Engine) PrecomputedCasters() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.casters)
+}
+
+// contractError marks a violation of the cast contract: the input document
+// was not actually valid under the source schema.
+func contractError(path, format string, args ...any) error {
+	return &schema.ValidationError{
+		Path:   path,
+		Reason: "cast contract violated (document not valid under source schema): " + fmt.Sprintf(format, args...),
+	}
+}

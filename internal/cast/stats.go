@@ -1,0 +1,55 @@
+package cast
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// Stats counts the work one cast validation performed; the node counters
+// correspond to the paper's Table 3 metric.
+type Stats struct {
+	// ElementsVisited counts element nodes the engine examined.
+	ElementsVisited int64
+	// TextNodesVisited counts χ leaves whose value was read.
+	TextNodesVisited int64
+	// AutomatonSteps counts DFA/IDA transitions taken during content-model
+	// checks.
+	AutomatonSteps int64
+	// SubsumedSkips counts subtrees skipped because (τ, τ') ∈ R_sub.
+	SubsumedSkips int64
+	// DisjointRejects counts rejections due to (τ, τ') ∈ R_dis (0 or 1 per
+	// validation, since the first one aborts).
+	DisjointRejects int64
+	// FullValidations counts subtrees handed to the full validator
+	// (inserted content, or simple-source fallbacks).
+	FullValidations int64
+}
+
+// NodesVisited is the total of element and text nodes examined — the
+// quantity the paper's Table 3 reports.
+func (s Stats) NodesVisited() int64 { return s.ElementsVisited + s.TextNodesVisited }
+
+// addBaseline folds statistics from a full-validation excursion into s.
+func (s *Stats) addBaseline(b baseline.Stats) {
+	s.ElementsVisited += b.ElementsVisited
+	s.TextNodesVisited += b.TextNodesVisited
+	s.AutomatonSteps += b.AutomatonSteps
+	s.FullValidations++
+}
+
+// fullValidateSubtree runs the target-schema full validator over a subtree
+// whose root the caller has already counted.
+func fullValidateSubtree(e *Engine, τp schema.TypeID, node *xmltree.Node) (baseline.Stats, error) {
+	var bs baseline.Stats
+	err := e.full.ValidateType(τp, node, &bs)
+	return bs, err
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d (elem=%d text=%d) steps=%d skips=%d disjoint=%d full=%d",
+		s.NodesVisited(), s.ElementsVisited, s.TextNodesVisited,
+		s.AutomatonSteps, s.SubsumedSkips, s.DisjointRejects, s.FullValidations)
+}

@@ -1,0 +1,217 @@
+package cast
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// Validate performs schema cast validation without modifications (§3.2):
+// given a document valid under the source schema, decide validity under the
+// target schema. The verdict is accompanied by work statistics. If the
+// document turns out not to be valid under the source schema, Validate
+// reports an error (it never wrongly accepts, but the error may then blame
+// the contract rather than the target schema).
+func (e *Engine) Validate(doc *xmltree.Node) (Stats, error) {
+	var st Stats
+	err := e.validateRoot(doc, &st)
+	return st, err
+}
+
+func (e *Engine) validateRoot(doc *xmltree.Node, st *Stats) error {
+	if doc.IsText() {
+		return &schema.ValidationError{Path: "/", Reason: "root must be an element"}
+	}
+	st.ElementsVisited++
+	τ := e.Src.RootType(doc.Label)
+	if τ == schema.NoType {
+		return contractError(schema.NodePath(doc), "label %q is not a source root", doc.Label)
+	}
+	τp := e.Dst.RootType(doc.Label)
+	if τp == schema.NoType {
+		return &schema.ValidationError{
+			Path:   schema.NodePath(doc),
+			Reason: fmt.Sprintf("label %q is not a permitted root of the target schema", doc.Label),
+		}
+	}
+	return e.castValidate(τ, τp, doc, st)
+}
+
+// castValidate is the paper's validate(τ, τ', e): the subtree at node is
+// assumed valid with respect to τ (source); decide validity with respect to
+// τ' (target). The node itself has been counted by the caller.
+func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Stats) error {
+	if !e.opts.DisableRelations {
+		if e.Rel.Subsumed(τ, τp) {
+			st.SubsumedSkips++
+			return nil
+		}
+		if e.Rel.Disjoint(τ, τp) {
+			st.DisjointRejects++
+			return &schema.ValidationError{
+				Path: schema.NodePath(node),
+				Reason: fmt.Sprintf("source type %q is disjoint from target type %q",
+					e.Src.TypeOf(τ).Name, e.Dst.TypeOf(τp).Name),
+			}
+		}
+	}
+	tS, tD := e.Src.TypeOf(τ), e.Dst.TypeOf(τp)
+	if tD.Simple {
+		return e.checkSimple(tD, node, st)
+	}
+	if tS.Simple {
+		// Source-simple vs target-complex: the node's (source-valid)
+		// content is text or empty; it satisfies the complex target only
+		// when childless with ε in the content model. Full validation of
+		// this shallow node settles it.
+		bs, err := fullValidateSubtree(e, τp, node)
+		st.addBaseline(bs)
+		return err
+	}
+	// Both complex: check the children label string against regexp_τ',
+	// exploiting that it belongs to L(regexp_τ) (§4).
+	if err := e.checkContent(tS, tD, node, st); err != nil {
+		return err
+	}
+	for _, c := range node.Children {
+		if c.Delta == xmltree.DeltaDelete || c.IsText() {
+			continue // text was rejected by checkContent already
+		}
+		sym := e.Src.Alpha.Lookup(c.Label)
+		ω, ok := tS.Child[sym]
+		if !ok {
+			return contractError(schema.NodePath(c), "label %q has no source child type under %q", c.Label, tS.Name)
+		}
+		ν, ok := tD.Child[sym]
+		if !ok {
+			// The content check passed, so every child label is usable in
+			// the target model and must have a child type.
+			return &schema.ValidationError{
+				Path:   schema.NodePath(c),
+				Reason: fmt.Sprintf("label %q has no child type under target %q", c.Label, tD.Name),
+			}
+		}
+		st.ElementsVisited++
+		if err := e.castValidate(ω, ν, c, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkContent verifies constructstring(children(node)) ∈ L(regexp_τ') and
+// that the node has no live text content, scanning the children in place
+// (no per-node allocation — this runs once per element on the hot path).
+// With the content IDA enabled the scan may stop early (immediate accept);
+// membership in L(regexp_τ') is then guaranteed without reading the
+// remaining labels, though text-freeness is still enforced over the rest.
+func (e *Engine) checkContent(tS, tD *schema.Type, node *xmltree.Node, st *Stats) error {
+	var ida *fa.IDA
+	var state int
+	decided := false
+	if !e.opts.DisableContentIDA {
+		ida = e.caster(tS.ID, tD.ID).CImmed
+		state = ida.D.Start()
+		switch ida.Classify(state) {
+		case fa.ImmediateAccept:
+			decided = true
+		case fa.ImmediateReject:
+			return e.contentError(tD, node)
+		}
+	} else {
+		state = tD.DFA.Start()
+	}
+
+	for _, c := range node.Children {
+		if c.Delta == xmltree.DeltaDelete {
+			continue
+		}
+		if c.IsText() {
+			st.TextNodesVisited++
+			return &schema.ValidationError{
+				Path:   schema.NodePath(node),
+				Reason: fmt.Sprintf("target type %q has element content but node has text content", tD.Name),
+			}
+		}
+		if decided {
+			continue // model verdict settled; keep vetting for text only
+		}
+		sym := e.Src.Alpha.Lookup(c.Label)
+		if sym == fa.NoSymbol {
+			return contractError(schema.NodePath(c), "label %q unknown to the schemas", c.Label)
+		}
+		st.AutomatonSteps++
+		if ida != nil {
+			state = ida.D.Step(state, sym)
+			switch ida.Classify(state) {
+			case fa.ImmediateAccept:
+				decided = true
+			case fa.ImmediateReject:
+				return e.contentError(tD, node)
+			}
+		} else {
+			state = tD.DFA.Step(state, sym)
+			if state == fa.Dead {
+				return e.contentError(tD, node)
+			}
+		}
+	}
+	if decided {
+		return nil
+	}
+	if ida != nil {
+		if !ida.D.IsAccept(state) {
+			return e.contentError(tD, node)
+		}
+		return nil
+	}
+	if !tD.DFA.IsAccept(state) {
+		return e.contentError(tD, node)
+	}
+	return nil
+}
+
+func (e *Engine) contentError(tD *schema.Type, node *xmltree.Node) error {
+	return &schema.ValidationError{
+		Path:   schema.NodePath(node),
+		Reason: fmt.Sprintf("children do not satisfy content model of target type %q", tD.Name),
+	}
+}
+
+// checkSimple validates the node's text content against a simple target
+// type.
+func (e *Engine) checkSimple(tD *schema.Type, node *xmltree.Node, st *Stats) error {
+	value := ""
+	seen := 0
+	for _, c := range node.Children {
+		if c.Delta == xmltree.DeltaDelete {
+			continue
+		}
+		if !c.IsText() {
+			st.ElementsVisited++
+			return &schema.ValidationError{
+				Path:   schema.NodePath(node),
+				Reason: fmt.Sprintf("target type %q is simple but node has element content", tD.Name),
+			}
+		}
+		st.TextNodesVisited++
+		seen++
+		if seen > 1 {
+			return &schema.ValidationError{
+				Path:   schema.NodePath(node),
+				Reason: fmt.Sprintf("target type %q is simple: multiple text children", tD.Name),
+			}
+		}
+		value = c.Text
+	}
+	if !tD.Value.AcceptsValue(value) {
+		return &schema.ValidationError{
+			Path: schema.NodePath(node),
+			Reason: fmt.Sprintf("value %q does not satisfy simple target type %q (%s)",
+				value, tD.Name, tD.Value),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fa"
+	"repro/internal/subsume"
+	"repro/internal/xmltree"
+)
+
+const poDTD = `
+<!-- purchase order, Figure 1a shape -->
+<!ELEMENT purchaseOrder (shipTo, billTo?, items)>
+<!ELEMENT shipTo (name, street)>
+<!ELEMENT billTo (name, street)>
+<!ELEMENT items (item*)>
+<!ELEMENT item (productName, quantity)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT productName (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+`
+
+func TestParsePurchaseOrderDTD(t *testing.T) {
+	s, err := Parse(poDTD, Options{Root: "purchaseOrder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsDTD() {
+		t.Fatal("parsed DTD should be DTD-shaped")
+	}
+	doc := xmltree.MustParseString(`<purchaseOrder>
+		<shipTo><name>A</name><street>S</street></shipTo>
+		<items><item><productName>W</productName><quantity>3</quantity></item></items>
+	</purchaseOrder>`)
+	if err := s.Validate(doc); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	bad := xmltree.MustParseString(`<purchaseOrder><items/></purchaseOrder>`)
+	if err := s.Validate(bad); err == nil {
+		t.Fatal("missing shipTo should fail")
+	}
+	if s.RootType("shipTo") != -1 {
+		t.Fatal("only purchaseOrder should be a root")
+	}
+}
+
+func TestParseDoctypeWrapper(t *testing.T) {
+	src := `<!DOCTYPE note [
+		<!ELEMENT note (to, from, body)>
+		<!ELEMENT to (#PCDATA)>
+		<!ELEMENT from (#PCDATA)>
+		<!ELEMENT body (#PCDATA)>
+	]>`
+	s, err := Parse(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RootType("note") == -1 {
+		t.Fatal("DOCTYPE root should be the schema root")
+	}
+	if s.RootType("to") != -1 {
+		t.Fatal("non-root elements should not be roots when DOCTYPE names one")
+	}
+}
+
+func TestParseAllRootsWhenUnspecified(t *testing.T) {
+	s, err := Parse(`<!ELEMENT a (b?)> <!ELEMENT b (#PCDATA)>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RootType("a") == -1 || s.RootType("b") == -1 {
+		t.Fatal("all declared elements should be roots")
+	}
+}
+
+func TestParseEmptyAndAny(t *testing.T) {
+	s, err := Parse(`
+		<!ELEMENT hr EMPTY>
+		<!ELEMENT div ANY>
+		<!ELEMENT p (#PCDATA)>
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(xmltree.NewElement("hr")); err != nil {
+		t.Fatalf("EMPTY element: %v", err)
+	}
+	if err := s.Validate(xmltree.NewElement("hr", xmltree.NewElement("p"))); err == nil {
+		t.Fatal("EMPTY element with children must fail")
+	}
+	// ANY: any mixture of declared elements.
+	div := xmltree.NewElement("div",
+		xmltree.NewElement("hr"),
+		xmltree.NewElement("p", xmltree.NewText("x")),
+		xmltree.NewElement("div"),
+	)
+	if err := s.Validate(div); err != nil {
+		t.Fatalf("ANY element: %v", err)
+	}
+}
+
+func TestParseAttlistAndEntitiesSkipped(t *testing.T) {
+	src := `
+	<!ELEMENT a (b)>
+	<!ATTLIST a id ID #REQUIRED note CDATA "d > e">
+	<!ENTITY copy "&#169;">
+	<!NOTATION vrml PUBLIC "VRML 1.0">
+	<!ELEMENT b (#PCDATA)>
+	`
+	s, err := Parse(src, Options{Root: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TypeByName("a") == -1 || s.TypeByName("b") == -1 {
+		t.Fatal("element types missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{``, "no element declarations"},
+		{`<!ELEMENT a (b)>`, "undeclared element"},
+		{`<!ELEMENT a (#PCDATA | b)*> <!ELEMENT b (#PCDATA)>`, "mixed"},
+		{`<!ELEMENT a (b,)> <!ELEMENT b (#PCDATA)>`, "parse error"},
+		{`<!ELEMENT a EMPTY> <!ELEMENT a EMPTY>`, "declared twice"},
+		{`<!ELEMENT a ((b,c)|(b,d))> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)> <!ELEMENT d (#PCDATA)>`, "1-unambiguous"},
+		{`<!BOGUS x>`, "unexpected input"},
+		{`<!ELEMENT a EMPTY> garbage`, "unexpected input"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+	if _, err := Parse(`<!ELEMENT a EMPTY>`, Options{Root: "zzz"}); err == nil {
+		t.Error("undeclared root must fail")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+	<!-- header comment -->
+	<!ELEMENT a <!-- not here --> (b)>
+	<!ELEMENT b (#PCDATA)> <!-- trailing -->
+	`
+	// Comments inside a declaration are not legal XML, so only test the
+	// supported positions: between declarations.
+	src = `
+	<!-- header -->
+	<!ELEMENT a (b)>
+	<!-- middle -->
+	<!ELEMENT b (#PCDATA)>
+	<!-- trailing -->
+	`
+	if _, err := Parse(src, Options{Root: "a"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two versions of a DTD loaded into one alphabet support cast relations.
+func TestDTDSchemaCastIntegration(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	v1 := MustParse(poDTD, Options{Root: "purchaseOrder", Alpha: alpha})
+	v2src := strings.Replace(poDTD, "billTo?", "billTo", 1)
+	v2 := MustParse(v2src, Options{Root: "purchaseOrder", Alpha: alpha})
+	rel := subsume.MustCompute(v1, v2)
+	po1 := v1.TypeByName("purchaseOrder")
+	po2 := v2.TypeByName("purchaseOrder")
+	if rel.Subsumed(po1, po2) {
+		t.Fatal("optional billTo is not subsumed by required billTo")
+	}
+	if !subsume.MustCompute(v2, v1).Subsumed(po2, po1) {
+		t.Fatal("required billTo is subsumed by optional billTo")
+	}
+	for _, name := range []string{"shipTo", "items", "item", "quantity"} {
+		if !rel.Subsumed(v1.TypeByName(name), v2.TypeByName(name)) {
+			t.Fatalf("%s should be subsumed by its identical twin", name)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic")
+		}
+	}()
+	MustParse("junk", Options{})
+}
+
+func TestParseDoctypeExternalIdentifiers(t *testing.T) {
+	// SYSTEM identifier before the internal subset.
+	src := `<!DOCTYPE note SYSTEM "note.dtd" [
+		<!ELEMENT note (#PCDATA)>
+	]>`
+	s, err := Parse(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RootType("note") == -1 {
+		t.Fatal("root should come from the DOCTYPE")
+	}
+	// PUBLIC identifier with two literals and no subset: the DOCTYPE alone
+	// declares nothing, so parsing fails with "no element declarations".
+	src2 := `<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0//EN" "xhtml1.dtd">`
+	if _, err := Parse(src2, Options{}); err == nil || !strings.Contains(err.Error(), "no element declarations") {
+		t.Fatalf("got %v", err)
+	}
+}

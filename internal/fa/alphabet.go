@@ -1,0 +1,112 @@
+// Package fa implements the finite-automata substrate used by schema
+// revalidation: NFAs and DFAs over a symbol-interned alphabet, subset
+// construction, Hopcroft minimization, product (intersection) automata,
+// language inclusion and emptiness tests, reverse automata, and the
+// immediate decision automata (IDA) of Raghavachari & Shmueli (EDBT 2004,
+// Section 4).
+//
+// Automata in this package operate over small integer Symbols rather than
+// runes: in the revalidation setting the "characters" of a content-model
+// string are XML element labels. An Alphabet interns label strings to
+// Symbols so that every automaton derived from a pair of schemas shares one
+// symbol space.
+package fa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Symbol identifies an interned alphabet symbol (an element label in the
+// schema-validation setting). Symbols are dense, starting at 0.
+type Symbol int32
+
+// NoSymbol is returned by lookups for labels that were never interned.
+const NoSymbol Symbol = -1
+
+// Alphabet interns label strings to dense Symbols. The zero value is ready
+// to use. An Alphabet must not be mutated concurrently, but read-only use
+// (Lookup, Name) is safe from multiple goroutines once fully built.
+type Alphabet struct {
+	byName map[string]Symbol
+	names  []string
+}
+
+// NewAlphabet returns an empty alphabet.
+func NewAlphabet() *Alphabet {
+	return &Alphabet{byName: make(map[string]Symbol)}
+}
+
+// Intern returns the Symbol for name, assigning a fresh one on first use.
+func (a *Alphabet) Intern(name string) Symbol {
+	if a.byName == nil {
+		a.byName = make(map[string]Symbol)
+	}
+	if s, ok := a.byName[name]; ok {
+		return s
+	}
+	s := Symbol(len(a.names))
+	a.byName[name] = s
+	a.names = append(a.names, name)
+	return s
+}
+
+// Lookup returns the Symbol for name, or NoSymbol if name was never interned.
+func (a *Alphabet) Lookup(name string) Symbol {
+	if a.byName == nil {
+		return NoSymbol
+	}
+	if s, ok := a.byName[name]; ok {
+		return s
+	}
+	return NoSymbol
+}
+
+// Name returns the label string for s. It panics if s is out of range.
+func (a *Alphabet) Name(s Symbol) string {
+	return a.names[s]
+}
+
+// Size returns the number of interned symbols.
+func (a *Alphabet) Size() int { return len(a.names) }
+
+// Names returns the interned labels in symbol order. The returned slice is
+// a copy.
+func (a *Alphabet) Names() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// SortedNames returns the interned labels sorted lexicographically.
+func (a *Alphabet) SortedNames() []string {
+	out := a.Names()
+	sort.Strings(out)
+	return out
+}
+
+// Symbols converts a slice of label strings to Symbols, interning as needed.
+func (a *Alphabet) Symbols(names ...string) []Symbol {
+	out := make([]Symbol, len(names))
+	for i, n := range names {
+		out[i] = a.Intern(n)
+	}
+	return out
+}
+
+// String renders a symbol sequence as a space-separated label string, for
+// diagnostics.
+func (a *Alphabet) String(word []Symbol) string {
+	s := ""
+	for i, sym := range word {
+		if i > 0 {
+			s += " "
+		}
+		if int(sym) < len(a.names) {
+			s += a.names[sym]
+		} else {
+			s += fmt.Sprintf("#%d", sym)
+		}
+	}
+	return s
+}

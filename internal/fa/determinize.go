@@ -1,0 +1,103 @@
+package fa
+
+import "strconv"
+
+// Determinize converts an NFA to an equivalent DFA via subset construction.
+// The resulting DFA is trimmed of unreachable subsets by construction (only
+// reachable subsets are materialized) but may contain non-live states; call
+// Trim or Minimize for canonical forms.
+func Determinize(n *NFA) *DFA {
+	d := NewDFA(n.NumSymbols())
+	if n.Start() < 0 {
+		return d
+	}
+	startSet := n.epsilonClosure([]int{n.Start()})
+	ids := map[string]int{}
+	var sets [][]int
+
+	newState := func(set []int) int {
+		key := setKey(set)
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		accept := false
+		for _, s := range set {
+			if n.IsAccept(s) {
+				accept = true
+				break
+			}
+		}
+		id := d.AddState(accept)
+		ids[key] = id
+		sets = append(sets, set)
+		return id
+	}
+
+	start := newState(startSet)
+	d.SetStart(start)
+	for work := 0; work < len(sets); work++ {
+		set := sets[work]
+		for sym := 0; sym < n.NumSymbols(); sym++ {
+			var next []int
+			for _, s := range set {
+				next = append(next, n.Successors(s, Symbol(sym))...)
+			}
+			if len(next) == 0 {
+				continue
+			}
+			closed := n.epsilonClosure(next)
+			d.SetTransition(work, Symbol(sym), newState(closed))
+		}
+	}
+	return d
+}
+
+// IsDeterministic reports whether the NFA is already deterministic: no
+// epsilon transitions and at most one successor per (state, symbol). The
+// Glushkov automaton of a regular expression is deterministic exactly when
+// the expression is 1-unambiguous (Brüggemann-Klein & Wood), which is the
+// XML Schema Unique Particle Attribution constraint.
+func IsDeterministic(n *NFA) bool {
+	for s := 0; s < n.NumStates(); s++ {
+		if len(n.eps[s]) > 0 {
+			return false
+		}
+		for _, succs := range n.trans[s] {
+			if len(succs) > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FromNFA converts a deterministic NFA (per IsDeterministic) directly to a
+// DFA without subset construction. It panics if the NFA is nondeterministic.
+func FromNFA(n *NFA) *DFA {
+	if !IsDeterministic(n) {
+		panic("fa: FromNFA on nondeterministic NFA")
+	}
+	d := NewDFA(n.NumSymbols())
+	for s := 0; s < n.NumStates(); s++ {
+		d.AddState(n.IsAccept(s))
+	}
+	for s := 0; s < n.NumStates(); s++ {
+		for sym, succs := range n.trans[s] {
+			if len(succs) == 1 {
+				d.SetTransition(s, sym, succs[0])
+			}
+		}
+	}
+	d.SetStart(n.Start())
+	return d
+}
+
+// setKey encodes a sorted state set as a map key.
+func setKey(set []int) string {
+	b := make([]byte, 0, len(set)*3)
+	for _, s := range set {
+		b = strconv.AppendInt(b, int64(s), 32)
+		b = append(b, ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,132 @@
+package fa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randNFA generates a random NFA with n states over k symbols, with some
+// epsilon transitions.
+func randNFA(rng *rand.Rand, n, k int) *NFA {
+	nfa := NewNFA(k)
+	for i := 0; i < n; i++ {
+		nfa.AddState(rng.Intn(3) == 0)
+	}
+	for s := 0; s < n; s++ {
+		edges := rng.Intn(3)
+		for e := 0; e < edges; e++ {
+			nfa.AddTransition(s, Symbol(rng.Intn(k)), rng.Intn(n))
+		}
+		if rng.Intn(4) == 0 {
+			nfa.AddEpsilon(s, rng.Intn(n))
+		}
+	}
+	nfa.SetStart(0)
+	return nfa
+}
+
+func TestDeterminizeMatchesNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		n := randNFA(rng, 5, 2)
+		d := Determinize(n)
+		enumWords(2, 6, func(w []Symbol) {
+			if n.Accepts(w) != d.Accepts(w) {
+				t.Fatalf("iter %d: NFA/DFA disagree on %v", i, w)
+			}
+		})
+	}
+}
+
+func TestDeterminizeEpsilonChain(t *testing.T) {
+	// start -ε-> s1 -ε-> s2(accept), s2 -a-> s0
+	n := NewNFA(1)
+	s0 := n.AddState(false)
+	s1 := n.AddState(false)
+	s2 := n.AddState(true)
+	n.AddEpsilon(s0, s1)
+	n.AddEpsilon(s1, s2)
+	n.AddTransition(s2, 0, s0)
+	n.SetStart(s0)
+	d := Determinize(n)
+	if !d.Accepts(nil) {
+		t.Fatal("epsilon chain to accept: empty word should be accepted")
+	}
+	if !d.Accepts([]Symbol{0}) || !d.Accepts([]Symbol{0, 0}) {
+		t.Fatal("a* should be accepted")
+	}
+}
+
+func TestDeterminizeNoStart(t *testing.T) {
+	n := NewNFA(2)
+	d := Determinize(n)
+	if !d.IsEmpty() {
+		t.Fatal("NFA without start should determinize to the empty language")
+	}
+}
+
+func TestIsDeterministic(t *testing.T) {
+	n := NewNFA(2)
+	a := n.AddState(false)
+	b := n.AddState(true)
+	n.SetStart(a)
+	n.AddTransition(a, 0, b)
+	if !IsDeterministic(n) {
+		t.Fatal("single-successor NFA should be deterministic")
+	}
+	n.AddTransition(a, 0, a)
+	if IsDeterministic(n) {
+		t.Fatal("two successors on one symbol is nondeterministic")
+	}
+	n2 := NewNFA(2)
+	x := n2.AddState(false)
+	y := n2.AddState(true)
+	n2.SetStart(x)
+	n2.AddEpsilon(x, y)
+	if IsDeterministic(n2) {
+		t.Fatal("epsilon transition is nondeterministic")
+	}
+}
+
+func TestFromNFA(t *testing.T) {
+	n := NewNFA(2)
+	a := n.AddState(false)
+	b := n.AddState(true)
+	n.SetStart(a)
+	n.AddTransition(a, 0, a)
+	n.AddTransition(a, 1, b)
+	d := FromNFA(n)
+	sameLanguage(t, d, abStarB(), 6)
+}
+
+func TestFromNFAPanicsOnNondeterminism(t *testing.T) {
+	n := NewNFA(1)
+	s := n.AddState(true)
+	n.SetStart(s)
+	n.AddTransition(s, 0, s)
+	n.AddTransition(s, 0, s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromNFA should panic on a nondeterministic NFA")
+		}
+	}()
+	FromNFA(n)
+}
+
+func TestNFAAcceptsDirect(t *testing.T) {
+	n := NewNFA(2)
+	s0 := n.AddState(false)
+	s1 := n.AddState(true)
+	n.SetStart(s0)
+	n.AddTransition(s0, 0, s0)
+	n.AddTransition(s0, 1, s1)
+	if !n.Accepts([]Symbol{0, 0, 1}) {
+		t.Fatal("aab should be accepted")
+	}
+	if n.Accepts([]Symbol{1, 1}) {
+		t.Fatal("bb should be rejected")
+	}
+	if n.Accepts(nil) {
+		t.Fatal("empty word should be rejected")
+	}
+}

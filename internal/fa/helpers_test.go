@@ -1,0 +1,91 @@
+package fa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// reflectValue aliases reflect.Value so quick.Generator implementations in
+// tests stay terse.
+type reflectValue = reflect.Value
+
+func reflectValueOf(v any) reflect.Value { return reflect.ValueOf(v) }
+
+// quickConfig returns a quick.Config with a fixed seed for reproducibility.
+func quickConfig(maxCount int) *quick.Config {
+	return &quick.Config{
+		MaxCount: maxCount,
+		Rand:     rand.New(rand.NewSource(42)),
+	}
+}
+
+// enumWords calls fn for every word over numSymbols symbols with length at
+// most maxLen, in length-lexicographic order.
+func enumWords(numSymbols, maxLen int, fn func([]Symbol)) {
+	var rec func(prefix []Symbol)
+	rec = func(prefix []Symbol) {
+		fn(prefix)
+		if len(prefix) == maxLen {
+			return
+		}
+		for s := 0; s < numSymbols; s++ {
+			rec(append(prefix, Symbol(s)))
+		}
+	}
+	rec(nil)
+}
+
+// sameLanguage asserts that a and b agree on all words up to maxLen.
+func sameLanguage(t *testing.T, a, b *DFA, maxLen int) {
+	t.Helper()
+	alpha := a.NumSymbols()
+	if b.NumSymbols() > alpha {
+		alpha = b.NumSymbols()
+	}
+	enumWords(alpha, maxLen, func(w []Symbol) {
+		got, want := a.Accepts(w), b.Accepts(w)
+		if got != want {
+			t.Fatalf("language mismatch on %v: a=%v b=%v", w, got, want)
+		}
+	})
+}
+
+// randDFA generates a random partial DFA with n states over k symbols.
+// Transition density and accept probability are moderate so languages are
+// interesting (neither empty nor universal most of the time).
+func randDFA(rng *rand.Rand, n, k int) *DFA {
+	d := NewDFA(k)
+	for i := 0; i < n; i++ {
+		d.AddState(rng.Intn(3) == 0)
+	}
+	for s := 0; s < n; s++ {
+		for sym := 0; sym < k; sym++ {
+			switch rng.Intn(4) {
+			case 0: // leave Dead
+			default:
+				d.SetTransition(s, Symbol(sym), rng.Intn(n))
+			}
+		}
+	}
+	d.SetStart(0)
+	return d
+}
+
+// buildDFA is a compact test constructor. trans maps "state,symbol" pairs
+// expressed as [from, sym, to] triples.
+func buildDFA(numSymbols, numStates, start int, accepts []int, triples [][3]int) *DFA {
+	d := NewDFA(numSymbols)
+	for i := 0; i < numStates; i++ {
+		d.AddState(false)
+	}
+	for _, a := range accepts {
+		d.SetAccept(a, true)
+	}
+	for _, tr := range triples {
+		d.SetTransition(tr[0], Symbol(tr[1]), tr[2])
+	}
+	d.SetStart(start)
+	return d
+}

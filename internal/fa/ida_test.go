@@ -1,0 +1,195 @@
+package fa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeriveIDASingle(t *testing.T) {
+	// DFA over {a,b}: q0 -a-> q1 (q1 accepts Σ*: self loops, accepting),
+	// q0 -b-> q2 (q2 dead trap).
+	d := buildDFA(2, 3, 0, []int{1}, [][3]int{
+		{0, 0, 1},
+		{1, 0, 1}, {1, 1, 1},
+		{0, 1, 2}, {2, 0, 2}, {2, 1, 2},
+	})
+	ida := DeriveIDA(d)
+	if !ida.IA[1] {
+		t.Fatal("q1 has L(q1)=Σ*: should be immediate-accept")
+	}
+	if !ida.IR[2] {
+		t.Fatal("q2 is dead: should be immediate-reject")
+	}
+	if ida.IA[0] || ida.IR[0] {
+		t.Fatal("q0 is neither IA nor IR")
+	}
+}
+
+func TestDeriveIDAPartialTransitionsBlockIA(t *testing.T) {
+	// Accepting state with a missing edge: L(q) ≠ Σ* because the missing
+	// edge falls into the implicit dead sink.
+	d := buildDFA(2, 1, 0, []int{0}, [][3]int{{0, 0, 0}}) // only a-loop
+	ida := DeriveIDA(d)
+	if ida.IA[0] {
+		t.Fatal("state with Dead edge cannot be immediate-accept")
+	}
+}
+
+func TestIDAScanAgreesWithDFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 60; i++ {
+		d := randDFA(rng, 6, 2)
+		ida := DeriveIDA(d)
+		enumWords(2, 6, func(w []Symbol) {
+			res := ida.ScanFromStart(w)
+			if res.Accepted != d.Accepts(w) {
+				t.Fatalf("iter %d: IDA disagrees with DFA on %v (decision %v)",
+					i, w, res.Decision)
+			}
+		})
+	}
+}
+
+// Theorem 3: for all s ∈ L(a), c_immed accepts s iff s ∈ L(b).
+func TestCastIDATheorem3(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 80; i++ {
+		a, b := randDFA(rng, 5, 2), randDFA(rng, 5, 2)
+		ida := DeriveCastIDA(a, b)
+		enumWords(2, 7, func(w []Symbol) {
+			if !a.Accepts(w) {
+				return // contract only covers strings in L(a)
+			}
+			res := ida.ScanFromStart(w)
+			if res.Accepted != b.Accepts(w) {
+				t.Fatalf("iter %d: cast IDA wrong on %v: got %v want %v (%v)",
+					i, w, res.Accepted, b.Accepts(w), res.Decision)
+			}
+		})
+	}
+}
+
+// Proposition 3 (optimality): c_immed decides no later than the
+// information-theoretic oracle, which can decide after prefix p as soon as
+// all continuations of p in L(a) agree on membership in L(b).
+func TestCastIDAOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const maxLen = 6
+	for i := 0; i < 25; i++ {
+		a, b := randDFA(rng, 4, 2), randDFA(rng, 4, 2)
+		ida := DeriveCastIDA(a, b)
+		enumWords(2, maxLen, func(w []Symbol) {
+			if !a.Accepts(w) {
+				return
+			}
+			res := ida.ScanFromStart(w)
+			oracle := oracleDecisionPoint(a, b, w)
+			if res.Decision != Undecided && res.Consumed > oracle {
+				t.Fatalf("iter %d: IDA decided at %d, oracle at %d for %v",
+					i, res.Consumed, oracle, w)
+			}
+			if res.Decision == Undecided && oracle < len(w) {
+				// The IDA consumed everything; the oracle could decide
+				// earlier only if the right-language inclusion or
+				// disjointness held, which is exactly IA/IR — so this
+				// indicates an incompleteness bug.
+				t.Fatalf("iter %d: IDA undecided on %v but oracle decides at %d",
+					i, w, oracle)
+			}
+		})
+	}
+}
+
+// oracleDecisionPoint returns the earliest prefix length after which the
+// verdict "w ∈ L(b)?" is forced, given only that the remaining suffix
+// completes some word of L(a) from the state reached in a.
+func oracleDecisionPoint(a, b *DFA, w []Symbol) int {
+	for i := 0; i <= len(w); i++ {
+		qa := a.Run(a.Start(), w[:i])
+		qb := b.Run(b.Start(), w[:i])
+		// Forced accept: every suffix in L_a(qa) lands in an accepting b
+		// state; forced reject: none does.
+		if IncludesFrom(a, qa, b, qb) {
+			return i
+		}
+		if qa == Dead {
+			return i // promise broken; treat as decided
+		}
+		// Disjoint right languages → forced reject.
+		ca, cb := a.Clone(), b.Clone()
+		ca.SetStart(qa)
+		if qb == Dead {
+			return i
+		}
+		cb.SetStart(qb)
+		if !IntersectionNonempty(ca, cb) {
+			return i
+		}
+	}
+	return len(w)
+}
+
+func TestCastIDAFromArbitraryPair(t *testing.T) {
+	// Enter c_immed at a non-start pair and check it still decides
+	// correctly (the with-modifications entry point, Prop. 2).
+	a, b := evenAs(), endsInB()
+	ida := DeriveCastIDA(a, b)
+	for qa := 0; qa < a.NumStates(); qa++ {
+		for qb := 0; qb < b.NumStates(); qb++ {
+			st := ida.PairState(qa, qb)
+			if st == Dead {
+				t.Fatalf("pair (%d,%d) missing from full product", qa, qb)
+			}
+			enumWords(2, 5, func(w []Symbol) {
+				// Contract: suffix w ∈ L_a(qa).
+				if !a.IsAccept(a.Run(qa, w)) {
+					return
+				}
+				res := ida.Scan(st, w)
+				want := b.IsAccept(b.Run(qb, w))
+				if res.Accepted != want {
+					t.Fatalf("pair (%d,%d) word %v: got %v want %v",
+						qa, qb, w, res.Accepted, want)
+				}
+			})
+		}
+	}
+}
+
+func TestIDAClassifyDead(t *testing.T) {
+	ida := DeriveIDA(abStarB())
+	if ida.Classify(Dead) != ImmediateReject {
+		t.Fatal("Dead must classify as immediate-reject")
+	}
+}
+
+func TestIASetsDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < 40; i++ {
+		a, b := randDFA(rng, 5, 2), randDFA(rng, 5, 2)
+		ida := DeriveCastIDA(a, b)
+		for s := range ida.IA {
+			if ida.IA[s] && ida.IR[s] {
+				t.Fatalf("iter %d: state %d in both IA and IR", i, s)
+			}
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Undecided.String() != "undecided" ||
+		ImmediateAccept.String() != "immediate-accept" ||
+		ImmediateReject.String() != "immediate-reject" {
+		t.Fatal("Decision.String values changed")
+	}
+}
+
+func TestPairStatePanicsOnSingleIDA(t *testing.T) {
+	ida := DeriveIDA(abStarB())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PairState should panic on a single-automaton IDA")
+		}
+	}()
+	ida.PairState(0, 0)
+}

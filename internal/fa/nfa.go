@@ -1,0 +1,136 @@
+package fa
+
+// NFA is a nondeterministic finite automaton over Symbols, with optional
+// epsilon transitions. States are dense integers starting at 0.
+//
+// NFAs in this package are construction intermediaries: regular expressions
+// compile to NFAs (Glushkov or Thompson construction in package regexpsym),
+// and reverse automata of DFAs are NFAs. All analysis and runtime machinery
+// operates on DFAs obtained via Determinize.
+type NFA struct {
+	numSymbols int
+	start      int
+	accept     []bool
+	// trans[state] maps a symbol to the set of successor states.
+	trans []map[Symbol][]int
+	// eps[state] is the set of epsilon successors.
+	eps [][]int
+}
+
+// NewNFA returns an empty NFA over an alphabet of numSymbols symbols.
+// It has no states; add at least one and call SetStart before use.
+func NewNFA(numSymbols int) *NFA {
+	return &NFA{numSymbols: numSymbols, start: -1}
+}
+
+// NumSymbols returns the alphabet size the NFA was built for.
+func (n *NFA) NumSymbols() int { return n.numSymbols }
+
+// NumStates returns the number of states.
+func (n *NFA) NumStates() int { return len(n.accept) }
+
+// Start returns the start state, or -1 if unset.
+func (n *NFA) Start() int { return n.start }
+
+// SetStart marks state s as the start state.
+func (n *NFA) SetStart(s int) { n.start = s }
+
+// AddState adds a state and returns its id. accept marks it as final.
+func (n *NFA) AddState(accept bool) int {
+	id := len(n.accept)
+	n.accept = append(n.accept, accept)
+	n.trans = append(n.trans, nil)
+	n.eps = append(n.eps, nil)
+	return id
+}
+
+// SetAccept marks state s as accepting (or not).
+func (n *NFA) SetAccept(s int, accept bool) { n.accept[s] = accept }
+
+// IsAccept reports whether state s is accepting.
+func (n *NFA) IsAccept(s int) bool { return n.accept[s] }
+
+// AddTransition adds from --sym--> to.
+func (n *NFA) AddTransition(from int, sym Symbol, to int) {
+	if n.trans[from] == nil {
+		n.trans[from] = make(map[Symbol][]int)
+	}
+	n.trans[from][sym] = append(n.trans[from][sym], to)
+}
+
+// AddEpsilon adds an epsilon transition from --ε--> to.
+func (n *NFA) AddEpsilon(from, to int) {
+	n.eps[from] = append(n.eps[from], to)
+}
+
+// Successors returns the states reachable from s on sym (no epsilon closure).
+func (n *NFA) Successors(s int, sym Symbol) []int {
+	if n.trans[s] == nil {
+		return nil
+	}
+	return n.trans[s][sym]
+}
+
+// epsilonClosure expands set (a sorted or unsorted state list) with all
+// states reachable through epsilon transitions. The result is sorted and
+// duplicate-free.
+func (n *NFA) epsilonClosure(set []int) []int {
+	seen := make(map[int]bool, len(set))
+	stack := make([]int, 0, len(set))
+	for _, s := range set {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sortInts(out)
+	return out
+}
+
+// Accepts reports whether the NFA accepts word, by direct subset simulation.
+// It is intended for tests and small inputs; production paths determinize.
+func (n *NFA) Accepts(word []Symbol) bool {
+	if n.start < 0 {
+		return false
+	}
+	cur := n.epsilonClosure([]int{n.start})
+	for _, sym := range word {
+		var next []int
+		for _, s := range cur {
+			next = append(next, n.Successors(s, sym)...)
+		}
+		cur = n.epsilonClosure(next)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, s := range cur {
+		if n.accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInts(a []int) {
+	// insertion sort: closure sets are small; avoids sort package allocation.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

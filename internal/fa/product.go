@@ -1,0 +1,222 @@
+package fa
+
+// Product is the intersection automaton of two DFAs (EDBT'04 §4.1): it runs
+// both components in parallel and accepts exactly L(a) ∩ L(b). Pair states
+// are materialized lazily (only pairs reachable from (start_a, start_b)),
+// and the mapping from product state to its (q_a, q_b) components is kept —
+// the immediate decision automaton construction needs it.
+//
+// Either component of a pair may be Dead: a pair (Dead, q_b) arises when a
+// has no transition but b does. Pairs where *both* components are Dead are
+// never materialized; they are the product's implicit dead state.
+type Product struct {
+	DFA   *DFA
+	A, B  *DFA
+	pairs []pair       // pairs[productState] = (stateA, stateB)
+	index map[pair]int // reverse lookup: (stateA, stateB) -> productState
+}
+
+type pair struct{ a, b int32 }
+
+// Lookup returns the product state id for the component pair (qa, qb), or
+// Dead if that pair was never materialized (unreachable, or both Dead).
+func (p *Product) Lookup(qa, qb int) int {
+	if id, ok := p.index[pair{int32(qa), int32(qb)}]; ok {
+		return id
+	}
+	return Dead
+}
+
+// StatePair returns the (q_a, q_b) components of product state s. Either
+// may be Dead.
+func (p *Product) StatePair(s int) (int, int) {
+	return int(p.pairs[s].a), int(p.pairs[s].b)
+}
+
+// NumStates returns the number of materialized product states.
+func (p *Product) NumStates() int { return len(p.pairs) }
+
+// Intersect builds the product automaton of a and b restricted to pairs
+// reachable from (start_a, start_b). Both automata must share the same
+// alphabet size; Intersect panics otherwise.
+func Intersect(a, b *DFA) *Product {
+	return buildProduct(a, b, false)
+}
+
+// IntersectAll builds the product automaton over the full pair space
+// Q_a × Q_b (exactly Q_c of EDBT'04 §4.1), not just the pairs reachable
+// from the start pair. The schema-cast-with-modifications scan (§4.3) needs
+// this: after re-synchronizing on the unmodified suffix, c_immed is entered
+// at an arbitrary pair (q_a, q_b) that may be unreachable from the start.
+func IntersectAll(a, b *DFA) *Product {
+	return buildProduct(a, b, true)
+}
+
+func buildProduct(a, b *DFA, full bool) *Product {
+	if a.NumSymbols() != b.NumSymbols() {
+		panic("fa: Intersect over mismatched alphabets")
+	}
+	p := &Product{A: a, B: b, DFA: NewDFA(a.NumSymbols()), index: map[pair]int{}}
+	var worklist []pair
+
+	newState := func(qa, qb int) int {
+		k := pair{int32(qa), int32(qb)}
+		if id, ok := p.index[k]; ok {
+			return id
+		}
+		id := p.DFA.AddState(a.IsAccept(qa) && b.IsAccept(qb))
+		p.index[k] = id
+		p.pairs = append(p.pairs, k)
+		worklist = append(worklist, k)
+		return id
+	}
+
+	if a.Start() != Dead || b.Start() != Dead {
+		p.DFA.SetStart(newState(a.Start(), b.Start()))
+	}
+	if full {
+		for qa := 0; qa < a.NumStates(); qa++ {
+			for qb := 0; qb < b.NumStates(); qb++ {
+				newState(qa, qb)
+			}
+		}
+	}
+	for i := 0; i < len(worklist); i++ {
+		k := worklist[i]
+		from := p.index[k]
+		for sym := 0; sym < p.DFA.NumSymbols(); sym++ {
+			na := a.Step(int(k.a), Symbol(sym))
+			nb := b.Step(int(k.b), Symbol(sym))
+			if na == Dead && nb == Dead {
+				continue // implicit dead pair
+			}
+			p.DFA.SetTransition(from, Symbol(sym), newState(na, nb))
+		}
+	}
+	return p
+}
+
+// IntersectLanguages returns a trimmed DFA recognizing L(a) ∩ L(b), without
+// retaining pair bookkeeping. Convenience wrapper over Intersect.
+func IntersectLanguages(a, b *DFA) *DFA {
+	return Intersect(a, b).DFA.Trim()
+}
+
+// Includes reports whether L(a) ⊆ L(b). It explores the product of a with
+// the (implicitly totalized) b, looking for a reachable pair whose a-state
+// accepts while its b-state does not — a witness of non-inclusion.
+func Includes(a, b *DFA) bool {
+	if a.NumSymbols() != b.NumSymbols() {
+		panic("fa: Includes over mismatched alphabets")
+	}
+	if a.Start() == Dead {
+		return true // L(a) = ∅
+	}
+	type pr struct{ a, b int32 }
+	seen := map[pr]bool{}
+	stack := []pr{{int32(a.Start()), int32(b.Start())}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		qa, qb := int(cur.a), int(cur.b)
+		if a.IsAccept(qa) && !b.IsAccept(qb) {
+			return false
+		}
+		for sym := 0; sym < a.NumSymbols(); sym++ {
+			na := a.Step(qa, Symbol(sym))
+			if na == Dead {
+				continue // nothing in L(a) continues this way
+			}
+			nb := b.Step(qb, Symbol(sym))
+			nxt := pr{int32(na), int32(nb)}
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return true
+}
+
+// IncludesFrom reports whether L_a(qa) ⊆ L_b(qb): the right-language
+// inclusion between a specific state of a and a specific state of b. This
+// is the membership test for the IA set of Definition 7. qa or qb may be
+// Dead (the right language of Dead is ∅).
+func IncludesFrom(a *DFA, qa int, b *DFA, qb int) bool {
+	if qa == Dead {
+		return true
+	}
+	type pr struct{ a, b int32 }
+	seen := map[pr]bool{}
+	stack := []pr{{int32(qa), int32(qb)}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ca, cb := int(cur.a), int(cur.b)
+		if a.IsAccept(ca) && !b.IsAccept(cb) {
+			return false
+		}
+		for sym := 0; sym < a.NumSymbols(); sym++ {
+			na := a.Step(ca, Symbol(sym))
+			if na == Dead {
+				continue
+			}
+			nb := b.Step(cb, Symbol(sym))
+			nxt := pr{int32(na), int32(nb)}
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return true
+}
+
+// IntersectionNonempty reports whether L(a) ∩ L(b) ≠ ∅.
+func IntersectionNonempty(a, b *DFA) bool {
+	return IntersectionNonemptyRestricted(a, b, nil)
+}
+
+// IntersectionNonemptyRestricted reports whether
+// L(a) ∩ L(b) ∩ allowed* ≠ ∅, where allowed (if non-nil) is a per-symbol
+// permission mask. This is the P*-restricted test used when computing the
+// R_nondis relation (Definition 5): only symbols whose child-type pair is
+// already known non-disjoint may be used.
+func IntersectionNonemptyRestricted(a, b *DFA, allowed []bool) bool {
+	if a.NumSymbols() != b.NumSymbols() {
+		panic("fa: intersection over mismatched alphabets")
+	}
+	if a.Start() == Dead || b.Start() == Dead {
+		return false
+	}
+	type pr struct{ a, b int32 }
+	seen := map[pr]bool{}
+	stack := []pr{{int32(a.Start()), int32(b.Start())}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		qa, qb := int(cur.a), int(cur.b)
+		if a.IsAccept(qa) && b.IsAccept(qb) {
+			return true
+		}
+		for sym := 0; sym < a.NumSymbols(); sym++ {
+			if allowed != nil && !allowed[sym] {
+				continue
+			}
+			na := a.Step(qa, Symbol(sym))
+			nb := b.Step(qb, Symbol(sym))
+			if na == Dead || nb == Dead {
+				continue
+			}
+			nxt := pr{int32(na), int32(nb)}
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return false
+}

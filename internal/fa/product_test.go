@@ -1,0 +1,188 @@
+package fa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// evenAs: DFA over {a,b} accepting strings with an even number of a's.
+func evenAs() *DFA {
+	return buildDFA(2, 2, 0, []int{0}, [][3]int{
+		{0, 0, 1}, {1, 0, 0},
+		{0, 1, 0}, {1, 1, 1},
+	})
+}
+
+// endsInB: DFA over {a,b} accepting strings ending in b.
+func endsInB() *DFA {
+	return buildDFA(2, 2, 0, []int{1}, [][3]int{
+		{0, 0, 0}, {1, 0, 0},
+		{0, 1, 1}, {1, 1, 1},
+	})
+}
+
+func TestIntersectLanguages(t *testing.T) {
+	inter := IntersectLanguages(evenAs(), endsInB())
+	enumWords(2, 7, func(w []Symbol) {
+		want := evenAs().Accepts(w) && endsInB().Accepts(w)
+		if inter.Accepts(w) != want {
+			t.Fatalf("intersection wrong on %v", w)
+		}
+	})
+}
+
+func TestIntersectRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 50; i++ {
+		a, b := randDFA(rng, 5, 2), randDFA(rng, 5, 2)
+		inter := IntersectLanguages(a, b)
+		enumWords(2, 6, func(w []Symbol) {
+			want := a.Accepts(w) && b.Accepts(w)
+			if inter.Accepts(w) != want {
+				t.Fatalf("iter %d: intersection wrong on %v", i, w)
+			}
+		})
+	}
+}
+
+func TestIntersectStatePairs(t *testing.T) {
+	p := Intersect(evenAs(), endsInB())
+	start := p.DFA.Start()
+	qa, qb := p.StatePair(start)
+	if qa != 0 || qb != 0 {
+		t.Fatalf("start pair = (%d,%d), want (0,0)", qa, qb)
+	}
+	if p.Lookup(0, 0) != start {
+		t.Fatal("Lookup(0,0) should return the start state")
+	}
+	if p.Lookup(99, 99) != Dead {
+		t.Fatal("Lookup of unknown pair should be Dead")
+	}
+}
+
+func TestIntersectAllCoversFullPairSpace(t *testing.T) {
+	a, b := evenAs(), endsInB()
+	p := IntersectAll(a, b)
+	for qa := 0; qa < a.NumStates(); qa++ {
+		for qb := 0; qb < b.NumStates(); qb++ {
+			if p.Lookup(qa, qb) == Dead {
+				t.Fatalf("pair (%d,%d) not materialized", qa, qb)
+			}
+		}
+	}
+}
+
+func TestIncludesBasic(t *testing.T) {
+	// a*b ⊆ Σ*b
+	anyThenB := buildDFA(2, 2, 0, []int{1}, [][3]int{
+		{0, 0, 0}, {0, 1, 1},
+		{1, 0, 0}, {1, 1, 1},
+	})
+	if !Includes(abStarB(), anyThenB) {
+		t.Fatal("a*b should be included in Σ*b")
+	}
+	if Includes(anyThenB, abStarB()) {
+		t.Fatal("Σ*b should not be included in a*b")
+	}
+	if !Includes(abStarB(), abStarB()) {
+		t.Fatal("language should include itself")
+	}
+}
+
+func TestIncludesEmptyLanguage(t *testing.T) {
+	empty := NewDFA(2)
+	if !Includes(empty, abStarB()) {
+		t.Fatal("∅ is included in everything")
+	}
+	if Includes(abStarB(), empty) {
+		t.Fatal("nonempty is not included in ∅")
+	}
+	if !Includes(empty, empty) {
+		t.Fatal("∅ ⊆ ∅")
+	}
+}
+
+func TestIncludesRandomAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 60; i++ {
+		a, b := randDFA(rng, 5, 2), randDFA(rng, 5, 2)
+		got := Includes(a, b)
+		want := true
+		enumWords(2, 8, func(w []Symbol) {
+			if a.Accepts(w) && !b.Accepts(w) {
+				want = false
+			}
+		})
+		// Enumeration up to length 8 may miss longer witnesses only when
+		// got=false and want=true; with 5-state automata the pumping bound
+		// for the product is 25 < but witnesses are found at length ≤ 25.
+		// For 5x(5+1) product, shortest witness ≤ 30; use the one-sided
+		// check that is sound at this length.
+		if got && !want {
+			t.Fatalf("iter %d: Includes=true but enumeration found a witness", i)
+		}
+		if !got && want {
+			// Verify a longer witness really exists by checking the
+			// product construction's own witness search.
+			ab := IntersectLanguages(a, b.Complement())
+			if ab.IsEmpty() {
+				t.Fatalf("iter %d: Includes=false but a∩¬b is empty", i)
+			}
+		}
+	}
+}
+
+func TestIncludesFrom(t *testing.T) {
+	a := abStarB() // L(q0)=a*b, L(q1)={ε}
+	u := buildDFA(2, 1, 0, []int{0}, [][3]int{{0, 0, 0}, {0, 1, 0}})
+	if !IncludesFrom(a, 1, u, 0) {
+		t.Fatal("{ε} ⊆ Σ*")
+	}
+	if !IncludesFrom(a, 0, u, 0) {
+		t.Fatal("a*b ⊆ Σ*")
+	}
+	if IncludesFrom(u, 0, a, 0) {
+		t.Fatal("Σ* ⊄ a*b")
+	}
+	if !IncludesFrom(a, Dead, u, 0) {
+		t.Fatal("right language of Dead is ∅ ⊆ anything")
+	}
+}
+
+func TestIntersectionNonempty(t *testing.T) {
+	if !IntersectionNonempty(evenAs(), endsInB()) {
+		t.Fatal("evenAs ∩ endsInB contains 'b'... (0 a's is even)")
+	}
+	// a*b vs strings of only a's: intersection empty.
+	onlyAs := buildDFA(2, 1, 0, []int{0}, [][3]int{{0, 0, 0}})
+	if IntersectionNonempty(abStarB(), onlyAs) {
+		t.Fatal("a*b ∩ a* = ∅")
+	}
+}
+
+func TestIntersectionNonemptyRestricted(t *testing.T) {
+	// Both automata accept 'ab'; restrict away symbol a: only words over
+	// {b} are allowed, and evenAs ∩ endsInB over {b} contains "b".
+	allowed := []bool{false, true}
+	if !IntersectionNonemptyRestricted(evenAs(), endsInB(), allowed) {
+		t.Fatal("'b' should witness the restricted intersection")
+	}
+	// Restrict away everything: only ε remains, which endsInB rejects.
+	none := []bool{false, false}
+	if IntersectionNonemptyRestricted(evenAs(), endsInB(), none) {
+		t.Fatal("no symbols allowed and ε not in both languages")
+	}
+	// ε in both: evenAs ∩ evenAs with no symbols allowed — ε accepted.
+	if !IntersectionNonemptyRestricted(evenAs(), evenAs(), none) {
+		t.Fatal("ε witnesses the restricted intersection")
+	}
+}
+
+func TestIncludesMismatchedAlphabetsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched alphabets")
+		}
+	}()
+	Includes(NewDFA(2), NewDFA(3))
+}

@@ -1,0 +1,116 @@
+package fa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: when Includes(a, b) holds, every word sampled from L(a) is
+// accepted by b. (Soundness of the inclusion test against the sampler.)
+func TestQuickIncludesSoundOnSamples(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randDFA(rng, 5, 2), randDFA(rng, 5, 2)
+		if !Includes(a, b) {
+			return true // nothing claimed
+		}
+		for i := 0; i < 20; i++ {
+			w, ok := Sample(a, rng, 10)
+			if !ok {
+				return true // empty language: inclusion vacuous
+			}
+			if !b.Accepts(w) {
+				t.Logf("Includes claimed but %v ∈ L(a) \\ L(b)", w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig(300)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IntersectionNonempty(a, b) == !(IntersectLanguages(a,b).IsEmpty()).
+func TestQuickIntersectionAgreesWithProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randDFA(rng, 5, 2), randDFA(rng, 5, 2)
+		return IntersectionNonempty(a, b) == !IntersectLanguages(a, b).IsEmpty()
+	}
+	if err := quick.Check(f, quickConfig(300)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the IDA of a DFA accepts exactly the DFA's language.
+func TestQuickIDAPreservesLanguage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randDFA(rng, 5, 2)
+		ida := DeriveIDA(d)
+		ok := true
+		enumWords(2, 6, func(w []Symbol) {
+			if ida.ScanFromStart(w).Accepted != d.Accepts(w) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, quickConfig(120)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: double reversal preserves the language.
+func TestQuickDoubleReverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randDFA(rng, 5, 2)
+		rr := ReverseDFA(ReverseDFA(d))
+		ok := true
+		enumWords(2, 6, func(w []Symbol) {
+			if d.Accepts(w) != rr.Accepts(w) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, quickConfig(100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Minimize yields an automaton no other random equivalent DFA can
+// beat in state count (checked against trim-only forms).
+func TestQuickMinimizeBeatsTrim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randDFA(rng, 7, 2)
+		return Minimize(d).NumStates() <= d.Trim().NumStates()
+	}
+	if err := quick.Check(f, quickConfig(300)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Widen preserves the language over the original symbols and is
+// idempotent in width.
+func TestQuickWiden(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randDFA(rng, 5, 2)
+		w := d.Widen(2 + rng.Intn(4))
+		ok := true
+		enumWords(2, 6, func(word []Symbol) {
+			if d.Accepts(word) != w.Accepts(word) {
+				ok = false
+			}
+		})
+		return ok && w.Widen(w.NumSymbols()) == w
+	}
+	if err := quick.Check(f, quickConfig(200)); err != nil {
+		t.Fatal(err)
+	}
+}

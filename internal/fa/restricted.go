@@ -1,0 +1,47 @@
+package fa
+
+// NonemptyRestricted reports whether L(d) ∩ allowed* ≠ ∅: does d accept
+// some word using only symbols permitted by the mask? A nil mask permits
+// every symbol. This is the test behind the paper's productivity analysis
+// (§3: ProdLabels_τ* ∩ L(regexp_τ) ≠ ∅).
+func NonemptyRestricted(d *DFA, allowed []bool) bool {
+	if d.Start() == Dead {
+		return false
+	}
+	seen := make([]bool, d.NumStates())
+	stack := []int{d.Start()}
+	seen[d.Start()] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.IsAccept(s) {
+			return true
+		}
+		for sym := 0; sym < d.NumSymbols(); sym++ {
+			if allowed != nil && (sym >= len(allowed) || !allowed[sym]) {
+				continue
+			}
+			t := d.Step(s, Symbol(sym))
+			if t != Dead && !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return false
+}
+
+// RestrictSymbols returns a DFA for L(d) ∩ allowed*: d with all transitions
+// on disallowed symbols removed, trimmed. The paper's productive-types
+// rewrite replaces each regexp_τ's language with exactly this restriction.
+func RestrictSymbols(d *DFA, allowed []bool) *DFA {
+	c := d.Clone()
+	for s := 0; s < c.NumStates(); s++ {
+		for sym := 0; sym < c.NumSymbols(); sym++ {
+			if allowed != nil && (sym >= len(allowed) || !allowed[sym]) {
+				c.SetTransition(s, Symbol(sym), Dead)
+			}
+		}
+	}
+	return c.Trim()
+}

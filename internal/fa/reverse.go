@@ -1,0 +1,50 @@
+package fa
+
+// Reverse returns an NFA recognizing the reversal of L(d): every transition
+// is flipped, accepting states become start candidates (joined through a
+// fresh epsilon-start state), and the original start state becomes the sole
+// accepting state. The result is generally nondeterministic (EDBT'04 §4.3,
+// footnote 3); determinize before deriving a reverse IDA.
+func Reverse(d *DFA) *NFA {
+	n := NewNFA(d.NumSymbols())
+	for s := 0; s < d.NumStates(); s++ {
+		n.AddState(s == d.Start())
+	}
+	for s := 0; s < d.NumStates(); s++ {
+		for sym := 0; sym < d.NumSymbols(); sym++ {
+			t := d.Step(s, Symbol(sym))
+			if t != Dead {
+				n.AddTransition(t, Symbol(sym), s)
+			}
+		}
+	}
+	start := n.AddState(false)
+	for s := 0; s < d.NumStates(); s++ {
+		if d.IsAccept(s) {
+			n.AddEpsilon(start, s)
+		}
+	}
+	// Accept ε iff d does: the fresh start must be accepting when d.Start()
+	// is an accepting state (the epsilon edge into it does not by itself
+	// make the start accepting under standard NFA semantics — it does via
+	// closure, so nothing extra is needed; kept for clarity).
+	n.SetStart(start)
+	if d.Start() == Dead {
+		n.SetStart(start) // recognizes ∅: no accepting state reachable
+	}
+	return n
+}
+
+// ReverseDFA returns a minimal DFA recognizing the reversal of L(d).
+func ReverseDFA(d *DFA) *DFA {
+	return Minimize(Determinize(Reverse(d)))
+}
+
+// ReverseWord reverses a symbol slice, returning a new slice.
+func ReverseWord(w []Symbol) []Symbol {
+	out := make([]Symbol, len(w))
+	for i, s := range w {
+		out[len(w)-1-i] = s
+	}
+	return out
+}

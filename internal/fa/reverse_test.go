@@ -1,0 +1,152 @@
+package fa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReverseWord(t *testing.T) {
+	w := []Symbol{0, 1, 2}
+	r := ReverseWord(w)
+	if len(r) != 3 || r[0] != 2 || r[1] != 1 || r[2] != 0 {
+		t.Fatalf("ReverseWord = %v", r)
+	}
+	if w[0] != 0 {
+		t.Fatal("ReverseWord must not mutate its input")
+	}
+	if len(ReverseWord(nil)) != 0 {
+		t.Fatal("reverse of empty word should be empty")
+	}
+}
+
+func TestReverseDFAProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 50; i++ {
+		d := randDFA(rng, 5, 2)
+		rev := ReverseDFA(d)
+		enumWords(2, 6, func(w []Symbol) {
+			if d.Accepts(w) != rev.Accepts(ReverseWord(w)) {
+				t.Fatalf("iter %d: reversal property fails on %v", i, w)
+			}
+		})
+	}
+}
+
+func TestReverseOfABStarB(t *testing.T) {
+	// reverse of a*b is b a*
+	rev := ReverseDFA(abStarB())
+	if !rev.Accepts([]Symbol{1}) || !rev.Accepts([]Symbol{1, 0, 0}) {
+		t.Fatal("b a* should be accepted by the reverse")
+	}
+	if rev.Accepts([]Symbol{0, 1}) || rev.Accepts(nil) {
+		t.Fatal("ab and ε are not in reverse(a*b)")
+	}
+}
+
+func TestReverseEmptyLanguage(t *testing.T) {
+	rev := ReverseDFA(NewDFA(2))
+	if !rev.IsEmpty() {
+		t.Fatal("reverse of ∅ is ∅")
+	}
+}
+
+func TestReversePreservesEpsilon(t *testing.T) {
+	// Language {ε, a}: reversal is the same language.
+	d := buildDFA(1, 2, 0, []int{0, 1}, [][3]int{{0, 0, 1}})
+	rev := ReverseDFA(d)
+	if !rev.Accepts(nil) || !rev.Accepts([]Symbol{0}) {
+		t.Fatal("{ε,a} reversed should still accept ε and a")
+	}
+	if rev.Accepts([]Symbol{0, 0}) {
+		t.Fatal("aa not in the language")
+	}
+}
+
+func TestRunnerCountsSteps(t *testing.T) {
+	r := NewRunner(abStarB())
+	if !r.Consume([]Symbol{0, 0, 1}) {
+		t.Fatal("aab should keep the runner live")
+	}
+	if !r.Accepting() {
+		t.Fatal("runner should be in accepting state after aab")
+	}
+	if r.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", r.Steps)
+	}
+	r.Reset()
+	if r.State != 0 {
+		t.Fatal("Reset should return to start")
+	}
+	if r.Steps != 3 {
+		t.Fatal("Reset must not clear the step counter")
+	}
+	// Driving into Dead stops early.
+	r2 := NewRunner(abStarB())
+	if r2.Consume([]Symbol{1, 1, 1}) {
+		t.Fatal("bb… should kill the runner")
+	}
+	if r2.Steps != 2 {
+		t.Fatalf("early stop consumed %d steps, want 2", r2.Steps)
+	}
+}
+
+func TestShortestAccepted(t *testing.T) {
+	w, ok := ShortestAccepted(abStarB())
+	if !ok || len(w) != 1 || w[0] != 1 {
+		t.Fatalf("shortest of a*b = %v, %v; want [b]", w, ok)
+	}
+	if _, ok := ShortestAccepted(NewDFA(2)); ok {
+		t.Fatal("empty language has no shortest word")
+	}
+	// Accepting start: shortest is ε.
+	d := buildDFA(2, 1, 0, []int{0}, nil)
+	w, ok = ShortestAccepted(d)
+	if !ok || len(w) != 0 {
+		t.Fatalf("shortest should be ε, got %v %v", w, ok)
+	}
+}
+
+func TestShortestAcceptedFrom(t *testing.T) {
+	d := abStarB()
+	w, ok := ShortestAcceptedFrom(d, 1)
+	if !ok || len(w) != 0 {
+		t.Fatalf("L(q1) = {ε}: shortest should be ε, got %v %v", w, ok)
+	}
+	if _, ok := ShortestAcceptedFrom(d, Dead); ok {
+		t.Fatal("right language of Dead is empty")
+	}
+}
+
+func TestSampleAlwaysAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 30; i++ {
+		d := randDFA(rng, 6, 2)
+		for j := 0; j < 20; j++ {
+			w, ok := Sample(d, rng, 8)
+			if !ok {
+				continue // language may be empty or need longer words
+			}
+			if !d.Accepts(w) {
+				t.Fatalf("iter %d: sampled word %v not accepted", i, w)
+			}
+		}
+	}
+}
+
+func TestSampleEmptyLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := Sample(NewDFA(2), rng, 10); ok {
+		t.Fatal("cannot sample from ∅")
+	}
+}
+
+func TestSampleRespectsMaxLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := abStarB()
+	for i := 0; i < 50; i++ {
+		w, ok := Sample(d, rng, 4)
+		if ok && len(w) > 4 {
+			t.Fatalf("sample exceeded maxLen: %v", w)
+		}
+	}
+}

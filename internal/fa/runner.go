@@ -1,0 +1,40 @@
+package fa
+
+// Runner executes a DFA symbol by symbol while counting transitions taken.
+// The revalidation experiments use the step counter as a machine-independent
+// cost metric alongside wall-clock time.
+type Runner struct {
+	D     *DFA
+	State int
+	Steps int64
+}
+
+// NewRunner returns a runner positioned at d's start state.
+func NewRunner(d *DFA) *Runner {
+	return &Runner{D: d, State: d.Start()}
+}
+
+// Reset repositions the runner at the start state without clearing Steps.
+func (r *Runner) Reset() { r.State = r.D.Start() }
+
+// Step consumes one symbol and reports whether the automaton is still live
+// (not in the implicit dead state).
+func (r *Runner) Step(sym Symbol) bool {
+	r.State = r.D.Step(r.State, sym)
+	r.Steps++
+	return r.State != Dead
+}
+
+// Consume runs a whole word, stopping early on Dead. It reports whether the
+// automaton is still live afterwards.
+func (r *Runner) Consume(word []Symbol) bool {
+	for _, sym := range word {
+		if !r.Step(sym) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accepting reports whether the current state is accepting.
+func (r *Runner) Accepting() bool { return r.D.IsAccept(r.State) }

@@ -1,0 +1,148 @@
+package fa
+
+import "math/rand"
+
+// ShortestAccepted returns a shortest word in L(d), or ok=false when the
+// language is empty. BFS from the start state; ties broken by symbol order.
+func ShortestAccepted(d *DFA) (word []Symbol, ok bool) {
+	if d.Start() == Dead {
+		return nil, false
+	}
+	type via struct {
+		prev int
+		sym  Symbol
+	}
+	parent := make(map[int]via)
+	seen := make([]bool, d.NumStates())
+	queue := []int{d.Start()}
+	seen[d.Start()] = true
+	goal := Dead
+	if d.IsAccept(d.Start()) {
+		return []Symbol{}, true
+	}
+	for len(queue) > 0 && goal == Dead {
+		s := queue[0]
+		queue = queue[1:]
+		for sym := 0; sym < d.NumSymbols() && goal == Dead; sym++ {
+			t := d.Step(s, Symbol(sym))
+			if t == Dead || seen[t] {
+				continue
+			}
+			seen[t] = true
+			parent[t] = via{s, Symbol(sym)}
+			if d.IsAccept(t) {
+				goal = t
+				break
+			}
+			queue = append(queue, t)
+		}
+	}
+	if goal == Dead {
+		return nil, false
+	}
+	for s := goal; s != d.Start(); {
+		v := parent[s]
+		word = append(word, v.sym)
+		s = v.prev
+	}
+	// reverse in place
+	for i, j := 0, len(word)-1; i < j; i, j = i+1, j-1 {
+		word[i], word[j] = word[j], word[i]
+	}
+	return word, true
+}
+
+// ShortestAcceptedFrom returns a shortest word in the right language
+// L_d(from), or ok=false when it is empty.
+func ShortestAcceptedFrom(d *DFA, from int) ([]Symbol, bool) {
+	if from == Dead {
+		return nil, false
+	}
+	c := d.Clone()
+	c.SetStart(from)
+	return ShortestAccepted(c)
+}
+
+// Sample returns a random word in L(d) with length at most maxLen, or
+// ok=false when no accepted word of length ≤ maxLen exists. The walk is
+// biased toward live states (states from which acceptance remains possible
+// within the remaining budget), so every returned word is accepted.
+func Sample(d *DFA, rng *rand.Rand, maxLen int) (word []Symbol, ok bool) {
+	if d.Start() == Dead {
+		return nil, false
+	}
+	// distToAccept[s] = length of shortest accepted word from s, or -1.
+	dist := distancesToAccept(d)
+	if dist[d.Start()] < 0 || dist[d.Start()] > maxLen {
+		return nil, false
+	}
+	state := d.Start()
+	for step := 0; step < maxLen; step++ {
+		// Option to stop when accepting; make stopping likelier as the
+		// budget shrinks.
+		if d.IsAccept(state) && rng.Intn(maxLen-step+1) == 0 {
+			return word, true
+		}
+		// Candidate moves keeping acceptance reachable within budget.
+		var cands []Symbol
+		for sym := 0; sym < d.NumSymbols(); sym++ {
+			t := d.Step(state, Symbol(sym))
+			if t != Dead && dist[t] >= 0 && dist[t] <= maxLen-step-1 {
+				cands = append(cands, Symbol(sym))
+			}
+		}
+		if len(cands) == 0 {
+			if d.IsAccept(state) {
+				return word, true
+			}
+			return nil, false // should not happen given the invariant
+		}
+		sym := cands[rng.Intn(len(cands))]
+		word = append(word, sym)
+		state = d.Step(state, sym)
+	}
+	if d.IsAccept(state) {
+		return word, true
+	}
+	// Budget exhausted in a non-accepting state: finish along a shortest
+	// path if it fits (it cannot, by the invariant, so report failure).
+	return nil, false
+}
+
+// distancesToAccept returns, per state, the length of the shortest word in
+// its right language, or -1 when the right language is empty. Reverse BFS
+// from accepting states.
+func distancesToAccept(d *DFA) []int {
+	n := d.NumStates()
+	radj := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		for sym := 0; sym < d.NumSymbols(); sym++ {
+			t := d.Step(s, Symbol(sym))
+			if t != Dead {
+				radj[t] = append(radj[t], int32(s))
+			}
+		}
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int
+	for s := 0; s < n; s++ {
+		if d.IsAccept(s) {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, p := range radj[s] {
+			if dist[p] < 0 {
+				dist[p] = dist[s] + 1
+				queue = append(queue, int(p))
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,284 @@
+package ident
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Kind distinguishes the three identity constraint varieties.
+type Kind uint8
+
+const (
+	// Unique requires distinct field tuples among selected nodes whose
+	// fields are all present.
+	Unique Kind = iota
+	// Key is Unique plus a presence requirement: every selected node must
+	// supply every field.
+	Key
+	// KeyRef requires each (fully present) tuple to appear in the
+	// referenced key/unique constraint's tuple set.
+	KeyRef
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Unique:
+		return "unique"
+	case Key:
+		return "key"
+	case KeyRef:
+		return "keyref"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Constraint is one identity constraint, scoped to the elements carrying a
+// given label (the element declaration it was attached to).
+type Constraint struct {
+	Kind Kind
+	// Name identifies the constraint; keyrefs name their target in Refer.
+	Name string
+	// Refer is the referenced key/unique constraint's name (KeyRef only).
+	Refer string
+	// ScopeLabel is the label of the elements the constraint applies to.
+	ScopeLabel string
+	// Selector selects the constrained nodes relative to a scope element.
+	Selector *Path
+	// Fields produce each selected node's tuple.
+	Fields []*Path
+}
+
+func (c *Constraint) String() string {
+	fields := make([]string, len(c.Fields))
+	for i, f := range c.Fields {
+		fields[i] = f.String()
+	}
+	s := fmt.Sprintf("%s %s on %s: selector=%s fields=[%s]",
+		c.Kind, c.Name, c.ScopeLabel, c.Selector, strings.Join(fields, ", "))
+	if c.Kind == KeyRef {
+		s += " refer=" + c.Refer
+	}
+	return s
+}
+
+// Violation reports a broken identity constraint.
+type Violation struct {
+	Constraint *Constraint
+	Path       string // location of the offending node (XPath-like)
+	Reason     string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("identity constraint %s %q violated at %s: %s",
+		v.Constraint.Kind, v.Constraint.Name, v.Path, v.Reason)
+}
+
+// Validator checks a set of identity constraints over documents.
+type Validator struct {
+	constraints []*Constraint
+	byName      map[string]*Constraint
+}
+
+// NewValidator builds a validator, resolving keyref targets. Every keyref's
+// Refer must name a Key or Unique constraint in the same set with the same
+// number of fields.
+func NewValidator(constraints []*Constraint) (*Validator, error) {
+	v := &Validator{byName: map[string]*Constraint{}}
+	for _, c := range constraints {
+		if c.Name == "" {
+			return nil, fmt.Errorf("ident: constraint without a name")
+		}
+		if _, dup := v.byName[c.Name]; dup {
+			return nil, fmt.Errorf("ident: duplicate constraint name %q", c.Name)
+		}
+		if c.Selector == nil || len(c.Fields) == 0 {
+			return nil, fmt.Errorf("ident: constraint %q needs a selector and at least one field", c.Name)
+		}
+		v.byName[c.Name] = c
+		v.constraints = append(v.constraints, c)
+	}
+	for _, c := range v.constraints {
+		if c.Kind != KeyRef {
+			continue
+		}
+		target, ok := v.byName[c.Refer]
+		if !ok {
+			return nil, fmt.Errorf("ident: keyref %q refers to unknown constraint %q", c.Name, c.Refer)
+		}
+		if target.Kind == KeyRef {
+			return nil, fmt.Errorf("ident: keyref %q refers to another keyref", c.Name)
+		}
+		if len(target.Fields) != len(c.Fields) {
+			return nil, fmt.Errorf("ident: keyref %q has %d fields but %q has %d",
+				c.Name, len(c.Fields), c.Refer, len(target.Fields))
+		}
+	}
+	return v, nil
+}
+
+// Constraints returns the validated constraint set.
+func (v *Validator) Constraints() []*Constraint { return v.constraints }
+
+// Validate checks every constraint over the document, returning the first
+// violation (as a *Violation) or nil.
+func (v *Validator) Validate(doc *xmltree.Node) error {
+	tables, err := v.collect(doc, nil, nil)
+	if err != nil {
+		return err
+	}
+	return v.checkRefs(tables)
+}
+
+// tupleTable holds the tuples one (constraint, scope element) pair yields.
+type tupleTable struct {
+	c      *Constraint
+	scope  *xmltree.Node
+	tuples map[string]bool // joined field tuples
+}
+
+// collect walks the document, evaluating each constraint at each scope
+// element. When reuse is non-nil, scopes reported unmodified by modifiedFn
+// take their cached table instead of re-evaluating (incremental path).
+func (v *Validator) collect(doc *xmltree.Node, reuse map[*xmltree.Node][]*tupleTable,
+	modifiedFn func(*xmltree.Node) bool) (map[string][]*tupleTable, error) {
+
+	byConstraint := map[string][]*tupleTable{}
+	var walkErr error
+	doc.Walk(func(n *xmltree.Node) bool {
+		if walkErr != nil || n.IsText() || n.Delta == xmltree.DeltaDelete {
+			return walkErr == nil && !n.IsText()
+		}
+		var scoped []*Constraint
+		for _, c := range v.constraints {
+			if c.ScopeLabel == n.Label {
+				scoped = append(scoped, c)
+			}
+		}
+		if len(scoped) == 0 {
+			return true
+		}
+		if reuse != nil && modifiedFn != nil && !modifiedFn(n) {
+			if cached, ok := reuse[n]; ok {
+				for _, tbl := range cached {
+					byConstraint[tbl.c.Name] = append(byConstraint[tbl.c.Name], tbl)
+				}
+				return true
+			}
+		}
+		for _, c := range scoped {
+			tbl, err := evaluateScope(c, n)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			byConstraint[c.Name] = append(byConstraint[c.Name], tbl)
+		}
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return byConstraint, nil
+}
+
+// evaluateScope evaluates one constraint at one scope element: selects the
+// nodes, extracts tuples, and enforces uniqueness/presence.
+func evaluateScope(c *Constraint, scope *xmltree.Node) (*tupleTable, error) {
+	tbl := &tupleTable{c: c, scope: scope, tuples: map[string]bool{}}
+	for _, n := range c.Selector.SelectElements(scope) {
+		parts := make([]string, len(c.Fields))
+		missing := false
+		for i, f := range c.Fields {
+			val, ok, err := f.FieldValue(n)
+			if err != nil {
+				return nil, &Violation{Constraint: c, Path: nodePath(n), Reason: err.Error()}
+			}
+			if !ok {
+				missing = true
+				if c.Kind == Key {
+					return nil, &Violation{
+						Constraint: c,
+						Path:       nodePath(n),
+						Reason:     fmt.Sprintf("key field %s is absent", f),
+					}
+				}
+				break
+			}
+			parts[i] = val
+		}
+		if missing {
+			continue // unique/keyref ignore partially-present tuples
+		}
+		key := joinTuple(parts)
+		if c.Kind != KeyRef {
+			if tbl.tuples[key] {
+				return nil, &Violation{
+					Constraint: c,
+					Path:       nodePath(n),
+					Reason:     fmt.Sprintf("duplicate tuple (%s)", strings.Join(parts, ", ")),
+				}
+			}
+		}
+		tbl.tuples[key] = true
+	}
+	return tbl, nil
+}
+
+// checkRefs verifies every keyref tuple against its referenced constraint,
+// scope by scope: a keyref's tuples at scope s must appear in the referred
+// key's tuples at the same scope element. This simplifies the full XSD
+// scoping rule (a keyref may also resolve against keys declared on
+// ancestor scopes); declaring the key and its keyrefs on the same element
+// — by far the common pattern — is fully supported, and differently-scoped
+// pairs conservatively report a violation rather than silently passing.
+func (v *Validator) checkRefs(tables map[string][]*tupleTable) error {
+	for _, c := range v.constraints {
+		if c.Kind != KeyRef {
+			continue
+		}
+		// Index referenced tables by scope node.
+		refByScope := map[*xmltree.Node]*tupleTable{}
+		for _, tbl := range tables[c.Refer] {
+			refByScope[tbl.scope] = tbl
+		}
+		for _, tbl := range tables[c.Name] {
+			ref := refByScope[tbl.scope]
+			for tuple := range tbl.tuples {
+				if ref == nil || !ref.tuples[tuple] {
+					return &Violation{
+						Constraint: c,
+						Path:       nodePath(tbl.scope),
+						Reason: fmt.Sprintf("tuple (%s) has no matching %s entry",
+							strings.Join(splitTuple(tuple), ", "), c.Refer),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+const tupleSep = "\x1f"
+
+func joinTuple(parts []string) string { return strings.Join(parts, tupleSep) }
+func splitTuple(t string) []string    { return strings.Split(t, tupleSep) }
+
+// nodePath renders an XPath-ish location without importing package schema
+// (which would create a cycle once schema carries constraints).
+func nodePath(n *xmltree.Node) string {
+	if n == nil {
+		return "/"
+	}
+	var parts []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		parts = append(parts, cur.EffectiveLabel())
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}

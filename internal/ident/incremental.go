@@ -1,0 +1,83 @@
+package ident
+
+import (
+	"repro/internal/update"
+	"repro/internal/xmltree"
+)
+
+// Index caches per-scope tuple tables so that re-checking after an edit
+// session only re-evaluates constraints whose scope subtree was modified —
+// the incremental treatment of key constraints the paper lists as ongoing
+// work (§7).
+type Index struct {
+	v *Validator
+	// cache maps scope element → its evaluated tables (one per constraint
+	// attached to that scope's label).
+	cache map[*xmltree.Node][]*tupleTable
+}
+
+// BuildIndex evaluates all constraints over the document and caches the
+// per-scope results. The document must currently satisfy the constraints
+// (an error is returned otherwise).
+func (v *Validator) BuildIndex(doc *xmltree.Node) (*Index, error) {
+	tables, err := v.collect(doc, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.checkRefs(tables); err != nil {
+		return nil, err
+	}
+	idx := &Index{v: v, cache: map[*xmltree.Node][]*tupleTable{}}
+	for _, tbls := range tables {
+		for _, tbl := range tbls {
+			idx.cache[tbl.scope] = append(idx.cache[tbl.scope], tbl)
+		}
+	}
+	return idx, nil
+}
+
+// ValidateModified re-checks the constraints after an edit session: scopes
+// whose subtree the trie reports unmodified reuse their cached tuples;
+// modified scopes are re-evaluated (and the keyref cross-checks always run,
+// since they combine tables). On success the index is updated in place so
+// further edit sessions can build on it.
+func (idx *Index) ValidateModified(doc *xmltree.Node, trie *update.Trie) error {
+	// Per-node modification lookup via Dewey paths. The trie gives O(depth)
+	// navigation; cache per-node answers during this pass.
+	memo := map[*xmltree.Node]*update.Trie{}
+	var trieAt func(n *xmltree.Node) *update.Trie
+	trieAt = func(n *xmltree.Node) *update.Trie {
+		if n.Parent == nil {
+			return trie
+		}
+		if t, ok := memo[n]; ok {
+			return t
+		}
+		t := trieAt(n.Parent).Child(n.Parent.ChildIndex(n))
+		memo[n] = t
+		return t
+	}
+	modified := func(n *xmltree.Node) bool {
+		return trieAt(n).Modified() || n.Delta != xmltree.DeltaNone
+	}
+
+	tables, err := idx.v.collect(doc, idx.cache, modified)
+	if err != nil {
+		return err
+	}
+	if err := idx.v.checkRefs(tables); err != nil {
+		return err
+	}
+	// Refresh the cache with the new tables.
+	fresh := map[*xmltree.Node][]*tupleTable{}
+	for _, tbls := range tables {
+		for _, tbl := range tbls {
+			fresh[tbl.scope] = append(fresh[tbl.scope], tbl)
+		}
+	}
+	idx.cache = fresh
+	return nil
+}
+
+// Scopes returns the number of cached scope elements (diagnostics).
+func (idx *Index) Scopes() int { return len(idx.cache) }

@@ -1,0 +1,228 @@
+// Package ident implements XML Schema identity constraints — xs:unique,
+// xs:key and xs:keyref — over the ordered-tree model, including incremental
+// re-checking after edits. The paper excludes identity constraints from its
+// formalism and names them as the extension under development (§7); this
+// package supplies that extension: constraints are evaluated per scope
+// element, scopes untouched by an edit session reuse their cached tuples,
+// and only modified scopes are re-collected.
+package ident
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Path is a parsed restricted XPath, the subset XML Schema allows in
+// selector/field expressions:
+//
+//	path   ::= alt ( '|' alt )*
+//	alt    ::= ('.//')? step ('/' step)*
+//	step   ::= NCName | '*' | '.'
+//	(a field's final step may instead be '@' NCName)
+//
+// No predicates, axes or functions — exactly the XSD "restricted XPath".
+type Path struct {
+	src  string
+	alts []pathAlt
+}
+
+type pathAlt struct {
+	descend bool // leading .//
+	steps   []pathStep
+}
+
+type pathStep struct {
+	label string // "*" matches any element; "." stays put
+	attr  string // non-empty: attribute step (must be last; fields only)
+}
+
+// ParseSelector parses a selector path (element steps only).
+func ParseSelector(src string) (*Path, error) {
+	return parse(src, false)
+}
+
+// ParseField parses a field path (the last step may be an attribute).
+func ParseField(src string) (*Path, error) {
+	return parse(src, true)
+}
+
+func parse(src string, allowAttr bool) (*Path, error) {
+	p := &Path{src: src}
+	for _, altSrc := range strings.Split(src, "|") {
+		altSrc = strings.TrimSpace(altSrc)
+		if altSrc == "" {
+			return nil, fmt.Errorf("ident: empty path alternative in %q", src)
+		}
+		var alt pathAlt
+		if strings.HasPrefix(altSrc, ".//") {
+			alt.descend = true
+			altSrc = altSrc[3:]
+		}
+		if altSrc == "" {
+			return nil, fmt.Errorf("ident: %q: './/' must be followed by steps", src)
+		}
+		for i, stepSrc := range strings.Split(altSrc, "/") {
+			stepSrc = strings.TrimSpace(stepSrc)
+			if stepSrc == "" {
+				return nil, fmt.Errorf("ident: empty step in %q", src)
+			}
+			var step pathStep
+			switch {
+			case strings.HasPrefix(stepSrc, "@"):
+				if !allowAttr {
+					return nil, fmt.Errorf("ident: attribute step %q not allowed in a selector", stepSrc)
+				}
+				step.attr = stripNSPrefix(stepSrc[1:])
+				if step.attr == "" {
+					return nil, fmt.Errorf("ident: bad attribute step in %q", src)
+				}
+			case stepSrc == "." || stepSrc == "*":
+				step.label = stepSrc
+			default:
+				step.label = stripNSPrefix(stepSrc)
+				if !validNCName(step.label) {
+					return nil, fmt.Errorf("ident: bad step %q in %q", stepSrc, src)
+				}
+			}
+			alt.steps = append(alt.steps, step)
+			if step.attr != "" && i != len(strings.Split(altSrc, "/"))-1 {
+				return nil, fmt.Errorf("ident: attribute step must be last in %q", src)
+			}
+		}
+		p.alts = append(p.alts, alt)
+	}
+	return p, nil
+}
+
+// String returns the original path text.
+func (p *Path) String() string { return p.src }
+
+// SelectElements returns the elements the path selects from scope, in
+// document order (attribute steps are rejected — use EvaluateField).
+// Tombstoned (deleted) nodes are invisible.
+func (p *Path) SelectElements(scope *xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	seen := map[*xmltree.Node]bool{}
+	for _, alt := range p.alts {
+		for _, n := range alt.selectFrom(scope) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+func (alt pathAlt) selectFrom(scope *xmltree.Node) []*xmltree.Node {
+	cur := []*xmltree.Node{scope}
+	if alt.descend {
+		cur = nil
+		scope.Walk(func(n *xmltree.Node) bool {
+			if n.Delta == xmltree.DeltaDelete {
+				return false
+			}
+			if !n.IsText() {
+				cur = append(cur, n)
+			}
+			return true
+		})
+	}
+	for _, step := range alt.steps {
+		if step.attr != "" {
+			return nil // attribute steps select no elements
+		}
+		if step.label == "." {
+			continue
+		}
+		var next []*xmltree.Node
+		for _, n := range cur {
+			for _, c := range n.Children {
+				if c.IsText() || c.Delta == xmltree.DeltaDelete {
+					continue
+				}
+				if step.label == "*" || c.Label == step.label {
+					next = append(next, c)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// FieldValue evaluates a field path from a selected node. ok=false when the
+// field resolves to nothing; an error is returned when it resolves to more
+// than one node (the XSD cardinality rule).
+func (p *Path) FieldValue(from *xmltree.Node) (value string, ok bool, err error) {
+	var values []string
+	for _, alt := range p.alts {
+		last := alt.steps[len(alt.steps)-1]
+		if last.attr != "" {
+			// Element steps up to the attribute, then the attribute itself.
+			elemAlt := pathAlt{descend: alt.descend, steps: alt.steps[:len(alt.steps)-1]}
+			targets := []*xmltree.Node{from}
+			if len(elemAlt.steps) > 0 || elemAlt.descend {
+				targets = elemAlt.selectFrom(from)
+			}
+			for _, n := range targets {
+				if v, has := n.AttrValue(last.attr); has {
+					values = append(values, v)
+				}
+			}
+			continue
+		}
+		for _, n := range alt.selectFrom(from) {
+			values = append(values, simpleContent(n))
+		}
+	}
+	switch len(values) {
+	case 0:
+		return "", false, nil
+	case 1:
+		return values[0], true, nil
+	default:
+		return "", false, fmt.Errorf("ident: field %q selects %d nodes (must be at most one)", p.src, len(values))
+	}
+}
+
+// simpleContent returns the concatenated live text of an element.
+func simpleContent(n *xmltree.Node) string {
+	var b strings.Builder
+	n.Walk(func(c *xmltree.Node) bool {
+		if c.Delta == xmltree.DeltaDelete {
+			return false
+		}
+		if c.IsText() {
+			b.WriteString(c.Text)
+		}
+		return true
+	})
+	return b.String()
+}
+
+func stripNSPrefix(s string) string {
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+func validNCName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r > 127
+		digit := r >= '0' && r <= '9'
+		if i == 0 && !alpha {
+			return false
+		}
+		if !alpha && !digit && r != '-' && r != '.' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+package regexpsym
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+)
+
+// Glushkov builds the position automaton of the expression: one state per
+// label occurrence plus an initial state, no epsilon transitions. The
+// Glushkov automaton is deterministic exactly when the expression is
+// 1-unambiguous (Brüggemann-Klein & Wood 1998) — XML Schema's Unique
+// Particle Attribution rule and the basis for the paper's observation that
+// XML Schema content models correspond directly to DFAs.
+//
+// Occurrence bounds ({m,n}) are expanded into sequences of optional copies
+// first; the determinism verdict for counted particles is therefore the
+// verdict for the expanded expression.
+//
+// All labels of the expression are interned into alpha.
+func Glushkov(n Node, alpha *fa.Alphabet) *fa.NFA {
+	x := expand(n)
+	g := &glushkov{alpha: alpha, follow: map[int][]int{}}
+	info := g.analyze(x)
+
+	nfa := fa.NewNFA(alpha.Size())
+	// State 0 is the initial state; state p is position p (1-based).
+	init := nfa.AddState(info.nullable)
+	nfa.SetStart(init)
+	for p := 1; p <= g.npos; p++ {
+		nfa.AddState(false)
+	}
+	for _, p := range info.last {
+		nfa.SetAccept(p, true)
+	}
+	for _, p := range info.first {
+		nfa.AddTransition(init, g.symOf[p], p)
+	}
+	for p, succs := range g.follow {
+		for _, q := range succs {
+			nfa.AddTransition(p, g.symOf[q], q)
+		}
+	}
+	return nfa
+}
+
+// IsOneUnambiguous reports whether the expression is 1-unambiguous (its
+// Glushkov automaton is deterministic). XML Schema and DTD content models
+// are required to satisfy this.
+func IsOneUnambiguous(n Node) bool {
+	alpha := fa.NewAlphabet()
+	return fa.IsDeterministic(Glushkov(n, alpha))
+}
+
+// Compile compiles the expression to a minimal DFA over alpha. When the
+// Glushkov automaton is already deterministic (the 1-unambiguous case,
+// universal in schema practice) subset construction is skipped.
+func Compile(n Node, alpha *fa.Alphabet) *fa.DFA {
+	nfa := Glushkov(n, alpha)
+	var dfa *fa.DFA
+	if fa.IsDeterministic(nfa) {
+		dfa = fa.FromNFA(nfa)
+	} else {
+		dfa = fa.Determinize(nfa)
+	}
+	return fa.Minimize(dfa)
+}
+
+// CompileUnminimized compiles without the minimization pass; benchmarks use
+// it to measure minimization's contribution.
+func CompileUnminimized(n Node, alpha *fa.Alphabet) *fa.DFA {
+	nfa := Glushkov(n, alpha)
+	if fa.IsDeterministic(nfa) {
+		return fa.FromNFA(nfa).Trim()
+	}
+	return fa.Determinize(nfa).Trim()
+}
+
+// expand rewrites Repeat bounds into sequences of mandatory and optional
+// copies so that only ?, * remain:
+//
+//	e{m,n}  →  e^m , (e (e (…)?)?)?   with n−m nested optionals
+//	e{m,∞}  →  e^m , e*               (e+ → e e*)
+func expand(n Node) Node {
+	switch t := n.(type) {
+	case Epsilon, Sym:
+		return n
+	case Seq:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = expand(k)
+		}
+		return Seq{Kids: kids}
+	case Alt:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = expand(k)
+		}
+		return Alt{Kids: kids}
+	case Repeat:
+		kid := expand(t.Kid)
+		switch {
+		case t.Min == 0 && t.Max == 1:
+			return Repeat{Kid: kid, Min: 0, Max: 1}
+		case t.Min == 0 && t.Max == Unbounded:
+			return Repeat{Kid: kid, Min: 0, Max: Unbounded}
+		case t.Max == Unbounded:
+			// e{m,∞} → e … e e*
+			kids := make([]Node, 0, t.Min+1)
+			for i := 0; i < t.Min; i++ {
+				kids = append(kids, kid)
+			}
+			kids = append(kids, Repeat{Kid: kid, Min: 0, Max: Unbounded})
+			return Seq{Kids: kids}
+		default:
+			// e{m,n} → e^m followed by n−m nested optionals.
+			var opt Node
+			for i := 0; i < t.Max-t.Min; i++ {
+				if opt == nil {
+					opt = Repeat{Kid: kid, Min: 0, Max: 1}
+				} else {
+					opt = Repeat{Kid: Seq{Kids: []Node{kid, opt}}, Min: 0, Max: 1}
+				}
+			}
+			kids := make([]Node, 0, t.Min+1)
+			for i := 0; i < t.Min; i++ {
+				kids = append(kids, kid)
+			}
+			if opt != nil {
+				kids = append(kids, opt)
+			}
+			if len(kids) == 0 {
+				return Epsilon{}
+			}
+			if len(kids) == 1 {
+				return kids[0]
+			}
+			return Seq{Kids: kids}
+		}
+	default:
+		panic(fmt.Sprintf("regexpsym: unknown node %T", n))
+	}
+}
+
+type glushkov struct {
+	alpha  *fa.Alphabet
+	npos   int
+	symOf  map[int]fa.Symbol
+	follow map[int][]int
+}
+
+type posInfo struct {
+	nullable    bool
+	first, last []int
+}
+
+func (g *glushkov) analyze(n Node) posInfo {
+	switch t := n.(type) {
+	case Epsilon:
+		return posInfo{nullable: true}
+	case Sym:
+		g.npos++
+		p := g.npos
+		if g.symOf == nil {
+			g.symOf = map[int]fa.Symbol{}
+		}
+		g.symOf[p] = g.alpha.Intern(t.Name)
+		return posInfo{first: []int{p}, last: []int{p}}
+	case Seq:
+		cur := posInfo{nullable: true}
+		// lastSoFar: positions whose follow set receives first(next kid).
+		for _, k := range t.Kids {
+			ki := g.analyze(k)
+			for _, p := range cur.last {
+				g.follow[p] = append(g.follow[p], ki.first...)
+			}
+			if cur.nullable {
+				cur.first = append(cur.first, ki.first...)
+			}
+			if ki.nullable {
+				cur.last = append(cur.last, ki.last...)
+			} else {
+				cur.last = append([]int(nil), ki.last...)
+			}
+			cur.nullable = cur.nullable && ki.nullable
+		}
+		return cur
+	case Alt:
+		var cur posInfo
+		for _, k := range t.Kids {
+			ki := g.analyze(k)
+			cur.nullable = cur.nullable || ki.nullable
+			cur.first = append(cur.first, ki.first...)
+			cur.last = append(cur.last, ki.last...)
+		}
+		return cur
+	case Repeat:
+		ki := g.analyze(t.Kid)
+		switch {
+		case t.Min == 0 && t.Max == 1: // e?
+			ki.nullable = true
+			return ki
+		case t.Min == 0 && t.Max == Unbounded: // e*
+			for _, p := range ki.last {
+				g.follow[p] = append(g.follow[p], ki.first...)
+			}
+			ki.nullable = true
+			return ki
+		default:
+			panic("regexpsym: unexpanded Repeat reached Glushkov analysis")
+		}
+	default:
+		panic(fmt.Sprintf("regexpsym: unknown node %T", n))
+	}
+}

@@ -1,0 +1,83 @@
+package regexpsym
+
+// Test-only reference matcher: a direct recursive implementation of the
+// regular-expression semantics, independent of both the Glushkov and
+// Thompson constructions, used as the oracle in cross-validation tests.
+
+// matchEnds returns the set of end indices j such that word[start:j]
+// matches n. The result is a bitmask over indices 0..len(word).
+func matchEnds(n Node, word []string, start int) map[int]bool {
+	out := map[int]bool{}
+	switch t := n.(type) {
+	case Epsilon:
+		out[start] = true
+	case Sym:
+		if start < len(word) && word[start] == t.Name {
+			out[start+1] = true
+		}
+	case Seq:
+		cur := map[int]bool{start: true}
+		for _, k := range t.Kids {
+			next := map[int]bool{}
+			for p := range cur {
+				for q := range matchEnds(k, word, p) {
+					next[q] = true
+				}
+			}
+			cur = next
+			if len(cur) == 0 {
+				break
+			}
+		}
+		out = cur
+	case Alt:
+		for _, k := range t.Kids {
+			for q := range matchEnds(k, word, start) {
+				out[q] = true
+			}
+		}
+	case Repeat:
+		// Explore (endpoint, repetitions) pairs. When the kid is nullable,
+		// ε-repetitions can pad any count up to Min, so Min is effectively
+		// satisfied by any repetition count; with unbounded Max the count
+		// saturates at Min (higher counts are indistinguishable). ε-moves
+		// (q == p) are skipped: they never reach new endpoints and Min
+		// padding is handled by the nullability rule.
+		minAlways := t.Min == 0 || Nullable(t.Kid)
+		type cfg struct{ end, reps int }
+		seen := map[cfg]bool{}
+		var rec func(p, reps int)
+		rec = func(p, reps int) {
+			if minAlways || reps >= t.Min {
+				out[p] = true
+			}
+			if t.Max != Unbounded && reps >= t.Max {
+				return
+			}
+			next := reps + 1
+			if t.Max == Unbounded && next > t.Min {
+				next = t.Min // saturate
+				if next < 1 {
+					next = 1
+				}
+			}
+			for q := range matchEnds(t.Kid, word, p) {
+				if q == p {
+					continue
+				}
+				c := cfg{q, next}
+				if !seen[c] {
+					seen[c] = true
+					rec(q, next)
+				}
+			}
+		}
+		rec(start, 0)
+	}
+	return out
+}
+
+// refMatch reports whether word matches n under the reference semantics.
+func refMatch(n Node, word []string) bool {
+	return matchEnds(n, word, 0)[len(word)]
+}

@@ -1,0 +1,275 @@
+package regexpsym
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a symbolic regular expression in DTD-flavoured syntax:
+//
+//	alt     := seq ( '|' seq )*
+//	seq     := postfix ( ',' postfix )*
+//	postfix := primary ( '?' | '*' | '+' | '{' n ( ',' n? )? '}' )*
+//	primary := NAME | 'EMPTY' | '(' alt ')'
+//
+// NAME is an XML name (letters, digits, '.', '-', '_', ':', not starting
+// with a digit, '.' or '-'). 'EMPTY' denotes the empty-string expression.
+// Whitespace is insignificant.
+func Parse(src string) (Node, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errorf("empty expression")
+	}
+	n, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errorf("unexpected %q", p.rest())
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool    { return p.pos >= len(p.src) }
+func (p *parser) peek() byte   { return p.src[p.pos] }
+func (p *parser) rest() string { return p.src[p.pos:] }
+func (p *parser) advance()     { p.pos++ }
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("regexpsym: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.peek() {
+		case ' ', '\t', '\n', '\r':
+			p.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) alt() (Node, error) {
+	first, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for {
+		p.skipSpace()
+		if p.eof() || p.peek() != '|' {
+			break
+		}
+		p.advance()
+		k, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return Alt{Kids: kids}, nil
+}
+
+func (p *parser) seq() (Node, error) {
+	first, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for {
+		p.skipSpace()
+		if p.eof() || p.peek() != ',' {
+			break
+		}
+		p.advance()
+		k, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return Seq{Kids: kids}, nil
+}
+
+func (p *parser) postfix() (Node, error) {
+	n, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return n, nil
+		}
+		switch p.peek() {
+		case '?':
+			p.advance()
+			n = Opt(n)
+		case '*':
+			p.advance()
+			n = Star(n)
+		case '+':
+			p.advance()
+			n = Plus(n)
+		case '{':
+			p.advance()
+			min, max, err := p.bounds()
+			if err != nil {
+				return nil, err
+			}
+			n = Bound(n, min, max)
+		default:
+			return n, nil
+		}
+	}
+}
+
+// bounds parses "n}", "n,}" or "n,m}" after the opening brace.
+func (p *parser) bounds() (min, max int, err error) {
+	p.skipSpace()
+	min, err = p.number()
+	if err != nil {
+		return 0, 0, err
+	}
+	p.skipSpace()
+	if p.eof() {
+		return 0, 0, p.errorf("unterminated occurrence bound")
+	}
+	switch p.peek() {
+	case '}':
+		p.advance()
+		return min, min, nil
+	case ',':
+		p.advance()
+		p.skipSpace()
+		if p.eof() {
+			return 0, 0, p.errorf("unterminated occurrence bound")
+		}
+		if p.peek() == '}' {
+			p.advance()
+			return min, Unbounded, nil
+		}
+		max, err = p.number()
+		if err != nil {
+			return 0, 0, err
+		}
+		p.skipSpace()
+		if p.eof() || p.peek() != '}' {
+			return 0, 0, p.errorf("expected '}' in occurrence bound")
+		}
+		p.advance()
+		if max < min {
+			return 0, 0, p.errorf("occurrence bound {%d,%d} has max < min", min, max)
+		}
+		return min, max, nil
+	default:
+		return 0, 0, p.errorf("expected ',' or '}' in occurrence bound")
+	}
+}
+
+func (p *parser) number() (int, error) {
+	start := p.pos
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		p.advance()
+	}
+	if start == p.pos {
+		return 0, p.errorf("expected number")
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, p.errorf("bad number %q", p.src[start:p.pos])
+	}
+	return n, nil
+}
+
+func (p *parser) primary() (Node, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errorf("unexpected end of expression")
+	}
+	if p.peek() == '(' {
+		p.advance()
+		n, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.eof() || p.peek() != ')' {
+			return nil, p.errorf("missing ')'")
+		}
+		p.advance()
+		return n, nil
+	}
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	if name == "EMPTY" {
+		return Epsilon{}, nil
+	}
+	return Sym{Name: name}, nil
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	if p.eof() || !isNameStart(rune(p.peek())) {
+		return "", p.errorf("expected element name")
+	}
+	for !p.eof() && isNameChar(rune(p.peek())) {
+		p.advance()
+	}
+	return p.src[start:p.pos], nil
+}
+
+// isNameStart reports whether r can begin an XML name. The full XML 1.0
+// production also admits a large set of Unicode ranges; letters and '_'
+// and ':' cover schema practice, and we additionally accept any Unicode
+// letter.
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}
+
+// ValidName reports whether s is a lexically valid XML element name for the
+// purposes of this library.
+func ValidName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !isNameStart(r) {
+			return false
+		}
+		if i > 0 && !isNameChar(r) {
+			return false
+		}
+	}
+	return !strings.ContainsAny(s, " \t\r\n")
+}

@@ -1,0 +1,91 @@
+package regexpsym
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+)
+
+// Thompson builds an epsilon-NFA for the expression using the classic
+// Thompson construction. It is an implementation independent of Glushkov
+// and exists primarily so the two constructions can cross-validate each
+// other in tests; production compilation uses Glushkov (no epsilons, and
+// its determinism doubles as the 1-unambiguity check).
+func Thompson(n Node, alpha *fa.Alphabet) *fa.NFA {
+	nfa := fa.NewNFA(alphaSizeAfterIntern(n, alpha))
+	start, end := thompson(n, alpha, nfa)
+	nfa.SetStart(start)
+	nfa.SetAccept(end, true)
+	return nfa
+}
+
+// alphaSizeAfterIntern interns every label of n and returns the resulting
+// alphabet size, so the NFA is sized correctly even when n introduces new
+// labels.
+func alphaSizeAfterIntern(n Node, alpha *fa.Alphabet) int {
+	for _, l := range Labels(n) {
+		alpha.Intern(l)
+	}
+	return alpha.Size()
+}
+
+// thompson returns fresh (start, end) states for a sub-automaton matching n.
+func thompson(n Node, alpha *fa.Alphabet, nfa *fa.NFA) (int, int) {
+	switch t := n.(type) {
+	case Epsilon:
+		s := nfa.AddState(false)
+		e := nfa.AddState(false)
+		nfa.AddEpsilon(s, e)
+		return s, e
+	case Sym:
+		s := nfa.AddState(false)
+		e := nfa.AddState(false)
+		nfa.AddTransition(s, alpha.Intern(t.Name), e)
+		return s, e
+	case Seq:
+		if len(t.Kids) == 0 {
+			return thompson(Epsilon{}, alpha, nfa)
+		}
+		s, e := thompson(t.Kids[0], alpha, nfa)
+		for _, k := range t.Kids[1:] {
+			ks, ke := thompson(k, alpha, nfa)
+			nfa.AddEpsilon(e, ks)
+			e = ke
+		}
+		return s, e
+	case Alt:
+		s := nfa.AddState(false)
+		e := nfa.AddState(false)
+		for _, k := range t.Kids {
+			ks, ke := thompson(k, alpha, nfa)
+			nfa.AddEpsilon(s, ks)
+			nfa.AddEpsilon(ke, e)
+		}
+		return s, e
+	case Repeat:
+		x := expand(Repeat{Kid: t.Kid, Min: t.Min, Max: t.Max})
+		if r, ok := x.(Repeat); ok {
+			// Only ?, * survive expansion.
+			ks, ke := thompson(r.Kid, alpha, nfa)
+			s := nfa.AddState(false)
+			e := nfa.AddState(false)
+			nfa.AddEpsilon(s, ks)
+			nfa.AddEpsilon(ke, e)
+			nfa.AddEpsilon(s, e) // skip (both ? and *)
+			if r.Max == Unbounded {
+				nfa.AddEpsilon(ke, ks) // loop
+			}
+			return s, e
+		}
+		return thompson(x, alpha, nfa)
+	default:
+		panic(fmt.Sprintf("regexpsym: unknown node %T", n))
+	}
+}
+
+// CompileThompson compiles via the Thompson construction, determinization
+// and minimization. Semantically identical to Compile; used for
+// cross-validation and benchmarks.
+func CompileThompson(n Node, alpha *fa.Alphabet) *fa.DFA {
+	return fa.Minimize(fa.Determinize(Thompson(n, alpha)))
+}

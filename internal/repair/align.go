@@ -1,0 +1,173 @@
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+)
+
+// align computes a minimum-edit transformation of word into a string of
+// L(d) — the automaton-constrained string edit distance, a dynamic program
+// over (input position, DFA state) pairs. Operations are keep (match),
+// relabel (substitute), delete, and insert; each non-keep operation costs
+// one. The returned operations are in left-to-right application order.
+func align(d *fa.DFA, word []fa.Symbol) ([]alignOp, error) {
+	total, sink := d.Totalize()
+	n := len(word)
+	numStates := total.NumStates()
+	const inf = int32(1 << 30)
+
+	// dist[i*numStates+q] = min edits to consume word[:i] and be in q.
+	dist := make([]int32, (n+1)*numStates)
+	type step struct {
+		prevState int32
+		kind      opKind
+		sym       fa.Symbol // for relabel/insert: the emitted symbol
+	}
+	from := make([]step, (n+1)*numStates)
+	for i := range dist {
+		dist[i] = inf
+	}
+	at := func(i, q int) int { return i*numStates + q }
+
+	start := total.Start()
+	dist[at(0, start)] = 0
+	from[at(0, start)] = step{prevState: -1}
+
+	// relax inserts within one column: Dijkstra-light — since every insert
+	// costs 1, a bounded number of passes (numStates) reaches the fixpoint.
+	relaxInserts := func(i int) {
+		for pass := 0; pass < numStates; pass++ {
+			changed := false
+			for q := 0; q < numStates; q++ {
+				dq := dist[at(i, q)]
+				if dq >= inf {
+					continue
+				}
+				for sym := 0; sym < total.NumSymbols(); sym++ {
+					t := total.Step(q, fa.Symbol(sym))
+					if t == sink && sink != fa.Dead {
+						continue // inserting into the sink is never useful
+					}
+					if dq+1 < dist[at(i, t)] {
+						dist[at(i, t)] = dq + 1
+						from[at(i, t)] = step{prevState: int32(q), kind: opInsert, sym: fa.Symbol(sym)}
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	relaxInserts(0)
+	for i := 0; i < n; i++ {
+		for q := 0; q < numStates; q++ {
+			dq := dist[at(i, q)]
+			if dq >= inf {
+				continue
+			}
+			// Delete word[i].
+			if dq+1 < dist[at(i+1, q)] {
+				dist[at(i+1, q)] = dq + 1
+				from[at(i+1, q)] = step{prevState: int32(q), kind: opDelete}
+			}
+			// Keep word[i] (when its symbol is known and the move is not
+			// into the sink).
+			if word[i] != fa.NoSymbol {
+				t := total.Step(q, word[i])
+				if !(t == sink && sink != fa.Dead) && dq < dist[at(i+1, t)] {
+					dist[at(i+1, t)] = dq
+					from[at(i+1, t)] = step{prevState: int32(q), kind: opKeep, sym: word[i]}
+				}
+			}
+			// Relabel word[i] to any symbol.
+			for sym := 0; sym < total.NumSymbols(); sym++ {
+				if fa.Symbol(sym) == word[i] {
+					continue
+				}
+				t := total.Step(q, fa.Symbol(sym))
+				if t == sink && sink != fa.Dead {
+					continue
+				}
+				if dq+1 < dist[at(i+1, t)] {
+					dist[at(i+1, t)] = dq + 1
+					from[at(i+1, t)] = step{prevState: int32(q), kind: opRelabel, sym: fa.Symbol(sym)}
+				}
+			}
+		}
+		relaxInserts(i + 1)
+	}
+
+	// Best accepting state at the end.
+	best, bestQ := inf, -1
+	for q := 0; q < numStates; q++ {
+		if total.IsAccept(q) && dist[at(n, q)] < best {
+			best, bestQ = dist[at(n, q)], q
+		}
+	}
+	if bestQ < 0 {
+		return nil, fmt.Errorf("target content model accepts no string (non-productive type)")
+	}
+
+	// Reconstruct.
+	var rev []alignOp
+	i, q := n, bestQ
+	for !(i == 0 && int32(q) == int32(start) && from[at(i, q)].prevState == -1) {
+		st := from[at(i, q)]
+		switch st.kind {
+		case opInsert:
+			rev = append(rev, alignOp{kind: opInsert, sym: st.sym})
+			q = int(st.prevState)
+		case opDelete:
+			rev = append(rev, alignOp{kind: opDelete})
+			i--
+			q = int(st.prevState)
+		case opKeep:
+			rev = append(rev, alignOp{kind: opKeep, sym: st.sym})
+			i--
+			q = int(st.prevState)
+		case opRelabel:
+			rev = append(rev, alignOp{kind: opRelabel, sym: st.sym})
+			i--
+			q = int(st.prevState)
+		}
+		if st.prevState < 0 {
+			break
+		}
+	}
+	out := make([]alignOp, len(rev))
+	for k := range rev {
+		out[k] = rev[len(rev)-1-k]
+	}
+	return out, nil
+}
+
+type opKind uint8
+
+const (
+	opKeep opKind = iota
+	opRelabel
+	opDelete
+	opInsert
+)
+
+type alignOp struct {
+	kind opKind
+	sym  fa.Symbol // emitted symbol for keep/relabel/insert
+}
+
+func (o alignOp) String() string {
+	switch o.kind {
+	case opKeep:
+		return fmt.Sprintf("keep(#%d)", o.sym)
+	case opRelabel:
+		return fmt.Sprintf("relabel(#%d)", o.sym)
+	case opDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("insert(#%d)", o.sym)
+	}
+}

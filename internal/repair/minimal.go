@@ -1,0 +1,220 @@
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// minimalBuilder synthesizes minimal valid subtrees for target types, used
+// when a repair must insert mandatory content. Minimality is by tree rank:
+// each complex type descends through a shortest accepted word over the
+// cheapest children, so synthesis always terminates on productive types.
+type minimalBuilder struct {
+	s    *schema.Schema
+	rank []int
+	// word caches, per complex type, a shortest accepted word over
+	// rank-minimal labels.
+	word map[schema.TypeID][]fa.Symbol
+}
+
+func newMinimalBuilder(s *schema.Schema) (*minimalBuilder, error) {
+	if !s.Compiled() {
+		return nil, fmt.Errorf("repair: target schema must be compiled")
+	}
+	return &minimalBuilder{s: s, rank: typeRanks(s), word: map[schema.TypeID][]fa.Symbol{}}, nil
+}
+
+// tree builds a minimal valid subtree for type τ labeled label; ok=false
+// for non-productive types.
+func (mb *minimalBuilder) tree(label string, τ schema.TypeID) (*xmltree.Node, bool) {
+	if mb.rank[τ] < 0 {
+		return nil, false
+	}
+	node := xmltree.NewElement(label)
+	t := mb.s.TypeOf(τ)
+	if t.Simple {
+		v, ok := mb.value(t, "")
+		if !ok {
+			return nil, false
+		}
+		if v != "" {
+			node.AppendChild(xmltree.NewText(v))
+		}
+		return node, true
+	}
+	word, ok := mb.shortestWord(t)
+	if !ok {
+		return nil, false
+	}
+	for _, sym := range word {
+		child, ok := mb.tree(mb.s.Alpha.Name(sym), t.Child[sym])
+		if !ok {
+			return nil, false
+		}
+		node.AppendChild(child)
+	}
+	return node, true
+}
+
+// shortestWord returns (cached) a shortest accepted word of t's content
+// model restricted to labels whose child type has strictly smaller rank —
+// which exists by the definition of rank and guarantees termination.
+func (mb *minimalBuilder) shortestWord(t *schema.Type) ([]fa.Symbol, bool) {
+	if w, ok := mb.word[t.ID]; ok {
+		return w, true
+	}
+	mask := make([]bool, mb.s.Alpha.Size())
+	for sym, child := range t.Child {
+		if cr := mb.rank[child]; cr >= 0 && cr < mb.rank[t.ID] {
+			mask[sym] = true
+		}
+	}
+	w, ok := fa.ShortestAccepted(fa.RestrictSymbols(t.DFA, mask))
+	if !ok {
+		return nil, false
+	}
+	mb.word[t.ID] = w
+	return w, true
+}
+
+// value produces a value satisfying the simple type, preferring a clamped
+// version of current when the violation is numeric (the least surprising
+// correction), then deterministic synthesis.
+func (mb *minimalBuilder) value(t *schema.Type, current string) (string, bool) {
+	st := t.Value
+	if st.AcceptsValue(current) {
+		return current, true
+	}
+	if v, ok := clampNumeric(st, current); ok {
+		return v, true
+	}
+	return canonicalValue(st)
+}
+
+// clampNumeric tries to keep a numeric value, moved inside the facet range.
+func clampNumeric(st *schema.SimpleType, current string) (string, bool) {
+	if st == nil {
+		return "", false
+	}
+	switch st.Base {
+	case schema.IntegerKind, schema.PositiveIntegerKind, schema.DecimalKind:
+	default:
+		return "", false
+	}
+	var x float64
+	if _, err := fmt.Sscanf(current, "%g", &x); err != nil {
+		return "", false
+	}
+	for _, candidate := range clampCandidates(st, x) {
+		v := formatNum(st, candidate)
+		if st.AcceptsValue(v) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+func clampCandidates(st *schema.SimpleType, x float64) []float64 {
+	out := []float64{x}
+	if st.MaxInclusive != nil {
+		out = append(out, *st.MaxInclusive)
+	}
+	if st.MaxExclusive != nil {
+		out = append(out, *st.MaxExclusive-1)
+	}
+	if st.MinInclusive != nil {
+		out = append(out, *st.MinInclusive)
+	}
+	if st.MinExclusive != nil {
+		out = append(out, *st.MinExclusive+1)
+	}
+	if st.Base == schema.PositiveIntegerKind {
+		out = append(out, 1)
+	}
+	return out
+}
+
+func formatNum(st *schema.SimpleType, x float64) string {
+	if st.Base == schema.DecimalKind {
+		return fmt.Sprintf("%g", x)
+	}
+	return fmt.Sprintf("%d", int64(x))
+}
+
+// canonicalValue deterministically synthesizes a valid value.
+func canonicalValue(st *schema.SimpleType) (string, bool) {
+	if st == nil {
+		return "", true
+	}
+	if len(st.Enumeration) > 0 {
+		for _, v := range st.Enumeration {
+			if st.AcceptsValue(v) {
+				return v, true
+			}
+		}
+		return "", false
+	}
+	var candidates []string
+	switch st.Base {
+	case schema.BooleanKind:
+		candidates = []string{"true", "false"}
+	case schema.DateKind:
+		candidates = []string{"2004-03-14"}
+	case schema.DecimalKind, schema.IntegerKind, schema.PositiveIntegerKind:
+		candidates = []string{"1", "0"}
+		for _, c := range clampCandidates(st, 1) {
+			candidates = append(candidates, formatNum(st, c))
+		}
+	default:
+		candidates = []string{"", "x", "value", "xxxxxxxxxx"}
+		if st.MinLength > 0 {
+			b := make([]byte, st.MinLength)
+			for i := range b {
+				b[i] = 'x'
+			}
+			candidates = append(candidates, string(b))
+		}
+	}
+	for _, v := range candidates {
+		if st.AcceptsValue(v) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// typeRanks mirrors wgen.typeRanks (duplicated to keep repair independent
+// of the workload generator): the minimal tree height per type, -1 for
+// non-productive types.
+func typeRanks(s *schema.Schema) []int {
+	n := len(s.Types)
+	rank := make([]int, n)
+	for i := range rank {
+		rank[i] = -1
+	}
+	for _, t := range s.Types {
+		if t.Simple {
+			rank[t.ID] = 1
+		}
+	}
+	for r := 0; r <= n+1; r++ {
+		for _, t := range s.Types {
+			if t.Simple || rank[t.ID] >= 0 {
+				continue
+			}
+			mask := make([]bool, s.Alpha.Size())
+			for sym, child := range t.Child {
+				if cr := rank[child]; cr >= 0 && cr <= r {
+					mask[sym] = true
+				}
+			}
+			if fa.NonemptyRestricted(t.DFA, mask) {
+				rank[t.ID] = r + 1
+			}
+		}
+	}
+	return rank
+}

@@ -1,0 +1,251 @@
+// Package repair implements the extension the paper names as future work
+// (§7): automatically correcting a document valid under one schema so that
+// it conforms to another.
+//
+// The repairer mirrors the schema cast traversal: subtrees whose source
+// type is subsumed by the target type are untouched; elsewhere the
+// children label string is aligned to the target content model with a
+// minimum number of edit operations — a dynamic program over (position,
+// DFA state) pairs, the automaton-constrained string edit distance — and
+// the chosen operations are applied through an update.Tracker, so the
+// result is Δ-encoded and can be revalidated incrementally. Missing
+// mandatory content is synthesized as minimal valid subtrees; simple
+// values violating facets are clamped or regenerated.
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+	"repro/internal/schema"
+	"repro/internal/subsume"
+	"repro/internal/update"
+	"repro/internal/xmltree"
+)
+
+// Repairer rewrites documents valid under Src into documents valid under
+// Dst. Construction preprocesses the schema pair; a Repairer is immutable
+// afterwards and safe for concurrent use.
+type Repairer struct {
+	Src, Dst *schema.Schema
+	Rel      *subsume.Relations
+
+	minBuilder *minimalBuilder
+}
+
+// New preprocesses a (source, target) schema pair. Both schemas must be
+// compiled and share one alphabet.
+func New(src, dst *schema.Schema) (*Repairer, error) {
+	rel, err := subsume.Compute(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := newMinimalBuilder(dst)
+	if err != nil {
+		return nil, err
+	}
+	return &Repairer{Src: src, Dst: dst, Rel: rel, minBuilder: mb}, nil
+}
+
+// Report summarizes the edits a repair applied.
+type Report struct {
+	Relabels   int
+	Inserts    int
+	Deletes    int
+	ValueFixes int
+}
+
+// Total returns the total number of edit operations.
+func (r Report) Total() int { return r.Relabels + r.Inserts + r.Deletes + r.ValueFixes }
+
+func (r Report) String() string {
+	return fmt.Sprintf("%d edits (%d relabels, %d inserts, %d deletes, %d value fixes)",
+		r.Total(), r.Relabels, r.Inserts, r.Deletes, r.ValueFixes)
+}
+
+// Repair edits doc — assumed valid under the source schema — in place so
+// that it becomes valid under the target schema, tracking every edit in
+// the returned Tracker (whose trie supports incremental revalidation of
+// the result). The document root's label must be accepted by the target's
+// R; repairs never relabel the root.
+func (r *Repairer) Repair(doc *xmltree.Node) (*update.Tracker, Report, error) {
+	tk := update.NewTracker(doc)
+	var rep Report
+	if doc.IsText() {
+		return nil, rep, fmt.Errorf("repair: root must be an element")
+	}
+	τp := r.Dst.RootType(doc.Label)
+	if τp == schema.NoType {
+		return nil, rep, fmt.Errorf("repair: label %q is not a permitted root of the target schema", doc.Label)
+	}
+	τ := r.Src.RootType(doc.Label)
+	if τ == schema.NoType {
+		return nil, rep, fmt.Errorf("repair: document is not rooted as the source schema allows")
+	}
+	if err := r.repairNode(τ, τp, doc, tk, &rep); err != nil {
+		return nil, rep, err
+	}
+	return tk, rep, nil
+}
+
+// repairNode makes the subtree at node valid for target type τp, knowing
+// its pre-repair content was valid for source type τ (NoType when no
+// source knowledge exists, e.g. under substituted labels).
+func (r *Repairer) repairNode(τ, τp schema.TypeID, node *xmltree.Node, tk *update.Tracker, rep *Report) error {
+	if τ != schema.NoType && r.Rel.Subsumed(τ, τp) {
+		return nil // already valid — the cast-validation skip
+	}
+	tD := r.Dst.TypeOf(τp)
+	if tD.Simple {
+		return r.repairSimple(tD, node, tk, rep)
+	}
+	return r.repairComplex(τ, tD, node, tk, rep)
+}
+
+// repairSimple forces the node to carry a value satisfying the simple
+// target type: element children are deleted, an invalid (or missing) value
+// is replaced by a clamped/synthesized one.
+func (r *Repairer) repairSimple(tD *schema.Type, node *xmltree.Node, tk *update.Tracker, rep *Report) error {
+	var textChild *xmltree.Node
+	for _, c := range node.Children {
+		if c.Delta == xmltree.DeltaDelete {
+			continue
+		}
+		if c.IsText() && textChild == nil {
+			textChild = c
+			continue
+		}
+		if err := tk.Delete(c); err != nil {
+			return err
+		}
+		rep.Deletes++
+	}
+	current := ""
+	if textChild != nil {
+		current = textChild.Text
+	}
+	if tD.Value.AcceptsValue(current) {
+		return nil
+	}
+	fixed, ok := r.minBuilder.value(tD, current)
+	if !ok {
+		return fmt.Errorf("repair: no value satisfies simple type %q (%s)", tD.Name, tD.Value)
+	}
+	if textChild != nil {
+		if err := tk.SetText(textChild, fixed); err != nil {
+			return err
+		}
+	} else if fixed != "" {
+		if err := tk.AppendChild(node, xmltree.NewText(fixed)); err != nil {
+			return err
+		}
+	}
+	rep.ValueFixes++
+	return nil
+}
+
+// repairComplex aligns the children to the target content model and
+// recurses.
+func (r *Repairer) repairComplex(τ schema.TypeID, tD *schema.Type, node *xmltree.Node, tk *update.Tracker, rep *Report) error {
+	// Live children and their labels; text children are illegal in element
+	// content and deleted outright.
+	var kids []*xmltree.Node
+	var word []fa.Symbol
+	for _, c := range node.Children {
+		if c.Delta == xmltree.DeltaDelete {
+			continue
+		}
+		if c.IsText() {
+			if err := tk.Delete(c); err != nil {
+				return err
+			}
+			rep.Deletes++
+			continue
+		}
+		sym := r.Dst.Alpha.Lookup(c.Label)
+		// An unknown label can never fit any target model; mark it for
+		// certain deletion by the aligner (symbol NoSymbol never matches).
+		kids = append(kids, c)
+		word = append(word, sym)
+	}
+
+	ops, err := align(tD.DFA, word)
+	if err != nil {
+		return fmt.Errorf("repair: type %q: %w", tD.Name, err)
+	}
+
+	// Apply the alignment. Inserts reference positions in the *current*
+	// children slice; process in order, tracking the cursor node to insert
+	// before.
+	var tS *schema.Type
+	if τ != schema.NoType {
+		tS = r.Src.TypeOf(τ)
+	}
+	idx := 0 // index into kids
+	for _, op := range ops {
+		switch op.kind {
+		case opKeep:
+			child := kids[idx]
+			idx++
+			if err := r.recurse(tS, tD, child, "", tk, rep); err != nil {
+				return err
+			}
+		case opRelabel:
+			child := kids[idx]
+			idx++
+			oldLabel := child.Label
+			if err := tk.Relabel(child, r.Dst.Alpha.Name(op.sym)); err != nil {
+				return err
+			}
+			rep.Relabels++
+			if err := r.recurse(tS, tD, child, oldLabel, tk, rep); err != nil {
+				return err
+			}
+		case opDelete:
+			if err := tk.Delete(kids[idx]); err != nil {
+				return err
+			}
+			idx++
+			rep.Deletes++
+		case opInsert:
+			subtree, ok := r.minBuilder.tree(r.Dst.Alpha.Name(op.sym), tD.Child[op.sym])
+			if !ok {
+				return fmt.Errorf("repair: cannot synthesize content for label %q", r.Dst.Alpha.Name(op.sym))
+			}
+			var err error
+			if idx < len(kids) {
+				err = tk.InsertBefore(kids[idx], subtree)
+			} else {
+				err = tk.AppendChild(node, subtree)
+			}
+			if err != nil {
+				return err
+			}
+			rep.Inserts++
+		}
+	}
+	return nil
+}
+
+// recurse repairs a kept (possibly relabeled) child. oldLabel is the
+// pre-relabel label ("" when unchanged).
+func (r *Repairer) recurse(tS, tD *schema.Type, child *xmltree.Node, oldLabel string, tk *update.Tracker, rep *Report) error {
+	sym := r.Dst.Alpha.Lookup(child.Label)
+	ν, ok := tD.Child[sym]
+	if !ok {
+		return fmt.Errorf("repair: internal: kept label %q has no target child type", child.Label)
+	}
+	srcChild := schema.NoType
+	if tS != nil {
+		lookup := child.Label
+		if oldLabel != "" {
+			lookup = oldLabel
+		}
+		if srcSym := r.Src.Alpha.Lookup(lookup); srcSym != fa.NoSymbol {
+			if ω, okSrc := tS.Child[srcSym]; okSrc {
+				srcChild = ω
+			}
+		}
+	}
+	return r.repairNode(srcChild, ν, child, tk, rep)
+}

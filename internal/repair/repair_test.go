@@ -1,0 +1,427 @@
+package repair
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cast"
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+	"repro/internal/schema"
+	"repro/internal/wgen"
+	"repro/internal/xmltree"
+)
+
+func TestRepairInsertsMissingBillTo(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	r, err := New(ps.Source1, ps.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 5, IncludeBillTo: false, Seed: 1})
+	tk, rep, err := r.Repair(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inserts != 1 || rep.Total() != 1 {
+		t.Fatalf("expected exactly one insert, got %s", rep)
+	}
+	// Repaired document is target-valid — check fully and incrementally.
+	if _, err := baseline.New(ps.Target).Validate(doc); err != nil {
+		t.Fatalf("repaired doc not target-valid: %v", err)
+	}
+	eng := cast.MustNew(ps.Source1, ps.Target, cast.Options{})
+	if _, err := eng.ValidateModified(doc, tk.Finalize()); err != nil {
+		t.Fatalf("incremental revalidation of the repair failed: %v", err)
+	}
+	// The synthesized billTo is minimal but complete (6 address fields).
+	if !strings.Contains(xmltree.XMLString(doc), "<billTo>") {
+		t.Fatal("billTo not inserted")
+	}
+}
+
+func TestRepairClampsQuantities(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	r, err := New(ps.Source2, ps.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 20, IncludeBillTo: true, MaxQuantity: 199, Seed: 3})
+	// Count offending quantities first.
+	offending := 0
+	for _, item := range doc.Children[2].Children {
+		if len(item.Children[1].Children[0].Text) >= 3 {
+			offending++
+		}
+	}
+	if offending == 0 {
+		t.Fatal("test needs some quantities ≥ 100")
+	}
+	_, rep, err := r.Repair(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ValueFixes != offending {
+		t.Fatalf("fixed %d values, expected %d", rep.ValueFixes, offending)
+	}
+	if _, err := baseline.New(ps.Target).Validate(doc); err != nil {
+		t.Fatalf("repaired doc not target-valid: %v", err)
+	}
+	// Values were clamped (to 99), not replaced arbitrarily.
+	if !strings.Contains(xmltree.XMLString(doc), "<quantity>99</quantity>") {
+		t.Fatal("expected clamped quantity 99")
+	}
+}
+
+func TestRepairValidDocumentIsNoOp(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	r, _ := New(ps.Source1, ps.Target)
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 5, IncludeBillTo: true, Seed: 4})
+	before := doc.String()
+	_, rep, err := r.Repair(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() != 0 {
+		t.Fatalf("valid document should need no edits, got %s", rep)
+	}
+	if doc.String() != before {
+		t.Fatal("no-op repair must not change the tree")
+	}
+}
+
+func TestRepairDeletesForbiddenContent(t *testing.T) {
+	// Source allows (a, b?, c); target allows (a, c): b must be deleted.
+	alpha := fa.NewAlphabet()
+	src := buildABC(t, alpha, "a, b?, c")
+	dst := buildABC(t, alpha, "a, c")
+	r, err := New(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.NewElement("root",
+		leafEl("a"), leafEl("b"), leafEl("c"))
+	_, rep, err := r.Repair(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deletes != 1 || rep.Total() != 1 {
+		t.Fatalf("expected one delete, got %s", rep)
+	}
+	if err := dst.Validate(doc); err != nil {
+		t.Fatalf("repaired doc invalid: %v", err)
+	}
+}
+
+func TestRepairRelabels(t *testing.T) {
+	// Source: (a, b); target: (a, d) with the same child type — relabeling
+	// b→d is the single-edit repair (delete+insert would be two).
+	alpha := fa.NewAlphabet()
+	src := buildABC(t, alpha, "a, b")
+	dst := buildABC(t, alpha, "a, d")
+	r, err := New(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.NewElement("root", leafEl("a"), leafEl("b"))
+	_, rep, err := r.Repair(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Relabels != 1 || rep.Total() != 1 {
+		t.Fatalf("expected one relabel, got %s", rep)
+	}
+	if err := dst.Validate(doc); err != nil {
+		t.Fatalf("repaired doc invalid: %v", err)
+	}
+}
+
+func TestRepairSimpleFromComplex(t *testing.T) {
+	// Target turns a container element into a simple-typed one: children
+	// are deleted and a value synthesized.
+	alpha := fa.NewAlphabet()
+	src := buildABC(t, alpha, "a, b")
+	dst := schema.New(alpha)
+	num, _ := dst.AddSimpleType("num", schema.NewSimpleType(schema.IntegerKind).WithMinInclusive(5))
+	dst.SetRoot("root", num)
+	dst.MustCompile()
+	r, err := New(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.NewElement("root", leafEl("a"), leafEl("b"))
+	_, rep, err := r.Repair(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deletes != 2 || rep.ValueFixes != 1 {
+		t.Fatalf("expected 2 deletes + 1 value fix, got %s", rep)
+	}
+	if err := dst.Validate(doc); err != nil {
+		t.Fatalf("repaired doc invalid: %v", err)
+	}
+}
+
+func TestRepairErrors(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	r, _ := New(ps.Source1, ps.Target)
+	if _, _, err := r.Repair(xmltree.NewText("x")); err == nil {
+		t.Fatal("text root must fail")
+	}
+	if _, _, err := r.Repair(xmltree.NewElement("nope")); err == nil {
+		t.Fatal("unknown root must fail")
+	}
+}
+
+// Property: for random source documents and random mutated target schemas,
+// Repair always produces a target-valid document, and the edit count is
+// zero exactly when the document was already valid.
+func TestRepairAlwaysProducesValidDocuments(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	labels := []string{"elA", "elB", "elC", "elD", "elE"}
+	rounds := 20
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		alpha := fa.NewAlphabet()
+		src := wgen.RandomSchema(rng, alpha, wgen.RandomSchemaOptions{Labels: labels})
+		dst := wgen.MutateSchema(rng, src, labels)
+		r, err := New(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := baseline.New(dst)
+		gen := wgen.NewGenerator(src, rng)
+		for i := 0; i < 15; i++ {
+			doc, ok := gen.Document()
+			if !ok {
+				break
+			}
+			if dst.RootType(doc.Label) == schema.NoType {
+				continue // root label not castable; repair never relabels roots
+			}
+			_, validBefore := base.Validate(doc)
+			_, rep, err := r.Repair(doc)
+			if err != nil {
+				t.Fatalf("round %d: repair failed: %v\nsrc:\n%s\ndst:\n%s\ndoc: %s",
+					round, err, src, dst, doc)
+			}
+			if _, err := base.Validate(doc); err != nil {
+				t.Fatalf("round %d: repaired doc invalid: %v\nsrc:\n%s\ndst:\n%s\ndoc: %s",
+					round, err, src, dst, doc)
+			}
+			if validBefore == nil && rep.Total() != 0 {
+				t.Fatalf("round %d: already-valid doc edited: %s", round, rep)
+			}
+		}
+	}
+}
+
+// The aligner alone: minimal edit scripts into small DFAs, cross-checked
+// against brute-force edit distances.
+func TestAlignMinimality(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	a, b, c := alpha.Intern("a"), alpha.Intern("b"), alpha.Intern("c")
+	d := regexpsym.Compile(regexpsym.MustParse("a, b, c"), alpha)
+	cases := []struct {
+		word []fa.Symbol
+		want int // minimal edits
+	}{
+		{[]fa.Symbol{a, b, c}, 0},
+		{[]fa.Symbol{a, c}, 1},       // insert b
+		{[]fa.Symbol{a, b}, 1},       // insert c
+		{[]fa.Symbol{a, b, b, c}, 1}, // delete one b
+		{[]fa.Symbol{a, a, c}, 1},    // relabel second a to b
+		{[]fa.Symbol{}, 3},           // insert all
+		{[]fa.Symbol{c, b, a}, 2},    // relabel first and last
+	}
+	for _, tc := range cases {
+		ops, err := align(d, tc.word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edits := 0
+		for _, op := range ops {
+			if op.kind != opKeep {
+				edits++
+			}
+		}
+		if edits != tc.want {
+			t.Fatalf("align(%v) used %d edits, want %d (ops %v)", tc.word, edits, tc.want, ops)
+		}
+	}
+}
+
+func TestAlignEmptyLanguageFails(t *testing.T) {
+	d := fa.NewDFA(2) // ∅
+	if _, err := align(d, []fa.Symbol{0}); err == nil {
+		t.Fatal("alignment into ∅ must fail")
+	}
+}
+
+// helpers
+
+func buildABC(t *testing.T, alpha *fa.Alphabet, model string) *schema.Schema {
+	t.Helper()
+	s := schema.New(alpha)
+	leaf, err := s.AddSimpleType("leaf", schema.NewSimpleType(schema.StringKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := s.AddComplexType("Root", regexpsym.MustParse(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range regexpsym.Labels(regexpsym.MustParse(model)) {
+		if err := s.SetChildType(root, l, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetRoot("root", root)
+	return s.MustCompile()
+}
+
+func leafEl(label string) *xmltree.Node {
+	return xmltree.NewElement(label, xmltree.NewText("v"))
+}
+
+func TestRepairUnknownLabel(t *testing.T) {
+	// A label the target schema never heard of cannot be kept; the aligner
+	// must delete (or relabel) it.
+	alpha := fa.NewAlphabet()
+	src := buildABC(t, alpha, "a, mystery?, c")
+	dst := buildABC(t, alpha, "a, c")
+	// "mystery" exists only in the source schema's alphabet; both schemas
+	// share the alphabet so the symbol exists, but dst's models never use it.
+	r, err := New(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.NewElement("root", leafEl("a"), leafEl("mystery"), leafEl("c"))
+	_, rep, err := r.Repair(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() != 1 {
+		t.Fatalf("expected a single edit, got %s", rep)
+	}
+	if err := dst.Validate(doc); err != nil {
+		t.Fatalf("repaired doc invalid: %v", err)
+	}
+}
+
+func TestRepairInsertsRecursiveMinimalTree(t *testing.T) {
+	// The synthesized subtree for a missing mandatory element must itself
+	// be minimal and valid even when the type is recursive.
+	alpha := fa.NewAlphabet()
+	src := schema.New(alpha)
+	leafT, _ := src.AddSimpleType("leaf", nil)
+	rootT, _ := src.AddComplexType("Root", regexpsym.MustParse("x?"))
+	if err := src.SetChildType(rootT, "x", leafT); err != nil {
+		t.Fatal(err)
+	}
+	src.SetRoot("root", rootT)
+	src.MustCompile()
+
+	dst := schema.New(alpha)
+	leafD, _ := dst.AddSimpleType("leaf", nil)
+	treeD, _ := dst.AddComplexType("Tree", regexpsym.MustParse("v, tree?"))
+	if err := dst.SetChildType(treeD, "v", leafD); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetChildType(treeD, "tree", treeD); err != nil {
+		t.Fatal(err)
+	}
+	rootD, _ := dst.AddComplexType("Root", regexpsym.MustParse("tree"))
+	if err := dst.SetChildType(rootD, "tree", treeD); err != nil {
+		t.Fatal(err)
+	}
+	dst.SetRoot("root", rootD)
+	dst.MustCompile()
+
+	r, err := New(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.NewElement("root")
+	_, rep, err := r.Repair(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inserts != 1 {
+		t.Fatalf("expected one synthesized subtree, got %s", rep)
+	}
+	if err := dst.Validate(doc); err != nil {
+		t.Fatalf("repaired doc invalid: %v\n%s", err, doc)
+	}
+	// Minimality: tree(v) without the optional recursion; v's value is the
+	// canonical empty string, so no text node is synthesized.
+	if doc.Size() != 3 { // root, tree, v
+		t.Fatalf("synthesized tree should be minimal, size %d: %s", doc.Size(), doc)
+	}
+}
+
+func TestCanonicalValues(t *testing.T) {
+	mb, err := newMinimalBuilder(wgen.NewPaperSchemas().Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []*schema.SimpleType{
+		nil,
+		schema.NewSimpleType(schema.BooleanKind),
+		schema.NewSimpleType(schema.DateKind),
+		schema.NewSimpleType(schema.DecimalKind).WithMinExclusive(10),
+		schema.NewSimpleType(schema.IntegerKind).WithMinInclusive(-3).WithMaxInclusive(-1),
+		schema.NewSimpleType(schema.StringKind).WithLength(5, 8),
+		schema.NewSimpleType(schema.StringKind).WithEnumeration("alpha", "beta"),
+		schema.NewSimpleType(schema.PositiveIntegerKind).WithMaxExclusive(2),
+	}
+	for _, st := range cases {
+		typ := &schema.Type{Name: "probe", Simple: true, Value: st}
+		v, ok := mb.value(typ, "definitely-not-valid-###")
+		if st == nil {
+			if !ok {
+				t.Fatal("nil type must always produce a value")
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("no value synthesized for %s", st)
+		}
+		if !st.AcceptsValue(v) {
+			t.Fatalf("synthesized %q invalid for %s", v, st)
+		}
+	}
+	// Unsatisfiable enumeration.
+	impossible := schema.NewSimpleType(schema.IntegerKind).WithEnumeration("xyz")
+	typ := &schema.Type{Name: "impossible", Simple: true, Value: impossible}
+	if _, ok := mb.value(typ, "0"); ok {
+		t.Fatal("unsatisfiable type must fail")
+	}
+}
+
+func TestRepairReportAndOpStrings(t *testing.T) {
+	rep := Report{Relabels: 1, Inserts: 2, Deletes: 3, ValueFixes: 4}
+	if rep.Total() != 10 || !strings.Contains(rep.String(), "10 edits") {
+		t.Fatalf("Report: %s", rep)
+	}
+	for _, op := range []alignOp{
+		{kind: opKeep, sym: 1}, {kind: opRelabel, sym: 2},
+		{kind: opDelete}, {kind: opInsert, sym: 3},
+	} {
+		if op.String() == "" {
+			t.Fatal("empty op string")
+		}
+	}
+}
+
+func TestNewRequiresSharedAlphabet(t *testing.T) {
+	a := wgen.NewPaperSchemas()
+	b := wgen.NewPaperSchemas()
+	if _, err := New(a.Source1, b.Target); err == nil {
+		t.Fatal("mismatched alphabets must be rejected")
+	}
+}

@@ -1,0 +1,391 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+	"repro/internal/xmltree"
+)
+
+// buildPOType1 builds the paper's Figure 1a schema fragment: purchaseOrder
+// of type POType1 = (shipTo, billTo?, items), with USAddress and Items
+// simplified to simple-typed leaves for these unit tests.
+func buildPOType1(t *testing.T, alpha *fa.Alphabet) *Schema {
+	t.Helper()
+	s := New(alpha)
+	simple, err := s.AddSimpleType("xstring", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := s.AddComplexType("POType1", regexpsym.MustParse("shipTo, billTo?, items"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []string{"shipTo", "billTo", "items"} {
+		if err := s.SetChildType(po, l, simple); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetRoot("purchaseOrder", po)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuilderBasics(t *testing.T) {
+	s := buildPOType1(t, nil)
+	if got := s.TypeByName("POType1"); got == NoType {
+		t.Fatal("POType1 should resolve")
+	}
+	if s.TypeByName("nope") != NoType {
+		t.Fatal("unknown type should be NoType")
+	}
+	if s.RootType("purchaseOrder") == NoType {
+		t.Fatal("purchaseOrder should be a root")
+	}
+	if s.RootType("shipTo") != NoType {
+		t.Fatal("shipTo is not a root")
+	}
+	if s.RootType("neverSeen") != NoType {
+		t.Fatal("unknown label is not a root")
+	}
+	if !s.Compiled() {
+		t.Fatal("schema should be compiled")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	s := New(nil)
+	if _, err := s.AddSimpleType("", nil); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	id, _ := s.AddSimpleType("st", nil)
+	if _, err := s.AddSimpleType("st", nil); err == nil {
+		t.Fatal("duplicate name should fail")
+	}
+	if err := s.SetChildType(id, "a", id); err == nil {
+		t.Fatal("SetChildType on a simple type should fail")
+	}
+	ct, _ := s.AddComplexType("ct", regexpsym.MustParse("a, a"))
+	if err := s.SetChildType(ct, "a", id); err != nil {
+		t.Fatal(err)
+	}
+	ct2, _ := s.AddComplexType("ct2", regexpsym.MustParse("a"))
+	if err := s.SetChildType(ct, "a", ct2); err == nil {
+		t.Fatal("conflicting child type for one label should fail")
+	}
+	// Re-assigning the same type is fine (idempotent).
+	if err := s.SetChildType(ct, "a", id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	// Missing child type assignment.
+	s := New(nil)
+	ct, _ := s.AddComplexType("ct", regexpsym.MustParse("a"))
+	s.SetRoot("r", ct)
+	if err := s.Compile(); err == nil || !strings.Contains(err.Error(), "without a child type") {
+		t.Fatalf("expected missing-child-type error, got %v", err)
+	}
+
+	// Ambiguous content model (UPA violation).
+	s2 := New(nil)
+	st, _ := s2.AddSimpleType("st", nil)
+	ct2, _ := s2.AddComplexType("ct", regexpsym.MustParse("(a, b) | (a, c)"))
+	for _, l := range []string{"a", "b", "c"} {
+		if err := s2.SetChildType(ct2, l, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s2.Compile(); err == nil || !strings.Contains(err.Error(), "1-unambiguous") {
+		t.Fatalf("expected UPA error, got %v", err)
+	}
+}
+
+func TestValidatePurchaseOrder(t *testing.T) {
+	s := buildPOType1(t, nil)
+	valid := xmltree.MustParseString(
+		`<purchaseOrder><shipTo>a</shipTo><billTo>b</billTo><items>c</items></purchaseOrder>`)
+	if err := s.Validate(valid); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	// billTo is optional.
+	noBill := xmltree.MustParseString(
+		`<purchaseOrder><shipTo>a</shipTo><items>c</items></purchaseOrder>`)
+	if err := s.Validate(noBill); err != nil {
+		t.Fatalf("billTo-less doc rejected: %v", err)
+	}
+	// Missing items.
+	bad := xmltree.MustParseString(`<purchaseOrder><shipTo>a</shipTo></purchaseOrder>`)
+	if err := s.Validate(bad); err == nil {
+		t.Fatal("missing items should be rejected")
+	}
+	// Wrong order.
+	bad2 := xmltree.MustParseString(
+		`<purchaseOrder><items>c</items><shipTo>a</shipTo></purchaseOrder>`)
+	if err := s.Validate(bad2); err == nil {
+		t.Fatal("out-of-order children should be rejected")
+	}
+	// Unknown root.
+	bad3 := xmltree.MustParseString(`<order/>`)
+	if err := s.Validate(bad3); err == nil {
+		t.Fatal("unknown root should be rejected")
+	}
+	// Unknown label inside.
+	bad4 := xmltree.MustParseString(
+		`<purchaseOrder><shipTo>a</shipTo><bogus/><items>c</items></purchaseOrder>`)
+	if err := s.Validate(bad4); err == nil {
+		t.Fatal("unknown child label should be rejected")
+	}
+}
+
+func TestValidateSimpleContent(t *testing.T) {
+	s := New(nil)
+	qty, _ := s.AddSimpleType("qty", NewSimpleType(PositiveIntegerKind).WithMaxExclusive(100))
+	item, _ := s.AddComplexType("Item", regexpsym.MustParse("quantity"))
+	if err := s.SetChildType(item, "quantity", qty); err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot("item", item)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	ok := xmltree.MustParseString(`<item><quantity>42</quantity></item>`)
+	if err := s.Validate(ok); err != nil {
+		t.Fatalf("quantity 42 should be valid: %v", err)
+	}
+	tooBig := xmltree.MustParseString(`<item><quantity>100</quantity></item>`)
+	if err := s.Validate(tooBig); err == nil {
+		t.Fatal("quantity 100 violates maxExclusive=100")
+	}
+	notNum := xmltree.MustParseString(`<item><quantity>many</quantity></item>`)
+	if err := s.Validate(notNum); err == nil {
+		t.Fatal("non-numeric quantity should be rejected")
+	}
+	elemContent := xmltree.MustParseString(`<item><quantity><x/></quantity></item>`)
+	if err := s.Validate(elemContent); err == nil {
+		t.Fatal("element content in a simple type should be rejected")
+	}
+}
+
+func TestValidateTextInElementContent(t *testing.T) {
+	s := buildPOType1(t, nil)
+	doc := xmltree.MustParseString(
+		`<purchaseOrder>oops<shipTo>a</shipTo><items>c</items></purchaseOrder>`)
+	if err := s.Validate(doc); err == nil {
+		t.Fatal("text in element-only content should be rejected")
+	}
+}
+
+func TestValidateSkipsTombstones(t *testing.T) {
+	s := buildPOType1(t, nil)
+	doc := xmltree.MustParseString(
+		`<purchaseOrder><shipTo>a</shipTo><billTo>b</billTo><items>c</items></purchaseOrder>`)
+	doc.Children[1].Delta = xmltree.DeltaDelete // tombstone billTo
+	if err := s.Validate(doc); err != nil {
+		t.Fatalf("tombstoned billTo should be skipped (optional): %v", err)
+	}
+	doc.Children[2].Delta = xmltree.DeltaDelete // tombstone items (required)
+	if err := s.Validate(doc); err == nil {
+		t.Fatal("tombstoned required items should fail validation")
+	}
+}
+
+func TestValidatePanicsWhenNotCompiled(t *testing.T) {
+	s := New(nil)
+	st, _ := s.AddSimpleType("st", nil)
+	s.SetRoot("a", st)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for uncompiled schema")
+		}
+	}()
+	_ = s.Validate(xmltree.NewElement("a"))
+}
+
+func TestEmptyContentModel(t *testing.T) {
+	s := New(nil)
+	empty, _ := s.AddComplexType("Empty", regexpsym.Epsilon{})
+	s.SetRoot("e", empty)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(xmltree.NewElement("e")); err != nil {
+		t.Fatalf("empty element with EMPTY model should validate: %v", err)
+	}
+	if err := s.Validate(xmltree.NewElement("e", xmltree.NewElement("x"))); err == nil {
+		t.Fatal("children under EMPTY model should be rejected")
+	}
+}
+
+func TestIsDTD(t *testing.T) {
+	// DTD-shaped: every label always has the same type.
+	s := New(nil)
+	st, _ := s.AddSimpleType("leaf", nil)
+	a, _ := s.AddComplexType("A", regexpsym.MustParse("b, c"))
+	s.SetChildType(a, "b", st)
+	s.SetChildType(a, "c", st)
+	d, _ := s.AddComplexType("D", regexpsym.MustParse("b"))
+	s.SetChildType(d, "b", st)
+	s.SetRoot("a", a)
+	s.SetRoot("d", d)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsDTD() {
+		t.Fatal("label-consistent schema should be DTD-shaped")
+	}
+
+	// Not DTD: label b has different types in different contexts.
+	s2 := New(nil)
+	st2, _ := s2.AddSimpleType("leaf", nil)
+	num, _ := s2.AddSimpleType("num", NewSimpleType(IntegerKind))
+	a2, _ := s2.AddComplexType("A", regexpsym.MustParse("b"))
+	s2.SetChildType(a2, "b", st2)
+	c2, _ := s2.AddComplexType("C", regexpsym.MustParse("b"))
+	s2.SetChildType(c2, "b", num)
+	s2.SetRoot("a", a2)
+	s2.SetRoot("c", c2)
+	if err := s2.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.IsDTD() {
+		t.Fatal("context-dependent label typing is not DTD-shaped")
+	}
+}
+
+func TestProductivityPruning(t *testing.T) {
+	// Type Loop requires a child of type Loop: non-productive.
+	// Type Top = (a | b) where a:Loop, b:simple — Top is productive and
+	// its pruned content model should only admit b.
+	s := New(nil)
+	st, _ := s.AddSimpleType("leaf", nil)
+	loop, _ := s.AddComplexType("Loop", regexpsym.MustParse("a"))
+	s.SetChildType(loop, "a", loop)
+	top, _ := s.AddComplexType("Top", regexpsym.MustParse("a | b"))
+	s.SetChildType(top, "a", loop)
+	s.SetChildType(top, "b", st)
+	s.SetRoot("t", top)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	prod := s.Productive()
+	if prod[loop] {
+		t.Fatal("Loop should be non-productive")
+	}
+	if !prod[top] || !prod[st] {
+		t.Fatal("Top and leaf should be productive")
+	}
+	// After pruning, <t><a/></t> must be invalid but <t><b/></t> valid.
+	if err := s.Validate(xmltree.NewElement("t", xmltree.NewElement("b"))); err != nil {
+		t.Fatalf("t(b) should be valid: %v", err)
+	}
+	if err := s.Validate(xmltree.NewElement("t", xmltree.NewElement("a"))); err == nil {
+		t.Fatal("t(a) requires the non-productive Loop and must be invalid")
+	}
+}
+
+func TestProductivityEmptyContentIsProductive(t *testing.T) {
+	// A type whose model accepts ε is productive even when all its labels
+	// point at non-productive types.
+	s := New(nil)
+	loop, _ := s.AddComplexType("Loop", regexpsym.MustParse("a"))
+	s.SetChildType(loop, "a", loop)
+	opt, _ := s.AddComplexType("Opt", regexpsym.MustParse("a?"))
+	s.SetChildType(opt, "a", loop)
+	s.SetRoot("o", opt)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Productive()[opt] {
+		t.Fatal("ε ∈ L(a?) makes Opt productive")
+	}
+	if err := s.Validate(xmltree.NewElement("o")); err != nil {
+		t.Fatalf("empty o should validate: %v", err)
+	}
+	if err := s.Validate(xmltree.NewElement("o", xmltree.NewElement("a"))); err == nil {
+		t.Fatal("o(a) must be invalid after pruning")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := buildPOType1(t, nil)
+	out := s.String()
+	for _, want := range []string{"POType1", "shipTo, billTo?, items", "purchaseOrder→POType1", "xstring: simple"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNodePath(t *testing.T) {
+	doc := xmltree.MustParseString(
+		`<po><items><item><q>1</q></item><item><q>2</q></item></items></po>`)
+	second := doc.Children[0].Children[1].Children[0]
+	if got := NodePath(second); got != "/po/items/item[2]/q" {
+		t.Fatalf("NodePath = %q", got)
+	}
+	if NodePath(nil) != "/" {
+		t.Fatal("NodePath(nil) should be /")
+	}
+	if got := NodePath(doc); got != "/po" {
+		t.Fatalf("NodePath(root) = %q", got)
+	}
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	e := &ValidationError{Path: "/a/b", Reason: "boom"}
+	if !strings.Contains(e.Error(), "/a/b") || !strings.Contains(e.Error(), "boom") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+func TestSharedAlphabetAcrossSchemas(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	s1 := buildPOType1(t, alpha)
+	s2 := buildPOType1(t, alpha)
+	if s1.Alpha != s2.Alpha {
+		t.Fatal("schemas should share the alphabet instance")
+	}
+	if s1.Alpha.Lookup("billTo") == fa.NoSymbol {
+		t.Fatal("billTo should be interned")
+	}
+}
+
+func TestWidenToAlphabet(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	s1 := buildPOType1(t, alpha)
+	widthBefore := s1.TypeOf(s1.TypeByName("POType1")).DFA.NumSymbols()
+	// A second schema grows the shared alphabet.
+	s2 := New(alpha)
+	st, _ := s2.AddSimpleType("st", nil)
+	ct, _ := s2.AddComplexType("CT", regexpsym.MustParse("brandNewLabel"))
+	if err := s2.SetChildType(ct, "brandNewLabel", st); err != nil {
+		t.Fatal(err)
+	}
+	s2.SetRoot("r", ct)
+	if err := s2.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if alpha.Size() <= widthBefore {
+		t.Fatal("alphabet should have grown")
+	}
+	s1.WidenToAlphabet()
+	for _, tp := range s1.Types {
+		if !tp.Simple && tp.DFA.NumSymbols() != alpha.Size() {
+			t.Fatalf("type %s DFA width %d, want %d", tp.Name, tp.DFA.NumSymbols(), alpha.Size())
+		}
+	}
+	// Idempotent.
+	s1.WidenToAlphabet()
+	// And still validating correctly.
+	doc := xmltree.MustParseString(
+		`<purchaseOrder><shipTo>a</shipTo><items>c</items></purchaseOrder>`)
+	if err := s1.Validate(doc); err != nil {
+		t.Fatalf("validation after widening: %v", err)
+	}
+}

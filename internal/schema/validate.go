@@ -1,0 +1,196 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+	"repro/internal/xmltree"
+)
+
+// ValidationError reports why a document failed validation, with an
+// XPath-like location.
+type ValidationError struct {
+	Path   string
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("validation failed at %s: %s", e.Path, e.Reason)
+}
+
+// NodePath renders an XPath-like path for diagnostics
+// (/purchaseOrder/items/item[2]/quantity).
+func NodePath(n *xmltree.Node) string {
+	if n == nil {
+		return "/"
+	}
+	var parts []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		label := cur.EffectiveLabel()
+		if cur.Parent != nil {
+			// Position among same-labelled siblings (1-based), XPath style.
+			pos, total := 1, 0
+			for _, sib := range cur.Parent.Children {
+				if sib.EffectiveLabel() == label {
+					total++
+					if sib == cur {
+						pos = total
+					}
+				}
+			}
+			if total > 1 {
+				label = fmt.Sprintf("%s[%d]", label, pos)
+			}
+		}
+		parts = append(parts, label)
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// Validate checks the document against the schema — the paper's doValidate:
+// the root label must be in R's domain and the tree must be in
+// valid(R(λ(T))). It returns nil when valid and a *ValidationError
+// otherwise. Trees carrying Δ annotations are validated in their
+// post-modification projection (tombstones skipped, current labels used).
+//
+// The schema must be compiled.
+func (s *Schema) Validate(root *xmltree.Node) error {
+	s.mustBeCompiled()
+	if root.IsText() {
+		return &ValidationError{Path: "/", Reason: "root must be an element"}
+	}
+	τ := s.RootType(root.Label)
+	if τ == NoType {
+		return &ValidationError{
+			Path:   NodePath(root),
+			Reason: fmt.Sprintf("label %q is not a permitted root", root.Label),
+		}
+	}
+	return s.ValidateType(τ, root)
+}
+
+// ValidateType checks that the subtree rooted at e is in valid(τ) — the
+// paper's validate(τ, e).
+func (s *Schema) ValidateType(τ TypeID, e *xmltree.Node) error {
+	s.mustBeCompiled()
+	t := s.Types[τ]
+	if t.Simple {
+		return s.validateSimple(t, e)
+	}
+	kids := liveElementChildren(e)
+	if kids == nil {
+		return &ValidationError{
+			Path:   NodePath(e),
+			Reason: fmt.Sprintf("type %q has element content but node has text content", t.Name),
+		}
+	}
+	// Content-model check: constructstring(children(e)) ∈ L(regexp_τ)?
+	state := t.DFA.Start()
+	for _, c := range kids {
+		sym := s.Alpha.Lookup(c.Label)
+		if sym == fa.NoSymbol {
+			return &ValidationError{
+				Path:   NodePath(c),
+				Reason: fmt.Sprintf("label %q unknown to the schema", c.Label),
+			}
+		}
+		state = t.DFA.Step(state, sym)
+		if state == fa.Dead {
+			return &ValidationError{
+				Path:   NodePath(c),
+				Reason: fmt.Sprintf("child %q not allowed here by content model %q of type %q", c.Label, contentString(t), t.Name),
+			}
+		}
+	}
+	if !t.DFA.IsAccept(state) {
+		return &ValidationError{
+			Path:   NodePath(e),
+			Reason: fmt.Sprintf("children do not complete content model %q of type %q", contentString(t), t.Name),
+		}
+	}
+	for _, c := range kids {
+		child := t.Child[s.Alpha.Lookup(c.Label)]
+		if err := s.ValidateType(child, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateSimple checks an element against a simple type: its content must
+// be a single χ leaf (or empty, denoting the empty string), and the value
+// must satisfy the facets.
+func (s *Schema) validateSimple(t *Type, e *xmltree.Node) error {
+	value, err := simpleValue(e)
+	if err != nil {
+		return &ValidationError{
+			Path:   NodePath(e),
+			Reason: fmt.Sprintf("type %q is simple: %v", t.Name, err),
+		}
+	}
+	if !t.Value.AcceptsValue(value) {
+		return &ValidationError{
+			Path:   NodePath(e),
+			Reason: fmt.Sprintf("value %q does not satisfy simple type %q (%s)", value, t.Name, t.Value),
+		}
+	}
+	return nil
+}
+
+// simpleValue extracts the text value of an element expected to have
+// simple content, ignoring tombstoned children.
+func simpleValue(e *xmltree.Node) (string, error) {
+	value := ""
+	seen := 0
+	for _, c := range e.Children {
+		if c.Delta == xmltree.DeltaDelete {
+			continue
+		}
+		if !c.IsText() {
+			return "", fmt.Errorf("element content %q not allowed", c.Label)
+		}
+		seen++
+		if seen > 1 {
+			return "", fmt.Errorf("multiple text children")
+		}
+		value = c.Text
+	}
+	return value, nil
+}
+
+// liveElementChildren returns e's non-tombstoned element children, or nil
+// when e has live text content (which element-only content models forbid).
+// An element with no live children returns an empty non-nil slice.
+func liveElementChildren(e *xmltree.Node) []*xmltree.Node {
+	out := make([]*xmltree.Node, 0, len(e.Children))
+	for _, c := range e.Children {
+		if c.Delta == xmltree.DeltaDelete {
+			continue
+		}
+		if c.IsText() {
+			return nil
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func contentString(t *Type) string {
+	if t.Content == nil {
+		return ""
+	}
+	return regexpsym.String(t.Content)
+}
+
+func (s *Schema) mustBeCompiled() {
+	if !s.compiled {
+		panic("schema: Compile must be called before validation")
+	}
+}

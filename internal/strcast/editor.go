@@ -1,0 +1,95 @@
+package strcast
+
+import "repro/internal/fa"
+
+// Editor applies symbol-level edits (the paper's insertions, deletions and
+// renamings) to a string while tracking how much of it remains untouched at
+// each end — exactly the bookkeeping §4.3 calls "straightforward to keep".
+// The tracked bounds feed ValidateModified.
+type Editor struct {
+	orig []fa.Symbol
+	cur  []fa.Symbol
+	// prefix symbols of cur equal the prefix of orig; suffix symbols of
+	// cur equal the suffix of orig.
+	prefix, suffix int
+}
+
+// NewEditor starts an edit session over s (which is copied).
+func NewEditor(s []fa.Symbol) *Editor {
+	orig := append([]fa.Symbol(nil), s...)
+	return &Editor{
+		orig:   orig,
+		cur:    append([]fa.Symbol(nil), s...),
+		prefix: len(orig),
+		suffix: len(orig),
+	}
+}
+
+// Original returns the pre-edit string.
+func (e *Editor) Original() []fa.Symbol { return e.orig }
+
+// Current returns the string after the edits applied so far. The returned
+// slice must not be mutated by the caller.
+func (e *Editor) Current() []fa.Symbol { return e.cur }
+
+// Bounds returns the lengths of the unmodified prefix and suffix, clamped
+// so that they never overlap (prefix+suffix ≤ min(len orig, len cur)) —
+// the contract ValidateModified expects.
+func (e *Editor) Bounds() (prefixLen, suffixLen int) {
+	n, m := len(e.orig), len(e.cur)
+	lim := n
+	if m < lim {
+		lim = m
+	}
+	p, s := e.prefix, e.suffix
+	if p > lim {
+		p = lim
+	}
+	if s > lim {
+		s = lim
+	}
+	if p+s > lim {
+		s = lim - p
+	}
+	return p, s
+}
+
+// Replace renames the symbol at position pos of the current string.
+func (e *Editor) Replace(pos int, sym fa.Symbol) {
+	e.cur[pos] = sym
+	e.touch(pos, pos+1)
+}
+
+// Insert places sym at position pos (0 ≤ pos ≤ len) of the current string.
+func (e *Editor) Insert(pos int, sym fa.Symbol) {
+	e.cur = append(e.cur, 0)
+	copy(e.cur[pos+1:], e.cur[pos:])
+	e.cur[pos] = sym
+	e.touch(pos, pos+1)
+}
+
+// Append adds sym at the end of the current string.
+func (e *Editor) Append(sym fa.Symbol) { e.Insert(len(e.cur), sym) }
+
+// Delete removes the symbol at position pos of the current string.
+func (e *Editor) Delete(pos int) {
+	copy(e.cur[pos:], e.cur[pos+1:])
+	e.cur = e.cur[:len(e.cur)-1]
+	e.touch(pos, pos)
+}
+
+// touch records that cur[from:to] (in post-edit coordinates) is modified.
+func (e *Editor) touch(from, to int) {
+	if from < e.prefix {
+		e.prefix = from
+	}
+	if tail := len(e.cur) - to; tail < e.suffix {
+		e.suffix = tail
+	}
+}
+
+// Validate runs the with-modifications cast using the tracked bounds.
+func (e *Editor) Validate(c *Caster) Result {
+	p, s := e.Bounds()
+	return c.ValidateModified(e.orig, e.cur, p, s)
+}

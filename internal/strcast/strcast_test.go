@@ -1,0 +1,303 @@
+package strcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+)
+
+// compile builds a DFA over a shared alphabet from a content-model string.
+func compile(t *testing.T, alpha *fa.Alphabet, src string) *fa.DFA {
+	t.Helper()
+	return regexpsym.Compile(regexpsym.MustParse(src), alpha)
+}
+
+// enumWords enumerates all words over k symbols up to maxLen.
+func enumWords(k, maxLen int, fn func([]fa.Symbol)) {
+	var rec func(prefix []fa.Symbol)
+	rec = func(prefix []fa.Symbol) {
+		fn(prefix)
+		if len(prefix) == maxLen {
+			return
+		}
+		for s := 0; s < k; s++ {
+			rec(append(prefix, fa.Symbol(s)))
+		}
+	}
+	rec(nil)
+}
+
+func TestValidateAgainstDirectScan(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	a := compile(t, alpha, "(shipTo, billTo?, items)")
+	b := compile(t, alpha, "(shipTo, billTo, items)")
+	// Pad both to the full alphabet (they already share alpha).
+	c := New(a, b)
+	k := alpha.Size()
+	enumWords(k, 4, func(w []fa.Symbol) {
+		if !a.Accepts(w) {
+			return
+		}
+		got := c.Validate(w)
+		if got.Accepted != b.Accepts(w) {
+			t.Fatalf("Validate(%s) = %v, want %v", alpha.String(w), got.Accepted, b.Accepts(w))
+		}
+	})
+}
+
+func TestValidateDecidesEarlyOnFigure1(t *testing.T) {
+	// Source: shipTo billTo? items. Target: shipTo billTo items.
+	// After seeing "shipTo billTo" the verdict is forced (accept): the
+	// only continuation in L(a) is "items", which completes L(b) too.
+	alpha := fa.NewAlphabet()
+	a := compile(t, alpha, "(shipTo, billTo?, items)")
+	b := compile(t, alpha, "(shipTo, billTo, items)")
+	c := New(a, b)
+	w := alpha.Symbols("shipTo", "billTo", "items")
+	res := c.Validate(w)
+	if !res.Accepted {
+		t.Fatal("should accept")
+	}
+	if res.Decision != fa.ImmediateAccept || res.Scanned != 2 {
+		t.Fatalf("expected immediate accept after 2 symbols, got %+v", res)
+	}
+	// Without billTo the verdict is reject, forced at "items" (position 2
+	// is never reached — seeing items right after shipTo kills b).
+	w2 := alpha.Symbols("shipTo", "items")
+	res2 := c.Validate(w2)
+	if res2.Accepted {
+		t.Fatal("should reject")
+	}
+	if res2.Decision != fa.ImmediateReject || res2.Scanned != 2 {
+		t.Fatalf("expected immediate reject at symbol 2, got %+v", res2)
+	}
+}
+
+func TestValidateRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < 40; i++ {
+		alpha := fa.NewAlphabet()
+		for _, l := range labels {
+			alpha.Intern(l)
+		}
+		ea := randExpr(rng, 3, labels)
+		eb := randExpr(rng, 3, labels)
+		a := regexpsym.Compile(ea, alpha)
+		b := regexpsym.Compile(eb, alpha)
+		c := New(a, b)
+		enumWords(alpha.Size(), 5, func(w []fa.Symbol) {
+			if !a.Accepts(w) {
+				return
+			}
+			if got := c.Validate(w); got.Accepted != b.Accepts(w) {
+				t.Fatalf("iter %d (%s vs %s): wrong verdict on %v",
+					i, regexpsym.String(ea), regexpsym.String(eb), w)
+			}
+		})
+	}
+}
+
+// Exhaustive with-modifications check: apply random edit scripts, verify
+// the verdict matches a direct scan of the edited string with b, in both
+// the forward- and reverse-favourable regimes.
+func TestValidateModifiedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < 60; i++ {
+		alpha := fa.NewAlphabet()
+		for _, l := range labels {
+			alpha.Intern(l)
+		}
+		a := regexpsym.Compile(randExpr(rng, 3, labels), alpha)
+		b := regexpsym.Compile(randExpr(rng, 3, labels), alpha)
+		s, ok := fa.Sample(a, rng, 8)
+		if !ok {
+			continue
+		}
+		c := New(a, b)
+		for script := 0; script < 10; script++ {
+			ed := NewEditor(s)
+			nEdits := rng.Intn(3) + 1
+			for e := 0; e < nEdits; e++ {
+				cur := ed.Current()
+				switch op := rng.Intn(3); {
+				case op == 0 || len(cur) == 0: // insert
+					ed.Insert(rng.Intn(len(cur)+1), fa.Symbol(rng.Intn(alpha.Size())))
+				case op == 1: // delete
+					ed.Delete(rng.Intn(len(cur)))
+				default: // replace
+					ed.Replace(rng.Intn(len(cur)), fa.Symbol(rng.Intn(alpha.Size())))
+				}
+			}
+			got := ed.Validate(c)
+			want := b.Accepts(ed.Current())
+			if got.Accepted != want {
+				t.Fatalf("iter %d script %d: edited %v -> %v: got %v want %v (%s)",
+					i, script, s, ed.Current(), got.Accepted, want, got)
+			}
+		}
+	}
+}
+
+func TestValidateModifiedPrefixEditScansForward(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	a := compile(t, alpha, "(x, y*)")
+	b := compile(t, alpha, "(x, y*)")
+	c := New(a, b)
+	x, y := alpha.Lookup("x"), alpha.Lookup("y")
+	s := []fa.Symbol{x, y, y, y, y, y}
+	ed := NewEditor(s)
+	ed.Replace(1, y) // edit near the front (no-op value, still an edit)
+	res := ed.Validate(c)
+	if !res.Accepted {
+		t.Fatalf("still valid: %+v", res)
+	}
+	if res.Reversed {
+		t.Fatalf("front edit should scan forward: %+v", res)
+	}
+	// a = b here, so after re-synchronizing, the pair state is diagonal
+	// and immediately subsumed: the scan should stop well short of the
+	// whole string.
+	if res.Scanned >= len(s) {
+		t.Fatalf("expected early decision, scanned %d of %d", res.Scanned, len(s))
+	}
+}
+
+func TestValidateModifiedAppendScansReverse(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	a := compile(t, alpha, "(x, y*)")
+	b := compile(t, alpha, "(x, y*)")
+	c := New(a, b)
+	x, y := alpha.Lookup("x"), alpha.Lookup("y")
+	s := []fa.Symbol{x, y, y, y, y, y, y, y}
+	ed := NewEditor(s)
+	ed.Append(y)
+	res := ed.Validate(c)
+	if !res.Accepted {
+		t.Fatalf("appended y keeps the string valid: %+v", res)
+	}
+	if !res.Reversed {
+		t.Fatalf("append-only edit should scan in reverse: %+v", res)
+	}
+	if res.Scanned >= len(ed.Current()) {
+		t.Fatalf("reverse scan should decide early, scanned %d", res.Scanned)
+	}
+}
+
+func TestValidateModifiedNoBounds(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	a := compile(t, alpha, "(x, y)")
+	b := compile(t, alpha, "(x, y) | (y, x)")
+	c := New(a, b)
+	x, y := alpha.Lookup("x"), alpha.Lookup("y")
+	// Everything modified: falls back to scanning with b_immed.
+	res := c.ValidateModified([]fa.Symbol{x, y}, []fa.Symbol{y, x}, 0, 0)
+	if !res.Accepted {
+		t.Fatalf("y x is in L(b): %+v", res)
+	}
+	res2 := c.ValidateModified([]fa.Symbol{x, y}, []fa.Symbol{y, y}, 0, 0)
+	if res2.Accepted {
+		t.Fatalf("y y is not in L(b): %+v", res2)
+	}
+}
+
+func TestValidateModifiedBoundsPanic(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	a := compile(t, alpha, "x")
+	c := New(a, a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range bounds")
+		}
+	}()
+	c.ValidateModified([]fa.Symbol{0}, []fa.Symbol{0}, 5, 0)
+}
+
+func TestEditorBounds(t *testing.T) {
+	s := []fa.Symbol{0, 1, 2, 3, 4}
+	ed := NewEditor(s)
+	p, q := ed.Bounds()
+	if p != 5 || q != 0 { // clamped: p+q ≤ len
+		t.Fatalf("pristine bounds = %d,%d", p, q)
+	}
+	ed.Replace(2, 9)
+	p, q = ed.Bounds()
+	if p != 2 || q != 2 {
+		t.Fatalf("after middle replace: %d,%d", p, q)
+	}
+	ed.Delete(0)
+	p, q = ed.Bounds()
+	if p != 0 {
+		t.Fatalf("after front delete prefix should be 0, got %d", p)
+	}
+	// Invariants hold: cur[:p] == orig[:p], cur tail q == orig tail q.
+	cur := ed.Current()
+	orig := ed.Original()
+	for i := 0; i < p; i++ {
+		if cur[i] != orig[i] {
+			t.Fatal("prefix invariant broken")
+		}
+	}
+	for i := 0; i < q; i++ {
+		if cur[len(cur)-1-i] != orig[len(orig)-1-i] {
+			t.Fatal("suffix invariant broken")
+		}
+	}
+}
+
+func TestEditorInsertAppendDelete(t *testing.T) {
+	ed := NewEditor([]fa.Symbol{1, 2})
+	ed.Insert(0, 0)
+	ed.Append(3)
+	if got := ed.Current(); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("Current = %v", got)
+	}
+	ed.Delete(1)
+	if got := ed.Current(); len(got) != 3 || got[1] != 2 {
+		t.Fatalf("after delete: %v", got)
+	}
+	if got := ed.Original(); len(got) != 2 || got[0] != 1 {
+		t.Fatal("Original must stay untouched")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Accepted: true, Decision: fa.ImmediateAccept, Scanned: 3, Reversed: true}
+	s := r.String()
+	for _, want := range []string{"accepted=true", "immediate-accept", "scanned=3", "dir=rev"} {
+		if !containsStr(s, want) {
+			t.Fatalf("Result.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// randExpr mirrors the generator in regexpsym's tests.
+func randExpr(rng *rand.Rand, depth int, labels []string) regexpsym.Node {
+	if depth == 0 || rng.Intn(4) == 0 {
+		return regexpsym.Lbl(labels[rng.Intn(len(labels))])
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return regexpsym.Cat(randExpr(rng, depth-1, labels), randExpr(rng, depth-1, labels))
+	case 1:
+		return regexpsym.Or(randExpr(rng, depth-1, labels), randExpr(rng, depth-1, labels))
+	case 2:
+		return regexpsym.Opt(randExpr(rng, depth-1, labels))
+	case 3:
+		return regexpsym.Star(randExpr(rng, depth-1, labels))
+	default:
+		return regexpsym.Plus(randExpr(rng, depth-1, labels))
+	}
+}

@@ -1,0 +1,229 @@
+package stream
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/fa"
+	"repro/internal/schema"
+	"repro/internal/strcast"
+	"repro/internal/subsume"
+)
+
+// Caster performs streaming schema cast validation: the incoming document
+// is known to satisfy the source schema, and the stream decides validity
+// under the target schema, skimming subsumed subtrees and rejecting at the
+// first disjoint pair.
+type Caster struct {
+	Src, Dst *schema.Schema
+	Rel      *subsume.Relations
+
+	mu      sync.Mutex
+	casters map[castKey]*strcast.Caster
+}
+
+type castKey struct{ src, dst schema.TypeID }
+
+// NewCaster preprocesses a compiled (source, target) pair sharing one
+// alphabet.
+func NewCaster(src, dst *schema.Schema) (*Caster, error) {
+	rel, err := subsume.Compute(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return &Caster{Src: src, Dst: dst, Rel: rel, casters: map[castKey]*strcast.Caster{}}, nil
+}
+
+func (c *Caster) contentIDA(τ, τp schema.TypeID) *fa.IDA {
+	k := castKey{τ, τp}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc, ok := c.casters[k]
+	if !ok {
+		sc = strcast.New(c.Src.TypeOf(τ).DFA, c.Dst.TypeOf(τp).DFA)
+		c.casters[k] = sc
+	}
+	return sc.CImmed
+}
+
+// castFrame is the per-open-element state of the streaming caster.
+type castFrame struct {
+	tS, tD *schema.Type
+	// ida scans the children word through c_immed; once it immediately
+	// accepts, contentDone is set and no more steps are taken (the model
+	// check is settled even though children keep arriving and are still
+	// cast individually). When the source type is simple (no source
+	// knowledge about element children), ida is nil and idaState runs the
+	// plain target DFA instead.
+	ida         *fa.IDA
+	idaState    int
+	contentDone bool
+	text        strings.Builder
+}
+
+// Validate reads one XML document — assumed valid under the source schema —
+// from r and decides validity under the target schema.
+func (c *Caster) Validate(r io.Reader) (Stats, error) {
+	var st Stats
+	dec := xml.NewDecoder(r)
+	var stack []*castFrame
+	skimDepth := 0 // >0: inside a subsumed subtree, counting open elements
+	rootSeen := false
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, fmt.Errorf("stream: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if skimDepth > 0 {
+				skimDepth++
+				st.ElementsSkimmed++
+				continue
+			}
+			label := t.Name.Local
+			var τ, τp schema.TypeID
+			if len(stack) == 0 {
+				if rootSeen {
+					return st, fmt.Errorf("stream: multiple root elements")
+				}
+				rootSeen = true
+				τ = c.Src.RootType(label)
+				τp = c.Dst.RootType(label)
+				if τ == schema.NoType {
+					return st, fmt.Errorf("stream: cast contract violated: %q is not a source root", label)
+				}
+				if τp == schema.NoType {
+					return st, fmt.Errorf("stream: label %q is not a permitted root of the target schema", label)
+				}
+			} else {
+				parent := stack[len(stack)-1]
+				if parent.tD.Simple {
+					return st, fmt.Errorf("stream: element %q under simple target type %q", label, parent.tD.Name)
+				}
+				sym := c.Src.Alpha.Lookup(label)
+				if sym == fa.NoSymbol {
+					return st, fmt.Errorf("stream: label %q unknown to the schemas", label)
+				}
+				if !parent.contentDone {
+					st.AutomatonSteps++
+					if parent.ida != nil {
+						parent.idaState = parent.ida.D.Step(parent.idaState, sym)
+						switch parent.ida.Classify(parent.idaState) {
+						case fa.ImmediateAccept:
+							parent.contentDone = true
+						case fa.ImmediateReject:
+							return st, fmt.Errorf("stream: child %q not allowed by target content model of %q",
+								label, parent.tD.Name)
+						}
+					} else {
+						parent.idaState = parent.tD.DFA.Step(parent.idaState, sym)
+						if parent.idaState == fa.Dead {
+							return st, fmt.Errorf("stream: child %q not allowed by target content model of %q",
+								label, parent.tD.Name)
+						}
+					}
+				}
+				τp = schema.NoType
+				if t, ok := parent.tD.Child[sym]; ok {
+					τp = t
+				}
+				if τp == schema.NoType {
+					return st, fmt.Errorf("stream: label %q has no child type under target %q", label, parent.tD.Name)
+				}
+				τ = schema.NoType
+				if !parent.tS.Simple {
+					if t, ok := parent.tS.Child[sym]; ok {
+						τ = t
+					}
+				}
+				if τ == schema.NoType {
+					return st, fmt.Errorf("stream: cast contract violated: no source child type for %q", label)
+				}
+			}
+			st.ElementsProcessed++
+			if c.Rel.Subsumed(τ, τp) {
+				skimDepth = 1 // everything below is target-valid: skim it
+				continue
+			}
+			if c.Rel.Disjoint(τ, τp) {
+				return st, fmt.Errorf("stream: source type %q is disjoint from target type %q",
+					c.Src.TypeOf(τ).Name, c.Dst.TypeOf(τp).Name)
+			}
+			f := &castFrame{tS: c.Src.TypeOf(τ), tD: c.Dst.TypeOf(τp)}
+			if !f.tD.Simple {
+				if f.tS.Simple {
+					// No source knowledge about element children: scan the
+					// plain target DFA.
+					f.idaState = f.tD.DFA.Start()
+				} else {
+					f.ida = c.contentIDA(τ, τp)
+					f.idaState = f.ida.D.Start()
+					if f.ida.Classify(f.idaState) == fa.ImmediateAccept {
+						f.contentDone = true
+					}
+				}
+			}
+			stack = append(stack, f)
+		case xml.EndElement:
+			if skimDepth > 0 {
+				skimDepth--
+				continue
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if err := c.closeFrame(f, &st); err != nil {
+				return st, err
+			}
+		case xml.CharData:
+			if skimDepth > 0 || len(stack) == 0 {
+				continue
+			}
+			text := string(t)
+			f := stack[len(stack)-1]
+			if !f.tD.Simple {
+				if strings.TrimSpace(text) == "" {
+					continue
+				}
+				return st, fmt.Errorf("stream: text content under element-only target type %q", f.tD.Name)
+			}
+			f.text.WriteString(text)
+		}
+	}
+	if !rootSeen {
+		return st, fmt.Errorf("stream: no root element")
+	}
+	return st, nil
+}
+
+func (c *Caster) closeFrame(f *castFrame, st *Stats) error {
+	if f.tD.Simple {
+		st.ValuesChecked++
+		if !f.tD.Value.AcceptsValue(f.text.String()) {
+			return fmt.Errorf("stream: value %q does not satisfy simple target type %q (%s)",
+				f.text.String(), f.tD.Name, f.tD.Value)
+		}
+		return nil
+	}
+	if f.contentDone {
+		return nil
+	}
+	if f.ida != nil {
+		if !f.ida.D.IsAccept(f.idaState) {
+			return fmt.Errorf("stream: children do not complete target content model of %q", f.tD.Name)
+		}
+		return nil
+	}
+	// Plain target-DFA scan (source-simple case).
+	if !f.tD.DFA.IsAccept(f.idaState) {
+		return fmt.Errorf("stream: children do not complete target content model of %q", f.tD.Name)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Package stream validates XML directly from a token stream, without
+// materializing a document tree. Memory is proportional to document depth.
+//
+// Two validators are provided:
+//
+//   - Validator: full validation against one schema (the streaming
+//     counterpart of package baseline).
+//   - Caster: streaming schema cast validation — the §3.2 algorithm over
+//     SAX-style events. A subtree whose (source, target) type pair is
+//     subsumed is *skimmed*: its tokens are consumed with no automaton
+//     steps, no facet checks and no per-node work beyond depth tracking;
+//     a disjoint pair rejects immediately. Content models are checked with
+//     the §4 immediate decision automata, so a model check can conclude
+//     (accept) before the remaining children arrive.
+//
+// Unlike the tree engine, a streaming caster cannot avoid *reading* skipped
+// input — the bytes still flow through the tokenizer — but it avoids all
+// validation work for them, which is where the time goes in practice.
+package stream
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/fa"
+	"repro/internal/schema"
+)
+
+// Stats counts streaming validation work.
+type Stats struct {
+	// ElementsProcessed counts elements that received validation work.
+	ElementsProcessed int64
+	// ElementsSkimmed counts elements consumed inside subsumed subtrees
+	// with no validation work.
+	ElementsSkimmed int64
+	// AutomatonSteps counts content-model transitions taken.
+	AutomatonSteps int64
+	// ValuesChecked counts simple values tested against facets.
+	ValuesChecked int64
+}
+
+// Validator performs full streaming validation against one schema.
+type Validator struct {
+	S *schema.Schema
+}
+
+// NewValidator returns a streaming validator for a compiled schema.
+func NewValidator(s *schema.Schema) *Validator {
+	if !s.Compiled() {
+		panic("stream: schema must be compiled")
+	}
+	return &Validator{S: s}
+}
+
+// frame is the per-open-element state of the full validator.
+type frame struct {
+	t        *schema.Type
+	dfaState int
+	text     strings.Builder
+}
+
+// Validate reads one XML document from r and validates it.
+func (v *Validator) Validate(r io.Reader) (Stats, error) {
+	var st Stats
+	dec := xml.NewDecoder(r)
+	var stack []*frame
+	rootSeen := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, fmt.Errorf("stream: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			label := t.Name.Local
+			var τ schema.TypeID
+			if len(stack) == 0 {
+				if rootSeen {
+					return st, fmt.Errorf("stream: multiple root elements")
+				}
+				rootSeen = true
+				τ = v.S.RootType(label)
+				if τ == schema.NoType {
+					return st, fmt.Errorf("stream: label %q is not a permitted root", label)
+				}
+			} else {
+				parent := stack[len(stack)-1]
+				if parent.t.Simple {
+					return st, fmt.Errorf("stream: element %q inside simple content", label)
+				}
+				sym := v.S.Alpha.Lookup(label)
+				if sym == fa.NoSymbol {
+					return st, fmt.Errorf("stream: label %q unknown to the schema", label)
+				}
+				parent.dfaState = parent.t.DFA.Step(parent.dfaState, sym)
+				st.AutomatonSteps++
+				if parent.dfaState == fa.Dead {
+					return st, fmt.Errorf("stream: child %q not allowed by content model of %q", label, parent.t.Name)
+				}
+				var ok bool
+				τ, ok = parent.t.Child[sym]
+				if !ok {
+					return st, fmt.Errorf("stream: label %q has no child type under %q", label, parent.t.Name)
+				}
+			}
+			st.ElementsProcessed++
+			tt := v.S.TypeOf(τ)
+			f := &frame{t: tt}
+			if !tt.Simple {
+				f.dfaState = tt.DFA.Start()
+			}
+			stack = append(stack, f)
+		case xml.EndElement:
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if err := v.closeFrame(f, &st); err != nil {
+				return st, err
+			}
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			text := string(t)
+			f := stack[len(stack)-1]
+			if strings.TrimSpace(text) == "" && !f.t.Simple {
+				continue // inter-element whitespace
+			}
+			if !f.t.Simple {
+				return st, fmt.Errorf("stream: text content under element-only type %q", f.t.Name)
+			}
+			f.text.WriteString(text)
+		}
+	}
+	if !rootSeen {
+		return st, fmt.Errorf("stream: no root element")
+	}
+	return st, nil
+}
+
+func (v *Validator) closeFrame(f *frame, st *Stats) error {
+	if f.t.Simple {
+		st.ValuesChecked++
+		if !f.t.Value.AcceptsValue(f.text.String()) {
+			return fmt.Errorf("stream: value %q does not satisfy simple type %q (%s)",
+				f.text.String(), f.t.Name, f.t.Value)
+		}
+		return nil
+	}
+	if !f.t.DFA.IsAccept(f.dfaState) {
+		return fmt.Errorf("stream: children do not complete content model of %q", f.t.Name)
+	}
+	return nil
+}

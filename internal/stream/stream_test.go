@@ -1,0 +1,201 @@
+package stream
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+	"repro/internal/schema"
+	"repro/internal/wgen"
+	"repro/internal/xmltree"
+)
+
+func poXML(items int, bill bool, maxQty int, seed int64) string {
+	doc := wgen.PODocument(wgen.PODocOptions{Items: items, IncludeBillTo: bill, MaxQuantity: maxQty, Seed: seed})
+	return string(wgen.POXMLBytes(doc))
+}
+
+func TestStreamingFullValidation(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	v := NewValidator(ps.Target)
+	st, err := v.Validate(strings.NewReader(poXML(20, true, 99, 1)))
+	if err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	if st.ElementsProcessed == 0 || st.ValuesChecked == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if _, err := v.Validate(strings.NewReader(poXML(20, false, 99, 1))); err == nil {
+		t.Fatal("billTo-less doc must fail")
+	}
+	if _, err := v.Validate(strings.NewReader(`<purchaseOrder><bogus/></purchaseOrder>`)); err == nil {
+		t.Fatal("unknown label must fail")
+	}
+	if _, err := v.Validate(strings.NewReader(``)); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	if _, err := v.Validate(strings.NewReader(`<unknownRoot/>`)); err == nil {
+		t.Fatal("unknown root must fail")
+	}
+}
+
+// The streaming validator must agree with the tree-based baseline on random
+// documents from all three paper schemas.
+func TestStreamingAgreesWithBaseline(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range []*schema.Schema{ps.Source1, ps.Target, ps.Source2} {
+		v := NewValidator(s)
+		base := baseline.New(s)
+		gen := wgen.NewGenerator(s, rng)
+		for i := 0; i < 30; i++ {
+			doc, ok := gen.Document()
+			if !ok {
+				t.Fatal("generation failed")
+			}
+			xml := xmltree.XMLString(doc)
+			_, streamErr := v.Validate(strings.NewReader(xml))
+			_, baseErr := base.Validate(doc)
+			if (streamErr == nil) != (baseErr == nil) {
+				t.Fatalf("stream=%v baseline=%v on %s", streamErr, baseErr, xml)
+			}
+		}
+	}
+}
+
+func TestStreamingCastExperiment1(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	c, err := NewCaster(ps.Source1, ps.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Validate(strings.NewReader(poXML(100, true, 99, 2)))
+	if err != nil {
+		t.Fatalf("cast should pass: %v", err)
+	}
+	// Everything under shipTo/billTo/items is skimmed: only a handful of
+	// elements receive validation work.
+	if st.ElementsProcessed > 4 {
+		t.Fatalf("expected ≤4 processed elements, got %+v", st)
+	}
+	if st.ElementsSkimmed < 300 {
+		t.Fatalf("expected large skim count, got %+v", st)
+	}
+	if st.ValuesChecked != 0 {
+		t.Fatalf("no facet checks expected in experiment 1: %+v", st)
+	}
+	if _, err := c.Validate(strings.NewReader(poXML(100, false, 99, 2))); err == nil {
+		t.Fatal("billTo-less doc must fail")
+	}
+}
+
+func TestStreamingCastExperiment2(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	c, err := NewCaster(ps.Source2, ps.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Validate(strings.NewReader(poXML(50, true, 99, 3)))
+	if err != nil {
+		t.Fatalf("cast should pass: %v", err)
+	}
+	if st.ValuesChecked != 50 {
+		t.Fatalf("exactly the 50 quantities should be checked: %+v", st)
+	}
+	// productName/USPrice subtrees are skimmed.
+	if st.ElementsSkimmed == 0 {
+		t.Fatalf("expected skimming of subsumed item children: %+v", st)
+	}
+	// A quantity over the cap fails.
+	bad := strings.Replace(poXML(50, true, 99, 3), "<quantity>", "<quantity>1", 1)
+	if _, err := c.Validate(strings.NewReader(bad)); err == nil {
+		t.Fatal("oversized quantity must fail")
+	}
+}
+
+// Differential: the streaming caster agrees with the tree-based baseline on
+// random documents, across paper schema pairs.
+func TestStreamingCastAgreesWithBaseline(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	rng := rand.New(rand.NewSource(13))
+	pairs := [][2]*schema.Schema{
+		{ps.Source1, ps.Target},
+		{ps.Source2, ps.Target},
+		{ps.Target, ps.Source1},
+		{ps.Target, ps.Source2},
+	}
+	for _, pair := range pairs {
+		src, dst := pair[0], pair[1]
+		c, err := NewCaster(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := baseline.New(dst)
+		gen := wgen.NewGenerator(src, rng)
+		for i := 0; i < 30; i++ {
+			doc, ok := gen.Document()
+			if !ok {
+				t.Fatal("generation failed")
+			}
+			xml := xmltree.XMLString(doc)
+			_, streamErr := c.Validate(strings.NewReader(xml))
+			_, baseErr := base.Validate(doc)
+			if (streamErr == nil) != (baseErr == nil) {
+				t.Fatalf("stream cast=%v baseline=%v on %s", streamErr, baseErr, xml)
+			}
+		}
+	}
+}
+
+func TestStreamingCastMixedSimpleComplex(t *testing.T) {
+	// Source: comment is a string; target: comment must be an empty
+	// element. "<comment/>" satisfies both; "<comment>x</comment>" only
+	// the source.
+	alpha := fa.NewAlphabet()
+	src := schema.New(alpha)
+	str, _ := src.AddSimpleType("str", schema.NewSimpleType(schema.StringKind))
+	src.SetRoot("comment", str)
+	src.MustCompile()
+
+	dst := schema.New(alpha)
+	empty, _ := dst.AddComplexType("Empty", regexpsym.Epsilon{})
+	dst.SetRoot("comment", empty)
+	dst.MustCompile()
+
+	c, err := NewCaster(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Validate(strings.NewReader(`<comment/>`)); err != nil {
+		t.Fatalf("empty comment should cast: %v", err)
+	}
+	if _, err := c.Validate(strings.NewReader(`<comment>x</comment>`)); err == nil {
+		t.Fatal("text content must fail against the EMPTY target")
+	}
+}
+
+func TestStreamingCastContractErrors(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	c, _ := NewCaster(ps.Source1, ps.Target)
+	if _, err := c.Validate(strings.NewReader(`<notARoot/>`)); err == nil {
+		t.Fatal("unknown root must fail")
+	}
+	if _, err := c.Validate(strings.NewReader(`<purchaseOrder/><purchaseOrder/>`)); err == nil {
+		t.Fatal("multiple roots must fail")
+	}
+	if _, err := c.Validate(strings.NewReader(`<purchaseOrder>text<shipTo/></purchaseOrder>`)); err == nil {
+		t.Fatal("text in element content must fail")
+	}
+}
+
+func TestValidatorPanicsOnUncompiled(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewValidator(schema.New(nil))
+}

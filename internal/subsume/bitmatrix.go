@@ -1,0 +1,12 @@
+package subsume
+
+// boolMatrix allocates an n×m matrix of booleans backed by one slice, so
+// relation storage stays cache-friendly even for large type sets.
+func boolMatrix(n, m int) [][]bool {
+	backing := make([]bool, n*m)
+	rows := make([][]bool, n)
+	for i := range rows {
+		rows[i], backing = backing[:m:m], backing[m:]
+	}
+	return rows
+}

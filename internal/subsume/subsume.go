@@ -1,0 +1,252 @@
+// Package subsume computes the R_sub (subsumption) and R_dis (disjointness)
+// relations between the types of two abstract XML schemas — the static
+// preprocessing at the heart of EDBT'04 §3.2. During schema cast
+// validation, a subtree typed τ in the source schema being checked against
+// τ' in the target schema is skipped outright when (τ, τ') ∈ R_sub and the
+// document is rejected immediately when (τ, τ') ∈ R_dis.
+//
+// R_sub is the greatest relation satisfying Definition 4 and is computed by
+// refinement from an optimistic over-approximation; R_dis is the complement
+// of R_nondis, the least relation satisfying Definition 5, computed by
+// accumulation from an empty relation. Both theorems (1 and 2) are
+// exercised as checkable properties in the test suite.
+//
+// The paper's single merged simple type is generalized here to the facet
+// lattice of package schema; simple-type pairs enter R_sub/R_nondis through
+// the (sound, conservative) SimpleSubsumed/SimpleDisjoint checks. A
+// consequence of allowing empty simple values ("" is a valid xsd:string) is
+// that simple and empty-content complex types are not automatically
+// disjoint; the relations account for that.
+package subsume
+
+import (
+	"errors"
+
+	"repro/internal/fa"
+	"repro/internal/schema"
+)
+
+// Relations holds the precomputed subsumption and disjointness relations
+// between the types of a source and a target schema. Relations are
+// immutable after Compute and safe for concurrent use.
+type Relations struct {
+	Src, Dst *schema.Schema
+
+	// sub[τ][τ'] ⇔ (τ, τ') ∈ R_sub ⇔ valid(τ) ⊆ valid(τ').
+	sub [][]bool
+	// nondis[τ][τ'] ⇔ (τ, τ') ∈ R_nondis ⇔ valid(τ) ∩ valid(τ') ≠ ∅.
+	nondis [][]bool
+}
+
+// Subsumed reports whether τ (from the source schema) is subsumed by τ'
+// (from the target schema): every tree valid for τ is valid for τ'.
+func (r *Relations) Subsumed(τ, τp schema.TypeID) bool { return r.sub[τ][τp] }
+
+// Disjoint reports whether τ and τ' are disjoint: no tree is valid for
+// both.
+func (r *Relations) Disjoint(τ, τp schema.TypeID) bool { return !r.nondis[τ][τp] }
+
+// Stats summarizes relation density, for diagnostics and the preprocessing
+// benchmarks.
+type Stats struct {
+	SrcTypes, DstTypes int
+	SubsumedPairs      int
+	DisjointPairs      int
+}
+
+// Stats returns counts of related pairs.
+func (r *Relations) Stats() Stats {
+	st := Stats{SrcTypes: len(r.Src.Types), DstTypes: len(r.Dst.Types)}
+	for i := range r.sub {
+		for j := range r.sub[i] {
+			if r.sub[i][j] {
+				st.SubsumedPairs++
+			}
+			if !r.nondis[i][j] {
+				st.DisjointPairs++
+			}
+		}
+	}
+	return st
+}
+
+// Compute builds the relations for a (source, target) schema pair. The two
+// schemas must be compiled and share one alphabet instance (so automaton
+// products are meaningful).
+func Compute(src, dst *schema.Schema) (*Relations, error) {
+	if !src.Compiled() || !dst.Compiled() {
+		return nil, errors.New("subsume: schemas must be compiled")
+	}
+	if src.Alpha != dst.Alpha {
+		return nil, errors.New("subsume: schemas must share an alphabet (load them into one Universe)")
+	}
+	// The later-compiled schema may have interned labels the earlier one
+	// never saw; equalize automaton widths before any product operation.
+	src.WidenToAlphabet()
+	dst.WidenToAlphabet()
+	r := &Relations{Src: src, Dst: dst}
+	r.computeSub()
+	r.computeNonDis()
+	return r, nil
+}
+
+// MustCompute is Compute that panics on error; for tests.
+func MustCompute(src, dst *schema.Schema) *Relations {
+	r, err := Compute(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// computeSub runs the Definition-4 refinement:
+//
+//  1. Start with all (simple, simple) pairs passing the facet subsumption
+//     check, all (complex, complex) pairs passing the language-inclusion
+//     check L(regexp_τ) ⊆ L(regexp_τ'), and the (complex, simple) pairs
+//     where the complex content is {ε} and the simple type accepts "".
+//  2. Repeatedly remove (τ, τ') when some usable label σ of τ has child
+//     types (ω, ν) ∉ R_sub (or ν undefined).
+func (r *Relations) computeSub() {
+	ns, nd := len(r.Src.Types), len(r.Dst.Types)
+	sub := boolMatrix(ns, nd)
+	usable := usableSymbols(r.Src)
+
+	for _, a := range r.Src.Types {
+		for _, b := range r.Dst.Types {
+			switch {
+			case a.Simple && b.Simple:
+				sub[a.ID][b.ID] = schema.SimpleSubsumed(a.Value, b.Value)
+			case !a.Simple && !b.Simple:
+				sub[a.ID][b.ID] = fa.Includes(a.DFA, b.DFA)
+			case !a.Simple && b.Simple:
+				// valid(τ) ⊆ valid(τ') holds when τ admits only childless
+				// nodes (L = {ε}) and τ' accepts the empty value.
+				sub[a.ID][b.ID] = acceptsOnlyEmpty(a.DFA) && b.Value.AcceptsValue("")
+			default:
+				// simple ⊆ complex never holds: the simple type admits a
+				// tree with a χ child, which no element-content model does.
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, a := range r.Src.Types {
+			if a.Simple {
+				continue
+			}
+			for _, b := range r.Dst.Types {
+				if !sub[a.ID][b.ID] || b.Simple {
+					continue
+				}
+				for sym, ω := range a.Child {
+					if !usable[a.ID][sym] {
+						continue // label can never occur in a word of L(regexp_τ)
+					}
+					ν, ok := b.Child[sym]
+					if !ok || !sub[ω][ν] {
+						sub[a.ID][b.ID] = false
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	r.sub = sub
+}
+
+// computeNonDis runs the Definition-5 accumulation:
+//
+//  1. Start empty; add all (simple, simple) pairs that are not facet-
+//     disjoint, and the simple/complex pairs sharing the childless tree
+//     (complex content accepts ε, simple type accepts "").
+//  2. Repeatedly add (τ, τ') when L(regexp_τ) ∩ L(regexp_τ') ∩ P* ≠ ∅,
+//     where P is the set of labels whose child-type pair is already known
+//     non-disjoint.
+func (r *Relations) computeNonDis() {
+	ns, nd := len(r.Src.Types), len(r.Dst.Types)
+	nondis := boolMatrix(ns, nd)
+
+	for _, a := range r.Src.Types {
+		for _, b := range r.Dst.Types {
+			switch {
+			case a.Simple && b.Simple:
+				nondis[a.ID][b.ID] = !schema.SimpleDisjoint(a.Value, b.Value)
+			case a.Simple && !b.Simple:
+				nondis[a.ID][b.ID] = b.DFA.AcceptsEmpty() && a.Value.AcceptsValue("")
+			case !a.Simple && b.Simple:
+				nondis[a.ID][b.ID] = a.DFA.AcceptsEmpty() && b.Value.AcceptsValue("")
+			}
+		}
+	}
+
+	size := r.Src.Alpha.Size()
+	for changed := true; changed; {
+		changed = false
+		for _, a := range r.Src.Types {
+			if a.Simple {
+				continue
+			}
+			for _, b := range r.Dst.Types {
+				if b.Simple || nondis[a.ID][b.ID] {
+					continue
+				}
+				// P = labels with non-disjoint child types in both schemas.
+				allowed := make([]bool, size)
+				for sym, ω := range a.Child {
+					if ν, ok := b.Child[sym]; ok && nondis[ω][ν] {
+						allowed[sym] = true
+					}
+				}
+				if fa.IntersectionNonemptyRestricted(a.DFA, b.DFA, allowed) {
+					nondis[a.ID][b.ID] = true
+					changed = true
+				}
+			}
+		}
+	}
+	r.nondis = nondis
+}
+
+// usableSymbols returns, per source type, the mask of labels that actually
+// occur in some word of the (trimmed) content automaton. types_τ may
+// mention labels that pruning made unusable; those must not veto
+// subsumption.
+func usableSymbols(s *schema.Schema) map[schema.TypeID][]bool {
+	out := make(map[schema.TypeID][]bool, len(s.Types))
+	for _, t := range s.Types {
+		if t.Simple {
+			continue
+		}
+		mask := make([]bool, s.Alpha.Size())
+		d := t.DFA
+		for st := 0; st < d.NumStates(); st++ {
+			for sym := 0; sym < d.NumSymbols(); sym++ {
+				if d.Step(st, fa.Symbol(sym)) != fa.Dead {
+					mask[sym] = true
+				}
+			}
+		}
+		out[t.ID] = mask
+	}
+	return out
+}
+
+// acceptsOnlyEmpty reports whether L(d) = {ε}.
+func acceptsOnlyEmpty(d *fa.DFA) bool {
+	if !d.AcceptsEmpty() {
+		return false
+	}
+	// The automaton is trimmed (all states live and reachable); any
+	// transition would witness a nonempty word.
+	for s := 0; s < d.NumStates(); s++ {
+		for sym := 0; sym < d.NumSymbols(); sym++ {
+			if d.Step(s, fa.Symbol(sym)) != fa.Dead {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,307 @@
+package subsume
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+	"repro/internal/schema"
+	"repro/internal/wgen"
+)
+
+// figure1Pair builds the paper's Figure 1 schema pair over one alphabet.
+func figure1Pair(t *testing.T) (src, dst *schema.Schema) {
+	t.Helper()
+	ps := wgen.NewPaperSchemas()
+	return ps.Source1, ps.Target
+}
+
+func TestComputeRequiresCompiledSharedAlphabet(t *testing.T) {
+	a := schema.New(nil)
+	if _, err := Compute(a, a); err == nil {
+		t.Fatal("uncompiled schemas must be rejected")
+	}
+	s1 := schema.New(nil)
+	st1, _ := s1.AddSimpleType("st", nil)
+	s1.SetRoot("a", st1)
+	s1.MustCompile()
+	s2 := schema.New(nil)
+	st2, _ := s2.AddSimpleType("st", nil)
+	s2.SetRoot("a", st2)
+	s2.MustCompile()
+	if _, err := Compute(s1, s2); err == nil {
+		t.Fatal("separate alphabets must be rejected")
+	}
+}
+
+func TestFigure1Subsumption(t *testing.T) {
+	src, dst := figure1Pair(t)
+	r := MustCompute(src, dst)
+
+	// POType1 (billTo optional) is NOT subsumed by POType2 (required):
+	// a document without billTo separates them.
+	po1 := src.TypeByName("POType1")
+	po2 := dst.TypeByName("POType2")
+	if r.Subsumed(po1, po2) {
+		t.Fatal("POType1 must not be subsumed by POType2")
+	}
+	// ... but they are not disjoint either (documents with billTo).
+	if r.Disjoint(po1, po2) {
+		t.Fatal("POType1 and POType2 are not disjoint")
+	}
+	// The shared substructure is mutually subsumed.
+	for _, name := range []string{"USAddress", "Items", "Item", "xsd:string", "QuantityType"} {
+		a, b := src.TypeByName(name), dst.TypeByName(name)
+		if a == schema.NoType || b == schema.NoType {
+			t.Fatalf("type %s missing", name)
+		}
+		if !r.Subsumed(a, b) {
+			t.Fatalf("%s should be subsumed by its identical counterpart", name)
+		}
+	}
+	// Reverse direction: POType2 ⊆ POType1 (required billTo is a special
+	// case of optional).
+	rr := MustCompute(dst, src)
+	if !rr.Subsumed(po2, po1) {
+		t.Fatal("POType2 should be subsumed by POType1")
+	}
+}
+
+func TestExperiment2Subsumption(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	r := MustCompute(ps.Source2, ps.Target)
+
+	// quantity<200 is NOT subsumed by quantity<100...
+	q2 := ps.Source2.TypeByName("QuantityType")
+	q1 := ps.Target.TypeByName("QuantityType")
+	if r.Subsumed(q2, q1) {
+		t.Fatal("maxExclusive=200 must not be subsumed by maxExclusive=100")
+	}
+	if r.Disjoint(q2, q1) {
+		t.Fatal("the quantity types overlap on [1,100)")
+	}
+	// ... which propagates up: Item, Items, POType2 all not subsumed.
+	for _, name := range []string{"Item", "Items", "POType2"} {
+		a := ps.Source2.TypeByName(name)
+		b := ps.Target.TypeByName(name)
+		if r.Subsumed(a, b) {
+			t.Fatalf("%s must not be subsumed (quantity facet differs)", name)
+		}
+		if r.Disjoint(a, b) {
+			t.Fatalf("%s must not be disjoint", name)
+		}
+	}
+	// USAddress is untouched by the facet change.
+	if !r.Subsumed(ps.Source2.TypeByName("USAddress"), ps.Target.TypeByName("USAddress")) {
+		t.Fatal("USAddress should remain subsumed")
+	}
+	// Reverse: quantity<100 ⊆ quantity<200, so everything is subsumed.
+	rr := MustCompute(ps.Target, ps.Source2)
+	for _, name := range []string{"QuantityType", "Item", "Items", "POType2"} {
+		if !rr.Subsumed(ps.Target.TypeByName(name), ps.Source2.TypeByName(name)) {
+			t.Fatalf("%s should be subsumed in the 100→200 direction", name)
+		}
+	}
+}
+
+func TestDisjointTypes(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	s1 := schema.New(alpha)
+	date1, _ := s1.AddSimpleType("date", schema.NewSimpleType(schema.DateKind))
+	a1, _ := s1.AddComplexType("A", regexpsym.MustParse("when"))
+	s1.SetChildType(a1, "when", date1)
+	s1.SetRoot("a", a1)
+	s1.MustCompile()
+
+	s2 := schema.New(alpha)
+	num2, _ := s2.AddSimpleType("num", schema.NewSimpleType(schema.IntegerKind))
+	a2, _ := s2.AddComplexType("A", regexpsym.MustParse("when"))
+	s2.SetChildType(a2, "when", num2)
+	s2.SetRoot("a", a2)
+	s2.MustCompile()
+
+	r := MustCompute(s1, s2)
+	if !r.Disjoint(date1, num2) {
+		t.Fatal("date and integer simple types are disjoint")
+	}
+	// Disjointness propagates: A requires a `when` child whose types are
+	// disjoint, so the two A types are disjoint.
+	if !r.Disjoint(a1, a2) {
+		t.Fatal("complex types with all-disjoint mandatory children are disjoint")
+	}
+}
+
+func TestDisjointContentModels(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	s1 := schema.New(alpha)
+	st1, _ := s1.AddSimpleType("st", nil)
+	a1, _ := s1.AddComplexType("A", regexpsym.MustParse("x, x"))
+	s1.SetChildType(a1, "x", st1)
+	s1.SetRoot("a", a1)
+	s1.MustCompile()
+
+	s2 := schema.New(alpha)
+	st2, _ := s2.AddSimpleType("st", nil)
+	a2, _ := s2.AddComplexType("A", regexpsym.MustParse("x"))
+	s2.SetChildType(a2, "x", st2)
+	s2.SetRoot("a", a2)
+	s2.MustCompile()
+
+	r := MustCompute(s1, s2)
+	if !r.Disjoint(a1, a2) {
+		t.Fatal("xx vs x content models are disjoint")
+	}
+	if r.Subsumed(a1, a2) {
+		t.Fatal("xx is not subsumed by x")
+	}
+}
+
+func TestSimpleComplexInteraction(t *testing.T) {
+	alpha := fa.NewAlphabet()
+	s1 := schema.New(alpha)
+	str1, _ := s1.AddSimpleType("str", schema.NewSimpleType(schema.StringKind))
+	s1.SetRoot("a", str1)
+	s1.MustCompile()
+
+	s2 := schema.New(alpha)
+	emptyT, _ := s2.AddComplexType("Empty", regexpsym.Epsilon{})
+	nonEmpty, _ := s2.AddComplexType("NonEmpty", regexpsym.MustParse("b"))
+	st2, _ := s2.AddSimpleType("st", nil)
+	s2.SetChildType(nonEmpty, "b", st2)
+	s2.SetRoot("a", emptyT)
+	s2.MustCompile()
+
+	r := MustCompute(s1, s2)
+	// A string-typed element can be empty (value ""), matching the
+	// childless tree an EMPTY complex type accepts: not disjoint.
+	if r.Disjoint(str1, emptyT) {
+		t.Fatal("string simple type and EMPTY complex type share the childless tree")
+	}
+	// But a simple type also admits text content, so no subsumption.
+	if r.Subsumed(str1, emptyT) {
+		t.Fatal("string type must not be subsumed by EMPTY complex type")
+	}
+	// A complex type that requires a child IS disjoint from any simple type.
+	if !r.Disjoint(str1, nonEmpty) {
+		t.Fatal("simple type and child-requiring complex type are disjoint")
+	}
+	// EMPTY complex ⊆ string simple (childless trees only, "" accepted).
+	r2 := MustCompute(s2, s1)
+	if !r2.Subsumed(emptyT, str1) {
+		t.Fatal("EMPTY complex type should be subsumed by the string simple type")
+	}
+}
+
+// Theorem 1 soundness: if (τ, τ') ∈ R_sub, every sampled tree valid for τ
+// is valid for τ'. Theorem 2 soundness: if (τ, τ') ∉ R_nondis, no sampled
+// tree is valid for both.
+func TestTheorems1And2OnSampledTrees(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	pairs := [][2]*schema.Schema{
+		{ps.Source1, ps.Target},
+		{ps.Source2, ps.Target},
+		{ps.Target, ps.Source1},
+		{ps.Target, ps.Source2},
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, pair := range pairs {
+		src, dst := pair[0], pair[1]
+		r := MustCompute(src, dst)
+		g := wgen.NewGenerator(src, rng)
+		for _, a := range src.Types {
+			for _, b := range dst.Types {
+				for i := 0; i < 6; i++ {
+					// Use a neutral label both schemas know; label choice
+					// does not affect type validity in ValidateType.
+					tree, ok := g.Tree("probe", a.ID)
+					if !ok {
+						continue
+					}
+					validSrc := src.ValidateType(a.ID, tree) == nil
+					if !validSrc {
+						t.Fatalf("generator produced invalid tree for %s", a.Name)
+					}
+					validDst := dst.ValidateType(b.ID, tree) == nil
+					if r.Subsumed(a.ID, b.ID) && !validDst {
+						t.Fatalf("Theorem 1 violated: %s ≤ %s but tree %s invalid for target",
+							a.Name, b.Name, tree)
+					}
+					if r.Disjoint(a.ID, b.ID) && validDst {
+						t.Fatalf("Theorem 2 violated: %s ⊘ %s but tree %s valid for both",
+							a.Name, b.Name, tree)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Completeness spot-check for Theorem 2 on the paper pair: types claimed
+// non-disjoint must have a witness tree valid for both. We verify by
+// sampling from the source type and checking that *some* sample validates
+// under the target (witnesses are dense for these schemas).
+func TestNonDisjointHaveWitnesses(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	r := MustCompute(ps.Source1, ps.Target)
+	g := wgen.NewGenerator(ps.Source1, rand.New(rand.NewSource(31)))
+	for _, name := range []string{"USAddress", "Items", "Item", "POType1"} {
+		a := ps.Source1.TypeByName(name)
+		// Counterpart with the same name in the target (POType1→POType2).
+		bName := name
+		if name == "POType1" {
+			bName = "POType2"
+		}
+		b := ps.Target.TypeByName(bName)
+		if r.Disjoint(a, b) {
+			t.Fatalf("%s/%s claimed disjoint", name, bName)
+		}
+		found := false
+		for i := 0; i < 200 && !found; i++ {
+			tree, ok := g.Tree("probe", a)
+			if ok && ps.Target.ValidateType(b, tree) == nil {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no witness found for non-disjoint pair %s/%s", name, bName)
+		}
+	}
+}
+
+func TestSelfRelations(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	r := MustCompute(ps.Target, ps.Target)
+	for _, tp := range ps.Target.Types {
+		if !r.Subsumed(tp.ID, tp.ID) {
+			t.Fatalf("type %s should be subsumed by itself", tp.Name)
+		}
+		if r.Disjoint(tp.ID, tp.ID) {
+			t.Fatalf("productive type %s cannot be disjoint from itself", tp.Name)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	r := MustCompute(ps.Source1, ps.Target)
+	st := r.Stats()
+	if st.SrcTypes != len(ps.Source1.Types) || st.DstTypes != len(ps.Target.Types) {
+		t.Fatal("type counts wrong")
+	}
+	if st.SubsumedPairs == 0 {
+		t.Fatal("expected some subsumed pairs")
+	}
+	if st.DisjointPairs == 0 {
+		t.Fatal("expected some disjoint pairs (e.g. date vs quantity)")
+	}
+}
+
+func TestMustComputePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompute should panic on error")
+		}
+	}()
+	MustCompute(schema.New(nil), schema.New(nil))
+}

@@ -1,0 +1,182 @@
+package update
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+// Property: for any set of inserted paths, Modified is true exactly on the
+// prefixes of inserted paths.
+func TestQuickTriePrefixProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trie := &Trie{}
+		nPaths := 1 + rng.Intn(6)
+		paths := make([][]int, nPaths)
+		for i := range paths {
+			depth := rng.Intn(5)
+			p := make([]int, depth)
+			for j := range p {
+				p[j] = rng.Intn(4)
+			}
+			paths[i] = p
+			trie.Insert(p)
+		}
+		// Every prefix of every inserted path must be Modified.
+		for _, p := range paths {
+			cur := trie
+			if !cur.Modified() {
+				return false
+			}
+			for _, idx := range p {
+				cur = cur.Child(idx)
+				if !cur.Modified() {
+					return false
+				}
+			}
+		}
+		// Random probes: Modified must hold only for genuine prefixes.
+		for probe := 0; probe < 30; probe++ {
+			depth := rng.Intn(6)
+			q := make([]int, depth)
+			for j := range q {
+				q[j] = rng.Intn(5)
+			}
+			cur := trie
+			for _, idx := range q {
+				cur = cur.Child(idx)
+			}
+			want := false
+			for _, p := range paths {
+				if isPrefix(q, p) {
+					want = true
+					break
+				}
+			}
+			if cur.Modified() != want {
+				t.Logf("probe %v: Modified=%v want=%v (paths %v)", q, cur.Modified(), want, paths)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isPrefix(q, p []int) bool {
+	if len(q) > len(p) {
+		return false
+	}
+	for i := range q {
+		if q[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: after any legal edit script, the finalized trie marks exactly
+// the paths of the touched nodes — navigating the document tree in parallel
+// with the trie finds Modified true on every ancestor-or-self of an edit
+// and false on untouched branches.
+func TestQuickTrackerTrieMatchesEdits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := buildWideDoc(rng)
+		tk := NewTracker(doc)
+		touched := map[*xmltree.Node]bool{}
+		for e := 0; e < 1+rng.Intn(5); e++ {
+			nodes := collect(doc)
+			nd := nodes[rng.Intn(len(nodes))]
+			switch rng.Intn(3) {
+			case 0:
+				if nd.IsText() {
+					if tk.SetText(nd, "edited") == nil {
+						touched[nd] = true
+					}
+				} else if tk.Relabel(nd, "renamed") == nil {
+					touched[nd] = true
+				}
+			case 1:
+				if !nd.IsText() {
+					child := xmltree.NewElement("fresh")
+					if tk.AppendChild(nd, child) == nil {
+						touched[child] = true
+					}
+				}
+			default:
+				if nd.Parent != nil && nd.Delta == xmltree.DeltaNone {
+					if tk.Delete(nd) == nil {
+						touched[nd] = true
+					}
+				}
+			}
+		}
+		trie := tk.Finalize()
+		// Ancestor-or-self of touched nodes ⇒ Modified.
+		for n := range touched {
+			cur := trie
+			for _, idx := range n.Path() {
+				if !cur.Modified() {
+					return false
+				}
+				cur = cur.Child(idx)
+			}
+			if !cur.Modified() {
+				return false
+			}
+		}
+		// Nodes with no touched descendant-or-self ⇒ unmodified trie.
+		ok := true
+		doc.Walk(func(n *xmltree.Node) bool {
+			cur := trie
+			for _, idx := range n.Path() {
+				cur = cur.Child(idx)
+			}
+			hasTouched := false
+			n.Walk(func(d *xmltree.Node) bool {
+				if touched[d] {
+					hasTouched = true
+				}
+				return !hasTouched
+			})
+			if cur.Modified() != hasTouched {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildWideDoc(rng *rand.Rand) *xmltree.Node {
+	root := xmltree.NewElement("root")
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		sec := xmltree.NewElement("sec")
+		for j := 0; j < rng.Intn(4); j++ {
+			leaf := xmltree.NewElement("leaf", xmltree.NewText("v"))
+			sec.AppendChild(leaf)
+		}
+		root.AppendChild(sec)
+	}
+	return root
+}
+
+func collect(doc *xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	doc.Walk(func(n *xmltree.Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}

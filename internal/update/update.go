@@ -1,0 +1,236 @@
+// Package update implements the edit machinery of EDBT'04 §3.3: applying
+// relabelings, insertions and deletions to an ordered labeled tree with
+// Δ-label encoding (Δ^a_b, Δ^ε_b, Δ^a_ε), and the Dewey-number trie that
+// answers modified(subtree) queries in O(depth) while using memory
+// proportional to the number of edits, not the document size.
+package update
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Trie is a trie over Dewey decimal numbers (paths of child indexes). The
+// revalidation traversal navigates the trie in parallel with the tree: the
+// subtree at the current node is unmodified exactly when the corresponding
+// trie subtree is empty (nil).
+type Trie struct {
+	children map[int]*Trie
+	terminal bool // a modification was recorded exactly here
+}
+
+// Insert records the path of a modified node.
+func (t *Trie) Insert(path []int) {
+	cur := t
+	for _, idx := range path {
+		if cur.children == nil {
+			cur.children = make(map[int]*Trie)
+		}
+		next, ok := cur.children[idx]
+		if !ok {
+			next = &Trie{}
+			cur.children[idx] = next
+		}
+		cur = next
+	}
+	cur.terminal = true
+}
+
+// Child descends one step. It is nil-safe: descending from an empty (nil)
+// trie stays nil.
+func (t *Trie) Child(idx int) *Trie {
+	if t == nil || t.children == nil {
+		return nil
+	}
+	return t.children[idx]
+}
+
+// Modified reports whether any modification was recorded at or below this
+// trie node — the paper's modified(t”) predicate. A nil trie is
+// unmodified.
+func (t *Trie) Modified() bool {
+	return t != nil && (t.terminal || len(t.children) > 0)
+}
+
+// Size returns the number of recorded modification paths.
+func (t *Trie) Size() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	if t.terminal {
+		n = 1
+	}
+	for _, c := range t.children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Tracker applies edits to a tree, Δ-encoding them in place, and builds the
+// modification trie. The paper's update set is relabeling, leaf insertion
+// and leaf deletion; the tracker generalizes insertion/deletion to whole
+// subtrees (an inserted subtree is Δ^ε_b at its root and is revalidated in
+// full; a deleted subtree is tombstoned at its root). Tombstones — rather
+// than physical removal — keep every node's Dewey number stable, so paths
+// recorded in the trie stay valid across an edit session.
+type Tracker struct {
+	Root *xmltree.Node
+	// touched holds the nodes whose paths enter the trie at Finalize.
+	touched []*xmltree.Node
+	edits   int
+}
+
+// NewTracker starts an edit session on the tree rooted at root. The tree is
+// modified in place.
+func NewTracker(root *xmltree.Node) *Tracker {
+	return &Tracker{Root: root}
+}
+
+// Edits returns the number of edits applied so far.
+func (tk *Tracker) Edits() int { return tk.edits }
+
+// Relabel changes the element tag of n to newLabel (Δ^a_b).
+func (tk *Tracker) Relabel(n *xmltree.Node, newLabel string) error {
+	if n.IsText() {
+		return fmt.Errorf("update: Relabel on a text node (use SetText)")
+	}
+	if n.Delta == xmltree.DeltaDelete {
+		return fmt.Errorf("update: node %s is deleted", n.Label)
+	}
+	switch n.Delta {
+	case xmltree.DeltaNone:
+		n.Delta = xmltree.DeltaRelabel
+		n.OldLabel = n.Label
+	case xmltree.DeltaRelabel:
+		// Keep the original OldLabel; only the final label matters.
+		if n.OldLabel == newLabel {
+			// Relabeled back to the original: the label is unmodified,
+			// but content-model positions may still need rechecking, so
+			// the node stays touched.
+			n.Delta = xmltree.DeltaNone
+			n.OldLabel = ""
+		}
+	case xmltree.DeltaInsert:
+		// An inserted node keeps its insert status under relabeling.
+	}
+	n.Label = newLabel
+	tk.record(n)
+	return nil
+}
+
+// SetText changes the simple value of a χ leaf (Δ^χ_χ).
+func (tk *Tracker) SetText(n *xmltree.Node, value string) error {
+	if !n.IsText() {
+		return fmt.Errorf("update: SetText on an element node")
+	}
+	if n.Delta == xmltree.DeltaDelete {
+		return fmt.Errorf("update: text node is deleted")
+	}
+	if n.Delta == xmltree.DeltaNone {
+		n.Delta = xmltree.DeltaRelabel
+	}
+	n.Text = value
+	tk.record(n)
+	return nil
+}
+
+// InsertBefore inserts newNode as the sibling immediately before ref
+// (Δ^ε_b).
+func (tk *Tracker) InsertBefore(ref, newNode *xmltree.Node) error {
+	if ref.Parent == nil {
+		return fmt.Errorf("update: cannot insert a sibling of the root")
+	}
+	return tk.insertAt(ref.Parent, indexOf(ref), newNode)
+}
+
+// InsertAfter inserts newNode as the sibling immediately after ref (Δ^ε_b).
+func (tk *Tracker) InsertAfter(ref, newNode *xmltree.Node) error {
+	if ref.Parent == nil {
+		return fmt.Errorf("update: cannot insert a sibling of the root")
+	}
+	return tk.insertAt(ref.Parent, indexOf(ref)+1, newNode)
+}
+
+// InsertFirstChild inserts newNode as the first child of parent (Δ^ε_b).
+func (tk *Tracker) InsertFirstChild(parent, newNode *xmltree.Node) error {
+	return tk.insertAt(parent, 0, newNode)
+}
+
+// AppendChild inserts newNode as the last child of parent (Δ^ε_b).
+func (tk *Tracker) AppendChild(parent, newNode *xmltree.Node) error {
+	return tk.insertAt(parent, len(parent.Children), newNode)
+}
+
+func (tk *Tracker) insertAt(parent *xmltree.Node, idx int, newNode *xmltree.Node) error {
+	if parent == nil {
+		return fmt.Errorf("update: cannot insert a sibling of the root")
+	}
+	if parent.IsText() {
+		return fmt.Errorf("update: cannot insert under a text node")
+	}
+	if newNode.Parent != nil {
+		return fmt.Errorf("update: node to insert is already attached")
+	}
+	if idx < 0 || idx > len(parent.Children) {
+		return fmt.Errorf("update: insert index %d out of range", idx)
+	}
+	newNode.Delta = xmltree.DeltaInsert
+	parent.InsertChildAt(idx, newNode)
+	tk.record(newNode)
+	return nil
+}
+
+// Delete tombstones the subtree rooted at n (Δ^a_ε). A freshly inserted
+// node is removed physically instead (insert+delete is a net no-op), with
+// its parent recorded as touched so content models are still rechecked.
+func (tk *Tracker) Delete(n *xmltree.Node) error {
+	if n.Parent == nil {
+		return fmt.Errorf("update: cannot delete the root")
+	}
+	if n.Delta == xmltree.DeltaDelete {
+		return fmt.Errorf("update: node already deleted")
+	}
+	if n.Delta == xmltree.DeltaInsert {
+		parent := n.Parent
+		parent.RemoveChildAt(indexOf(n))
+		tk.dropTouched(n)
+		tk.record(parent)
+		return nil
+	}
+	n.Delta = xmltree.DeltaDelete
+	tk.record(n)
+	return nil
+}
+
+func (tk *Tracker) record(n *xmltree.Node) {
+	tk.touched = append(tk.touched, n)
+	tk.edits++
+}
+
+func (tk *Tracker) dropTouched(n *xmltree.Node) {
+	out := tk.touched[:0]
+	for _, m := range tk.touched {
+		if m != n {
+			out = append(out, m)
+		}
+	}
+	tk.touched = out
+}
+
+// Finalize builds the modification trie from the Dewey numbers of all
+// touched nodes. Call it after the last edit; the tree must not be edited
+// afterwards (paths are computed against the final shape). The trie costs
+// O(edits × depth) memory, independent of document size.
+func (tk *Tracker) Finalize() *Trie {
+	trie := &Trie{}
+	for _, n := range tk.touched {
+		trie.Insert(n.Path())
+	}
+	return trie
+}
+
+func indexOf(n *xmltree.Node) int {
+	return n.Parent.ChildIndex(n)
+}

@@ -1,0 +1,237 @@
+package update
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestTrieBasics(t *testing.T) {
+	trie := &Trie{}
+	if trie.Modified() {
+		t.Fatal("empty trie is unmodified")
+	}
+	trie.Insert([]int{1, 0, 2})
+	trie.Insert([]int{1, 3})
+	if !trie.Modified() {
+		t.Fatal("trie with entries is modified")
+	}
+	if trie.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", trie.Size())
+	}
+	// Navigation mirrors Dewey descent.
+	sub := trie.Child(1)
+	if !sub.Modified() {
+		t.Fatal("child 1 leads to modifications")
+	}
+	if trie.Child(0).Modified() {
+		t.Fatal("child 0 has no modifications")
+	}
+	if sub.Child(0).Child(2) == nil || !sub.Child(0).Child(2).Modified() {
+		t.Fatal("path 1/0/2 should be terminal")
+	}
+	if sub.Child(9).Modified() {
+		t.Fatal("unknown branch is unmodified")
+	}
+	// Nil-safety of deep descent.
+	var nilTrie *Trie
+	if nilTrie.Modified() || nilTrie.Child(3).Child(4).Modified() {
+		t.Fatal("nil trie must be inert")
+	}
+	if nilTrie.Size() != 0 {
+		t.Fatal("nil trie has size 0")
+	}
+}
+
+func TestTrieRootInsert(t *testing.T) {
+	trie := &Trie{}
+	trie.Insert(nil) // the root itself was modified
+	if !trie.Modified() || trie.Size() != 1 {
+		t.Fatal("root modification not recorded")
+	}
+}
+
+func doc() *xmltree.Node {
+	return xmltree.MustParseString(
+		`<po><shipTo>a</shipTo><billTo>b</billTo><items><item>x</item><item>y</item></items></po>`)
+}
+
+func TestRelabel(t *testing.T) {
+	d := doc()
+	tk := NewTracker(d)
+	ship := d.Children[0]
+	if err := tk.Relabel(ship, "deliverTo"); err != nil {
+		t.Fatal(err)
+	}
+	if ship.Label != "deliverTo" || ship.Delta != xmltree.DeltaRelabel || ship.OldLabel != "shipTo" {
+		t.Fatalf("relabel encoding wrong: %+v", ship)
+	}
+	// Second relabel keeps the ORIGINAL old label.
+	if err := tk.Relabel(ship, "sendTo"); err != nil {
+		t.Fatal(err)
+	}
+	if ship.OldLabel != "shipTo" || ship.Label != "sendTo" {
+		t.Fatalf("chained relabel wrong: %+v", ship)
+	}
+	// Relabel back to the original clears the delta but stays touched.
+	if err := tk.Relabel(ship, "shipTo"); err != nil {
+		t.Fatal(err)
+	}
+	if ship.Delta != xmltree.DeltaNone || ship.OldLabel != "" {
+		t.Fatalf("relabel-back should clear delta: %+v", ship)
+	}
+	trie := tk.Finalize()
+	if !trie.Child(0).Modified() {
+		t.Fatal("trie must still record the touched node")
+	}
+	if tk.Edits() != 3 {
+		t.Fatalf("Edits = %d", tk.Edits())
+	}
+}
+
+func TestRelabelErrors(t *testing.T) {
+	d := doc()
+	tk := NewTracker(d)
+	text := d.Children[0].Children[0]
+	if err := tk.Relabel(text, "x"); err == nil {
+		t.Fatal("relabel of a text node must fail")
+	}
+	ship := d.Children[0]
+	if err := tk.Delete(ship); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Relabel(ship, "x"); err == nil {
+		t.Fatal("relabel of a deleted node must fail")
+	}
+}
+
+func TestSetText(t *testing.T) {
+	d := doc()
+	tk := NewTracker(d)
+	text := d.Children[0].Children[0]
+	if err := tk.SetText(text, "zzz"); err != nil {
+		t.Fatal(err)
+	}
+	if text.Text != "zzz" || text.Delta != xmltree.DeltaRelabel {
+		t.Fatalf("SetText encoding wrong: %+v", text)
+	}
+	if err := tk.SetText(d.Children[0], "x"); err == nil {
+		t.Fatal("SetText on an element must fail")
+	}
+}
+
+func TestInsertVariants(t *testing.T) {
+	d := doc()
+	tk := NewTracker(d)
+	bill := d.Children[1]
+	n1 := xmltree.NewElement("note1")
+	if err := tk.InsertBefore(bill, n1); err != nil {
+		t.Fatal(err)
+	}
+	n2 := xmltree.NewElement("note2")
+	if err := tk.InsertAfter(bill, n2); err != nil {
+		t.Fatal(err)
+	}
+	n3 := xmltree.NewElement("note3")
+	if err := tk.InsertFirstChild(d, n3); err != nil {
+		t.Fatal(err)
+	}
+	n4 := xmltree.NewElement("note4")
+	if err := tk.AppendChild(d, n4); err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, len(d.Children))
+	for i, c := range d.Children {
+		labels[i] = c.Label
+	}
+	want := []string{"note3", "shipTo", "note1", "billTo", "note2", "items", "note4"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("children = %v, want %v", labels, want)
+		}
+	}
+	for _, n := range []*xmltree.Node{n1, n2, n3, n4} {
+		if n.Delta != xmltree.DeltaInsert {
+			t.Fatalf("inserted node not marked: %+v", n)
+		}
+	}
+	trie := tk.Finalize()
+	if trie.Size() != 4 {
+		t.Fatalf("trie size = %d, want 4", trie.Size())
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	d := doc()
+	tk := NewTracker(d)
+	if err := tk.InsertBefore(d, xmltree.NewElement("x")); err == nil {
+		t.Fatal("inserting a sibling of the root must fail")
+	}
+	text := d.Children[0].Children[0]
+	if err := tk.InsertFirstChild(text, xmltree.NewElement("x")); err == nil {
+		t.Fatal("inserting under a text node must fail")
+	}
+	attached := d.Children[0]
+	if err := tk.AppendChild(d, attached); err == nil {
+		t.Fatal("inserting an attached node must fail")
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	d := doc()
+	tk := NewTracker(d)
+	bill := d.Children[1]
+	if err := tk.Delete(bill); err != nil {
+		t.Fatal(err)
+	}
+	if bill.Delta != xmltree.DeltaDelete {
+		t.Fatal("delete should tombstone")
+	}
+	if len(d.Children) != 3 {
+		t.Fatal("tombstone must stay in place")
+	}
+	if err := tk.Delete(bill); err == nil {
+		t.Fatal("double delete must fail")
+	}
+	if err := tk.Delete(d); err == nil {
+		t.Fatal("deleting the root must fail")
+	}
+}
+
+func TestDeleteInsertedNodeIsPhysical(t *testing.T) {
+	d := doc()
+	tk := NewTracker(d)
+	n := xmltree.NewElement("tmp")
+	if err := tk.AppendChild(d, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Delete(n); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Children) != 3 {
+		t.Fatal("insert+delete should leave no trace in the children")
+	}
+	// The parent stays recorded so content models get rechecked.
+	trie := tk.Finalize()
+	if !trie.Modified() {
+		t.Fatal("parent must remain touched")
+	}
+}
+
+func TestFinalizePaths(t *testing.T) {
+	d := doc()
+	tk := NewTracker(d)
+	item2 := d.Children[2].Children[1]
+	if err := tk.Relabel(item2, "itemX"); err != nil {
+		t.Fatal(err)
+	}
+	trie := tk.Finalize()
+	// item2 is at path [2,1]; the trie must say modified along that path
+	// and unmodified along others.
+	if !trie.Child(2).Modified() || !trie.Child(2).Child(1).Modified() {
+		t.Fatal("path 2/1 should be modified")
+	}
+	if trie.Child(0).Modified() || trie.Child(2).Child(0).Modified() {
+		t.Fatal("untouched paths must be unmodified")
+	}
+}

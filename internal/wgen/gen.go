@@ -1,0 +1,290 @@
+// Package wgen generates workloads for the revalidation experiments:
+// random documents valid with respect to an abstract schema type, random
+// simple values satisfying facets, the paper's purchase-order schemas
+// (Figures 1 and 2) in both programmatic and XSD-text form, and the
+// parameterized purchase-order documents behind Tables 2–3 and Figure 3.
+package wgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/fa"
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// Generator produces random documents valid for a compiled schema.
+type Generator struct {
+	S   *schema.Schema
+	Rng *rand.Rand
+	// MaxWordLen bounds the length of each content-model word sampled
+	// (default 8).
+	MaxWordLen int
+	// MaxDepth bounds tree height (default 24). Trees respect the bound
+	// by descending through cheapest-rank labels when the budget runs low.
+	MaxDepth int
+	// MaxNodes bounds total tree size (default 4096): high-fanout recursive
+	// schemas can otherwise yield trees exponential in MaxDepth. Generation
+	// fails (ok=false) when the budget is exhausted.
+	MaxNodes int
+
+	rank []int // min tree-rank per type (see typeRanks)
+}
+
+// NewGenerator returns a generator for a compiled schema.
+func NewGenerator(s *schema.Schema, rng *rand.Rand) *Generator {
+	if !s.Compiled() {
+		panic("wgen: schema must be compiled")
+	}
+	return &Generator{S: s, Rng: rng, MaxWordLen: 8, MaxDepth: 24, MaxNodes: 4096, rank: typeRanks(s)}
+}
+
+// typeRanks computes, per type, the minimum "rank" (height measure) of a
+// valid tree: simple types have rank 1; a complex type has rank r+1 when
+// some word of its content model uses only labels whose child types have
+// rank ≤ r (ε gives rank 1). Non-productive types get rank -1 (no valid
+// tree exists).
+func typeRanks(s *schema.Schema) []int {
+	n := len(s.Types)
+	rank := make([]int, n)
+	for i := range rank {
+		rank[i] = -1
+	}
+	for _, t := range s.Types {
+		if t.Simple {
+			rank[t.ID] = 1
+		}
+	}
+	// Round r assigns rank r+1 to every complex type whose content model
+	// admits a word over labels with child rank ≤ r. Every assignable rank
+	// is ≤ n+1, so n+2 rounds suffice.
+	for r := 0; r <= n+1; r++ {
+		for _, t := range s.Types {
+			if t.Simple || rank[t.ID] >= 0 {
+				continue
+			}
+			mask := make([]bool, s.Alpha.Size())
+			for sym, child := range t.Child {
+				if cr := rank[child]; cr >= 0 && cr <= r {
+					mask[sym] = true
+				}
+			}
+			if fa.NonemptyRestricted(t.DFA, mask) {
+				rank[t.ID] = r + 1
+			}
+		}
+	}
+	return rank
+}
+
+// Tree generates a random tree valid for type τ with the given root label.
+// ok=false when τ is non-productive or the depth/size budgets cannot be
+// met.
+func (g *Generator) Tree(label string, τ schema.TypeID) (*xmltree.Node, bool) {
+	nodes := g.MaxNodes
+	return g.tree(label, τ, g.MaxDepth, &nodes)
+}
+
+// Document generates a random valid document: it picks a root from R
+// uniformly and generates below it.
+func (g *Generator) Document() (*xmltree.Node, bool) {
+	type rootChoice struct {
+		sym fa.Symbol
+		τ   schema.TypeID
+	}
+	var roots []rootChoice
+	for sym, τ := range g.S.Roots {
+		if g.rank[τ] >= 0 {
+			roots = append(roots, rootChoice{sym, τ})
+		}
+	}
+	if len(roots) == 0 {
+		return nil, false
+	}
+	// Deterministic order under a seeded Rng: sort by symbol.
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j].sym < roots[j-1].sym; j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+	pick := roots[g.Rng.Intn(len(roots))]
+	return g.Tree(g.S.Alpha.Name(pick.sym), pick.τ)
+}
+
+func (g *Generator) tree(label string, τ schema.TypeID, budget int, nodes *int) (*xmltree.Node, bool) {
+	t := g.S.TypeOf(τ)
+	if g.rank[τ] < 0 || g.rank[τ] > budget {
+		return nil, false
+	}
+	if *nodes <= 0 {
+		return nil, false
+	}
+	*nodes--
+	node := xmltree.NewElement(label)
+	if t.Simple {
+		value, ok := SampleSimple(t.Value, g.Rng)
+		if !ok {
+			return nil, false
+		}
+		if value != "" {
+			node.AppendChild(xmltree.NewText(value))
+		}
+		return node, true
+	}
+	// Restrict the content model to labels affordable within the budget,
+	// then sample a word.
+	mask := make([]bool, g.S.Alpha.Size())
+	for sym, child := range t.Child {
+		if cr := g.rank[child]; cr >= 0 && cr < budget {
+			mask[sym] = true
+		}
+	}
+	dfa := fa.RestrictSymbols(t.DFA, mask)
+	word, ok := fa.Sample(dfa, g.Rng, g.MaxWordLen)
+	if !ok {
+		// The sampler can miss when accepted words are all longer than
+		// MaxWordLen; fall back to a shortest accepted word.
+		word, ok = fa.ShortestAccepted(dfa)
+		if !ok {
+			return nil, false
+		}
+	}
+	for _, sym := range word {
+		childLabel := g.S.Alpha.Name(sym)
+		child, ok := g.tree(childLabel, t.Child[sym], budget-1, nodes)
+		if !ok {
+			return nil, false
+		}
+		node.AppendChild(child)
+	}
+	return node, true
+}
+
+// SampleSimple returns a random value satisfying the facets, or ok=false
+// when no value can be produced (contradictory facets).
+func SampleSimple(st *schema.SimpleType, rng *rand.Rand) (string, bool) {
+	if st == nil {
+		return randomWord(rng), true
+	}
+	if st.ListItem != nil {
+		min, max := 0, 4
+		if st.MinLength > 0 {
+			min = st.MinLength
+		}
+		if st.MaxLength >= 0 {
+			max = st.MaxLength
+		}
+		if max < min {
+			return "", false
+		}
+		n := min
+		if max > min {
+			n = min + rng.Intn(max-min+1)
+		}
+		items := make([]string, n)
+		for i := range items {
+			v, ok := SampleSimple(st.ListItem, rng)
+			if !ok || strings.ContainsAny(v, " \t\n") || v == "" {
+				// items must be whitespace-free tokens; retry with a digit
+				v = fmt.Sprintf("%d", rng.Intn(100))
+				if !st.ListItem.AcceptsValue(v) {
+					return "", false
+				}
+			}
+			items[i] = v
+		}
+		value := strings.Join(items, " ")
+		if !st.AcceptsValue(value) {
+			return "", false
+		}
+		return value, true
+	}
+	if len(st.Enumeration) > 0 {
+		// Pick among enum values that really satisfy the remaining facets.
+		var ok []string
+		for _, v := range st.Enumeration {
+			if st.AcceptsValue(v) {
+				ok = append(ok, v)
+			}
+		}
+		if len(ok) == 0 {
+			return "", false
+		}
+		return ok[rng.Intn(len(ok))], true
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		v := sampleBase(st, rng)
+		if st.AcceptsValue(v) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+func sampleBase(st *schema.SimpleType, rng *rand.Rand) string {
+	switch st.Base {
+	case schema.BooleanKind:
+		return []string{"true", "false", "1", "0"}[rng.Intn(4)]
+	case schema.DecimalKind, schema.IntegerKind, schema.PositiveIntegerKind:
+		lo, hi := int64(0), int64(1000)
+		if st.Base == schema.PositiveIntegerKind {
+			lo = 1
+		}
+		if st.MinInclusive != nil {
+			lo = int64(*st.MinInclusive)
+		}
+		if st.MinExclusive != nil {
+			lo = int64(*st.MinExclusive) + 1
+		}
+		if st.MaxInclusive != nil {
+			hi = int64(*st.MaxInclusive)
+		}
+		if st.MaxExclusive != nil {
+			hi = int64(*st.MaxExclusive) - 1
+		}
+		if hi < lo {
+			return "0" // facets contradictory; caller re-checks
+		}
+		n := lo + rng.Int63n(hi-lo+1)
+		if st.Base == schema.DecimalKind && rng.Intn(2) == 0 {
+			return fmt.Sprintf("%d.%02d", n, rng.Intn(100))
+		}
+		return fmt.Sprintf("%d", n)
+	case schema.DateKind:
+		return fmt.Sprintf("%04d-%02d-%02d", 1990+rng.Intn(40), 1+rng.Intn(12), 1+rng.Intn(28))
+	default:
+		// String-ish: respect length facets.
+		min, max := 1, 12
+		if st.MinLength >= 0 {
+			min = st.MinLength
+		}
+		if st.MaxLength >= 0 {
+			max = st.MaxLength
+		}
+		if max < min {
+			return ""
+		}
+		n := min
+		if max > min {
+			n = min + rng.Intn(max-min+1)
+		}
+		b := make([]byte, n)
+		const letters = "abcdefghijklmnopqrstuvwxyz"
+		for i := range b {
+			b[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(b)
+	}
+}
+
+func randomWord(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz "
+	n := 1 + rng.Intn(10)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}

@@ -1,0 +1,212 @@
+package wgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/regexpsym"
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+func TestGeneratedTreesAreValid(t *testing.T) {
+	ps := NewPaperSchemas()
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range []*schema.Schema{ps.Source1, ps.Target, ps.Source2} {
+		g := NewGenerator(s, rng)
+		for i := 0; i < 50; i++ {
+			doc, ok := g.Document()
+			if !ok {
+				t.Fatal("generator failed on a productive schema")
+			}
+			if err := s.Validate(doc); err != nil {
+				t.Fatalf("generated doc invalid: %v\n%s", err, doc)
+			}
+		}
+	}
+}
+
+func TestGeneratorRespectsDepthBudget(t *testing.T) {
+	// Recursive schema: tree = (leaf | tree, tree). Unbounded in principle;
+	// the generator must stay within MaxDepth.
+	s := schema.New(nil)
+	leafT, _ := s.AddSimpleType("leafT", nil)
+	treeT, _ := s.AddComplexType("treeT", regexpsym.MustParse("leaf | (tree, tree)"))
+	if err := s.SetChildType(treeT, "leaf", leafT); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetChildType(treeT, "tree", treeT); err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot("tree", treeT)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(s, rand.New(rand.NewSource(5)))
+	g.MaxDepth = 6
+	for i := 0; i < 100; i++ {
+		doc, ok := g.Document()
+		if !ok {
+			t.Fatal("generator should always succeed here")
+		}
+		if err := s.Validate(doc); err != nil {
+			t.Fatalf("generated doc invalid: %v", err)
+		}
+		if h := height(doc); h > g.MaxDepth+1 {
+			t.Fatalf("height %d exceeds budget %d", h, g.MaxDepth)
+		}
+	}
+}
+
+func height(n *xmltree.Node) int {
+	max := 0
+	for _, c := range n.Children {
+		if h := height(c); h > max {
+			max = h
+		}
+	}
+	return max + 1
+}
+
+func TestGeneratorNonProductiveType(t *testing.T) {
+	s := schema.New(nil)
+	loop, _ := s.AddComplexType("Loop", regexpsym.MustParse("a"))
+	if err := s.SetChildType(loop, "a", loop); err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot("a", loop)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(s, rand.New(rand.NewSource(1)))
+	if _, ok := g.Document(); ok {
+		t.Fatal("cannot generate from a non-productive root")
+	}
+	if _, ok := g.Tree("a", loop); ok {
+		t.Fatal("cannot generate a tree for a non-productive type")
+	}
+}
+
+func TestSampleSimple(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	types := []*schema.SimpleType{
+		nil,
+		schema.NewSimpleType(schema.StringKind),
+		schema.NewSimpleType(schema.BooleanKind),
+		schema.NewSimpleType(schema.IntegerKind).WithMinInclusive(-5).WithMaxInclusive(5),
+		schema.NewSimpleType(schema.PositiveIntegerKind).WithMaxExclusive(100),
+		schema.NewSimpleType(schema.DecimalKind).WithMinExclusive(0),
+		schema.NewSimpleType(schema.DateKind),
+		schema.NewSimpleType(schema.StringKind).WithEnumeration("US", "CA"),
+		schema.NewSimpleType(schema.StringKind).WithLength(3, 5),
+	}
+	for _, st := range types {
+		for i := 0; i < 40; i++ {
+			v, ok := SampleSimple(st, rng)
+			if !ok {
+				t.Fatalf("SampleSimple(%s) failed", st)
+			}
+			if !st.AcceptsValue(v) {
+				t.Fatalf("SampleSimple(%s) produced invalid value %q", st, v)
+			}
+		}
+	}
+}
+
+func TestSampleSimpleContradictoryFacets(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	st := schema.NewSimpleType(schema.IntegerKind).WithMinInclusive(10).WithMaxInclusive(5)
+	if _, ok := SampleSimple(st, rng); ok {
+		t.Fatal("contradictory facets should fail sampling")
+	}
+	enum := schema.NewSimpleType(schema.IntegerKind).WithEnumeration("abc")
+	if _, ok := SampleSimple(enum, rng); ok {
+		t.Fatal("enum with no valid members should fail sampling")
+	}
+}
+
+func TestPODocumentShape(t *testing.T) {
+	ps := NewPaperSchemas()
+	for _, n := range []int{0, 1, 2, 50} {
+		doc := PODocument(PODocOptions{Items: n, IncludeBillTo: true, Seed: 1})
+		if err := ps.Target.Validate(doc); err != nil {
+			t.Fatalf("PO doc with %d items invalid for target: %v", n, err)
+		}
+		if err := ps.Source1.Validate(doc); err != nil {
+			t.Fatalf("PO doc with %d items invalid for source1: %v", n, err)
+		}
+		items := doc.Children[2]
+		if items.Label != "items" || len(items.Children) != n {
+			t.Fatalf("items count = %d, want %d", len(items.Children), n)
+		}
+	}
+}
+
+func TestPODocumentWithoutBillTo(t *testing.T) {
+	ps := NewPaperSchemas()
+	doc := PODocument(PODocOptions{Items: 3, IncludeBillTo: false, Seed: 2})
+	if err := ps.Source1.Validate(doc); err != nil {
+		t.Fatalf("billTo-less doc should satisfy Figure 1a: %v", err)
+	}
+	if err := ps.Target.Validate(doc); err == nil {
+		t.Fatal("billTo-less doc must NOT satisfy Figure 2 (billTo required)")
+	}
+}
+
+func TestPODocumentQuantityRanges(t *testing.T) {
+	ps := NewPaperSchemas()
+	// Quantities up to 199 satisfy the relaxed source2 schema but not
+	// necessarily the strict target.
+	doc := PODocument(PODocOptions{Items: 100, IncludeBillTo: true, MaxQuantity: 199, Seed: 3})
+	if err := ps.Source2.Validate(doc); err != nil {
+		t.Fatalf("doc should satisfy the maxExclusive=200 schema: %v", err)
+	}
+	if err := ps.Target.Validate(doc); err == nil {
+		t.Fatal("with 100 items and quantities ≤199 some quantity ≥100 is expected (seed-dependent but checked)")
+	}
+	// Quantities ≤ 99 satisfy both.
+	doc2 := PODocument(PODocOptions{Items: 100, IncludeBillTo: true, MaxQuantity: 99, Seed: 3})
+	if err := ps.Target.Validate(doc2); err != nil {
+		t.Fatalf("doc with quantities <100 should satisfy the target: %v", err)
+	}
+}
+
+func TestPODocumentDeterminism(t *testing.T) {
+	a := PODocument(PODocOptions{Items: 5, IncludeBillTo: true, Seed: 42})
+	b := PODocument(PODocOptions{Items: 5, IncludeBillTo: true, Seed: 42})
+	if a.String() != b.String() {
+		t.Fatal("same seed should give identical documents")
+	}
+	c := PODocument(PODocOptions{Items: 5, IncludeBillTo: true, Seed: 43})
+	if a.String() == c.String() {
+		t.Fatal("different seeds should give different documents")
+	}
+}
+
+func TestPOXMLBytes(t *testing.T) {
+	doc := PODocument(PODocOptions{Items: 2, IncludeBillTo: true, Seed: 1})
+	data := POXMLBytes(doc)
+	if len(data) == 0 {
+		t.Fatal("empty serialization")
+	}
+	if string(data[:5]) != "<?xml" {
+		t.Fatalf("missing XML declaration: %q", data[:20])
+	}
+}
+
+func TestPaperSchemasProperties(t *testing.T) {
+	ps := NewPaperSchemas()
+	if ps.Source1.Alpha != ps.Target.Alpha || ps.Target.Alpha != ps.Source2.Alpha {
+		t.Fatal("paper schemas must share one alphabet")
+	}
+	for _, s := range []*schema.Schema{ps.Source1, ps.Target, ps.Source2} {
+		if !s.IsDTD() {
+			t.Fatal("purchase-order schemas are DTD-shaped (unique type per label)")
+		}
+		for id, ok := range s.Productive() {
+			if !ok {
+				t.Fatalf("type %s should be productive", s.Types[id].Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package wgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// This file holds the paper's experimental fixtures: the Figure 1a / 1b /
+// Figure 2 purchase-order schemas (programmatic form) and the documents of
+// Tables 2–3 / Figure 3, parameterized by item count.
+
+// PaperSchemas bundles the schemas the experiments compare, all sharing one
+// alphabet so relations can be computed between any pair.
+type PaperSchemas struct {
+	Alpha *fa.Alphabet
+	// Source1 is the Figure 1a schema: billTo optional (POType1), with the
+	// full Figure 2 substructure below purchaseOrder.
+	Source1 *schema.Schema
+	// Target is the complete Figure 2 schema: billTo required (POType2),
+	// quantity restricted to positiveInteger < 100.
+	Target *schema.Schema
+	// Source2 is the Experiment-2 source: Figure 2 with quantity's
+	// xsd:maxExclusive relaxed to 200.
+	Source2 *schema.Schema
+}
+
+// NewPaperSchemas builds and compiles the three schemas.
+func NewPaperSchemas() *PaperSchemas {
+	alpha := fa.NewAlphabet()
+	return &PaperSchemas{
+		Alpha:   alpha,
+		Source1: buildPOSchema(alpha, true, 100),
+		Target:  buildPOSchema(alpha, false, 100),
+		Source2: buildPOSchema(alpha, false, 200),
+	}
+}
+
+// buildPOSchema constructs the Figure 2 purchase-order schema. optionalBill
+// makes billTo optional (Figure 1a's POType1); quantityMax sets the
+// xsd:maxExclusive facet on Item/quantity.
+func buildPOSchema(alpha *fa.Alphabet, optionalBill bool, quantityMax float64) *schema.Schema {
+	s := schema.New(alpha)
+	must := func(id schema.TypeID, err error) schema.TypeID {
+		if err != nil {
+			panic(err)
+		}
+		return id
+	}
+	mustSet := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	xstring := must(s.AddSimpleType("xsd:string", schema.NewSimpleType(schema.StringKind)))
+	xdecimal := must(s.AddSimpleType("xsd:decimal", schema.NewSimpleType(schema.DecimalKind)))
+	xdate := must(s.AddSimpleType("xsd:date", schema.NewSimpleType(schema.DateKind)))
+	quantity := must(s.AddSimpleType("QuantityType",
+		schema.NewSimpleType(schema.PositiveIntegerKind).WithMaxExclusive(quantityMax)))
+
+	usAddress := must(s.AddComplexType("USAddress",
+		regexpsym.MustParse("name, street, city, state, zip, country")))
+	for _, l := range []string{"name", "street", "city", "state", "country"} {
+		mustSet(s.SetChildType(usAddress, l, xstring))
+	}
+	mustSet(s.SetChildType(usAddress, "zip", xdecimal))
+
+	item := must(s.AddComplexType("Item",
+		regexpsym.MustParse("productName, quantity, USPrice, shipDate?")))
+	mustSet(s.SetChildType(item, "productName", xstring))
+	mustSet(s.SetChildType(item, "quantity", quantity))
+	mustSet(s.SetChildType(item, "USPrice", xdecimal))
+	mustSet(s.SetChildType(item, "shipDate", xdate))
+
+	items := must(s.AddComplexType("Items", regexpsym.MustParse("item*")))
+	mustSet(s.SetChildType(items, "item", item))
+
+	poModel := "shipTo, billTo, items"
+	poName := "POType2"
+	if optionalBill {
+		poModel = "shipTo, billTo?, items"
+		poName = "POType1"
+	}
+	po := must(s.AddComplexType(poName, regexpsym.MustParse(poModel)))
+	mustSet(s.SetChildType(po, "shipTo", usAddress))
+	mustSet(s.SetChildType(po, "billTo", usAddress))
+	mustSet(s.SetChildType(po, "items", items))
+
+	s.SetRoot("purchaseOrder", po)
+	s.SetRoot("comment", xstring) // the Figure 2 global comment element
+	return s.MustCompile()
+}
+
+// PODocOptions parameterizes purchase-order document generation.
+type PODocOptions struct {
+	// Items is the number of item elements (Table 2 uses 2..1000).
+	Items int
+	// IncludeBillTo controls whether the optional billTo is present.
+	IncludeBillTo bool
+	// MaxQuantity bounds the generated quantity values: each quantity is
+	// drawn uniformly from [1, MaxQuantity]. Use 99 for documents that
+	// satisfy the Figure 2 target schema, 199 for Experiment-2 sources.
+	MaxQuantity int
+	// Seed makes the document deterministic.
+	Seed int64
+}
+
+// PODocument generates a purchase-order document per the Figure 2 layout:
+//
+//	purchaseOrder(shipTo, [billTo,] items(item^N))
+//	item(productName, quantity, USPrice)
+//
+// Addresses have the full 6-field USAddress content.
+func PODocument(opts PODocOptions) *xmltree.Node {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if opts.MaxQuantity <= 0 {
+		opts.MaxQuantity = 99
+	}
+	po := xmltree.NewElement("purchaseOrder")
+	po.AppendChild(usAddressNode("shipTo", rng))
+	if opts.IncludeBillTo {
+		po.AppendChild(usAddressNode("billTo", rng))
+	}
+	items := xmltree.NewElement("items")
+	for i := 0; i < opts.Items; i++ {
+		item := xmltree.NewElement("item",
+			leaf("productName", productNames[rng.Intn(len(productNames))]),
+			leaf("quantity", fmt.Sprintf("%d", 1+rng.Intn(opts.MaxQuantity))),
+			leaf("USPrice", fmt.Sprintf("%d.%02d", 1+rng.Intn(500), rng.Intn(100))),
+		)
+		items.AppendChild(item)
+	}
+	po.AppendChild(items)
+	return po
+}
+
+var productNames = []string{
+	"Lawnmower", "Baby Monitor", "Lapis Necklace", "Sturdy Shelves",
+	"Garden Hose", "Picture Frame", "Desk Lamp", "Tea Kettle",
+}
+
+var (
+	streetNames = []string{"Main St", "Oak Ave", "Maple Dr", "Elm Ct", "Airport Rd"}
+	cityNames   = []string{"Yorktown", "Mill Valley", "Old Town", "Haifa", "Springfield"}
+	stateNames  = []string{"NY", "CA", "PA", "VT", "MI"}
+	personNames = []string{"Alice Smith", "Robert Smith", "Helen Zoe", "Oded S", "Mukund R"}
+)
+
+func usAddressNode(label string, rng *rand.Rand) *xmltree.Node {
+	return xmltree.NewElement(label,
+		leaf("name", personNames[rng.Intn(len(personNames))]),
+		leaf("street", fmt.Sprintf("%d %s", 1+rng.Intn(999), streetNames[rng.Intn(len(streetNames))])),
+		leaf("city", cityNames[rng.Intn(len(cityNames))]),
+		leaf("state", stateNames[rng.Intn(len(stateNames))]),
+		leaf("zip", fmt.Sprintf("%05d", 10000+rng.Intn(89999))),
+		leaf("country", "US"),
+	)
+}
+
+func leaf(label, value string) *xmltree.Node {
+	return xmltree.NewElement(label, xmltree.NewText(value))
+}
+
+// PaperItemCounts are the item-count points of Table 2 / Figure 3.
+var PaperItemCounts = []int{2, 50, 100, 200, 500, 1000}
+
+// POXMLBytes serializes a purchase-order document the way Table 2 measures
+// file sizes (indented, with XML declaration).
+func POXMLBytes(doc *xmltree.Node) []byte {
+	var b strings.Builder
+	b.WriteString("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")
+	_ = xmltree.WriteXML(&b, doc, "  ")
+	return []byte(b.String())
+}

@@ -1,0 +1,275 @@
+package wgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+	"repro/internal/schema"
+)
+
+// RandomSchemaOptions bound random schema generation.
+type RandomSchemaOptions struct {
+	// Labels is the label vocabulary; schemas meant to be cast between
+	// should share it. Defaults to 8 generated labels.
+	Labels []string
+	// SimpleTypes and ComplexTypes bound the type counts (defaults 3 / 4).
+	SimpleTypes, ComplexTypes int
+	// MaxModelDepth bounds content-model expression depth (default 3).
+	MaxModelDepth int
+}
+
+func (o *RandomSchemaOptions) defaults() {
+	if len(o.Labels) == 0 {
+		for i := 0; i < 8; i++ {
+			o.Labels = append(o.Labels, fmt.Sprintf("el%c", 'A'+i))
+		}
+	}
+	if o.SimpleTypes == 0 {
+		o.SimpleTypes = 3
+	}
+	if o.ComplexTypes == 0 {
+		o.ComplexTypes = 4
+	}
+	if o.MaxModelDepth == 0 {
+		o.MaxModelDepth = 3
+	}
+}
+
+// RandomSchema generates a compiled random schema: facet-constrained simple
+// types and complex types with random 1-unambiguous content models over the
+// vocabulary, random child-type assignments, and two root labels. Intended
+// for differential/fuzz testing of the cast engine; the invariants the
+// engine requires (UPA, consistent child typing, compilability) hold by
+// construction or by retry.
+func RandomSchema(rng *rand.Rand, alpha *fa.Alphabet, opts RandomSchemaOptions) *schema.Schema {
+	opts.defaults()
+	for attempt := 0; ; attempt++ {
+		s, err := tryRandomSchema(rng, alpha, opts)
+		if err == nil {
+			return s
+		}
+		if attempt > 500 {
+			panic(fmt.Sprintf("wgen: could not generate a schema after %d attempts: %v", attempt, err))
+		}
+	}
+}
+
+func tryRandomSchema(rng *rand.Rand, alpha *fa.Alphabet, opts RandomSchemaOptions) (*schema.Schema, error) {
+	s := schema.New(alpha)
+	var typeIDs []schema.TypeID
+
+	for i := 0; i < opts.SimpleTypes; i++ {
+		id, err := s.AddSimpleType(fmt.Sprintf("S%d", i), randomSimpleType(rng))
+		if err != nil {
+			return nil, err
+		}
+		typeIDs = append(typeIDs, id)
+	}
+	type pendingComplex struct {
+		id     schema.TypeID
+		labels []string
+	}
+	var pending []pendingComplex
+	for i := 0; i < opts.ComplexTypes; i++ {
+		expr := randomUnambiguousModel(rng, opts.Labels, opts.MaxModelDepth)
+		id, err := s.AddComplexType(fmt.Sprintf("C%d", i), expr)
+		if err != nil {
+			return nil, err
+		}
+		typeIDs = append(typeIDs, id)
+		pending = append(pending, pendingComplex{id: id, labels: regexpsym.Labels(expr)})
+	}
+	// Child assignments may reference any type (including later complex
+	// ones), so wire them after all declarations.
+	for _, p := range pending {
+		for _, l := range p.labels {
+			child := typeIDs[rng.Intn(len(typeIDs))]
+			if err := s.SetChildType(p.id, l, child); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Two random root labels.
+	for i := 0; i < 2; i++ {
+		s.SetRoot(opts.Labels[rng.Intn(len(opts.Labels))], typeIDs[rng.Intn(len(typeIDs))])
+	}
+	if err := s.Compile(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func randomSimpleType(rng *rand.Rand) *schema.SimpleType {
+	bases := []schema.BaseKind{
+		schema.StringKind, schema.BooleanKind, schema.DecimalKind,
+		schema.IntegerKind, schema.PositiveIntegerKind, schema.DateKind,
+	}
+	st := schema.NewSimpleType(bases[rng.Intn(len(bases))])
+	switch st.Base {
+	case schema.IntegerKind, schema.PositiveIntegerKind, schema.DecimalKind:
+		if rng.Intn(2) == 0 {
+			lo := float64(rng.Intn(50))
+			hi := lo + 1 + float64(rng.Intn(200))
+			st = st.WithMinInclusive(lo).WithMaxExclusive(hi)
+		}
+	case schema.StringKind:
+		switch rng.Intn(3) {
+		case 0:
+			st = st.WithLength(rng.Intn(3), 3+rng.Intn(10))
+		case 1:
+			st = st.WithEnumeration("red", "green", "blue")
+		}
+	}
+	return st
+}
+
+// randomUnambiguousModel draws random expressions until one passes the
+// 1-unambiguity check, falling back to a plain distinct-label sequence.
+func randomUnambiguousModel(rng *rand.Rand, labels []string, depth int) regexpsym.Node {
+	for attempt := 0; attempt < 12; attempt++ {
+		expr := randomModel(rng, labels, depth)
+		if regexpsym.IsOneUnambiguous(expr) {
+			return expr
+		}
+	}
+	perm := rng.Perm(len(labels))
+	n := 1 + rng.Intn(3)
+	var kids []regexpsym.Node
+	for i := 0; i < n && i < len(perm); i++ {
+		kids = append(kids, regexpsym.Lbl(labels[perm[i]]))
+	}
+	return regexpsym.Cat(kids...)
+}
+
+func randomModel(rng *rand.Rand, labels []string, depth int) regexpsym.Node {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(12) == 0 {
+			return regexpsym.Epsilon{}
+		}
+		return regexpsym.Lbl(labels[rng.Intn(len(labels))])
+	}
+	switch rng.Intn(6) {
+	case 0, 1:
+		return regexpsym.Cat(randomModel(rng, labels, depth-1), randomModel(rng, labels, depth-1))
+	case 2:
+		return regexpsym.Or(randomModel(rng, labels, depth-1), randomModel(rng, labels, depth-1))
+	case 3:
+		return regexpsym.Opt(randomModel(rng, labels, depth-1))
+	case 4:
+		return regexpsym.Star(randomModel(rng, labels, depth-1))
+	default:
+		return regexpsym.Bound(randomModel(rng, labels, depth-1), rng.Intn(2), 1+rng.Intn(3))
+	}
+}
+
+// MutateSchema returns a perturbed copy of s over the same alphabet — the
+// kind of local evolution (facet change, optionality toggle, content-model
+// tweak) schema cast validation is designed for. The result is compiled;
+// mutations that break compilability (e.g. UPA) are retried.
+func MutateSchema(rng *rand.Rand, s *schema.Schema, labels []string) *schema.Schema {
+	for attempt := 0; ; attempt++ {
+		m, err := tryMutate(rng, s, labels)
+		if err == nil {
+			return m
+		}
+		if attempt > 500 {
+			panic(fmt.Sprintf("wgen: could not mutate schema after %d attempts: %v", attempt, err))
+		}
+	}
+}
+
+func tryMutate(rng *rand.Rand, s *schema.Schema, labels []string) (*schema.Schema, error) {
+	out := schema.New(s.Alpha)
+	victim := s.Types[rng.Intn(len(s.Types))]
+
+	// Copy types, perturbing the victim.
+	ids := make([]schema.TypeID, len(s.Types))
+	for _, t := range s.Types {
+		var (
+			id  schema.TypeID
+			err error
+		)
+		if t.Simple {
+			st := t.Value
+			if t == victim {
+				st = mutateSimple(rng, st)
+			}
+			id, err = out.AddSimpleType(t.Name, st)
+		} else {
+			content := t.Content
+			if t == victim {
+				content = mutateModel(rng, content, labels)
+			}
+			id, err = out.AddComplexType(t.Name, content)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ids[t.ID] = id
+	}
+	for _, t := range s.Types {
+		if t.Simple {
+			continue
+		}
+		// Keep original bindings; add bindings for labels the mutation may
+		// have introduced (assign a random existing type).
+		nt := out.TypeOf(ids[t.ID])
+		for sym, child := range t.Child {
+			if err := out.SetChildType(nt.ID, s.Alpha.Name(sym), ids[child]); err != nil {
+				return nil, err
+			}
+		}
+		for _, l := range regexpsym.Labels(nt.Content) {
+			sym := s.Alpha.Lookup(l)
+			if sym != fa.NoSymbol {
+				if _, bound := t.Child[sym]; bound {
+					continue
+				}
+			}
+			pick := ids[rng.Intn(len(ids))]
+			if err := out.SetChildType(nt.ID, l, pick); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for sym, τ := range s.Roots {
+		out.SetRoot(s.Alpha.Name(sym), ids[τ])
+	}
+	if err := out.Compile(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func mutateSimple(rng *rand.Rand, st *schema.SimpleType) *schema.SimpleType {
+	if st == nil {
+		return schema.NewSimpleType(schema.StringKind)
+	}
+	c := *st
+	switch rng.Intn(3) {
+	case 0: // tighten or loosen a numeric bound
+		v := float64(10 + rng.Intn(200))
+		c = *c.WithMaxExclusive(v)
+	case 1: // drop all facets
+		c = *schema.NewSimpleType(st.Base)
+	default: // switch the base
+		bases := []schema.BaseKind{schema.StringKind, schema.IntegerKind, schema.DateKind}
+		c = *schema.NewSimpleType(bases[rng.Intn(len(bases))])
+	}
+	return &c
+}
+
+func mutateModel(rng *rand.Rand, n regexpsym.Node, labels []string) regexpsym.Node {
+	switch rng.Intn(4) {
+	case 0: // make the whole model optional
+		return regexpsym.Opt(n)
+	case 1: // require at least one more trailing label
+		return regexpsym.Cat(n, regexpsym.Lbl(labels[rng.Intn(len(labels))]))
+	case 2: // allow repetition
+		return regexpsym.Star(n)
+	default: // replace outright
+		return randomUnambiguousModel(rng, labels, 2)
+	}
+}

@@ -1,0 +1,161 @@
+package wgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+	"repro/internal/schema"
+)
+
+func TestRandomSchemaIsWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		alpha := fa.NewAlphabet()
+		s := RandomSchema(rng, alpha, RandomSchemaOptions{})
+		if !s.Compiled() {
+			t.Fatal("random schema must be compiled")
+		}
+		if len(s.Types) == 0 || len(s.Roots) == 0 {
+			t.Fatal("random schema must have types and roots")
+		}
+		// Generated docs (when generation succeeds) validate.
+		g := NewGenerator(s, rng)
+		for j := 0; j < 10; j++ {
+			doc, ok := g.Document()
+			if !ok {
+				continue
+			}
+			if err := s.Validate(doc); err != nil {
+				t.Fatalf("random-schema doc invalid: %v\nschema:\n%s\ndoc: %s", err, s, doc)
+			}
+		}
+	}
+}
+
+func TestRandomSchemaCustomOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	alpha := fa.NewAlphabet()
+	s := RandomSchema(rng, alpha, RandomSchemaOptions{
+		Labels:       []string{"x", "y"},
+		SimpleTypes:  1,
+		ComplexTypes: 2,
+	})
+	if len(s.Types) != 3 {
+		t.Fatalf("types = %d, want 3", len(s.Types))
+	}
+	for _, l := range alpha.Names() {
+		if l != "x" && l != "y" {
+			t.Fatalf("unexpected label %q", l)
+		}
+	}
+}
+
+func TestMutateSchemaStaysCompilable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"x", "y", "z"}
+	alpha := fa.NewAlphabet()
+	s := RandomSchema(rng, alpha, RandomSchemaOptions{Labels: labels})
+	for i := 0; i < 25; i++ {
+		s = MutateSchema(rng, s, labels)
+		if !s.Compiled() {
+			t.Fatal("mutated schema must be compiled")
+		}
+		if s.Alpha != alpha {
+			t.Fatal("mutation must preserve the alphabet")
+		}
+		// Same type names survive.
+		for _, typ := range s.Types {
+			if typ.Name == "" {
+				t.Fatal("type lost its name")
+			}
+		}
+	}
+}
+
+func TestMutateSchemaChangesSomething(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	labels := []string{"x", "y", "z"}
+	alpha := fa.NewAlphabet()
+	s := RandomSchema(rng, alpha, RandomSchemaOptions{Labels: labels})
+	changed := 0
+	for i := 0; i < 20; i++ {
+		m := MutateSchema(rng, s, labels)
+		if s.String() != m.String() {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("mutations should usually change the schema")
+	}
+}
+
+func TestFigure2XSDVariants(t *testing.T) {
+	opt := Figure2XSD(true, 100)
+	req := Figure2XSD(false, 200)
+	if opt == req {
+		t.Fatal("variants must differ")
+	}
+	for _, want := range []string{"purchaseOrder", "POType1", `minOccurs="0"`, `maxExclusive value="100"`} {
+		if !contains(opt, want) {
+			t.Fatalf("optional-bill XSD missing %q", want)
+		}
+	}
+	for _, want := range []string{"POType2", `maxExclusive value="200"`} {
+		if !contains(req, want) {
+			t.Fatalf("required-bill XSD missing %q", want)
+		}
+	}
+	if contains(req, "POType1") {
+		t.Fatal("required variant should use POType2")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGeneratorMaxNodesBudget(t *testing.T) {
+	// A high-fanout recursive schema: with a tiny node budget generation
+	// must fail rather than explode.
+	s := schema.New(nil)
+	leaf, _ := s.AddSimpleType("leaf", nil)
+	wide, _ := s.AddComplexType("Wide", mustModel("k, k, k, k | l"))
+	if err := s.SetChildType(wide, "k", wide); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetChildType(wide, "l", leaf); err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot("k", wide)
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(s, rand.New(rand.NewSource(9)))
+	g.MaxNodes = 50
+	okCount, failCount := 0, 0
+	for i := 0; i < 50; i++ {
+		doc, ok := g.Document()
+		if !ok {
+			failCount++
+			continue
+		}
+		okCount++
+		if doc.Size() > 51 { // element nodes bounded by budget (+ text leaves)
+			if doc.Size() > 110 {
+				t.Fatalf("budget exceeded: size %d", doc.Size())
+			}
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("some generations should succeed (the 'l' branch)")
+	}
+}
+
+func mustModel(src string) regexpsym.Node { return regexpsym.MustParse(src) }

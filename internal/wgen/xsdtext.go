@@ -1,0 +1,69 @@
+package wgen
+
+import "fmt"
+
+// XSD-text forms of the paper's schemas. Parsing these through the xsd
+// loader must produce schemas equivalent to the programmatic builders in
+// paper.go — the test suite checks exactly that, cross-validating loader
+// and builders against each other.
+
+// Figure2XSD returns the paper's complete Figure 2 target schema as XSD
+// text, parameterized by billTo optionality and the quantity maxExclusive
+// facet (Figure 1a = optionalBill true, quantityMax 100; Experiment 2's
+// source = optionalBill false, quantityMax 200).
+func Figure2XSD(optionalBill bool, quantityMax int) string {
+	billOccurs := ""
+	if optionalBill {
+		billOccurs = ` minOccurs="0"`
+	}
+	poType := "POType2"
+	if optionalBill {
+		poType = "POType1"
+	}
+	return fmt.Sprintf(`<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="%[1]s"/>
+  <xsd:element name="comment" type="xsd:string"/>
+
+  <xsd:complexType name="%[1]s">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"%[2]s/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+      <xsd:element name="country" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="Item" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="productName" type="xsd:string"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="%[3]d"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="USPrice" type="xsd:decimal"/>
+      <xsd:element name="shipDate" type="xsd:date" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+`, poType, billOccurs, quantityMax)
+}

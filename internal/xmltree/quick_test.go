@@ -1,0 +1,170 @@
+package xmltree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickTree wraps a randomly generated tree for testing/quick.
+type quickTree struct{ n *Node }
+
+// Generate builds random trees whose shape survives a parse/serialize
+// round trip: labels are valid XML names, text values are non-empty and
+// not whitespace-only (whitespace-only text is dropped by the parser), and
+// no two text children are adjacent (the parser coalesces them).
+func (quickTree) Generate(rng *rand.Rand, size int) reflect.Value {
+	depth := 1 + rng.Intn(4)
+	return reflect.ValueOf(quickTree{n: genTree(rng, depth, true)})
+}
+
+var labels = []string{"a", "bee", "c-d", "e_f", "g.h", "order", "item"}
+
+func genTree(rng *rand.Rand, depth int, isRoot bool) *Node {
+	el := NewElement(labels[rng.Intn(len(labels))])
+	if rng.Intn(3) == 0 {
+		el.SetAttr("id", "v"+string(rune('a'+rng.Intn(26))))
+	}
+	if depth == 0 {
+		return el
+	}
+	kids := rng.Intn(4)
+	lastWasText := false
+	for i := 0; i < kids; i++ {
+		if !lastWasText && rng.Intn(3) == 0 {
+			el.AppendChild(NewText(randText(rng)))
+			lastWasText = true
+			continue
+		}
+		lastWasText = false
+		el.AppendChild(genTree(rng, depth-1, false))
+	}
+	return el
+}
+
+func randText(rng *rand.Rand) string {
+	const chars = "abc<&>\"'xyz123"
+	n := 1 + rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[rng.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+func TestQuickSerializeParseRoundTrip(t *testing.T) {
+	f := func(qt quickTree) bool {
+		out := XMLString(qt.n)
+		back, err := ParseString(out)
+		if err != nil {
+			t.Logf("parse of %q failed: %v", out, err)
+			return false
+		}
+		if !Equal(qt.n, back) {
+			t.Logf("round trip changed tree:\n%s\n%s", qt.n, back)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIndentedRoundTrip(t *testing.T) {
+	// Indented serialization must round-trip for element-only trees (text
+	// next to indentation whitespace would merge, so restrict to trees
+	// where text appears only as an element's sole child — the schema-valid
+	// shape).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := genSchemaShapedTree(rng, 3)
+		var b []byte
+		{
+			var sb sbuf
+			if err := WriteXML(&sb, n, "  "); err != nil {
+				return false
+			}
+			b = sb.b
+		}
+		back, err := ParseString(string(b))
+		if err != nil {
+			t.Logf("parse failed: %v\n%s", err, b)
+			return false
+		}
+		return Equal(n, back)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type sbuf struct{ b []byte }
+
+func (s *sbuf) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// genSchemaShapedTree builds trees where text only appears as a sole child
+// (the shape the abstract schema model validates).
+func genSchemaShapedTree(rng *rand.Rand, depth int) *Node {
+	el := NewElement(labels[rng.Intn(len(labels))])
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			el.AppendChild(NewText(randText(rng)))
+		}
+		return el
+	}
+	for i, kids := 0, rng.Intn(4); i < kids; i++ {
+		el.AppendChild(genSchemaShapedTree(rng, depth-1))
+	}
+	return el
+}
+
+func TestQuickCloneEqualsOriginal(t *testing.T) {
+	f := func(qt quickTree) bool {
+		return Equal(qt.n, qt.n.Clone())
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPathIdentifiesNode(t *testing.T) {
+	// For every node, following its Path from the root lands on it.
+	f := func(qt quickTree) bool {
+		ok := true
+		qt.n.Walk(func(n *Node) bool {
+			cur := qt.n
+			for _, idx := range n.Path() {
+				cur = cur.Children[idx]
+			}
+			if cur != n {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSizeMatchesWalk(t *testing.T) {
+	f := func(qt quickTree) bool {
+		count := 0
+		qt.n.Walk(func(*Node) bool { count++; return true })
+		return count == qt.n.Size()
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

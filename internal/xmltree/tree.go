@@ -1,0 +1,338 @@
+// Package xmltree implements the ordered labeled trees of EDBT'04 §3: an
+// XML document is a tree T = (t, λ) whose internal nodes carry element
+// labels from Σ and whose leaves may additionally carry the special label χ
+// representing simple (text) values. The package provides parsing from and
+// serialization to XML text, navigation and editing primitives, Dewey
+// decimal numbering, and the Δ-labels used by schema cast validation with
+// modifications (§3.3).
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes element nodes (labels in Σ) from text leaves (χ).
+type Kind uint8
+
+const (
+	// Element is an ordinary element node with a tag label.
+	Element Kind = iota
+	// Text is a χ leaf holding a simple value.
+	Text
+)
+
+// DeltaKind records how a node was modified, if at all — the Δ^a_b labels
+// of §3.3. Unmodified nodes have DeltaNone.
+type DeltaKind uint8
+
+const (
+	// DeltaNone marks an unmodified node.
+	DeltaNone DeltaKind = iota
+	// DeltaRelabel marks a node whose label (or text value) changed:
+	// Δ^a_b with a = OldLabel, b = Label.
+	DeltaRelabel
+	// DeltaInsert marks a newly inserted node: Δ^ε_b.
+	DeltaInsert
+	// DeltaDelete marks a deleted node kept as a tombstone: Δ^a_ε with
+	// a = Label. Tombstones keep sibling positions stable so Dewey paths
+	// recorded in the modification trie remain valid.
+	DeltaDelete
+)
+
+func (d DeltaKind) String() string {
+	switch d {
+	case DeltaNone:
+		return "none"
+	case DeltaRelabel:
+		return "relabel"
+	case DeltaInsert:
+		return "insert"
+	case DeltaDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("DeltaKind(%d)", uint8(d))
+}
+
+// Attr is an attribute of an element node. The paper's abstract schemas
+// model structural constraints only, so validation ignores attributes, but
+// they are preserved through parse/serialize round trips (and the XSD
+// loader reads schema documents through this representation).
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is a node of an ordered labeled tree. The zero value is not useful;
+// construct nodes with NewElement/NewText or by parsing.
+type Node struct {
+	// Kind distinguishes elements from χ text leaves.
+	Kind Kind
+	// Label is the element tag. Empty for text nodes (their λ is χ).
+	Label string
+	// Text holds the simple value of a Text node.
+	Text string
+	// Delta records the node's modification status (§3.3).
+	Delta DeltaKind
+	// OldLabel holds the pre-modification label for DeltaRelabel nodes
+	// and is unused otherwise (DeltaDelete tombstones keep their original
+	// label in Label).
+	OldLabel string
+
+	// Attrs holds the element's attributes in document order.
+	Attrs []Attr
+
+	// Parent is nil for the root.
+	Parent *Node
+	// Children holds the ordered children. Manipulate through the editing
+	// methods so Parent pointers stay consistent.
+	Children []*Node
+}
+
+// AttrValue returns the value of the named attribute, with ok=false when
+// absent. Namespace prefixes on attribute names are stripped at parse time.
+func (n *Node) AttrValue(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetAttr sets (or replaces) an attribute.
+func (n *Node) SetAttr(name, value string) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+}
+
+// NewElement returns an element node with the given tag and children,
+// wiring parent pointers.
+func NewElement(label string, children ...*Node) *Node {
+	n := &Node{Kind: Element, Label: label}
+	for _, c := range children {
+		n.AppendChild(c)
+	}
+	return n
+}
+
+// NewText returns a χ leaf with the given simple value.
+func NewText(value string) *Node {
+	return &Node{Kind: Text, Text: value}
+}
+
+// IsText reports whether the node is a χ leaf.
+func (n *Node) IsText() bool { return n.Kind == Text }
+
+// EffectiveLabel is the node's λ in T' (the post-modification tree): the
+// element tag, or "#text" for χ leaves. Deleted tombstones keep their old
+// label here; callers that project modifications away should use ProjNew.
+func (n *Node) EffectiveLabel() string {
+	if n.Kind == Text {
+		return "#text"
+	}
+	return n.Label
+}
+
+// AppendChild adds c as the last child of n.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// InsertChildAt inserts c as the child at index i (0 ≤ i ≤ len(Children)).
+func (n *Node) InsertChildAt(i int, c *Node) {
+	if i < 0 || i > len(n.Children) {
+		panic(fmt.Sprintf("xmltree: InsertChildAt index %d out of range [0,%d]", i, len(n.Children)))
+	}
+	c.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+}
+
+// RemoveChildAt physically removes and returns the child at index i. Schema
+// cast with modifications prefers tombstoning (DeltaDelete) over physical
+// removal; this exists for tree construction and tests.
+func (n *Node) RemoveChildAt(i int) *Node {
+	c := n.Children[i]
+	copy(n.Children[i:], n.Children[i+1:])
+	n.Children = n.Children[:len(n.Children)-1]
+	c.Parent = nil
+	return c
+}
+
+// ChildIndex returns the index of c among n's children, or -1.
+func (n *Node) ChildIndex(c *Node) int {
+	for i, k := range n.Children {
+		if k == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Path returns the node's Dewey decimal number: the sequence of child
+// indexes from the root down to the node. The root's path is empty.
+func (n *Node) Path() []int {
+	var rev []int
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		rev = append(rev, cur.Parent.ChildIndex(cur))
+	}
+	out := make([]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Root returns the root of the tree containing n.
+func (n *Node) Root() *Node {
+	cur := n
+	for cur.Parent != nil {
+		cur = cur.Parent
+	}
+	return cur
+}
+
+// Walk visits the subtree rooted at n in document (pre-)order. Returning
+// false from fn prunes the node's subtree (fn is not called on children).
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Size returns the number of nodes in the subtree rooted at n, counting
+// both element and text nodes.
+func (n *Node) Size() int {
+	count := 0
+	n.Walk(func(*Node) bool { count++; return true })
+	return count
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The clone's Parent
+// is nil.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		Kind:     n.Kind,
+		Label:    n.Label,
+		Text:     n.Text,
+		Delta:    n.Delta,
+		OldLabel: n.OldLabel,
+		Attrs:    append([]Attr(nil), n.Attrs...),
+	}
+	for _, k := range n.Children {
+		c.AppendChild(k.Clone())
+	}
+	return c
+}
+
+// Equal reports deep structural equality of two subtrees, including Delta
+// annotations.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Label != b.Label || a.Text != b.Text ||
+		a.Delta != b.Delta || a.OldLabel != b.OldLabel ||
+		len(a.Children) != len(b.Children) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TextContent concatenates the text of all χ leaves in the subtree.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	n.Walk(func(c *Node) bool {
+		if c.Kind == Text {
+			b.WriteString(c.Text)
+		}
+		return true
+	})
+	return b.String()
+}
+
+// ProjNew is the Proj_new projection of §3.3: the node's label in the tree
+// after modifications. It returns ok=false for deleted nodes (their
+// projection is ε) and isText=true for χ leaves.
+func (n *Node) ProjNew() (label string, isText, ok bool) {
+	if n.Delta == DeltaDelete {
+		return "", false, false
+	}
+	if n.Kind == Text {
+		return "", true, true
+	}
+	return n.Label, false, true
+}
+
+// ProjOld is the Proj_old projection of §3.3: the node's label in the tree
+// before modifications. It returns ok=false for inserted nodes and
+// isText=true for χ leaves.
+func (n *Node) ProjOld() (label string, isText, ok bool) {
+	if n.Delta == DeltaInsert {
+		return "", false, false
+	}
+	if n.Kind == Text {
+		return "", true, true
+	}
+	if n.Delta == DeltaRelabel {
+		return n.OldLabel, false, true
+	}
+	return n.Label, false, true
+}
+
+// String renders a compact s-expression form of the subtree, with Δ
+// annotations, for diagnostics and tests.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	switch n.Delta {
+	case DeltaRelabel:
+		fmt.Fprintf(b, "Δ[%s→]", n.OldLabel)
+	case DeltaInsert:
+		b.WriteString("Δ[+]")
+	case DeltaDelete:
+		b.WriteString("Δ[-]")
+	}
+	if n.Kind == Text {
+		fmt.Fprintf(b, "%q", n.Text)
+		return
+	}
+	b.WriteString(n.Label)
+	if len(n.Children) == 0 {
+		b.WriteString("()")
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		c.write(b)
+	}
+	b.WriteByte(')')
+}

@@ -1,0 +1,274 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePO() *Node {
+	return NewElement("purchaseOrder",
+		NewElement("shipTo",
+			NewElement("name", NewText("Alice")),
+			NewElement("street", NewText("1 Main St")),
+		),
+		NewElement("items",
+			NewElement("item",
+				NewElement("productName", NewText("Widget")),
+				NewElement("quantity", NewText("5")),
+			),
+		),
+	)
+}
+
+func TestConstructionAndParents(t *testing.T) {
+	po := samplePO()
+	if po.Label != "purchaseOrder" || po.Kind != Element {
+		t.Fatal("root mis-built")
+	}
+	for _, c := range po.Children {
+		if c.Parent != po {
+			t.Fatal("parent pointer not wired")
+		}
+	}
+	if po.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", po.Size())
+	}
+}
+
+func TestEffectiveLabel(t *testing.T) {
+	if NewText("x").EffectiveLabel() != "#text" {
+		t.Fatal("text label should be #text")
+	}
+	if NewElement("a").EffectiveLabel() != "a" {
+		t.Fatal("element label should be its tag")
+	}
+}
+
+func TestInsertRemoveChildAt(t *testing.T) {
+	p := NewElement("p", NewElement("a"), NewElement("c"))
+	b := NewElement("b")
+	p.InsertChildAt(1, b)
+	if got := p.String(); got != "p(a() b() c())" {
+		t.Fatalf("after insert: %s", got)
+	}
+	if b.Parent != p {
+		t.Fatal("insert did not set parent")
+	}
+	r := p.RemoveChildAt(0)
+	if r.Label != "a" || r.Parent != nil {
+		t.Fatal("remove returned wrong node or kept parent")
+	}
+	if got := p.String(); got != "p(b() c())" {
+		t.Fatalf("after remove: %s", got)
+	}
+	// Boundary inserts.
+	p.InsertChildAt(0, NewElement("x"))
+	p.InsertChildAt(len(p.Children), NewElement("y"))
+	if got := p.String(); got != "p(x() b() c() y())" {
+		t.Fatalf("after boundary inserts: %s", got)
+	}
+}
+
+func TestInsertChildAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewElement("p").InsertChildAt(1, NewElement("c"))
+}
+
+func TestPathAndRoot(t *testing.T) {
+	po := samplePO()
+	qty := po.Children[1].Children[0].Children[1]
+	if qty.Label != "quantity" {
+		t.Fatal("test navigation broken")
+	}
+	path := qty.Path()
+	want := []int{1, 0, 1}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if len(po.Path()) != 0 {
+		t.Fatal("root path should be empty")
+	}
+	if qty.Root() != po {
+		t.Fatal("Root should find the tree root")
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	po := samplePO()
+	visited := 0
+	po.Walk(func(n *Node) bool {
+		visited++
+		return n.Label != "shipTo" // prune shipTo subtree
+	})
+	// 12 total nodes - 4 inside shipTo (name, "Alice", street, "1 Main St")
+	if visited != 8 {
+		t.Fatalf("visited = %d, want 8", visited)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	po := samplePO()
+	c := po.Clone()
+	if !Equal(po, c) {
+		t.Fatal("clone should be equal")
+	}
+	if c.Parent != nil {
+		t.Fatal("clone parent should be nil")
+	}
+	c.Children[0].Label = "billTo"
+	if Equal(po, c) {
+		t.Fatal("mutated clone should differ")
+	}
+	if Equal(po, nil) || !Equal(nil, nil) {
+		t.Fatal("nil handling wrong")
+	}
+	// Delta annotations participate in equality.
+	d := po.Clone()
+	d.Children[0].Delta = DeltaRelabel
+	d.Children[0].OldLabel = "x"
+	if Equal(po, d) {
+		t.Fatal("delta annotations must affect equality")
+	}
+}
+
+func TestTextContent(t *testing.T) {
+	po := samplePO()
+	got := po.Children[0].TextContent()
+	if got != "Alice1 Main St" {
+		t.Fatalf("TextContent = %q", got)
+	}
+}
+
+func TestProjections(t *testing.T) {
+	// Unmodified element.
+	a := NewElement("a")
+	if l, isText, ok := a.ProjNew(); l != "a" || isText || !ok {
+		t.Fatal("ProjNew of plain element wrong")
+	}
+	if l, _, ok := a.ProjOld(); l != "a" || !ok {
+		t.Fatal("ProjOld of plain element wrong")
+	}
+	// Relabeled b -> a.
+	r := NewElement("a")
+	r.Delta = DeltaRelabel
+	r.OldLabel = "b"
+	if l, _, ok := r.ProjNew(); l != "a" || !ok {
+		t.Fatal("ProjNew of relabel should be new label")
+	}
+	if l, _, ok := r.ProjOld(); l != "b" || !ok {
+		t.Fatal("ProjOld of relabel should be old label")
+	}
+	// Inserted.
+	ins := NewElement("a")
+	ins.Delta = DeltaInsert
+	if _, _, ok := ins.ProjOld(); ok {
+		t.Fatal("ProjOld of insert should be ε")
+	}
+	if l, _, ok := ins.ProjNew(); l != "a" || !ok {
+		t.Fatal("ProjNew of insert should be the label")
+	}
+	// Deleted.
+	del := NewElement("a")
+	del.Delta = DeltaDelete
+	if _, _, ok := del.ProjNew(); ok {
+		t.Fatal("ProjNew of delete should be ε")
+	}
+	if l, _, ok := del.ProjOld(); l != "a" || !ok {
+		t.Fatal("ProjOld of delete should be the original label")
+	}
+	// Text nodes project as χ.
+	txt := NewText("v")
+	if _, isText, ok := txt.ProjNew(); !isText || !ok {
+		t.Fatal("text ProjNew should be χ")
+	}
+	if _, isText, ok := txt.ProjOld(); !isText || !ok {
+		t.Fatal("text ProjOld should be χ")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	n := NewElement("a", NewText("v"), NewElement("b"))
+	if got := n.String(); got != `a("v" b())` {
+		t.Fatalf("String = %q", got)
+	}
+	d := NewElement("x")
+	d.Delta = DeltaDelete
+	n2 := NewElement("a", d)
+	if got := n2.String(); got != "a(Δ[-]x())" {
+		t.Fatalf("String with tombstone = %q", got)
+	}
+}
+
+func TestDeltaKindString(t *testing.T) {
+	if DeltaNone.String() != "none" || DeltaRelabel.String() != "relabel" ||
+		DeltaInsert.String() != "insert" || DeltaDelete.String() != "delete" {
+		t.Fatal("DeltaKind strings changed")
+	}
+	if !strings.Contains(DeltaKind(9).String(), "9") {
+		t.Fatal("unknown DeltaKind should render its number")
+	}
+}
+
+func TestChildIndex(t *testing.T) {
+	p := NewElement("p", NewElement("a"), NewElement("b"))
+	if p.ChildIndex(p.Children[1]) != 1 {
+		t.Fatal("ChildIndex wrong")
+	}
+	if p.ChildIndex(NewElement("z")) != -1 {
+		t.Fatal("ChildIndex of non-child should be -1")
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	n := MustParseString(`<a id="1" class="x &amp; y"><b ref="z"/></a>`)
+	if v, ok := n.AttrValue("id"); !ok || v != "1" {
+		t.Fatalf("id attr = %q,%v", v, ok)
+	}
+	if v, _ := n.AttrValue("class"); v != "x & y" {
+		t.Fatalf("class attr = %q", v)
+	}
+	if _, ok := n.AttrValue("missing"); ok {
+		t.Fatal("missing attr should not resolve")
+	}
+	// Round trip preserves attributes.
+	out := XMLString(n)
+	back := MustParseString(out)
+	if !Equal(n, back) {
+		t.Fatalf("attribute round trip changed tree: %s vs %s", out, XMLString(back))
+	}
+	// SetAttr replaces and appends.
+	n.SetAttr("id", "2")
+	n.SetAttr("new", "v")
+	if v, _ := n.AttrValue("id"); v != "2" {
+		t.Fatal("SetAttr replace failed")
+	}
+	if v, _ := n.AttrValue("new"); v != "v" {
+		t.Fatal("SetAttr append failed")
+	}
+	// Clone copies attributes independently.
+	c := n.Clone()
+	c.SetAttr("id", "3")
+	if v, _ := n.AttrValue("id"); v != "2" {
+		t.Fatal("clone shares attribute storage")
+	}
+	// Attributes participate in equality.
+	if Equal(n, c) {
+		t.Fatal("differing attributes must break equality")
+	}
+}
+
+func TestNamespaceDeclarationsDropped(t *testing.T) {
+	n := MustParseString(`<a xmlns="urn:x" xmlns:p="urn:y" p:q="v"/>`)
+	if len(n.Attrs) != 1 || n.Attrs[0].Name != "q" {
+		t.Fatalf("Attrs = %v", n.Attrs)
+	}
+}

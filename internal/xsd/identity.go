@@ -1,0 +1,72 @@
+package xsd
+
+import (
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/xmltree"
+)
+
+// identityConstraint parses one xs:unique / xs:key / xs:keyref declaration
+// attached to an element declaration. Constraints are scoped to the
+// carrying element's label. A given declaration node is parsed once even
+// when the element is resolved repeatedly through refs.
+func (ld *loader) identityConstraint(elem, decl *xmltree.Node) error {
+	if ld.constraintsDone[decl] {
+		return nil
+	}
+	ld.constraintsDone[decl] = true
+
+	scopeLabel, _ := elem.AttrValue("name")
+	if scopeLabel == "" {
+		return fmt.Errorf("xsd: identity constraint on an unnamed element")
+	}
+	name, _ := decl.AttrValue("name")
+	if name == "" {
+		return fmt.Errorf("xsd: %s on element %q has no name", decl.Label, scopeLabel)
+	}
+	c := &ident.Constraint{Name: name, ScopeLabel: scopeLabel}
+	switch decl.Label {
+	case "unique":
+		c.Kind = ident.Unique
+	case "key":
+		c.Kind = ident.Key
+	case "keyref":
+		c.Kind = ident.KeyRef
+		refer, ok := decl.AttrValue("refer")
+		if !ok {
+			return fmt.Errorf("xsd: keyref %q has no refer attribute", name)
+		}
+		c.Refer = stripPrefix(refer)
+	}
+	for _, part := range decl.Children {
+		if part.IsText() || part.Label == "annotation" {
+			continue
+		}
+		xpath, _ := part.AttrValue("xpath")
+		switch part.Label {
+		case "selector":
+			if c.Selector != nil {
+				return fmt.Errorf("xsd: %s %q has multiple selectors", decl.Label, name)
+			}
+			sel, err := ident.ParseSelector(xpath)
+			if err != nil {
+				return fmt.Errorf("xsd: %s %q: %w", decl.Label, name, err)
+			}
+			c.Selector = sel
+		case "field":
+			f, err := ident.ParseField(xpath)
+			if err != nil {
+				return fmt.Errorf("xsd: %s %q: %w", decl.Label, name, err)
+			}
+			c.Fields = append(c.Fields, f)
+		default:
+			return fmt.Errorf("xsd: unexpected %q inside %s %q", part.Label, decl.Label, name)
+		}
+	}
+	if c.Selector == nil || len(c.Fields) == 0 {
+		return fmt.Errorf("xsd: %s %q needs a selector and at least one field", decl.Label, name)
+	}
+	ld.constraints = append(ld.constraints, c)
+	return nil
+}

@@ -1,0 +1,430 @@
+package xsd
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/regexpsym"
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// binding records a label→type assignment harvested while building a
+// content model (the types_τ map under construction).
+type binding struct {
+	label string
+	τ     schema.TypeID
+}
+
+// buildComplex converts a <complexType> node into a schema complex type.
+// The type shell is registered first so recursive references resolve.
+// A complexType with simpleContent carries a text value plus attributes;
+// since attributes are outside the structural model, it maps to its base
+// simple type (with restriction facets applied) — handled before the shell
+// is created, because the result is a simple type.
+func (ld *loader) buildComplex(name string, node *xmltree.Node) (schema.TypeID, error) {
+	if mixed, _ := node.AttrValue("mixed"); mixed == "true" {
+		return schema.NoType, fmt.Errorf("xsd: complexType %q: mixed content is outside the tree model", name)
+	}
+	for _, c := range node.Children {
+		if !c.IsText() && c.Label == "simpleContent" {
+			return ld.simpleContent(name, c)
+		}
+	}
+	id, err := ld.s.AddComplexType(name, regexpsym.Epsilon{})
+	if err != nil {
+		return schema.NoType, fmt.Errorf("xsd: %w", err)
+	}
+	ld.builtComplex[name] = id
+	// Clear the placeholder so derivation can detect a base that is still
+	// under construction (recursive element references are fine — they only
+	// need the TypeID — but extending an unfinished base is not).
+	ld.s.TypeOf(id).Content = nil
+
+	var particle, derivation *xmltree.Node
+	for _, c := range node.Children {
+		if c.IsText() || c.Label == "annotation" {
+			continue
+		}
+		switch c.Label {
+		case "sequence", "choice", "all", "group":
+			if particle != nil || derivation != nil {
+				return schema.NoType, fmt.Errorf("xsd: complexType %q has multiple top-level groups", name)
+			}
+			particle = c
+		case "attribute", "attributeGroup", "anyAttribute":
+			// Attributes are outside the structural model; skipped, as in
+			// the paper.
+		case "complexContent":
+			if particle != nil || derivation != nil {
+				return schema.NoType, fmt.Errorf("xsd: complexType %q mixes content and derivation", name)
+			}
+			derivation = c
+		case "simpleContent":
+			// handled above, before the complex shell was created
+		default:
+			return schema.NoType, fmt.Errorf("xsd: complexType %q: unexpected %q", name, c.Label)
+		}
+	}
+	content := regexpsym.Node(regexpsym.Epsilon{})
+	var binds []binding
+	usedAll := false
+	if derivation != nil {
+		content, binds, usedAll, err = ld.complexContent(name, derivation)
+		if err != nil {
+			return schema.NoType, err
+		}
+	} else if particle != nil {
+		content, binds, usedAll, err = ld.particle(particle, name)
+		if err != nil {
+			return schema.NoType, err
+		}
+	}
+	t := ld.s.TypeOf(id)
+	t.Content = content
+	t.SkipUPA = usedAll
+	for _, b := range binds {
+		if err := ld.s.SetChildType(id, b.label, b.τ); err != nil {
+			return schema.NoType, fmt.Errorf("xsd: complexType %q: %w (XML Schema requires same-label children to share a type)", name, err)
+		}
+	}
+	return id, nil
+}
+
+// complexContent handles <complexContent><extension base="B">particle…
+// (content = base's content followed by the extension particle, bindings
+// merged) and <restriction base="B">particle… (content as re-declared; the
+// base must exist — structural containment is the author's obligation, as
+// in XSD, and the subsumption machinery can verify it on request).
+func (ld *loader) complexContent(name string, node *xmltree.Node) (regexpsym.Node, []binding, bool, error) {
+	var deriv *xmltree.Node
+	for _, c := range node.Children {
+		if c.IsText() || c.Label == "annotation" {
+			continue
+		}
+		if c.Label != "extension" && c.Label != "restriction" || deriv != nil {
+			return nil, nil, false, fmt.Errorf("xsd: complexType %q: malformed complexContent", name)
+		}
+		deriv = c
+	}
+	if deriv == nil {
+		return nil, nil, false, fmt.Errorf("xsd: complexType %q: empty complexContent", name)
+	}
+	baseRef, ok := deriv.AttrValue("base")
+	if !ok {
+		return nil, nil, false, fmt.Errorf("xsd: complexType %q: %s without base", name, deriv.Label)
+	}
+	baseID, err := ld.resolveTypeRef(baseRef, name)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	base := ld.s.TypeOf(baseID)
+	if base.Simple {
+		return nil, nil, false, fmt.Errorf("xsd: complexType %q: complexContent base %q is simple", name, baseRef)
+	}
+	if base.Content == nil {
+		return nil, nil, false, fmt.Errorf("xsd: complexType %q: base %q is recursively under construction", name, baseRef)
+	}
+
+	var particle *xmltree.Node
+	for _, c := range deriv.Children {
+		if c.IsText() || c.Label == "annotation" {
+			continue
+		}
+		switch c.Label {
+		case "sequence", "choice", "all", "group":
+			if particle != nil {
+				return nil, nil, false, fmt.Errorf("xsd: complexType %q: multiple groups in %s", name, deriv.Label)
+			}
+			particle = c
+		case "attribute", "attributeGroup", "anyAttribute":
+			// skipped
+		default:
+			return nil, nil, false, fmt.Errorf("xsd: complexType %q: unexpected %q in %s", name, c.Label, deriv.Label)
+		}
+	}
+	ownContent := regexpsym.Node(regexpsym.Epsilon{})
+	var ownBinds []binding
+	ownAll := false
+	if particle != nil {
+		ownContent, ownBinds, ownAll, err = ld.particle(particle, name)
+		if err != nil {
+			return nil, nil, false, err
+		}
+	}
+	if deriv.Label == "restriction" {
+		// Re-declared content replaces the base's.
+		return ownContent, ownBinds, ownAll, nil
+	}
+	// Extension: base content followed by the extension particle; base
+	// bindings inherited.
+	binds := ownBinds
+	for sym, child := range base.Child {
+		binds = append(binds, binding{label: ld.s.Alpha.Name(sym), τ: child})
+	}
+	return regexpsym.Cat(base.Content, ownContent), binds, ownAll || base.SkipUPA, nil
+}
+
+// particle converts a sequence/choice/all/element node into a content
+// expression plus its label bindings. usedAll reports that an xs:all group
+// was expanded (exempting the model from the UPA check).
+func (ld *loader) particle(node *xmltree.Node, context string) (regexpsym.Node, []binding, bool, error) {
+	switch node.Label {
+	case "element":
+		expr, b, err := ld.elementParticle(node, context)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return expr, []binding{b}, false, nil
+	case "sequence", "choice":
+		var kids []regexpsym.Node
+		var binds []binding
+		usedAll := false
+		for _, c := range node.Children {
+			if c.IsText() || c.Label == "annotation" {
+				continue
+			}
+			expr, bs, ua, err := ld.particle(c, context)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			kids = append(kids, expr)
+			binds = append(binds, bs...)
+			usedAll = usedAll || ua
+		}
+		var expr regexpsym.Node
+		if node.Label == "sequence" {
+			expr = regexpsym.Cat(kids...)
+		} else {
+			if len(kids) == 0 {
+				return nil, nil, false, fmt.Errorf("xsd: %s: empty choice group", context)
+			}
+			expr = regexpsym.Or(kids...)
+		}
+		expr, err := ld.wrapOccurs(expr, node, context)
+		return expr, binds, usedAll, err
+	case "all":
+		return ld.allParticle(node, context)
+	case "group":
+		return ld.groupParticle(node, context)
+	case "any":
+		return nil, nil, false, fmt.Errorf("xsd: %s: xs:any particles are not supported", context)
+	default:
+		return nil, nil, false, fmt.Errorf("xsd: %s: unexpected particle %q", context, node.Label)
+	}
+}
+
+// groupParticle resolves a <group ref="…"> reference to a named top-level
+// model group, applying the reference's occurrence bounds around the
+// group's particle.
+func (ld *loader) groupParticle(node *xmltree.Node, context string) (regexpsym.Node, []binding, bool, error) {
+	ref, ok := node.AttrValue("ref")
+	if !ok {
+		return nil, nil, false, fmt.Errorf("xsd: %s: group without ref (named group definitions belong at the top level)", context)
+	}
+	name := stripPrefix(ref)
+	def, ok := ld.namedGroups[name]
+	if !ok {
+		return nil, nil, false, fmt.Errorf("xsd: %s: group ref %q has no definition", context, ref)
+	}
+	if ld.groupBuilding[name] {
+		return nil, nil, false, fmt.Errorf("xsd: group %q is defined in terms of itself", name)
+	}
+	ld.groupBuilding[name] = true
+	defer delete(ld.groupBuilding, name)
+
+	var inner *xmltree.Node
+	for _, c := range def.Children {
+		if c.IsText() || c.Label == "annotation" {
+			continue
+		}
+		switch c.Label {
+		case "sequence", "choice", "all":
+			if inner != nil {
+				return nil, nil, false, fmt.Errorf("xsd: group %q has multiple particles", name)
+			}
+			inner = c
+		default:
+			return nil, nil, false, fmt.Errorf("xsd: group %q: unexpected %q", name, c.Label)
+		}
+	}
+	if inner == nil {
+		return nil, nil, false, fmt.Errorf("xsd: group %q has no particle", name)
+	}
+	expr, binds, usedAll, err := ld.particle(inner, "group "+name)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	expr, err = ld.wrapOccurs(expr, node, context+"/group("+name+")")
+	return expr, binds, usedAll, err
+}
+
+// elementParticle handles a local element declaration or a ref to a global
+// one, returning the occurrence-wrapped label atom and its type binding.
+func (ld *loader) elementParticle(node *xmltree.Node, context string) (regexpsym.Node, binding, error) {
+	label, hasName := node.AttrValue("name")
+	ref, hasRef := node.AttrValue("ref")
+	var τ schema.TypeID
+	var err error
+	switch {
+	case hasName && hasRef:
+		return nil, binding{}, fmt.Errorf("xsd: %s: element with both name and ref", context)
+	case hasRef:
+		label = stripPrefix(ref)
+		global, ok := ld.globalElems[label]
+		if !ok {
+			return nil, binding{}, fmt.Errorf("xsd: %s: element ref %q has no global declaration", context, ref)
+		}
+		τ, err = ld.elementType(global, label)
+	case hasName:
+		τ, err = ld.elementType(node, context+"/"+label)
+	default:
+		return nil, binding{}, fmt.Errorf("xsd: %s: element without name or ref", context)
+	}
+	if err != nil {
+		return nil, binding{}, err
+	}
+	expr, err := ld.wrapOccurs(regexpsym.Lbl(label), node, context+"/"+label)
+	if err != nil {
+		return nil, binding{}, err
+	}
+	return expr, binding{label: label, τ: τ}, nil
+}
+
+// allParticle expands an xs:all group into the alternation of all member
+// permutations. XML Schema 1.0 restricts all-group members to single
+// elements with maxOccurs ≤ 1, which keeps the expansion exact; the n!
+// growth caps group size at 7 here.
+func (ld *loader) allParticle(node *xmltree.Node, context string) (regexpsym.Node, []binding, bool, error) {
+	type member struct {
+		expr     regexpsym.Node
+		optional bool
+	}
+	var members []member
+	var binds []binding
+	for _, c := range node.Children {
+		if c.IsText() || c.Label == "annotation" {
+			continue
+		}
+		if c.Label != "element" {
+			return nil, nil, false, fmt.Errorf("xsd: %s: xs:all may contain only elements, found %q", context, c.Label)
+		}
+		min, max, err := occurs(c)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("xsd: %s: %w", context, err)
+		}
+		if max != 1 || min > 1 {
+			return nil, nil, false, fmt.Errorf("xsd: %s: xs:all members must have occurs in {0,1}", context)
+		}
+		// Build the bare atom (without occurrence wrapping; optionality is
+		// handled per permutation position).
+		label, hasName := c.AttrValue("name")
+		if !hasName {
+			if ref, ok := c.AttrValue("ref"); ok {
+				label = stripPrefix(ref)
+			} else {
+				return nil, nil, false, fmt.Errorf("xsd: %s: all-group element without name or ref", context)
+			}
+		}
+		var τ schema.TypeID
+		if ref, ok := c.AttrValue("ref"); ok {
+			global, okG := ld.globalElems[stripPrefix(ref)]
+			if !okG {
+				return nil, nil, false, fmt.Errorf("xsd: %s: element ref %q has no global declaration", context, ref)
+			}
+			τ, err = ld.elementType(global, label)
+		} else {
+			τ, err = ld.elementType(c, context+"/"+label)
+		}
+		if err != nil {
+			return nil, nil, false, err
+		}
+		members = append(members, member{expr: regexpsym.Lbl(label), optional: min == 0})
+		binds = append(binds, binding{label: label, τ: τ})
+	}
+	if len(members) == 0 {
+		return regexpsym.Epsilon{}, nil, true, nil
+	}
+	if len(members) > 7 {
+		return nil, nil, false, fmt.Errorf("xsd: %s: xs:all with %d members exceeds the expansion limit of 7", context, len(members))
+	}
+	// Generate permutations; optional members may be dropped, which the
+	// per-permutation optionality wrapping handles.
+	var alts []regexpsym.Node
+	perm := make([]int, len(members))
+	for i := range perm {
+		perm[i] = i
+	}
+	var emit func(k int)
+	emit = func(k int) {
+		if k == len(perm) {
+			seq := make([]regexpsym.Node, len(perm))
+			for i, idx := range perm {
+				if members[idx].optional {
+					seq[i] = regexpsym.Opt(members[idx].expr)
+				} else {
+					seq[i] = members[idx].expr
+				}
+			}
+			alts = append(alts, regexpsym.Cat(seq...))
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			emit(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	emit(0)
+	expr, err := ld.wrapOccurs(regexpsym.Or(alts...), node, context)
+	return expr, binds, true, err
+}
+
+// wrapOccurs applies the node's minOccurs/maxOccurs to an expression.
+func (ld *loader) wrapOccurs(expr regexpsym.Node, node *xmltree.Node, context string) (regexpsym.Node, error) {
+	min, max, err := occurs(node)
+	if err != nil {
+		return nil, fmt.Errorf("xsd: %s: %w", context, err)
+	}
+	if min == 1 && max == 1 {
+		return expr, nil
+	}
+	if max == regexpsym.Unbounded {
+		return regexpsym.Bound(expr, min, regexpsym.Unbounded), nil
+	}
+	return regexpsym.Bound(expr, min, max), nil
+}
+
+// occurs parses minOccurs/maxOccurs attributes (defaults 1/1; maxOccurs
+// "unbounded" maps to regexpsym.Unbounded).
+func occurs(node *xmltree.Node) (min, max int, err error) {
+	min, max = 1, 1
+	if v, ok := node.AttrValue("minOccurs"); ok {
+		min, err = strconv.Atoi(v)
+		if err != nil || min < 0 {
+			return 0, 0, fmt.Errorf("bad minOccurs %q", v)
+		}
+	}
+	if v, ok := node.AttrValue("maxOccurs"); ok {
+		if v == "unbounded" {
+			return min, regexpsym.Unbounded, nil
+		}
+		max, err = strconv.Atoi(v)
+		if err != nil || max < 0 {
+			return 0, 0, fmt.Errorf("bad maxOccurs %q", v)
+		}
+	}
+	if max != regexpsym.Unbounded && max < min {
+		return 0, 0, fmt.Errorf("maxOccurs %d < minOccurs %d", max, min)
+	}
+	return min, max, nil
+}
+
+func stripPrefix(qname string) string {
+	for i := len(qname) - 1; i >= 0; i-- {
+		if qname[i] == ':' {
+			return qname[i+1:]
+		}
+	}
+	return qname
+}

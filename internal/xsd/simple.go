@@ -1,0 +1,256 @@
+package xsd
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// buildSimple converts a <simpleType> node (a restriction) into a schema
+// simple type.
+func (ld *loader) buildSimple(name string, node *xmltree.Node) (schema.TypeID, error) {
+	var restriction, list *xmltree.Node
+	for _, c := range node.Children {
+		if c.IsText() || c.Label == "annotation" {
+			continue
+		}
+		switch c.Label {
+		case "restriction":
+			if restriction != nil || list != nil {
+				return schema.NoType, fmt.Errorf("xsd: simpleType %q has multiple variety children", name)
+			}
+			restriction = c
+		case "list":
+			if restriction != nil || list != nil {
+				return schema.NoType, fmt.Errorf("xsd: simpleType %q has multiple variety children", name)
+			}
+			list = c
+		case "union":
+			return schema.NoType, fmt.Errorf("xsd: simpleType %q: union types are not supported", name)
+		default:
+			return schema.NoType, fmt.Errorf("xsd: simpleType %q: unexpected %q", name, c.Label)
+		}
+	}
+	var (
+		st  *schema.SimpleType
+		err error
+	)
+	switch {
+	case restriction != nil:
+		st, err = ld.restriction(name, restriction)
+	case list != nil:
+		st, err = ld.list(name, list)
+	default:
+		return schema.NoType, fmt.Errorf("xsd: simpleType %q has no restriction or list", name)
+	}
+	if err != nil {
+		return schema.NoType, err
+	}
+	id, err := ld.s.AddSimpleType(name, st)
+	if err != nil {
+		return schema.NoType, fmt.Errorf("xsd: %w", err)
+	}
+	return id, nil
+}
+
+// restriction resolves the base (a primitive or another named simpleType)
+// and layers the facets on top.
+func (ld *loader) restriction(name string, node *xmltree.Node) (*schema.SimpleType, error) {
+	baseRef, ok := node.AttrValue("base")
+	if !ok {
+		return nil, fmt.Errorf("xsd: simpleType %q: restriction without base", name)
+	}
+	st, err := ld.baseSimple(name, baseRef)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range node.Children {
+		if f.IsText() || f.Label == "annotation" {
+			continue
+		}
+		st, err = ld.applyFacet(name, st, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// applyFacet layers one facet element onto a simple type.
+func (ld *loader) applyFacet(name string, st *schema.SimpleType, f *xmltree.Node) (*schema.SimpleType, error) {
+	value, hasValue := f.AttrValue("value")
+	if !hasValue {
+		return nil, fmt.Errorf("xsd: simpleType %q: facet %s without value", name, f.Label)
+	}
+	switch f.Label {
+	case "minInclusive", "maxInclusive", "minExclusive", "maxExclusive":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("xsd: simpleType %q: bad %s value %q", name, f.Label, value)
+		}
+		switch f.Label {
+		case "minInclusive":
+			st = st.WithMinInclusive(v)
+		case "maxInclusive":
+			st = st.WithMaxInclusive(v)
+		case "minExclusive":
+			st = st.WithMinExclusive(v)
+		case "maxExclusive":
+			st = st.WithMaxExclusive(v)
+		}
+	case "minLength", "maxLength", "length":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("xsd: simpleType %q: bad %s value %q", name, f.Label, value)
+		}
+		switch f.Label {
+		case "minLength":
+			st = st.WithLength(n, st.MaxLength)
+		case "maxLength":
+			st = st.WithLength(st.MinLength, n)
+		case "length":
+			st = st.WithLength(n, n)
+		}
+	case "enumeration":
+		st = st.WithEnumeration(append(st.Enumeration, value)...)
+	case "pattern", "whiteSpace", "totalDigits", "fractionDigits":
+		return nil, fmt.Errorf("xsd: simpleType %q: facet %s is not supported", name, f.Label)
+	default:
+		return nil, fmt.Errorf("xsd: simpleType %q: unknown facet %q", name, f.Label)
+	}
+	return st, nil
+}
+
+// list builds an xs:list simple type: the item type comes from an itemType
+// attribute or an inline simpleType.
+func (ld *loader) list(name string, node *xmltree.Node) (*schema.SimpleType, error) {
+	if itemRef, ok := node.AttrValue("itemType"); ok {
+		item, err := ld.baseSimple(name, itemRef)
+		if err != nil {
+			return nil, err
+		}
+		return schema.NewListType(item), nil
+	}
+	for _, c := range node.Children {
+		if c.IsText() || c.Label == "annotation" {
+			continue
+		}
+		if c.Label != "simpleType" {
+			return nil, fmt.Errorf("xsd: list in simpleType %q: unexpected %q", name, c.Label)
+		}
+		var restriction *xmltree.Node
+		for _, r := range c.Children {
+			if !r.IsText() && r.Label == "restriction" {
+				restriction = r
+			}
+		}
+		if restriction == nil {
+			return nil, fmt.Errorf("xsd: list item type of %q must be a restriction", name)
+		}
+		item, err := ld.restriction(name+"#item", restriction)
+		if err != nil {
+			return nil, err
+		}
+		return schema.NewListType(item), nil
+	}
+	return nil, fmt.Errorf("xsd: list in simpleType %q needs itemType or an inline simpleType", name)
+}
+
+// baseSimple resolves the restriction base into a starting SimpleType
+// (copying facets when the base is itself a user-defined simpleType).
+func (ld *loader) baseSimple(context, baseRef string) (*schema.SimpleType, error) {
+	local := stripPrefix(baseRef)
+	if node, ok := ld.namedSimple[local]; ok {
+		if ld.building[local] {
+			return nil, fmt.Errorf("xsd: simpleType %q is defined in terms of itself", local)
+		}
+		ld.building[local] = true
+		defer delete(ld.building, local)
+		var restriction *xmltree.Node
+		for _, c := range node.Children {
+			if !c.IsText() && c.Label == "restriction" {
+				restriction = c
+			}
+		}
+		if restriction == nil {
+			return nil, fmt.Errorf("xsd: simpleType %q: base %q has no restriction", context, baseRef)
+		}
+		return ld.restriction(local, restriction)
+	}
+	base, ok := schema.BaseKindByName(local)
+	if !ok {
+		return nil, fmt.Errorf("xsd: simpleType %q: unknown base type %q", context, baseRef)
+	}
+	return schema.NewSimpleType(base), nil
+}
+
+// simpleContent maps a complexType with simpleContent to a simple type:
+// <extension base="B"> adopts B's value space (attributes are skipped, as
+// everywhere in this model); <restriction base="B"> layers facets on it.
+// The base may be a simple type, a built-in, or another simple-content
+// complexType.
+func (ld *loader) simpleContent(name string, node *xmltree.Node) (schema.TypeID, error) {
+	var deriv *xmltree.Node
+	for _, c := range node.Children {
+		if c.IsText() || c.Label == "annotation" {
+			continue
+		}
+		if c.Label != "extension" && c.Label != "restriction" || deriv != nil {
+			return schema.NoType, fmt.Errorf("xsd: complexType %q: malformed simpleContent", name)
+		}
+		deriv = c
+	}
+	if deriv == nil {
+		return schema.NoType, fmt.Errorf("xsd: complexType %q: empty simpleContent", name)
+	}
+	baseRef, ok := deriv.AttrValue("base")
+	if !ok {
+		return schema.NoType, fmt.Errorf("xsd: complexType %q: simpleContent %s without base", name, deriv.Label)
+	}
+	baseID, err := ld.resolveTypeRef(baseRef, name)
+	if err != nil {
+		return schema.NoType, err
+	}
+	base := ld.s.TypeOf(baseID)
+	if !base.Simple {
+		return schema.NoType, fmt.Errorf("xsd: complexType %q: simpleContent base %q has element content", name, baseRef)
+	}
+	st := base.Value
+	if deriv.Label == "restriction" {
+		// Apply the facet children on top of the base's facets.
+		start := st
+		if start == nil {
+			start = schema.NewSimpleType(schema.AnySimple)
+		}
+		copied := *start
+		st = &copied
+		for _, f := range deriv.Children {
+			if f.IsText() || f.Label == "annotation" || f.Label == "attribute" ||
+				f.Label == "attributeGroup" || f.Label == "anyAttribute" {
+				continue
+			}
+			st, err = ld.applyFacet(name, st, f)
+			if err != nil {
+				return schema.NoType, err
+			}
+		}
+	} else {
+		// Extension adds only attributes; verify nothing structural hides
+		// inside.
+		for _, f := range deriv.Children {
+			if f.IsText() || f.Label == "annotation" || f.Label == "attribute" ||
+				f.Label == "attributeGroup" || f.Label == "anyAttribute" {
+				continue
+			}
+			return schema.NoType, fmt.Errorf("xsd: complexType %q: unexpected %q in simpleContent extension", name, f.Label)
+		}
+	}
+	id, err := ld.s.AddSimpleType(name, st)
+	if err != nil {
+		return schema.NoType, fmt.Errorf("xsd: %w", err)
+	}
+	ld.builtComplex[name] = id
+	return id, nil
+}

@@ -1,0 +1,65 @@
+package revalidate
+
+import (
+	"repro/internal/repair"
+)
+
+// Repairer automatically corrects documents valid under a source schema so
+// that they conform to a target schema — the extension the paper names as
+// future work (§7). Corrections are minimal per content model (an
+// automaton-constrained edit distance chooses the fewest insert/delete/
+// relabel operations), missing mandatory content is synthesized as minimal
+// valid subtrees, and out-of-range simple values are clamped toward the
+// nearest facet bound.
+type Repairer struct {
+	src, dst *Schema
+	r        *repair.Repairer
+}
+
+// NewRepairer preprocesses a (source, target) schema pair for repair. Both
+// schemas must come from the same Universe.
+func NewRepairer(src, dst *Schema) (*Repairer, error) {
+	if err := sameUniverse(src, dst); err != nil {
+		return nil, err
+	}
+	r, err := repair.New(src.s, dst.s)
+	if err != nil {
+		return nil, err
+	}
+	return &Repairer{src: src, dst: dst, r: r}, nil
+}
+
+// RepairReport summarizes the edits a repair applied.
+type RepairReport struct {
+	Relabels   int
+	Inserts    int
+	Deletes    int
+	ValueFixes int
+}
+
+// Total returns the total number of edit operations applied.
+func (r RepairReport) Total() int {
+	return r.Relabels + r.Inserts + r.Deletes + r.ValueFixes
+}
+
+// Repair edits doc — assumed valid under the source schema — in place so
+// that it becomes valid under the target schema. The returned ChangeSet
+// localizes the edits, so the result can be revalidated incrementally
+// (Caster.ValidateModified) or serialized directly. An already-valid
+// document is returned untouched with an empty report.
+//
+// The document root's label must be a permitted root of the target schema;
+// repairs never relabel the root.
+func (r *Repairer) Repair(doc *Document) (*ChangeSet, RepairReport, error) {
+	tk, rep, err := r.r.Repair(doc.root)
+	report := RepairReport{
+		Relabels:   rep.Relabels,
+		Inserts:    rep.Inserts,
+		Deletes:    rep.Deletes,
+		ValueFixes: rep.ValueFixes,
+	}
+	if err != nil {
+		return nil, report, err
+	}
+	return &ChangeSet{trie: tk.Finalize()}, report, nil
+}

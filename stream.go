@@ -1,0 +1,70 @@
+package revalidate
+
+import (
+	"io"
+
+	"repro/internal/stream"
+)
+
+// StreamStats counts the work of a streaming validation.
+type StreamStats struct {
+	// ElementsProcessed counts elements that received validation work.
+	ElementsProcessed int64
+	// ElementsSkimmed counts elements consumed inside subsumed subtrees
+	// with no validation work at all (streaming cast only).
+	ElementsSkimmed int64
+	// AutomatonSteps counts content-model transitions taken.
+	AutomatonSteps int64
+	// ValuesChecked counts simple values tested against facets.
+	ValuesChecked int64
+}
+
+func fromStreamStats(s stream.Stats) StreamStats {
+	return StreamStats{
+		ElementsProcessed: s.ElementsProcessed,
+		ElementsSkimmed:   s.ElementsSkimmed,
+		AutomatonSteps:    s.AutomatonSteps,
+		ValuesChecked:     s.ValuesChecked,
+	}
+}
+
+// ValidateStream fully validates one XML document read from r, without
+// building a document tree: memory is proportional to element depth. For
+// revalidation with source-schema knowledge use a StreamCaster.
+func (s *Schema) ValidateStream(r io.Reader) (StreamStats, error) {
+	st, err := stream.NewValidator(s.s).Validate(r)
+	return fromStreamStats(st), err
+}
+
+// StreamCaster performs schema cast validation over a token stream: the
+// incoming document is known to satisfy the source schema, and validity
+// under the target schema is decided as tokens arrive. Subtrees whose type
+// pair is subsumed are skimmed (consumed with no validation work); a
+// disjoint pair rejects immediately; content models conclude early through
+// the immediate decision automata. Memory is proportional to document
+// depth — the natural fit for the message-broker setting the paper
+// motivates.
+type StreamCaster struct {
+	src, dst *Schema
+	c        *stream.Caster
+}
+
+// NewStreamCaster preprocesses a (source, target) schema pair for
+// streaming casts. Both schemas must come from the same Universe.
+func NewStreamCaster(src, dst *Schema) (*StreamCaster, error) {
+	if err := sameUniverse(src, dst); err != nil {
+		return nil, err
+	}
+	c, err := stream.NewCaster(src.s, dst.s)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamCaster{src: src, dst: dst, c: c}, nil
+}
+
+// Validate reads one XML document from r — assumed valid under the source
+// schema — and decides validity under the target schema.
+func (c *StreamCaster) Validate(r io.Reader) (StreamStats, error) {
+	st, err := c.c.Validate(r)
+	return fromStreamStats(st), err
+}

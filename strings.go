@@ -1,0 +1,136 @@
+package revalidate
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+	"repro/internal/regexpsym"
+	"repro/internal/strcast"
+)
+
+// StringCaster is the string-level (§4) machinery exposed directly: given
+// two content-model expressions over element labels, it decides membership
+// of label sequences known to match the source expression in the target
+// expression's language, scanning as few symbols as possible. It is the
+// engine a Caster runs per content model, useful standalone for streaming
+// or event-based processing.
+type StringCaster struct {
+	alpha *fa.Alphabet
+	c     *strcast.Caster
+}
+
+// NewStringCaster compiles a (source, target) pair of content-model
+// expressions. The syntax is DTD-flavoured: `a, b` sequence, `a | b`
+// choice, `?` `*` `+` `{m,n}` occurrence bounds, `EMPTY` for ε.
+func NewStringCaster(source, target string) (*StringCaster, error) {
+	srcExpr, err := regexpsym.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("revalidate: source expression: %w", err)
+	}
+	dstExpr, err := regexpsym.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("revalidate: target expression: %w", err)
+	}
+	alpha := fa.NewAlphabet()
+	a := regexpsym.Compile(srcExpr, alpha)
+	b := regexpsym.Compile(dstExpr, alpha)
+	return &StringCaster{alpha: alpha, c: strcast.New(a, b)}, nil
+}
+
+// StringResult reports a string-cast outcome.
+type StringResult struct {
+	// Accepted reports membership in the target language (valid under the
+	// contract that the input matches the source expression).
+	Accepted bool
+	// Scanned counts the symbols examined before the verdict; an early
+	// verdict (immediate accept/reject) leaves it below the input length.
+	Scanned int
+	// Early reports that the verdict came before the end of the input.
+	Early bool
+	// Reversed reports a right-to-left scan (chosen when edits cluster at
+	// the end of the string).
+	Reversed bool
+}
+
+// Validate decides whether labels — a sequence matching the source
+// expression — also matches the target expression.
+func (sc *StringCaster) Validate(labels []string) (StringResult, error) {
+	word, err := sc.word(labels)
+	if err != nil {
+		return StringResult{}, err
+	}
+	res := sc.c.Validate(word)
+	return StringResult{
+		Accepted: res.Accepted,
+		Scanned:  res.Scanned,
+		Early:    res.Decision != fa.Undecided,
+	}, nil
+}
+
+// Editor starts an edit session over a label sequence, tracking how much
+// of it stays untouched at each end so ValidateEdited can re-synchronize.
+type StringEditor struct {
+	sc *StringCaster
+	ed *strcast.Editor
+}
+
+// Edit begins editing a label sequence that matches the source expression.
+func (sc *StringCaster) Edit(labels []string) (*StringEditor, error) {
+	word, err := sc.word(labels)
+	if err != nil {
+		return nil, err
+	}
+	return &StringEditor{sc: sc, ed: strcast.NewEditor(word)}, nil
+}
+
+// Replace renames the label at position pos.
+func (se *StringEditor) Replace(pos int, label string) {
+	se.ed.Replace(pos, se.sc.alpha.Intern(label))
+}
+
+// Insert places a label at position pos.
+func (se *StringEditor) Insert(pos int, label string) {
+	se.ed.Insert(pos, se.sc.alpha.Intern(label))
+}
+
+// Append adds a label at the end.
+func (se *StringEditor) Append(label string) {
+	se.ed.Append(se.sc.alpha.Intern(label))
+}
+
+// Delete removes the label at position pos.
+func (se *StringEditor) Delete(pos int) { se.ed.Delete(pos) }
+
+// Current returns the edited sequence.
+func (se *StringEditor) Current() []string {
+	cur := se.ed.Current()
+	out := make([]string, len(cur))
+	for i, sym := range cur {
+		out[i] = se.sc.alpha.Name(sym)
+	}
+	return out
+}
+
+// Validate decides whether the edited sequence matches the target
+// expression, scanning only what the tracked unmodified bounds force.
+func (se *StringEditor) Validate() StringResult {
+	res := se.ed.Validate(se.sc.c)
+	return StringResult{
+		Accepted: res.Accepted,
+		Scanned:  res.Scanned,
+		Early:    res.Decision != fa.Undecided,
+		Reversed: res.Reversed,
+	}
+}
+
+func (sc *StringCaster) word(labels []string) ([]fa.Symbol, error) {
+	word := make([]fa.Symbol, len(labels))
+	for i, l := range labels {
+		s := sc.alpha.Lookup(l)
+		if s == fa.NoSymbol {
+			return nil, fmt.Errorf("revalidate: label %q does not occur in either expression", l)
+		}
+		word[i] = s
+	}
+	return word, nil
+}
