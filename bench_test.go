@@ -7,9 +7,13 @@ package revalidate_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 
 	"bytes"
+
+	revalidate "repro"
 	"repro/internal/baseline"
 	"repro/internal/cast"
 	"repro/internal/fa"
@@ -391,6 +395,108 @@ func BenchmarkStreaming(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Parallel validation: hot-path contention ----------------------------
+
+// BenchmarkParallelCast races goroutines on ONE shared engine over the
+// Experiment-1 workload. With the lock-free caster table the per-element
+// validate path takes no mutex, so throughput should scale with -cpu
+// (vary goroutines with `go test -bench=ParallelCast -cpu=1,2,4,8`).
+func BenchmarkParallelCast(b *testing.B) {
+	ps := wgen.NewPaperSchemas()
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 500, IncludeBillTo: true, Seed: 2004})
+	b.Run("tree-cast", func(b *testing.B) {
+		engine := cast.MustNew(ps.Source1, ps.Target, cast.Options{})
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := engine.Validate(doc); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	// On-demand pairs only: with relations disabled every content model
+	// runs, and subsumed pairs' casters come from the copy-on-write
+	// overflow — the path a mutex used to serialize.
+	b.Run("tree-cast-on-demand", func(b *testing.B) {
+		engine := cast.MustNew(ps.Source1, ps.Target, cast.Options{DisableRelations: true})
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := engine.Validate(doc); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	data := string(wgen.POXMLBytes(doc))
+	b.Run("stream-cast", func(b *testing.B) {
+		sc, err := stream.NewCaster(ps.Source1, ps.Target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := sc.Validate(strings.NewReader(data)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkParallelBatchScaling sweeps the worker count of the public
+// batch API: the tracked series is docs/sec at 1→GOMAXPROCS workers
+// (cmd/castbench -parallel prints the same curve with speedups). The
+// workload is the Experiment-2 pair — every quantity facet must be
+// checked, so per-document work is linear in items and the curve reflects
+// validation scaling rather than pool overhead (Experiment-1 documents
+// cast in O(1), ~140ns, far below per-task dispatch cost).
+func BenchmarkParallelBatchScaling(b *testing.B) {
+	u := revalidate.NewUniverse()
+	src, err := u.LoadXSDString(wgen.Figure2XSD(false, 200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := u.LoadXSDString(wgen.Figure2XSD(false, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	caster, err := revalidate.NewCaster(src, dst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	docs := make([]*revalidate.Document, batch)
+	for i := range docs {
+		xmlText := wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{
+			Items: 200, IncludeBillTo: true, MaxQuantity: 99, Seed: int64(i)}))
+		doc, err := revalidate.ParseDocumentString(string(xmlText))
+		if err != nil {
+			b.Fatal(err)
+		}
+		docs[i] = doc
+	}
+	for workers := 1; ; workers *= 2 {
+		if workers > runtime.GOMAXPROCS(0) {
+			break
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				errs, _ := caster.ValidateAll(docs, workers)
+				for _, e := range errs {
+					if e != nil {
+						b.Fatal(e)
+					}
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+		})
+	}
 }
 
 // --- Subsumption scaling -------------------------------------------------

@@ -4,6 +4,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cast"
 	"repro/internal/update"
+	"repro/internal/xmltree"
 )
 
 // Caster revalidates documents known to conform to a source schema against
@@ -103,6 +104,31 @@ func (c *Caster) ValidateStats(doc *Document) (Stats, error) {
 	return fromCastStats(cs), err
 }
 
+// ValidateAll validates a batch of documents concurrently on a pool of
+// workers sharing this caster (its preprocessed relations and content-model
+// automata are immutable, so the hot path runs lock-free). workers <= 0
+// uses one worker per logical CPU. The returned slice holds one verdict per
+// document (nil when valid), and the Stats are the batch totals, merged
+// from per-worker counters with atomic adds.
+func (c *Caster) ValidateAll(docs []*Document, workers int) ([]error, Stats) {
+	errs := make([]error, len(docs))
+	var total Stats
+	runWorkers(len(docs), workers, func(claim func() (int, bool)) {
+		var local Stats
+		for {
+			i, ok := claim()
+			if !ok {
+				break
+			}
+			cs, err := c.engine.Validate(docs[i].root)
+			errs[i] = err
+			local.add(fromCastStats(cs))
+		}
+		total.atomicAdd(local)
+	})
+	return errs, total
+}
+
 // ValidateModified decides whether an edited document is valid under the
 // target schema, given that its pre-edit form was valid under the source
 // schema. changes must come from an EditSession over this document.
@@ -183,10 +209,12 @@ func (es *EditSession) SetText(e Elem, value string) error {
 
 // SetValue changes the simple value of an element with text content
 // (convenience over SetText on the single text child; an element without a
-// text child gets one inserted).
+// live text child gets one inserted). Tombstoned (deleted) text children
+// are skipped, so delete-then-SetValue inserts a fresh text child instead
+// of touching the deleted node.
 func (es *EditSession) SetValue(e Elem, value string) error {
 	for _, c := range e.n.Children {
-		if c.IsText() {
+		if c.IsText() && c.Delta != xmltree.DeltaDelete {
 			return es.tk.SetText(c, value)
 		}
 	}

@@ -9,6 +9,7 @@
 //	-mods     extension: incremental revalidation after edits vs. full
 //	-stream   extension: streaming cast vs. parse+tree pipelines
 //	-prep     preprocessing cost (relations + IDA construction)
+//	-parallel extension: batch validation scaling, 1→GOMAXPROCS workers
 //	-all      everything (default when no flag is given)
 //
 // Wall-clock numbers are machine-dependent; the shapes (constant vs.
@@ -19,9 +20,12 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
+	revalidate "repro"
 	"repro/internal/baseline"
 	"repro/internal/cast"
 	"repro/internal/strcast"
@@ -44,13 +48,14 @@ func main() {
 		mods   = flag.Bool("mods", false, "extension: incremental revalidation after edits")
 		strm   = flag.Bool("stream", false, "extension: streaming cast vs parse+tree pipelines")
 		prep   = flag.Bool("prep", false, "preprocessing cost breakdown")
+		par    = flag.Bool("parallel", false, "extension: batch validation scaling across workers")
 		all    = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
-	any := *table1 || *table2 || *exp1 || *exp2 || *table3 || *mods || *strm || *prep
+	any := *table1 || *table2 || *exp1 || *exp2 || *table3 || *mods || *strm || *prep || *par
 	if *all || !any {
-		*table1, *table2, *exp1, *exp2, *table3, *mods, *strm, *prep =
-			true, true, true, true, true, true, true, true
+		*table1, *table2, *exp1, *exp2, *table3, *mods, *strm, *prep, *par =
+			true, true, true, true, true, true, true, true, true
 	}
 
 	ps := wgen.NewPaperSchemas()
@@ -77,6 +82,9 @@ func main() {
 	}
 	if *prep {
 		runPreprocessing(ps)
+	}
+	if *par {
+		runParallel()
 	}
 }
 
@@ -283,6 +291,87 @@ func runPreprocessing(ps *wgen.PaperSchemas) {
 	})
 	fmt.Printf("  one content-model IDA pair (POType1/POType2): %v\n", idaTime)
 	fmt.Println("  memory depends only on schema sizes — never on documents (§7)")
+	fmt.Println()
+}
+
+// parallelWorkerCounts yields 1, 2, 4, ... up to and including GOMAXPROCS.
+func parallelWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+// runParallel prints the batch-validation scaling curve on one shared
+// caster: the Experiment-2 workload (every quantity facet checked, so
+// per-document work is linear in items) through Caster.ValidateAll, and
+// the same batch as serialized bytes through StreamCaster.ValidateAll.
+func runParallel() {
+	fmt.Println("== Extension: parallel batch validation (shared caster, lock-free hot path) ==")
+	u := revalidate.NewUniverse()
+	src, err := u.LoadXSDString(wgen.Figure2XSD(false, 200))
+	if err != nil {
+		fatal(err)
+	}
+	dst, err := u.LoadXSDString(wgen.Figure2XSD(false, 100))
+	if err != nil {
+		fatal(err)
+	}
+	caster, err := revalidate.NewCaster(src, dst)
+	if err != nil {
+		fatal(err)
+	}
+	streamCaster, err := revalidate.NewStreamCaster(src, dst)
+	if err != nil {
+		fatal(err)
+	}
+	const batch = 64
+	docs := make([]*revalidate.Document, batch)
+	raw := make([][]byte, batch)
+	for i := range docs {
+		raw[i] = wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{
+			Items: 200, IncludeBillTo: true, MaxQuantity: 99, Seed: int64(i)}))
+		docs[i], err = revalidate.ParseDocument(bytes.NewReader(raw[i]))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	checkAll := func(errs []error) {
+		for _, e := range errs {
+			if e != nil {
+				fatal(e)
+			}
+		}
+	}
+	fmt.Printf("  batch: %d documents × 200 items, GOMAXPROCS=%d\n", batch, runtime.GOMAXPROCS(0))
+	fmt.Printf("%10s %16s %14s %10s %16s %14s %10s\n",
+		"workers", "tree-cast", "docs/s", "speedup", "stream-cast", "docs/s", "speedup")
+	var treeBase, streamBase time.Duration
+	for _, w := range parallelWorkerCounts() {
+		treeTime := timeIt(func() {
+			errs, _ := caster.ValidateAll(docs, w)
+			checkAll(errs)
+		})
+		streamTime := timeIt(func() {
+			rs := make([]io.Reader, batch)
+			for i := range rs {
+				rs[i] = bytes.NewReader(raw[i])
+			}
+			errs, _ := streamCaster.ValidateAll(rs, w)
+			checkAll(errs)
+		})
+		if treeBase == 0 {
+			treeBase, streamBase = treeTime, streamTime
+		}
+		fmt.Printf("%10d %13dµs %14.0f %9.2fx %13dµs %14.0f %9.2fx\n",
+			w,
+			treeTime.Microseconds(), batch/treeTime.Seconds(), float64(treeBase)/float64(treeTime),
+			streamTime.Microseconds(), batch/streamTime.Seconds(), float64(streamBase)/float64(streamTime))
+	}
+	fmt.Println("   expected shape: docs/s grows with workers up to the core count")
+	fmt.Println("   (flat on single-core machines; the tracked series is the scaling curve)")
 	fmt.Println()
 }
 

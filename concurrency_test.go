@@ -1,0 +1,182 @@
+package revalidate
+
+// Concurrency tests for the lock-free cast hot path: run with -race. They
+// share one Caster / StreamCaster across goroutines, including engines
+// whose content-model casters are NOT precomputed, so the copy-on-write
+// overflow publication path is raced too.
+
+import (
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentValidateOnDemandCasters races the overflow path: with
+// relations disabled the engine descends into subsumed pairs, whose
+// casters are skipped by the eager precompute and therefore built on
+// demand under full contention.
+func TestConcurrentValidateOnDemandCasters(t *testing.T) {
+	_, src, dst := loadPaperPair(t)
+	caster, err := NewCaster(src, dst, WithoutRelations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml := poDocXML(30, true)
+	var wg sync.WaitGroup
+	for w := 0; w < 2*runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doc, err := ParseDocumentString(xml)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				if err := caster.Validate(doc); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentStreamCasterShared races streaming validations on one
+// shared StreamCaster (each goroutine owns its readers; the caster's
+// automata tables are the shared state under test).
+func TestConcurrentStreamCasterShared(t *testing.T) {
+	_, src, dst := loadPaperPair(t)
+	sc, err := NewStreamCaster(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml := poDocXML(30, true)
+	var wg sync.WaitGroup
+	for w := 0; w < 2*runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := sc.Validate(strings.NewReader(xml)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestValidateAllMatchesSerial checks the batch API end to end: verdicts
+// land in the right slots and the atomically merged totals equal the sum
+// of serial runs, at several worker counts.
+func TestValidateAllMatchesSerial(t *testing.T) {
+	_, src, dst := loadPaperPair(t)
+	caster, err := NewCaster(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	const badAt = 7 // billTo-less document: must fail the cast
+	docs := make([]*Document, n)
+	var wantStats Stats
+	wantErrs := make([]bool, n)
+	for i := range docs {
+		doc, err := ParseDocumentString(poDocXML(5+i%4, i != badAt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = doc
+		st, serr := caster.ValidateStats(doc)
+		wantStats.add(st)
+		wantErrs[i] = serr != nil
+	}
+	if !wantErrs[badAt] {
+		t.Fatal("premise broken: the billTo-less document should fail serially")
+	}
+	for _, workers := range []int{0, 1, 2, runtime.GOMAXPROCS(0)} {
+		errs, st := caster.ValidateAll(docs, workers)
+		if len(errs) != n {
+			t.Fatalf("workers=%d: want %d verdicts, got %d", workers, n, len(errs))
+		}
+		for i, e := range errs {
+			if (e != nil) != wantErrs[i] {
+				t.Fatalf("workers=%d: verdict mismatch at %d: %v", workers, i, e)
+			}
+		}
+		if st != wantStats {
+			t.Fatalf("workers=%d: merged stats %+v != serial sum %+v", workers, st, wantStats)
+		}
+	}
+}
+
+// TestStreamValidateAll checks the streaming batch API, including error
+// slotting for an invalid document in the middle of the batch.
+func TestStreamValidateAll(t *testing.T) {
+	_, src, dst := loadPaperPair(t)
+	sc, err := NewStreamCaster(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := poDocXML(10, true)
+	bad := poDocXML(10, false)
+	const n = 16
+	const badAt = 5
+	rs := make([]io.Reader, n)
+	for i := range rs {
+		if i == badAt {
+			rs[i] = strings.NewReader(bad)
+		} else {
+			rs[i] = strings.NewReader(good)
+		}
+	}
+	errs, st := sc.ValidateAll(rs, 4)
+	for i, e := range errs {
+		if i == badAt && e == nil {
+			t.Fatal("billTo-less stream must fail")
+		}
+		if i != badAt && e != nil {
+			t.Fatalf("stream %d should pass: %v", i, e)
+		}
+	}
+	if st.ElementsProcessed == 0 || st.ElementsSkimmed == 0 {
+		t.Fatalf("batch stats should aggregate work: %+v", st)
+	}
+}
+
+// TestValidateAllConcurrentBatches runs several ValidateAll batches at
+// once on one caster — the broker shape under -race.
+func TestValidateAllConcurrentBatches(t *testing.T) {
+	_, src, dst := loadPaperPair(t)
+	caster, err := NewCaster(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocumentString(poDocXML(20, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*Document, 32)
+	for i := range docs {
+		docs[i] = doc // validation is read-only: sharing the tree is legal
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs, _ := caster.ValidateAll(docs, 3)
+			for _, e := range errs {
+				if e != nil {
+					t.Error(e)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -11,9 +11,9 @@ package cast
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/baseline"
+	"repro/internal/castmap"
 	"repro/internal/schema"
 	"repro/internal/strcast"
 	"repro/internal/subsume"
@@ -32,7 +32,9 @@ type Options struct {
 }
 
 // Engine validates documents valid under Src against Dst.
-// After New, an Engine is safe for concurrent use.
+// After New, an Engine is safe for concurrent use: every field is immutable
+// and caster lookups go through a lock-free castmap.Table, so concurrent
+// validations on one shared Engine never contend on a mutex.
 type Engine struct {
 	Src, Dst *schema.Schema
 	Rel      *subsume.Relations
@@ -40,15 +42,13 @@ type Engine struct {
 
 	full *baseline.Validator // target-side full validation (inserted subtrees)
 
-	mu      sync.Mutex
-	casters map[typePair]*strcast.Caster
+	casters *castmap.Table
 }
-
-type typePair struct{ src, dst schema.TypeID }
 
 // New preprocesses the schema pair: both schemas must be compiled and share
 // one alphabet. Content-model cast automata for all type pairs reachable
-// from the shared roots are built eagerly; other pairs are built on demand.
+// from the shared roots are built eagerly; other pairs are built on demand
+// through the table's copy-on-write overflow.
 func New(src, dst *schema.Schema, opts Options) (*Engine, error) {
 	rel, err := subsume.Compute(src, dst)
 	if err != nil {
@@ -60,10 +60,7 @@ func New(src, dst *schema.Schema, opts Options) (*Engine, error) {
 		Rel:     rel,
 		opts:    opts,
 		full:    baseline.New(dst),
-		casters: map[typePair]*strcast.Caster{},
-	}
-	if !opts.DisableContentIDA {
-		e.precomputeCasters()
+		casters: castmap.New(src, dst, rel, !opts.DisableContentIDA),
 	}
 	return e, nil
 }
@@ -77,67 +74,16 @@ func MustNew(src, dst *schema.Schema, opts Options) *Engine {
 	return e
 }
 
-// precomputeCasters builds string casters for every (complex, complex) type
-// pair reachable from the root labels both schemas accept, skipping pairs
-// the relations already decide.
-func (e *Engine) precomputeCasters() {
-	seen := map[typePair]bool{}
-	var queue []typePair
-	push := func(p typePair) {
-		if !seen[p] {
-			seen[p] = true
-			queue = append(queue, p)
-		}
-	}
-	for sym, τ := range e.Src.Roots {
-		if τp, ok := e.Dst.Roots[sym]; ok {
-			push(typePair{τ, τp})
-		}
-	}
-	for len(queue) > 0 {
-		p := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		a, b := e.Src.TypeOf(p.src), e.Dst.TypeOf(p.dst)
-		if a.Simple || b.Simple {
-			continue
-		}
-		decided := e.Rel.Subsumed(p.src, p.dst) || e.Rel.Disjoint(p.src, p.dst)
-		if !decided {
-			e.casters[p] = strcast.New(a.DFA, b.DFA)
-		}
-		// Descend into shared child labels even below decided pairs: a
-		// pair decided here may recur undecided elsewhere... it cannot —
-		// pairs are global — but its children pairs can differ from it,
-		// and with-modifications validation revisits children of subsumed
-		// pairs when edits landed below them.
-		for sym, ω := range a.Child {
-			if ν, ok := b.Child[sym]; ok {
-				push(typePair{ω, ν})
-			}
-		}
-	}
-}
-
-// caster returns (building if needed) the string caster for a complex type
-// pair.
+// caster returns (building and publishing if needed) the string caster for
+// a complex type pair. Lock-free; see castmap.Table.
 func (e *Engine) caster(τ, τp schema.TypeID) *strcast.Caster {
-	p := typePair{τ, τp}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if c, ok := e.casters[p]; ok {
-		return c
-	}
-	c := strcast.New(e.Src.TypeOf(τ).DFA, e.Dst.TypeOf(τp).DFA)
-	e.casters[p] = c
-	return c
+	return e.casters.Get(τ, τp)
 }
 
 // PrecomputedCasters reports how many content-model cast automata the
 // engine holds; diagnostics for the preprocessing benchmarks.
 func (e *Engine) PrecomputedCasters() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.casters)
+	return e.casters.Len()
 }
 
 // contractError marks a violation of the cast contract: the input document

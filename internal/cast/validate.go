@@ -135,12 +135,15 @@ func (e *Engine) checkContent(tS, tD *schema.Type, node *xmltree.Node, st *Stats
 				Reason: fmt.Sprintf("target type %q has element content but node has text content", tD.Name),
 			}
 		}
-		if decided {
-			continue // model verdict settled; keep vetting for text only
-		}
 		sym := e.Src.Alpha.Lookup(c.Label)
 		if sym == fa.NoSymbol {
+			// Vetted even after the model verdict is settled: a label the
+			// schemas never interned breaks the cast contract no matter
+			// where it sits relative to the decision point.
 			return contractError(schema.NodePath(c), "label %q unknown to the schemas", c.Label)
+		}
+		if decided {
+			continue // model verdict settled; keep vetting text and labels only
 		}
 		st.AutomatonSteps++
 		if ida != nil {

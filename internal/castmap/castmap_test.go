@@ -1,0 +1,91 @@
+package castmap
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/subsume"
+	"repro/internal/wgen"
+)
+
+func TestEagerPrecomputeCoversReachablePairs(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	rel, err := subsume.Compute(ps.Source1, ps.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := New(ps.Source1, ps.Target, rel, true)
+	if len(tab.precomputed) == 0 {
+		t.Fatal("eager table should precompute the root-reachable undecided pairs")
+	}
+	// Every precomputed lookup must return the precomputed instance and
+	// leave the overflow untouched.
+	before := tab.Len()
+	for p, want := range tab.precomputed {
+		if got := tab.Get(p.Src, p.Dst); got != want {
+			t.Fatalf("Get(%v) returned a different instance than precomputed", p)
+		}
+	}
+	if tab.Len() != before {
+		t.Fatal("precomputed lookups must not grow the overflow map")
+	}
+
+	lazy := New(ps.Source1, ps.Target, rel, false)
+	if lazy.Len() != 0 {
+		t.Fatal("non-eager table should start empty")
+	}
+}
+
+// TestConcurrentGetSharesOneInstance races on-demand construction: many
+// goroutines request the same pairs through the copy-on-write overflow and
+// must all observe one shared caster per pair.
+func TestConcurrentGetSharesOneInstance(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	rel, err := subsume.Compute(ps.Source1, ps.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := New(ps.Source1, ps.Target, rel, false) // everything on demand
+	var pairs []Pair
+	for τ, a := range ps.Source1.Types {
+		if a.Simple {
+			continue
+		}
+		for τp, b := range ps.Target.Types {
+			if b.Simple {
+				continue
+			}
+			pairs = append(pairs, Pair{ps.Source1.Types[τ].ID, ps.Target.Types[τp].ID})
+		}
+	}
+	if len(pairs) < 4 {
+		t.Fatalf("want several complex pairs, got %d", len(pairs))
+	}
+	const goroutines = 16
+	results := make([][]any, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]any, len(pairs))
+			// Vary the claim order per goroutine to widen the race window.
+			for i := range pairs {
+				p := pairs[(i+g)%len(pairs)]
+				out[(i+g)%len(pairs)] = tab.Get(p.Src, p.Dst)
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range pairs {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d observed a different caster for pair %v", g, pairs[i])
+			}
+		}
+	}
+	if got := tab.Len(); got != len(pairs) {
+		t.Fatalf("overflow should hold exactly %d pairs, got %d", len(pairs), got)
+	}
+}

@@ -39,6 +39,9 @@ type Caster struct {
 	// construction, which can be exponentially larger than the forward
 	// automaton (the reverse of a DFA is an NFA — the paper's footnote 3),
 	// so it is only paid for when a reverse scan is actually profitable.
+	// This Once is the single synchronization point of the whole cast hot
+	// path, and it is off that path: only ValidateModified's reverse-scan
+	// branch reaches it, never the per-element validate loop.
 	revOnce   sync.Once
 	revA      *fa.DFA
 	revCImmed *fa.IDA

@@ -5,11 +5,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync"
 
+	"repro/internal/castmap"
 	"repro/internal/fa"
 	"repro/internal/schema"
-	"repro/internal/strcast"
 	"repro/internal/subsume"
 )
 
@@ -17,15 +16,18 @@ import (
 // is known to satisfy the source schema, and the stream decides validity
 // under the target schema, skimming subsumed subtrees and rejecting at the
 // first disjoint pair.
+//
+// After NewCaster, a Caster is immutable and safe for concurrent use:
+// content-model IDAs for every type pair reachable from the shared roots
+// are precomputed eagerly (no first-document latency spike), and any
+// on-demand pair goes through the table's lock-free copy-on-write
+// overflow, so concurrent validations never contend on a mutex.
 type Caster struct {
 	Src, Dst *schema.Schema
 	Rel      *subsume.Relations
 
-	mu      sync.Mutex
-	casters map[castKey]*strcast.Caster
+	casters *castmap.Table
 }
-
-type castKey struct{ src, dst schema.TypeID }
 
 // NewCaster preprocesses a compiled (source, target) pair sharing one
 // alphabet.
@@ -34,19 +36,17 @@ func NewCaster(src, dst *schema.Schema) (*Caster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Caster{Src: src, Dst: dst, Rel: rel, casters: map[castKey]*strcast.Caster{}}, nil
+	return &Caster{Src: src, Dst: dst, Rel: rel, casters: castmap.New(src, dst, rel, true)}, nil
 }
 
 func (c *Caster) contentIDA(τ, τp schema.TypeID) *fa.IDA {
-	k := castKey{τ, τp}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sc, ok := c.casters[k]
-	if !ok {
-		sc = strcast.New(c.Src.TypeOf(τ).DFA, c.Dst.TypeOf(τp).DFA)
-		c.casters[k] = sc
-	}
-	return sc.CImmed
+	return c.casters.Get(τ, τp).CImmed
+}
+
+// PrecomputedCasters reports how many content-model cast automata the
+// caster holds; diagnostics for the preprocessing benchmarks.
+func (c *Caster) PrecomputedCasters() int {
+	return c.casters.Len()
 }
 
 // castFrame is the per-open-element state of the streaming caster.

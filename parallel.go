@@ -1,0 +1,86 @@
+package revalidate
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// batchWorkers resolves a requested worker count against a batch size:
+// workers <= 0 means one worker per logical CPU, and the pool never
+// exceeds the number of items.
+func batchWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runWorkers runs body on a pool of workers. Each body draws item indexes
+// in [0, n) from one shared atomic counter until the batch is drained, so
+// uneven per-item cost balances across the pool without any queue or lock.
+// With one worker, body runs on the calling goroutine.
+func runWorkers(n, workers int, body func(claim func() (int, bool))) {
+	workers = batchWorkers(n, workers)
+	var next atomic.Int64
+	claim := func() (int, bool) {
+		i := int(next.Add(1)) - 1
+		return i, i < n
+	}
+	if workers == 1 {
+		body(claim)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			body(claim)
+		}()
+	}
+	wg.Wait()
+}
+
+// add accumulates d into s (single-goroutine use).
+func (s *Stats) add(d Stats) {
+	s.ElementsVisited += d.ElementsVisited
+	s.TextNodesVisited += d.TextNodesVisited
+	s.AutomatonSteps += d.AutomatonSteps
+	s.SubsumedSkips += d.SubsumedSkips
+	s.DisjointRejects += d.DisjointRejects
+	s.FullValidations += d.FullValidations
+}
+
+// atomicAdd merges d into s with atomic adds; workers call it once with
+// their local totals, so a batch's statistics need no mutex.
+func (s *Stats) atomicAdd(d Stats) {
+	atomic.AddInt64(&s.ElementsVisited, d.ElementsVisited)
+	atomic.AddInt64(&s.TextNodesVisited, d.TextNodesVisited)
+	atomic.AddInt64(&s.AutomatonSteps, d.AutomatonSteps)
+	atomic.AddInt64(&s.SubsumedSkips, d.SubsumedSkips)
+	atomic.AddInt64(&s.DisjointRejects, d.DisjointRejects)
+	atomic.AddInt64(&s.FullValidations, d.FullValidations)
+}
+
+// add accumulates d into s (single-goroutine use).
+func (s *StreamStats) add(d StreamStats) {
+	s.ElementsProcessed += d.ElementsProcessed
+	s.ElementsSkimmed += d.ElementsSkimmed
+	s.AutomatonSteps += d.AutomatonSteps
+	s.ValuesChecked += d.ValuesChecked
+}
+
+// atomicAdd merges d into s with atomic adds.
+func (s *StreamStats) atomicAdd(d StreamStats) {
+	atomic.AddInt64(&s.ElementsProcessed, d.ElementsProcessed)
+	atomic.AddInt64(&s.ElementsSkimmed, d.ElementsSkimmed)
+	atomic.AddInt64(&s.AutomatonSteps, d.AutomatonSteps)
+	atomic.AddInt64(&s.ValuesChecked, d.ValuesChecked)
+}

@@ -196,6 +196,41 @@ func TestEditSessionDeleteAndSetValue(t *testing.T) {
 	}
 }
 
+// Regression test: SetValue after deleting the text child must skip the
+// tombstone and insert a fresh text child, not edit the deleted node.
+func TestSetValueAfterDeleteInsertsFreshText(t *testing.T) {
+	u := NewUniverse()
+	s, err := u.LoadXSDString(wgen.Figure2XSD(false, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caster, err := NewCaster(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocumentString(poDocXML(10, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := doc.Edit()
+	qty, ok := doc.Root().First("quantity")
+	if !ok {
+		t.Fatal("no quantity element")
+	}
+	if err := es.Delete(qty.Child(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.SetValue(qty, "42"); err != nil {
+		t.Fatalf("SetValue after delete should insert a fresh text child: %v", err)
+	}
+	if err := caster.ValidateModified(doc, es.Done()); err != nil {
+		t.Fatalf("delete→SetValue document should revalidate: %v", err)
+	}
+	if !strings.Contains(doc.XML(), "<quantity>42</quantity>") {
+		t.Fatal("post-edit serialization should carry the fresh text child")
+	}
+}
+
 func TestValidateIndexed(t *testing.T) {
 	_, src, dst := loadPaperPair(t)
 	if !src.IsDTD() || !dst.IsDTD() {

@@ -68,3 +68,28 @@ func (c *StreamCaster) Validate(r io.Reader) (StreamStats, error) {
 	st, err := c.c.Validate(r)
 	return fromStreamStats(st), err
 }
+
+// ValidateAll validates one document per reader concurrently on a pool of
+// workers sharing this caster — the broker shape: many connections, one
+// preprocessed schema pair. workers <= 0 uses one worker per logical CPU.
+// The returned slice holds one verdict per reader (nil when valid), and
+// the StreamStats are the batch totals, merged from per-worker counters
+// with atomic adds. Each reader is consumed by exactly one worker.
+func (c *StreamCaster) ValidateAll(rs []io.Reader, workers int) ([]error, StreamStats) {
+	errs := make([]error, len(rs))
+	var total StreamStats
+	runWorkers(len(rs), workers, func(claim func() (int, bool)) {
+		var local StreamStats
+		for {
+			i, ok := claim()
+			if !ok {
+				break
+			}
+			st, err := c.c.Validate(rs[i])
+			errs[i] = err
+			local.add(fromStreamStats(st))
+		}
+		total.atomicAdd(local)
+	})
+	return errs, total
+}
