@@ -1,0 +1,141 @@
+package revalidate_test
+
+// Edge cases of the batch validation APIs: empty batches, single-item
+// batches, worker counts exceeding the batch, and mid-stream reader
+// failures that must stay isolated to their own slot.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	revalidate "repro"
+	"repro/internal/wgen"
+)
+
+func batchFixtures(t *testing.T) (*revalidate.Caster, *revalidate.StreamCaster, string) {
+	t.Helper()
+	u := revalidate.NewUniverse()
+	src, err := u.LoadXSDString(wgen.Figure2XSD(true, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := u.LoadXSDString(wgen.Figure2XSD(false, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, sc, err := revalidate.NewCasterPair(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml := string(wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 2, IncludeBillTo: true, Seed: 7})))
+	return c, sc, xml
+}
+
+func TestValidateAllEdgeCases(t *testing.T) {
+	c, _, xml := batchFixtures(t)
+	doc, err := revalidate.ParseDocumentString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty batch: no verdicts, zero stats, any worker count.
+	for _, workers := range []int{-1, 0, 1, 8} {
+		errs, st := c.ValidateAll(nil, workers)
+		if len(errs) != 0 || st != (revalidate.Stats{}) {
+			t.Fatalf("empty batch (workers=%d): errs=%v stats=%+v", workers, errs, st)
+		}
+	}
+	// Single document, workers exceeding the batch.
+	errs, st := c.ValidateAll([]*revalidate.Document{doc}, 16)
+	if len(errs) != 1 || errs[0] != nil {
+		t.Fatalf("one-doc batch: %v", errs)
+	}
+	if st.ElementsVisited == 0 {
+		t.Fatalf("one-doc batch reported no work: %+v", st)
+	}
+	// workers <= 0 clamps to one worker per CPU and still drains.
+	docs := make([]*revalidate.Document, 5)
+	for i := range docs {
+		docs[i] = doc.Clone()
+	}
+	errs, _ = c.ValidateAll(docs, -3)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+	}
+}
+
+func TestStreamValidateAllEdgeCases(t *testing.T) {
+	_, sc, xml := batchFixtures(t)
+	for _, workers := range []int{-1, 0, 1, 8} {
+		errs, st := sc.ValidateAll(nil, workers)
+		if len(errs) != 0 || st != (revalidate.StreamStats{}) {
+			t.Fatalf("empty batch (workers=%d): errs=%v stats=%+v", workers, errs, st)
+		}
+	}
+	errs, st := sc.ValidateAll([]io.Reader{strings.NewReader(xml)}, 16)
+	if len(errs) != 1 || errs[0] != nil {
+		t.Fatalf("one-reader batch: %v", errs)
+	}
+	if st.ElementsProcessed == 0 {
+		t.Fatalf("one-reader batch reported no work: %+v", st)
+	}
+}
+
+// failingReader yields its prefix, then fails with cause.
+type failingReader struct {
+	r     io.Reader
+	cause error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if err == io.EOF {
+		return n, f.cause
+	}
+	return n, err
+}
+
+// TestStreamBatchErrorIsolation feeds a batch where one reader dies
+// mid-stream: only its own slot may fail, with the reader's error wrapped,
+// and the sibling documents must validate normally.
+func TestStreamBatchErrorIsolation(t *testing.T) {
+	_, sc, xml := batchFixtures(t)
+	boom := errors.New("boom: connection reset")
+	rs := []io.Reader{
+		strings.NewReader(xml),
+		&failingReader{r: strings.NewReader(xml[:len(xml)/2]), cause: boom},
+		strings.NewReader(xml),
+	}
+	for _, workers := range []int{1, 3} {
+		// Fresh readers per run (they are consumed).
+		rs[0] = strings.NewReader(xml)
+		rs[1] = &failingReader{r: strings.NewReader(xml[:len(xml)/2]), cause: boom}
+		rs[2] = strings.NewReader(xml)
+		errs, _ := sc.ValidateAll(rs, workers)
+		if errs[0] != nil || errs[2] != nil {
+			t.Fatalf("workers=%d: sibling slots poisoned: %v / %v", workers, errs[0], errs[2])
+		}
+		if errs[1] == nil {
+			t.Fatalf("workers=%d: failing reader's slot reported valid", workers)
+		}
+		if !errors.Is(errs[1], boom) {
+			t.Fatalf("workers=%d: reader error not wrapped: %v", workers, errs[1])
+		}
+	}
+}
+
+func ExampleStreamCaster_ValidateAll() {
+	u := revalidate.NewUniverse()
+	src, _ := u.LoadXSDString(wgen.Figure2XSD(true, 100))
+	dst, _ := u.LoadXSDString(wgen.Figure2XSD(false, 100))
+	_, sc, _ := revalidate.NewCasterPair(src, dst)
+	with := string(wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 1, IncludeBillTo: true, Seed: 1})))
+	without := string(wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 1, IncludeBillTo: false, Seed: 1})))
+	errs, _ := sc.ValidateAll([]io.Reader{strings.NewReader(with), strings.NewReader(without)}, 2)
+	fmt.Println(errs[0] == nil, errs[1] == nil)
+	// Output: true false
+}

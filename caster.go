@@ -111,6 +111,9 @@ func (c *Caster) ValidateStats(doc *Document) (Stats, error) {
 // document (nil when valid), and the Stats are the batch totals, merged
 // from per-worker counters with atomic adds.
 func (c *Caster) ValidateAll(docs []*Document, workers int) ([]error, Stats) {
+	if len(docs) == 0 {
+		return nil, Stats{}
+	}
 	errs := make([]error, len(docs))
 	var total Stats
 	runWorkers(len(docs), workers, func(claim func() (int, bool)) {
@@ -122,7 +125,7 @@ func (c *Caster) ValidateAll(docs []*Document, workers int) ([]error, Stats) {
 			}
 			cs, err := c.engine.Validate(docs[i].root)
 			errs[i] = err
-			local.add(fromCastStats(cs))
+			local.Add(fromCastStats(cs))
 		}
 		total.atomicAdd(local)
 	})

@@ -1,0 +1,91 @@
+// Command castd is the schema cast revalidation daemon: a long-running
+// HTTP service that registers schemas, amortizes the per-pair
+// preprocessing (R_sub/R_dis relations and immediate decision automata) in
+// an LRU cache, and cast-validates documents streamed through request
+// bodies — the message-broker deployment of EDBT'04 §1.
+//
+// Usage:
+//
+//	castd -addr :8347
+//
+//	curl -X PUT --data-binary @v1.xsd localhost:8347/schemas/v1
+//	curl -X PUT --data-binary @v2.xsd localhost:8347/schemas/v2
+//	curl -X POST --data-binary @order.xml localhost:8347/cast/v1/v2
+//	curl localhost:8347/pairs/v1/v2     # static compatibility, no document
+//	curl localhost:8347/metrics
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight validations, up to -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8347", "listen address")
+		cacheEntries = flag.Int("cache-entries", 64, "max cached compiled schema pairs (0 = unlimited)")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "approximate byte budget for cached pairs (0 = unlimited)")
+		workers      = flag.Int("workers", 0, "batch validation workers per request (0 = one per CPU)")
+		drain        = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight validations")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: castd [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := registry.New(registry.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes})
+	hs := &http.Server{
+		Handler:           server.New(reg, server.Options{Workers: *workers}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("castd: %v", err)
+		os.Exit(1)
+	}
+	// The resolved address matters when -addr asked for port 0.
+	log.Printf("castd: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Printf("castd: %v", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("castd: draining in-flight validations (deadline %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("castd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("castd: bye")
+}

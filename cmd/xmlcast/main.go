@@ -24,6 +24,16 @@ import (
 	revalidate "repro"
 )
 
+// Exit codes are a stable scripting contract (the castd smoke tests and
+// shell pipelines branch on them): 0 the document is valid, 1 the
+// document is invalid under the target schema, 2 usage or I/O error.
+// Verdicts go to stdout; diagnostics and INVALID reasons go to stderr.
+const (
+	exitValid   = 0
+	exitInvalid = 1
+	exitUsage   = 2
+)
+
 func main() {
 	var (
 		sourcePath = flag.String("source", "", "source schema (the one the document is known to satisfy)")
@@ -41,7 +51,7 @@ func main() {
 	flag.Parse()
 	if *targetPath == "" || flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	u := revalidate.NewUniverse()
@@ -118,7 +128,7 @@ func runStreaming(u *revalidate.Universe, target *revalidate.Schema, sourcePath,
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "INVALID: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitInvalid)
 	}
 	fmt.Println("valid")
 }
@@ -145,7 +155,7 @@ func report(mode string, st revalidate.Stats, err error, withStats bool) {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "INVALID: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitInvalid)
 	}
 	fmt.Println("valid")
 }
@@ -153,6 +163,6 @@ func report(mode string, st revalidate.Stats, err error, withStats bool) {
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xmlcast:", err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 }

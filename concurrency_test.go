@@ -92,7 +92,7 @@ func TestValidateAllMatchesSerial(t *testing.T) {
 		}
 		docs[i] = doc
 		st, serr := caster.ValidateStats(doc)
-		wantStats.add(st)
+		wantStats.Add(st)
 		wantErrs[i] = serr != nil
 	}
 	if !wantErrs[badAt] {

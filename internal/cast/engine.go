@@ -86,6 +86,20 @@ func (e *Engine) PrecomputedCasters() int {
 	return e.casters.Len()
 }
 
+// CasterSizes reports the engine's content-model caster footprint: caster
+// count and total c_immed IDA states. Feeds pair reports and cache cost
+// estimates in the serving layer.
+func (e *Engine) CasterSizes() (casters, idaStates int) {
+	return e.casters.Sizes()
+}
+
+// Table exposes the engine's caster table so a streaming caster for the
+// same schema pair can share it instead of building its own (one set of
+// IDAs per pair, however many validation modes consult them).
+func (e *Engine) Table() *castmap.Table {
+	return e.casters
+}
+
 // contractError marks a violation of the cast contract: the input document
 // was not actually valid under the source schema.
 func contractError(path, format string, args ...any) error {

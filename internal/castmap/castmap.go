@@ -130,3 +130,19 @@ func (t *Table) Get(τ, τp schema.TypeID) *strcast.Caster {
 func (t *Table) Len() int {
 	return len(t.precomputed) + len(*t.overflow.Load())
 }
+
+// Sizes reports the table's footprint: the number of casters held and the
+// total number of c_immed product-IDA states across them. The serving
+// layer's GET /pairs report and the registry's eviction cost estimate both
+// read it.
+func (t *Table) Sizes() (casters, idaStates int) {
+	count := func(m map[Pair]*strcast.Caster) {
+		for _, c := range m {
+			casters++
+			idaStates += c.CImmed.D.NumStates()
+		}
+	}
+	count(t.precomputed)
+	count(*t.overflow.Load())
+	return casters, idaStates
+}

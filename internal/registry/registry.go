@@ -1,0 +1,370 @@
+// Package registry is the schema-pair cache behind the castd daemon: it
+// holds schema texts by id and compiled (source, target) caster pairs by
+// content hash, amortizing the R_sub/R_dis fixpoints and IDA construction
+// across an unbounded stream of revalidation requests — the serving-layer
+// half of the paper's economic argument (§1's message broker pays
+// preprocessing once per schema pair, then casts documents nearly for
+// free).
+//
+// Concurrency contract:
+//
+//   - Compiled pairs are immutable; a *Pair stays fully usable after
+//     eviction or after one of its schemas is re-registered — holders are
+//     never invalidated, the registry merely stops handing the pair out.
+//   - Re-registering a schema id is an atomic hot-swap of the id → text
+//     binding. In-flight validations run on the pair they resolved;
+//     subsequent lookups resolve the new text. Pairs are keyed by content
+//     hash, so two versions of one id coexist in the cache.
+//   - Pair lookups are singleflight: N concurrent requests for an
+//     uncompiled pair trigger exactly one compile; the other N-1 block on
+//     it and share the result.
+//   - Eviction is LRU under a configurable entry and approximate byte
+//     budget; the most recently used pair is never evicted, so the cache
+//     stays useful even when one pair alone exceeds the budget.
+package registry
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	revalidate "repro"
+)
+
+// Format identifies a schema text format.
+type Format string
+
+const (
+	// FormatAuto sniffs: texts containing a <!ELEMENT declaration (or
+	// registered with no XSD markup) are DTDs, everything else is XSD.
+	FormatAuto Format = ""
+	FormatXSD  Format = "xsd"
+	FormatDTD  Format = "dtd"
+)
+
+// Sniff guesses the format of a schema text.
+func Sniff(text string) Format {
+	if strings.Contains(text, "<!ELEMENT") {
+		return FormatDTD
+	}
+	return FormatXSD
+}
+
+// SchemaEntry is one registered schema version: immutable once created.
+type SchemaEntry struct {
+	ID     string `json:"id"`
+	Format Format `json:"format"`
+	// DTDRoot fixes the root element for DTD texts without a DOCTYPE.
+	DTDRoot string `json:"dtdRoot,omitempty"`
+	Text    string `json:"-"`
+	// Hash is the content hash (format, root and text) that keys the pair
+	// cache; re-registering identical content is a no-op for the cache.
+	Hash  string `json:"hash"`
+	Bytes int    `json:"bytes"`
+}
+
+// Pair is a compiled (source, target) schema pair: the tree-level and
+// streaming casters over one shared set of relations and IDAs, plus the
+// static-compatibility report. Immutable and safe for concurrent use.
+type Pair struct {
+	Src, Dst             *SchemaEntry
+	SrcSchema, DstSchema *revalidate.Schema
+	Caster               *revalidate.Caster
+	Stream               *revalidate.StreamCaster
+	Report               revalidate.PairReport
+	CompileTime          time.Duration
+	// Cost is the approximate cache footprint charged against the byte
+	// budget: the two schema texts plus an estimate of the compiled
+	// automata (costPerIDAState bytes per c_immed state).
+	Cost int64
+}
+
+// costPerIDAState approximates the memory of one product-IDA state (dense
+// transition row plus flag bits); the eviction budget is advisory, not an
+// allocator, so a coarse constant is enough.
+const costPerIDAState = 64
+
+// UnknownSchemaError reports a lookup of an unregistered schema id.
+type UnknownSchemaError struct{ ID string }
+
+func (e *UnknownSchemaError) Error() string {
+	return fmt.Sprintf("registry: unknown schema id %q", e.ID)
+}
+
+// Config bounds the pair cache. Zero values mean unbounded.
+type Config struct {
+	// MaxEntries caps the number of cached compiled pairs.
+	MaxEntries int
+	// MaxBytes caps the approximate total Cost of cached pairs.
+	MaxBytes int64
+}
+
+// Stats is a counter snapshot for /metrics.
+type Stats struct {
+	Schemas   int         `json:"schemas"`
+	Pairs     int         `json:"pairs"`
+	Bytes     int64       `json:"bytes"`
+	Hits      int64       `json:"hits"`
+	Misses    int64       `json:"misses"`
+	Compiles  int64       `json:"compiles"`
+	Evictions int64       `json:"evictions"`
+	CompileNS int64       `json:"compileNS"`
+	PerPair   []PairStats `json:"perPair,omitempty"`
+}
+
+// PairStats are the per-pair counters, MRU first.
+type PairStats struct {
+	Src       string `json:"src"`
+	Dst       string `json:"dst"`
+	Hits      int64  `json:"hits"`
+	CompileNS int64  `json:"compileNS"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// pairEntry is the cache slot for one content-hash pair key. ready is
+// closed once pair/err are set (the singleflight rendezvous).
+type pairEntry struct {
+	key          string
+	srcID, dstID string // ids observed at creation, for diagnostics
+	ready        chan struct{}
+	pair         *Pair
+	err          error
+	elem         *list.Element
+	cost         int64
+	hits         atomic.Int64
+}
+
+// Registry is the concurrent schema store and pair cache. The mutex guards
+// only map/list bookkeeping; compiles and validations run outside it.
+type Registry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	schemas map[string]*SchemaEntry
+	pairs   map[string]*pairEntry
+	lru     *list.List // of *pairEntry; Front = most recently used
+	bytes   int64
+
+	hits, misses, compiles, evictions atomic.Int64
+	compileNS                         atomic.Int64
+}
+
+// New returns an empty registry.
+func New(cfg Config) *Registry {
+	return &Registry{
+		cfg:     cfg,
+		schemas: map[string]*SchemaEntry{},
+		pairs:   map[string]*pairEntry{},
+		lru:     list.New(),
+	}
+}
+
+// Register binds id to a schema text, compiling it once standalone so a
+// broken schema is rejected at registration time rather than at first
+// cast. Re-registering an id hot-swaps the binding atomically; pairs
+// compiled from the previous version stay cached (under their content
+// hash) and stay usable by holders.
+func (r *Registry) Register(id, text string, format Format, dtdRoot string) (*SchemaEntry, error) {
+	if id == "" {
+		return nil, fmt.Errorf("registry: empty schema id")
+	}
+	if format == FormatAuto {
+		format = Sniff(text)
+	}
+	e := &SchemaEntry{ID: id, Format: format, DTDRoot: dtdRoot, Text: text, Bytes: len(text)}
+	if _, err := e.load(revalidate.NewUniverse()); err != nil {
+		return nil, err
+	}
+	h := sha256.Sum256([]byte(string(format) + "\x00" + dtdRoot + "\x00" + text))
+	e.Hash = hex.EncodeToString(h[:])
+	r.mu.Lock()
+	r.schemas[id] = e
+	r.mu.Unlock()
+	return e, nil
+}
+
+// load compiles the entry's text into u.
+func (e *SchemaEntry) load(u *revalidate.Universe) (*revalidate.Schema, error) {
+	switch e.Format {
+	case FormatDTD:
+		return u.LoadDTD(e.Text, e.DTDRoot)
+	case FormatXSD:
+		return u.LoadXSDString(e.Text)
+	default:
+		return nil, fmt.Errorf("registry: schema %q: unknown format %q", e.ID, e.Format)
+	}
+}
+
+// Schema returns the current version registered under id.
+func (r *Registry) Schema(id string) (*SchemaEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.schemas[id]
+	return e, ok
+}
+
+// Schemas returns the current id → entry bindings.
+func (r *Registry) Schemas() []*SchemaEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*SchemaEntry, 0, len(r.schemas))
+	for _, e := range r.schemas {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Pair returns the compiled caster pair for the current versions of the
+// two schema ids, compiling (once, however many callers arrive
+// concurrently) on a cache miss.
+func (r *Registry) Pair(srcID, dstID string) (*Pair, error) {
+	r.mu.Lock()
+	src, ok := r.schemas[srcID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, &UnknownSchemaError{ID: srcID}
+	}
+	dst, ok := r.schemas[dstID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, &UnknownSchemaError{ID: dstID}
+	}
+	key := src.Hash + "\x00" + dst.Hash
+	if e, ok := r.pairs[key]; ok {
+		// Hit (possibly on a compile still in flight — wait for it).
+		e.hits.Add(1)
+		r.hits.Add(1)
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		<-e.ready
+		return e.pair, e.err
+	}
+	e := &pairEntry{key: key, srcID: srcID, dstID: dstID, ready: make(chan struct{})}
+	e.elem = r.lru.PushFront(e)
+	r.pairs[key] = e
+	r.misses.Add(1)
+	r.mu.Unlock()
+
+	r.compiles.Add(1)
+	start := time.Now()
+	pair, err := compilePair(src, dst)
+	d := time.Since(start)
+	r.compileNS.Add(int64(d))
+	if pair != nil {
+		pair.CompileTime = d
+	}
+	e.pair, e.err = pair, err
+	close(e.ready)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pairs[key] != e {
+		// Evicted while compiling; nothing to account.
+		return pair, err
+	}
+	if err != nil {
+		// Failed compiles are not cached, so a corrected re-registration
+		// retries instead of replaying the stale error.
+		delete(r.pairs, key)
+		r.lru.Remove(e.elem)
+		return nil, err
+	}
+	e.cost = pair.Cost
+	r.bytes += e.cost
+	r.evictLocked(e)
+	return pair, nil
+}
+
+// compilePair loads both texts into a fresh universe and preprocesses the
+// pair once (shared relations and caster table for both validation modes).
+func compilePair(src, dst *SchemaEntry) (*Pair, error) {
+	u := revalidate.NewUniverse()
+	ss, err := src.load(u)
+	if err != nil {
+		return nil, fmt.Errorf("registry: source %q: %w", src.ID, err)
+	}
+	ds, err := dst.load(u)
+	if err != nil {
+		return nil, fmt.Errorf("registry: target %q: %w", dst.ID, err)
+	}
+	c, sc, err := revalidate.NewCasterPair(ss, ds)
+	if err != nil {
+		return nil, fmt.Errorf("registry: pair (%q, %q): %w", src.ID, dst.ID, err)
+	}
+	report := c.Report()
+	return &Pair{
+		Src: src, Dst: dst,
+		SrcSchema: ss, DstSchema: ds,
+		Caster: c, Stream: sc,
+		Report: report,
+		Cost:   int64(src.Bytes+dst.Bytes) + int64(report.IDAStates)*costPerIDAState,
+	}, nil
+}
+
+// evictLocked drops LRU entries until the budgets hold, never evicting
+// keep (the entry just inserted or hit). Evicted pairs remain usable by
+// holders; only the cache forgets them. Caller holds r.mu.
+func (r *Registry) evictLocked(keep *pairEntry) {
+	over := func() bool {
+		if r.cfg.MaxEntries > 0 && len(r.pairs) > r.cfg.MaxEntries {
+			return true
+		}
+		return r.cfg.MaxBytes > 0 && r.bytes > r.cfg.MaxBytes
+	}
+	for over() {
+		back := r.lru.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*pairEntry)
+		if victim == keep {
+			return
+		}
+		r.lru.Remove(back)
+		delete(r.pairs, victim.key)
+		r.bytes -= victim.cost
+		r.evictions.Add(1)
+	}
+}
+
+// Len reports the number of cached compiled pairs.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pairs)
+}
+
+// Stats snapshots the registry counters, per-pair rows MRU first.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Schemas:   len(r.schemas),
+		Pairs:     len(r.pairs),
+		Bytes:     r.bytes,
+		Hits:      r.hits.Load(),
+		Misses:    r.misses.Load(),
+		Compiles:  r.compiles.Load(),
+		Evictions: r.evictions.Load(),
+		CompileNS: r.compileNS.Load(),
+	}
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*pairEntry)
+		row := PairStats{Src: e.srcID, Dst: e.dstID, Hits: e.hits.Load(), Bytes: e.cost}
+		select {
+		case <-e.ready:
+			if e.pair != nil {
+				row.CompileNS = int64(e.pair.CompileTime)
+			}
+		default:
+			// Still compiling; report the row with zero compile time.
+		}
+		st.PerPair = append(st.PerPair, row)
+	}
+	return st
+}

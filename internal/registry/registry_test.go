@@ -1,0 +1,267 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/wgen"
+)
+
+// figPair registers the Figure 1a (billTo optional) source and Figure 2
+// (billTo required) target schemas and returns their ids.
+func figPair(t *testing.T, r *Registry) (src, dst string) {
+	t.Helper()
+	if _, err := r.Register("v1", wgen.Figure2XSD(true, 100), FormatAuto, ""); err != nil {
+		t.Fatalf("register v1: %v", err)
+	}
+	if _, err := r.Register("v2", wgen.Figure2XSD(false, 100), FormatAuto, ""); err != nil {
+		t.Fatalf("register v2: %v", err)
+	}
+	return "v1", "v2"
+}
+
+func poXML(withBill bool) string {
+	return string(wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 3, IncludeBillTo: withBill, Seed: 1})))
+}
+
+func TestRegisterAndPair(t *testing.T) {
+	r := New(Config{})
+	src, dst := figPair(t, r)
+	p, err := r.Pair(src, dst)
+	if err != nil {
+		t.Fatalf("pair: %v", err)
+	}
+	if st, err := p.Stream.Validate(strings.NewReader(poXML(true))); err != nil {
+		t.Fatalf("valid doc rejected: %v (stats %+v)", err, st)
+	}
+	if _, err := p.Stream.Validate(strings.NewReader(poXML(false))); err == nil {
+		t.Fatal("billTo-less doc accepted against required-billTo target")
+	}
+	// The report carries the root verdict: POType1 is not subsumed by
+	// POType2 (billTo may be absent) and not disjoint.
+	if len(p.Report.Roots) == 0 {
+		t.Fatal("report has no roots")
+	}
+	for _, v := range p.Report.Roots {
+		if v.Label == "purchaseOrder" && (v.Subsumed || v.Disjoint) {
+			t.Fatalf("purchaseOrder verdict wrong: %+v", v)
+		}
+	}
+	if p.Report.AlwaysValid {
+		t.Fatal("pair reported statically compatible")
+	}
+	// The reflexive pair is statically compatible.
+	rp, err := r.Pair(src, src)
+	if err != nil {
+		t.Fatalf("reflexive pair: %v", err)
+	}
+	if !rp.Report.AlwaysValid {
+		t.Fatal("reflexive pair not reported always-valid")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	r := New(Config{})
+	if _, err := r.Register("", "<xsd/>", FormatAuto, ""); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := r.Register("bad", "this is not a schema", FormatXSD, ""); err == nil {
+		t.Fatal("garbage schema accepted")
+	}
+	if _, err := r.Pair("nope", "nada"); err == nil {
+		t.Fatal("unknown ids produced a pair")
+	} else {
+		var ue *UnknownSchemaError
+		if !errors.As(err, &ue) || ue.ID != "nope" {
+			t.Fatalf("want UnknownSchemaError for nope, got %v", err)
+		}
+	}
+}
+
+func TestDTDRegistration(t *testing.T) {
+	r := New(Config{})
+	const d1 = `<!ELEMENT po (item*)> <!ELEMENT item (#PCDATA)>`
+	const d2 = `<!ELEMENT po (item+)> <!ELEMENT item (#PCDATA)>`
+	if _, err := r.Register("d1", d1, FormatAuto, "po"); err != nil {
+		t.Fatalf("register d1: %v", err)
+	}
+	if _, err := r.Register("d2", d2, FormatAuto, "po"); err != nil {
+		t.Fatalf("register d2: %v", err)
+	}
+	if e, _ := r.Schema("d1"); e.Format != FormatDTD {
+		t.Fatalf("sniff failed: format %q", e.Format)
+	}
+	p, err := r.Pair("d1", "d2")
+	if err != nil {
+		t.Fatalf("dtd pair: %v", err)
+	}
+	if _, err := p.Stream.Validate(strings.NewReader("<po><item>x</item></po>")); err != nil {
+		t.Fatalf("one-item doc rejected: %v", err)
+	}
+	if _, err := p.Stream.Validate(strings.NewReader("<po></po>")); err == nil {
+		t.Fatal("empty po accepted against item+ target")
+	}
+}
+
+// TestSingleflight storms a cold pair from many goroutines and requires
+// exactly one compile.
+func TestSingleflight(t *testing.T) {
+	r := New(Config{})
+	src, dst := figPair(t, r)
+	const n = 32
+	var wg sync.WaitGroup
+	pairs := make([]*Pair, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			p, err := r.Pair(src, dst)
+			if err != nil {
+				t.Errorf("pair %d: %v", i, err)
+				return
+			}
+			pairs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if pairs[i] != pairs[0] {
+			t.Fatalf("goroutine %d got a different pair instance", i)
+		}
+	}
+	st := r.Stats()
+	if st.Compiles != 1 {
+		t.Fatalf("want 1 compile for a cold pair under storm, got %d", st.Compiles)
+	}
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("want 1 miss / %d hits, got %d / %d", n-1, st.Misses, st.Hits)
+	}
+	if len(st.PerPair) != 1 || st.PerPair[0].Hits != n-1 {
+		t.Fatalf("per-pair counters wrong: %+v", st.PerPair)
+	}
+}
+
+// TestEviction checks LRU behaviour under a 2-entry budget: the oldest
+// pair is dropped, the MRU pair stays cached, and an evicted-but-held pair
+// keeps validating.
+func TestEviction(t *testing.T) {
+	r := New(Config{MaxEntries: 2})
+	for id, optional := range map[string]bool{"a": true, "b": false} {
+		if _, err := r.Register(id, wgen.Figure2XSD(optional, 100), FormatAuto, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Register("c", wgen.Figure2XSD(false, 200), FormatAuto, ""); err != nil {
+		t.Fatal(err)
+	}
+	pAB, err := r.Pair("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Pair("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Pair("b", "c"); err != nil { // evicts (a, b)
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Pairs != 2 || st.Evictions != 1 {
+		t.Fatalf("want 2 cached pairs / 1 eviction, got %d / %d", st.Pairs, st.Evictions)
+	}
+	// The held (a, b) pair is immutable and still usable after eviction.
+	if _, err := pAB.Stream.Validate(strings.NewReader(poXML(true))); err != nil {
+		t.Fatalf("evicted pair unusable: %v", err)
+	}
+	// The MRU pair (b, c) is still cached: requesting it again is a hit,
+	// not a compile.
+	before := r.Stats().Compiles
+	if _, err := r.Pair("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.Stats().Compiles; after != before {
+		t.Fatalf("MRU pair recompiled: %d -> %d", before, after)
+	}
+	// Requesting (a, b) again recompiles (it was evicted).
+	if _, err := r.Pair("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Compiles; got != before+1 {
+		t.Fatalf("evicted pair should recompile once, compiles %d -> %d", before, got)
+	}
+}
+
+// TestByteBudget: a byte budget below the cost of two pairs keeps only the
+// MRU pair; a budget below even one pair's cost still keeps that pair (the
+// MRU is never evicted).
+func TestByteBudget(t *testing.T) {
+	r := New(Config{MaxBytes: 1}) // smaller than any pair's cost
+	src, dst := figPair(t, r)
+	if _, err := r.Pair(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("sole over-budget pair evicted: %d cached", got)
+	}
+	if _, err := r.Pair(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Pairs != 1 || st.Evictions != 1 {
+		t.Fatalf("want 1 cached pair / 1 eviction under byte budget, got %d / %d", st.Pairs, st.Evictions)
+	}
+	if st.PerPair[0].Src != dst {
+		t.Fatalf("MRU pair should be (%s, %s), got %+v", dst, src, st.PerPair[0])
+	}
+}
+
+// TestHotSwap re-registers a schema id and checks that the binding swaps
+// for new lookups while the previously compiled pair stays cached and
+// usable.
+func TestHotSwap(t *testing.T) {
+	r := New(Config{})
+	src, dst := figPair(t, r)
+	pOld, err := r.Pair(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The billTo-less doc is invalid against v2 (billTo required).
+	if _, err := pOld.Stream.Validate(strings.NewReader(poXML(false))); err == nil {
+		t.Fatal("invalid doc accepted before swap")
+	}
+	// Swap v2 to the permissive schema (billTo optional).
+	if _, err := r.Register(dst, wgen.Figure2XSD(true, 100), FormatAuto, ""); err != nil {
+		t.Fatal(err)
+	}
+	pNew, err := r.Pair(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNew == pOld {
+		t.Fatal("lookup after swap returned the old pair")
+	}
+	if _, err := pNew.Stream.Validate(strings.NewReader(poXML(false))); err != nil {
+		t.Fatalf("doc invalid against swapped-in permissive target: %v", err)
+	}
+	// The old pair (held by an in-flight request) still behaves as before.
+	if _, err := pOld.Stream.Validate(strings.NewReader(poXML(false))); err == nil {
+		t.Fatal("old pair's verdict changed after swap")
+	}
+	// Both versions coexist in the cache under their content hashes.
+	if got := r.Len(); got != 2 {
+		t.Fatalf("want old+new pairs cached, got %d", got)
+	}
+	// Re-registering identical content keeps the same hash, so the pair
+	// cache hits instead of recompiling.
+	before := r.Stats().Compiles
+	if _, err := r.Register(dst, wgen.Figure2XSD(true, 100), FormatAuto, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Pair(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.Stats().Compiles; after != before {
+		t.Fatalf("identical re-registration caused recompile: %d -> %d", before, after)
+	}
+}

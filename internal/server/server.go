@@ -1,0 +1,298 @@
+// Package server exposes the schema-pair registry over HTTP: the handler
+// behind the castd revalidation daemon. Documents are cast-validated
+// straight off the request body through the streaming caster, so per-
+// request memory is O(document depth) regardless of document size; all
+// preprocessing is amortized in the registry.
+//
+// Routes:
+//
+//	PUT  /schemas/{id}            register a schema (XSD or DTD text body)
+//	GET  /schemas/{id}            registered-version metadata
+//	POST /cast/{src}/{dst}        cast-validate the request body (one doc)
+//	POST /cast/{src}/{dst}/batch  cast-validate a JSON array of documents
+//	GET  /pairs/{src}/{dst}       static-compatibility report, no document
+//	GET  /metrics                 counter snapshot (JSON)
+//	GET  /healthz                 liveness
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	revalidate "repro"
+	"repro/internal/registry"
+)
+
+// maxSchemaBytes bounds a PUT /schemas body; schema texts are small, and
+// an unbounded read is a trivial memory DoS.
+const maxSchemaBytes = 16 << 20
+
+// maxBatchBytes bounds a POST /cast batch body (single-document casts
+// stream and need no bound).
+const maxBatchBytes = 256 << 20
+
+// Options tune the server.
+type Options struct {
+	// Workers sizes the batch-validation worker pool; <= 0 means one
+	// worker per logical CPU (per request).
+	Workers int
+}
+
+// Server is the castd HTTP handler. Safe for concurrent use; all shared
+// state lives in the registry or in atomic counters.
+type Server struct {
+	reg     *registry.Registry
+	workers int
+	mux     *http.ServeMux
+
+	reqRegister, reqCast, reqBatch, reqPairs atomic.Int64
+	verdictValid, verdictInvalid             atomic.Int64
+
+	// Cumulative streaming-work counters across all cast requests; the
+	// skimmed count is the serving-layer view of the paper's "skipped
+	// subtrees" economy.
+	elementsProcessed, elementsSkimmed, automatonSteps, valuesChecked atomic.Int64
+}
+
+// New wires the routes over a registry.
+func New(reg *registry.Registry, opts Options) *Server {
+	s := &Server{reg: reg, workers: opts.Workers, mux: http.NewServeMux()}
+	s.mux.HandleFunc("PUT /schemas/{id}", s.handleRegister)
+	s.mux.HandleFunc("GET /schemas/{id}", s.handleSchema)
+	s.mux.HandleFunc("POST /cast/{src}/{dst}", s.handleCast)
+	s.mux.HandleFunc("POST /cast/{src}/{dst}/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /pairs/{src}/{dst}", s.handlePairs)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// pair resolves a (src, dst) id pair, mapping registry errors to HTTP
+// statuses (404 unknown id, 422 uncompilable pair).
+func (s *Server) pair(w http.ResponseWriter, r *http.Request) (*registry.Pair, bool) {
+	src, dst := r.PathValue("src"), r.PathValue("dst")
+	p, err := s.reg.Pair(src, dst)
+	if err != nil {
+		var unknown *registry.UnknownSchemaError
+		if errors.As(err, &unknown) {
+			writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return nil, false
+	}
+	return p, true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	s.reqRegister.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSchemaBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxSchemaBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "schema exceeds %d bytes", maxSchemaBytes)
+		return
+	}
+	format := registry.Format(r.URL.Query().Get("format"))
+	switch format {
+	case registry.FormatAuto, registry.FormatXSD, registry.FormatDTD:
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want xsd or dtd)", format)
+		return
+	}
+	e, err := s.reg.Register(r.PathValue("id"), string(body), format, r.URL.Query().Get("root"))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Schema(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown schema id %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+// streamStatsBody is the JSON shape of per-request streaming work.
+type streamStatsBody struct {
+	ElementsProcessed int64 `json:"elementsProcessed"`
+	ElementsSkimmed   int64 `json:"elementsSkimmed"`
+	AutomatonSteps    int64 `json:"automatonSteps"`
+	ValuesChecked     int64 `json:"valuesChecked"`
+}
+
+func (s *Server) recordStats(st revalidate.StreamStats) streamStatsBody {
+	s.elementsProcessed.Add(st.ElementsProcessed)
+	s.elementsSkimmed.Add(st.ElementsSkimmed)
+	s.automatonSteps.Add(st.AutomatonSteps)
+	s.valuesChecked.Add(st.ValuesChecked)
+	return streamStatsBody{
+		ElementsProcessed: st.ElementsProcessed,
+		ElementsSkimmed:   st.ElementsSkimmed,
+		AutomatonSteps:    st.AutomatonSteps,
+		ValuesChecked:     st.ValuesChecked,
+	}
+}
+
+type castResponse struct {
+	Valid bool            `json:"valid"`
+	Error string          `json:"error,omitempty"`
+	Stats streamStatsBody `json:"stats"`
+}
+
+func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
+	s.reqCast.Add(1)
+	p, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	// The request body streams straight through the caster: O(depth)
+	// memory however large the document.
+	st, err := p.Stream.Validate(r.Body)
+	resp := castResponse{Valid: err == nil, Stats: s.recordStats(st)}
+	if err != nil {
+		s.verdictInvalid.Add(1)
+		resp.Error = err.Error()
+	} else {
+		s.verdictValid.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type batchResponse struct {
+	Count   int `json:"count"`
+	Valid   int `json:"valid"`
+	Invalid int `json:"invalid"`
+	// Verdicts holds one entry per document: null when valid, the
+	// rejection reason otherwise.
+	Verdicts []*string       `json:"verdicts"`
+	Stats    streamStatsBody `json:"stats"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.reqBatch.Add(1)
+	p, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	var docs []string
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBatchBytes))
+	if err := dec.Decode(&docs); err != nil {
+		writeError(w, http.StatusBadRequest, "batch body must be a JSON array of XML documents: %v", err)
+		return
+	}
+	workers := s.workers
+	if v := r.URL.Query().Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "workers: %v", err)
+			return
+		}
+		workers = n
+	}
+	readers := make([]io.Reader, len(docs))
+	for i, d := range docs {
+		readers[i] = strings.NewReader(d)
+	}
+	errs, st := p.Stream.ValidateAll(readers, workers)
+	resp := batchResponse{Count: len(docs), Verdicts: make([]*string, len(docs)), Stats: s.recordStats(st)}
+	for i, err := range errs {
+		if err != nil {
+			msg := err.Error()
+			resp.Verdicts[i] = &msg
+			resp.Invalid++
+		} else {
+			resp.Valid++
+		}
+	}
+	s.verdictValid.Add(int64(resp.Valid))
+	s.verdictInvalid.Add(int64(resp.Invalid))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type pairsResponse struct {
+	Src       *registry.SchemaEntry `json:"src"`
+	Dst       *registry.SchemaEntry `json:"dst"`
+	Report    revalidate.PairReport `json:"report"`
+	CompileNS int64                 `json:"compileNS"`
+}
+
+func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
+	s.reqPairs.Add(1)
+	p, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, pairsResponse{
+		Src:       p.Src,
+		Dst:       p.Dst,
+		Report:    p.Report,
+		CompileNS: int64(p.CompileTime),
+	})
+}
+
+type metricsBody struct {
+	Requests struct {
+		Register int64 `json:"register"`
+		Cast     int64 `json:"cast"`
+		Batch    int64 `json:"batch"`
+		Pairs    int64 `json:"pairs"`
+	} `json:"requests"`
+	Verdicts struct {
+		Valid   int64 `json:"valid"`
+		Invalid int64 `json:"invalid"`
+	} `json:"verdicts"`
+	Stream streamStatsBody `json:"stream"`
+	Cache  registry.Stats  `json:"cache"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var m metricsBody
+	m.Requests.Register = s.reqRegister.Load()
+	m.Requests.Cast = s.reqCast.Load()
+	m.Requests.Batch = s.reqBatch.Load()
+	m.Requests.Pairs = s.reqPairs.Load()
+	m.Verdicts.Valid = s.verdictValid.Load()
+	m.Verdicts.Invalid = s.verdictInvalid.Load()
+	m.Stream = streamStatsBody{
+		ElementsProcessed: s.elementsProcessed.Load(),
+		ElementsSkimmed:   s.elementsSkimmed.Load(),
+		AutomatonSteps:    s.automatonSteps.Load(),
+		ValuesChecked:     s.valuesChecked.Load(),
+	}
+	m.Cache = s.reg.Stats()
+	writeJSON(w, http.StatusOK, m)
+}

@@ -39,6 +39,21 @@ func NewCaster(src, dst *schema.Schema) (*Caster, error) {
 	return &Caster{Src: src, Dst: dst, Rel: rel, casters: castmap.New(src, dst, rel, true)}, nil
 }
 
+// NewCasterFrom builds a streaming caster from preprocessing another
+// component already paid for: rel and table must come from the same
+// compiled (src, dst) pair (e.g. a cast.Engine). The daemon uses this to
+// hold one set of relations and IDAs per schema pair shared by the tree
+// and streaming validation modes.
+func NewCasterFrom(src, dst *schema.Schema, rel *subsume.Relations, table *castmap.Table) *Caster {
+	return &Caster{Src: src, Dst: dst, Rel: rel, casters: table}
+}
+
+// CasterSizes reports the caster's content-model footprint: caster count
+// and total c_immed IDA states.
+func (c *Caster) CasterSizes() (casters, idaStates int) {
+	return c.casters.Sizes()
+}
+
 func (c *Caster) contentIDA(τ, τp schema.TypeID) *fa.IDA {
 	return c.casters.Get(τ, τp).CImmed
 }

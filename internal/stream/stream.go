@@ -41,6 +41,16 @@ type Stats struct {
 	ValuesChecked int64
 }
 
+// Add accumulates d into s. Each Validate call returns its own
+// request-scoped Stats; callers that serve many requests (the batch APIs,
+// the castd daemon) merge them into cumulative totals with Add.
+func (s *Stats) Add(d Stats) {
+	s.ElementsProcessed += d.ElementsProcessed
+	s.ElementsSkimmed += d.ElementsSkimmed
+	s.AutomatonSteps += d.AutomatonSteps
+	s.ValuesChecked += d.ValuesChecked
+}
+
 // Validator performs full streaming validation against one schema.
 type Validator struct {
 	S *schema.Schema

@@ -25,8 +25,12 @@ func batchWorkers(n, workers int) int {
 // runWorkers runs body on a pool of workers. Each body draws item indexes
 // in [0, n) from one shared atomic counter until the batch is drained, so
 // uneven per-item cost balances across the pool without any queue or lock.
-// With one worker, body runs on the calling goroutine.
+// With one worker, body runs on the calling goroutine; an empty batch runs
+// nothing at all.
 func runWorkers(n, workers int, body func(claim func() (int, bool))) {
+	if n == 0 {
+		return
+	}
 	workers = batchWorkers(n, workers)
 	var next atomic.Int64
 	claim := func() (int, bool) {
@@ -48,8 +52,9 @@ func runWorkers(n, workers int, body func(claim func() (int, bool))) {
 	wg.Wait()
 }
 
-// add accumulates d into s (single-goroutine use).
-func (s *Stats) add(d Stats) {
+// Add accumulates d into s (single-goroutine use); callers serving many
+// validations merge per-request stats into cumulative totals with it.
+func (s *Stats) Add(d Stats) {
 	s.ElementsVisited += d.ElementsVisited
 	s.TextNodesVisited += d.TextNodesVisited
 	s.AutomatonSteps += d.AutomatonSteps
@@ -69,8 +74,9 @@ func (s *Stats) atomicAdd(d Stats) {
 	atomic.AddInt64(&s.FullValidations, d.FullValidations)
 }
 
-// add accumulates d into s (single-goroutine use).
-func (s *StreamStats) add(d StreamStats) {
+// Add accumulates d into s (single-goroutine use); callers serving many
+// validations merge per-request stats into cumulative totals with it.
+func (s *StreamStats) Add(d StreamStats) {
 	s.ElementsProcessed += d.ElementsProcessed
 	s.ElementsSkimmed += d.ElementsSkimmed
 	s.AutomatonSteps += d.AutomatonSteps

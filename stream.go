@@ -74,8 +74,13 @@ func (c *StreamCaster) Validate(r io.Reader) (StreamStats, error) {
 // preprocessed schema pair. workers <= 0 uses one worker per logical CPU.
 // The returned slice holds one verdict per reader (nil when valid), and
 // the StreamStats are the batch totals, merged from per-worker counters
-// with atomic adds. Each reader is consumed by exactly one worker.
+// with atomic adds. Each reader is consumed by exactly one worker, and a
+// reader that fails mid-stream fails only its own slot (with the reader's
+// error wrapped), never its siblings.
 func (c *StreamCaster) ValidateAll(rs []io.Reader, workers int) ([]error, StreamStats) {
+	if len(rs) == 0 {
+		return nil, StreamStats{}
+	}
 	errs := make([]error, len(rs))
 	var total StreamStats
 	runWorkers(len(rs), workers, func(claim func() (int, bool)) {
@@ -87,7 +92,7 @@ func (c *StreamCaster) ValidateAll(rs []io.Reader, workers int) ([]error, Stream
 			}
 			st, err := c.c.Validate(rs[i])
 			errs[i] = err
-			local.add(fromStreamStats(st))
+			local.Add(fromStreamStats(st))
 		}
 		total.atomicAdd(local)
 	})

@@ -4,12 +4,17 @@ package revalidate_test
 // once into a temp dir and driven through its main paths.
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/wgen"
 )
@@ -30,7 +35,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		toolsDir = dir
-		for _, tool := range []string{"xmlcast", "schemadump", "castbench"} {
+		for _, tool := range []string{"xmlcast", "schemadump", "castbench", "castd"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			cmd.Dir = "."
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -125,6 +130,124 @@ func TestXmlcastCLI(t *testing.T) {
 	_, _, code = run(t, bin, "-target", "/nonexistent.xsd", valid)
 	if code != 2 {
 		t.Fatalf("missing schema file should exit 2, got %d", code)
+	}
+}
+
+// TestXmlcastExitCodeContract pins the scripting contract the daemon smoke
+// tests rely on: 0 valid / 1 invalid / 2 usage-or-IO, verdicts on stdout,
+// diagnostics on stderr.
+func TestXmlcastExitCodeContract(t *testing.T) {
+	bin := filepath.Join(buildTools(t), "xmlcast")
+	dir, src, dst, valid, invalid := fixtures(t)
+
+	// Valid: exit 0, verdict on stdout, silent stderr.
+	out, errOut, code := run(t, bin, "-source", src, "-target", dst, valid)
+	if code != 0 || strings.TrimSpace(out) != "valid" || errOut != "" {
+		t.Fatalf("valid: code=%d stdout=%q stderr=%q", code, out, errOut)
+	}
+	// Invalid: exit 1, reason on stderr only.
+	out, errOut, code = run(t, bin, "-source", src, "-target", dst, invalid)
+	if code != 1 || out != "" || !strings.Contains(errOut, "INVALID") {
+		t.Fatalf("invalid: code=%d stdout=%q stderr=%q", code, out, errOut)
+	}
+	// Unparseable document: exit 2 with a diagnostic on stderr.
+	garbled := filepath.Join(dir, "garbled.xml")
+	if err := os.WriteFile(garbled, []byte("<po><unclosed>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code = run(t, bin, "-source", src, "-target", dst, garbled)
+	if code != 2 || out != "" || !strings.Contains(errOut, "xmlcast:") {
+		t.Fatalf("garbled: code=%d stdout=%q stderr=%q", code, out, errOut)
+	}
+	// Streaming invalid keeps the same contract.
+	out, errOut, code = run(t, bin, "-source", src, "-target", dst, "-stream", invalid)
+	if code != 1 || out != "" || !strings.Contains(errOut, "INVALID") {
+		t.Fatalf("stream invalid: code=%d stdout=%q stderr=%q", code, out, errOut)
+	}
+}
+
+// TestCastdSmoke drives the real castd binary end to end: start it on an
+// ephemeral port, register the paper's schema pair over HTTP, cast a
+// valid and an invalid purchase order, then SIGTERM for a graceful exit.
+func TestCastdSmoke(t *testing.T) {
+	bin := filepath.Join(buildTools(t), "castd")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain", "5s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs its resolved address once the listener is up.
+	var base string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("castd never reported its address: %v", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	httpDo := func(method, url, body string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := httpDo("GET", base+"/healthz", ""); code != 200 {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	if code, body := httpDo("PUT", base+"/schemas/v1", wgen.Figure2XSD(true, 100)); code != 200 {
+		t.Fatalf("register v1: %d %s", code, body)
+	}
+	if code, body := httpDo("PUT", base+"/schemas/v2", wgen.Figure2XSD(false, 100)); code != 200 {
+		t.Fatalf("register v2: %d %s", code, body)
+	}
+	withBill := string(wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 3, IncludeBillTo: true, Seed: 1})))
+	without := string(wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 3, IncludeBillTo: false, Seed: 1})))
+	if code, body := httpDo("POST", base+"/cast/v1/v2", withBill); code != 200 || !strings.Contains(body, `"valid":true`) {
+		t.Fatalf("cast valid doc: %d %s", code, body)
+	}
+	if code, body := httpDo("POST", base+"/cast/v1/v2", without); code != 200 || !strings.Contains(body, `"valid":false`) {
+		t.Fatalf("cast invalid doc: %d %s", code, body)
+	}
+	if code, body := httpDo("GET", base+"/pairs/v1/v2", ""); code != 200 || !strings.Contains(body, `"alwaysValid":false`) {
+		t.Fatalf("pairs: %d %s", code, body)
+	}
+	if code, body := httpDo("GET", base+"/metrics", ""); code != 200 || !strings.Contains(body, `"compiles":1`) {
+		t.Fatalf("metrics: %d %s", code, body)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("castd exit after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("castd did not exit after SIGTERM")
 	}
 }
 
