@@ -80,7 +80,7 @@ func TestStreamValidateAllEdgeCases(t *testing.T) {
 	if len(errs) != 1 || errs[0] != nil {
 		t.Fatalf("one-reader batch: %v", errs)
 	}
-	if st.ElementsProcessed == 0 {
+	if st.ElementsVisited == 0 {
 		t.Fatalf("one-reader batch reported no work: %+v", st)
 	}
 }

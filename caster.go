@@ -3,6 +3,7 @@ package revalidate
 import (
 	"repro/internal/baseline"
 	"repro/internal/cast"
+	"repro/internal/telemetry"
 	"repro/internal/update"
 	"repro/internal/xmltree"
 )
@@ -59,14 +60,19 @@ func (c *Caster) Target() *Schema { return c.dst }
 
 // Stats reports the work performed by one validation. The node counters
 // are a machine-independent cost measure (the paper's Table 3 metric).
+// Field names are shared with StreamStats and the internal engines so a
+// counter means the same thing wherever it appears.
 type Stats struct {
 	// ElementsVisited counts element nodes examined.
 	ElementsVisited int64
 	// TextNodesVisited counts text leaves whose value was read.
 	TextNodesVisited int64
 	// AutomatonSteps counts automaton transitions taken in content-model
-	// checks.
+	// checks — the number of child-label symbols scanned.
 	AutomatonSteps int64
+	// SymbolsSkipped counts child labels seen after an immediate decision
+	// automaton had already settled a content-model verdict.
+	SymbolsSkipped int64
 	// SubsumedSkips counts subtrees skipped outright because the source
 	// type is subsumed by the target type.
 	SubsumedSkips int64
@@ -75,20 +81,86 @@ type Stats struct {
 	// FullValidations counts subtrees that had to be validated from
 	// scratch (inserted content).
 	FullValidations int64
+	// ReverseScans counts with-modifications content checks that chose the
+	// reverse-automaton scan direction (edits clustered at the end).
+	ReverseScans int64
+	// MaxDepth is the deepest element depth reached (root = 0). Batch
+	// totals merge it with max, not sum.
+	MaxDepth int64
 }
 
 // NodesVisited is the total of element and text nodes examined.
 func (s Stats) NodesVisited() int64 { return s.ElementsVisited + s.TextNodesVisited }
+
+// WorkSavedRatio is the fraction of a document's nodes this validation
+// never touched: 1 − visited/total, clamped to [0, 1]. Pass the document's
+// Document.NodeCount (the tree engine cannot know the size of subtrees it
+// skipped).
+func (s Stats) WorkSavedRatio(totalNodes int64) float64 {
+	if totalNodes <= 0 {
+		return 0
+	}
+	r := 1 - float64(s.NodesVisited())/float64(totalNodes)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// SymbolsScannedRatio is the fraction of content-model symbols actually
+// scanned out of all symbols seen: steps/(steps+skipped). 1 when no
+// immediate decision fired.
+func (s Stats) SymbolsScannedRatio() float64 {
+	total := s.AutomatonSteps + s.SymbolsSkipped
+	if total == 0 {
+		return 1
+	}
+	return float64(s.AutomatonSteps) / float64(total)
+}
 
 func fromCastStats(cs cast.Stats) Stats {
 	return Stats{
 		ElementsVisited:  cs.ElementsVisited,
 		TextNodesVisited: cs.TextNodesVisited,
 		AutomatonSteps:   cs.AutomatonSteps,
+		SymbolsSkipped:   cs.SymbolsSkipped,
 		SubsumedSkips:    cs.SubsumedSkips,
 		DisjointRejects:  cs.DisjointRejects,
 		FullValidations:  cs.FullValidations,
+		ReverseScans:     cs.ReverseScans,
+		MaxDepth:         cs.MaxDepth,
 	}
+}
+
+// TraceEvent is one recorded decision of a traced validation: which action
+// the engine took where, and for which (source, target) type pair. Action
+// is one of "descend", "skip", "reject", "content", "simple", "full".
+type TraceEvent struct {
+	Action string `json:"action"`
+	// Path is the XPath-like location of the element the decision concerns.
+	Path string `json:"path"`
+	// Dewey is the element's Dewey decimal number ("0.2.1"; "ε" for the
+	// root).
+	Dewey string `json:"dewey"`
+	// Depth is the element depth (root = 0).
+	Depth int `json:"depth"`
+	// SrcType and DstType name the (τ, τ') pair the decision was made for.
+	SrcType string `json:"srcType,omitempty"`
+	DstType string `json:"dstType,omitempty"`
+	// Detail is a human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+}
+
+func fromTraceEvents(tr *telemetry.Trace) []TraceEvent {
+	events := tr.Events()
+	out := make([]TraceEvent, len(events))
+	for i, e := range events {
+		out[i] = TraceEvent{
+			Action: string(e.Action), Path: e.Path, Dewey: e.Dewey, Depth: e.Depth,
+			SrcType: e.SrcType, DstType: e.DstType, Detail: e.Detail,
+		}
+	}
+	return out
 }
 
 // Validate decides whether doc — assumed valid under the source schema —
@@ -102,6 +174,18 @@ func (c *Caster) Validate(doc *Document) error {
 func (c *Caster) ValidateStats(doc *Document) (Stats, error) {
 	cs, err := c.engine.Validate(doc.root)
 	return fromCastStats(cs), err
+}
+
+// ValidateTraced is ValidateStats in trace mode: alongside the verdict and
+// statistics it returns the decision trace — one event per skip, reject,
+// descend and check, in traversal order. The trace's skip and reject counts
+// always equal the returned Stats' SubsumedSkips and DisjointRejects.
+// Trace mode allocates per decision; use Validate/ValidateStats on hot
+// paths.
+func (c *Caster) ValidateTraced(doc *Document) (Stats, []TraceEvent, error) {
+	tr := &telemetry.Trace{}
+	cs, err := c.engine.ValidateTrace(doc.root, tr)
+	return fromCastStats(cs), fromTraceEvents(tr), err
 }
 
 // ValidateAll validates a batch of documents concurrently on a pool of

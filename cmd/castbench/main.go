@@ -10,14 +10,19 @@
 //	-stream   extension: streaming cast vs. parse+tree pipelines
 //	-prep     preprocessing cost (relations + IDA construction)
 //	-parallel extension: batch validation scaling, 1→GOMAXPROCS workers
+//	-json     machine-readable scenario results written to BENCH_cast.json
 //	-all      everything (default when no flag is given)
 //
 // Wall-clock numbers are machine-dependent; the shapes (constant vs.
-// linear, cast vs. baseline ratios) are what reproduce the paper.
+// linear, cast vs. baseline ratios) are what reproduce the paper. The
+// -json output pairs each wall-clock number with the machine-independent
+// work ratios (skip ratio, symbols-scanned ratio) so CI can track the
+// shapes without chasing nanoseconds.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,9 +54,14 @@ func main() {
 		strm   = flag.Bool("stream", false, "extension: streaming cast vs parse+tree pipelines")
 		prep   = flag.Bool("prep", false, "preprocessing cost breakdown")
 		par    = flag.Bool("parallel", false, "extension: batch validation scaling across workers")
+		jsonTo = flag.String("json", "", "write machine-readable scenario results to this file (conventionally BENCH_cast.json)")
 		all    = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
+	if *jsonTo != "" {
+		runJSON(wgen.NewPaperSchemas(), *jsonTo)
+		return
+	}
 	any := *table1 || *table2 || *exp1 || *exp2 || *table3 || *mods || *strm || *prep || *par
 	if *all || !any {
 		*table1, *table2, *exp1, *exp2, *table3, *mods, *strm, *prep, *par =
@@ -373,6 +383,125 @@ func runParallel() {
 	fmt.Println("   expected shape: docs/s grows with workers up to the core count")
 	fmt.Println("   (flat on single-core machines; the tracked series is the scaling curve)")
 	fmt.Println()
+}
+
+// benchScenario is one row of the -json output: a wall-clock pair plus
+// the machine-independent work ratios that reproduce the paper's shapes.
+type benchScenario struct {
+	// Name identifies the scenario (workload + engine).
+	Name string `json:"name"`
+	// NsPerOp is the cast engine's time per validation.
+	NsPerOp int64 `json:"nsPerOp"`
+	// BaselineNsPerOp is the full (Xerces-style) validator's time on the
+	// same document.
+	BaselineNsPerOp int64 `json:"baselineNsPerOp"`
+	// Speedup is BaselineNsPerOp / NsPerOp.
+	Speedup float64 `json:"speedup"`
+	// SkipRatio is the fraction of the document's nodes (tree engines) or
+	// elements (stream engine) the cast never examined.
+	SkipRatio float64 `json:"skipRatio"`
+	// SymbolsScannedRatio is automaton steps over all content-model symbols
+	// seen: < 1 means immediate decisions cut scanning short.
+	SymbolsScannedRatio float64 `json:"symbolsScannedRatio"`
+}
+
+// runJSON times the representative scenarios (Experiment 1, Experiment 2,
+// streaming cast) and writes them as a JSON array to path. The wall-clock
+// fields are machine-dependent; CI assertions should target the ratios.
+func runJSON(ps *wgen.PaperSchemas, path string) {
+	const items = 1000
+	var out []benchScenario
+
+	// Experiment 1: billTo optional→required, cast skips everything.
+	{
+		engine := cast.MustNew(ps.Source1, ps.Target, cast.Options{})
+		base := baseline.New(ps.Target)
+		doc := wgen.PODocument(wgen.PODocOptions{Items: items, IncludeBillTo: true, Seed: 2004})
+		out = append(out, treeRow("exp1-cast-vs-full-1000", engine, base, doc))
+	}
+	// Experiment 2: maxExclusive 200→100, every quantity rechecked.
+	{
+		engine := cast.MustNew(ps.Source2, ps.Target, cast.Options{})
+		base := baseline.New(ps.Target)
+		doc := wgen.PODocument(wgen.PODocOptions{Items: items, IncludeBillTo: true, MaxQuantity: 99, Seed: 2004})
+		out = append(out, treeRow("exp2-cast-vs-full-1000", engine, base, doc))
+	}
+	// Streaming cast vs streaming full on serialized bytes.
+	{
+		data := wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 500, IncludeBillTo: true, Seed: 11}))
+		sc, err := stream.NewCaster(ps.Source1, ps.Target)
+		if err != nil {
+			fatal(err)
+		}
+		sf := stream.NewValidator(ps.Target)
+		castTime := timeIt(func() {
+			if _, err := sc.Validate(bytes.NewReader(data)); err != nil {
+				fatal(err)
+			}
+		})
+		fullTime := timeIt(func() {
+			if _, err := sf.Validate(bytes.NewReader(data)); err != nil {
+				fatal(err)
+			}
+		})
+		st, err := sc.Validate(bytes.NewReader(data))
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, benchScenario{
+			Name:                "stream-cast-vs-full-500",
+			NsPerOp:             castTime.Nanoseconds(),
+			BaselineNsPerOp:     fullTime.Nanoseconds(),
+			Speedup:             float64(fullTime) / float64(castTime),
+			SkipRatio:           st.WorkSavedRatio(),
+			SymbolsScannedRatio: st.SymbolsScannedRatio(),
+		})
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "castbench: wrote %d scenarios to %s\n", len(out), path)
+}
+
+// treeRow times one tree-engine scenario against the full baseline and
+// derives the work ratios from the two Stats.
+func treeRow(name string, engine *cast.Engine, base *baseline.Validator, doc *xmltree.Node) benchScenario {
+	castTime := timeIt(func() {
+		if _, err := engine.Validate(doc); err != nil {
+			fatal(err)
+		}
+	})
+	fullTime := timeIt(func() {
+		if _, err := base.Validate(doc); err != nil {
+			fatal(err)
+		}
+	})
+	cs, err := engine.Validate(doc)
+	if err != nil {
+		fatal(err)
+	}
+	bs, err := base.Validate(doc)
+	if err != nil {
+		fatal(err)
+	}
+	return benchScenario{
+		Name:                name,
+		NsPerOp:             castTime.Nanoseconds(),
+		BaselineNsPerOp:     fullTime.Nanoseconds(),
+		Speedup:             float64(fullTime) / float64(castTime),
+		SkipRatio:           cs.WorkSavedRatio(bs.NodesVisited()),
+		SymbolsScannedRatio: cs.SymbolsScannedRatio(),
+	}
 }
 
 func fatal(err error) {

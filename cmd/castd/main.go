@@ -12,10 +12,16 @@
 //	curl -X PUT --data-binary @v2.xsd localhost:8347/schemas/v2
 //	curl -X POST --data-binary @order.xml localhost:8347/cast/v1/v2
 //	curl localhost:8347/pairs/v1/v2     # static compatibility, no document
-//	curl localhost:8347/metrics
+//	curl localhost:8347/metrics         # Prometheus text exposition
+//	curl localhost:8347/metrics.json    # JSON counter snapshot
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections and drains
-// in-flight validations, up to -drain.
+// With -pprof the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/ (off by default: profiling endpoints leak heap contents
+// and should never face untrusted clients).
+//
+// On SIGINT/SIGTERM the daemon flips /healthz to 503 (so load balancers
+// drain it), stops accepting connections and finishes in-flight
+// validations, up to -drain.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +49,8 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "approximate byte budget for cached pairs (0 = unlimited)")
 		workers      = flag.Int("workers", 0, "batch validation workers per request (0 = one per CPU)")
 		drain        = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight validations")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		accessLog    = flag.Bool("access-log", false, "log one line per request (request id, route, status, duration)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: castd [flags]\n")
@@ -54,8 +63,28 @@ func main() {
 	}
 
 	reg := registry.New(registry.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes})
+	opts := server.Options{Workers: *workers}
+	if *accessLog {
+		opts.AccessLog = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	srv := server.New(reg, opts)
+	var handler http.Handler = srv
+	if *pprofOn {
+		// Explicit registrations instead of the package's init-time
+		// DefaultServeMux side effect: the endpoints exist only when asked
+		// for.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		log.Printf("castd: pprof enabled at /debug/pprof/")
+	}
 	hs := &http.Server{
-		Handler:           server.New(reg, server.Options{Workers: *workers}),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -80,6 +109,7 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	srv.SetDraining(true) // /healthz answers 503 from here on
 	log.Printf("castd: draining in-flight validations (deadline %s)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -43,6 +43,7 @@ func main() {
 		repairDoc  = flag.Bool("repair", false, "repair an invalid document and print the corrected XML to stdout")
 		streaming  = flag.Bool("stream", false, "validate from the token stream without building a tree (O(depth) memory)")
 		stats      = flag.Bool("stats", false, "print work statistics to stderr")
+		explain    = flag.Bool("explain", false, "print the decision trace (skips, rejects, descends) to stderr; implies a schema cast")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xmlcast [-source schema] -target schema [flags] document.xml\n")
@@ -62,7 +63,7 @@ func main() {
 	defer docFile.Close()
 
 	if *streaming {
-		runStreaming(u, target, *sourcePath, *dtdRoot, docFile, *stats)
+		runStreaming(u, target, *sourcePath, *dtdRoot, docFile, *stats, *explain)
 		return
 	}
 	doc, err := revalidate.ParseDocument(docFile)
@@ -97,18 +98,41 @@ func main() {
 		report("indexed schema cast", st, err, *stats)
 		return
 	}
+	if *explain {
+		st, trace, err := caster.ValidateTraced(doc)
+		printTrace(trace)
+		fmt.Fprintf(os.Stderr, "explain: %d skips, %d rejects; visited %d of %d nodes (work saved %.1f%%), scanned %d symbols (skipped %d)\n",
+			st.SubsumedSkips, st.DisjointRejects,
+			st.NodesVisited(), doc.NodeCount(), 100*st.WorkSavedRatio(int64(doc.NodeCount())),
+			st.AutomatonSteps, st.SymbolsSkipped)
+		report("schema cast", st, err, *stats)
+		return
+	}
 	st, err := caster.ValidateStats(doc)
 	report("schema cast", st, err, *stats)
 }
 
+// printTrace renders the decision trace as an indented tree, one line per
+// decision, to stderr.
+func printTrace(trace []revalidate.TraceEvent) {
+	for _, ev := range trace {
+		types := ""
+		if ev.SrcType != "" || ev.DstType != "" {
+			types = fmt.Sprintf(" (%s → %s)", ev.SrcType, ev.DstType)
+		}
+		fmt.Fprintf(os.Stderr, "%s%-7s %s [%s]%s: %s\n",
+			strings.Repeat("  ", ev.Depth), ev.Action, ev.Path, ev.Dewey, types, ev.Detail)
+	}
+}
+
 // runStreaming validates straight off the token stream: full validation
 // without -source, streaming schema cast with it.
-func runStreaming(u *revalidate.Universe, target *revalidate.Schema, sourcePath, dtdRoot string, r *os.File, stats bool) {
+func runStreaming(u *revalidate.Universe, target *revalidate.Schema, sourcePath, dtdRoot string, r *os.File, stats, explain bool) {
 	if sourcePath == "" {
 		st, err := target.ValidateStream(r)
 		if stats {
-			fmt.Fprintf(os.Stderr, "streaming full validation: processed=%d steps=%d values=%d\n",
-				st.ElementsProcessed, st.AutomatonSteps, st.ValuesChecked)
+			fmt.Fprintf(os.Stderr, "streaming full validation: visited=%d steps=%d values=%d\n",
+				st.ElementsVisited, st.AutomatonSteps, st.ValuesChecked)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "INVALID: %v\n", err)
@@ -121,10 +145,21 @@ func runStreaming(u *revalidate.Universe, target *revalidate.Schema, sourcePath,
 	exitOn(err)
 	sc, err := revalidate.NewStreamCaster(source, target)
 	exitOn(err)
-	st, err := sc.Validate(r)
+	var st revalidate.StreamStats
+	if explain {
+		var trace []revalidate.TraceEvent
+		st, trace, err = sc.ValidateTraced(r)
+		printTrace(trace)
+		fmt.Fprintf(os.Stderr, "explain: %d skips, %d rejects; skimmed %d of %d elements (work saved %.1f%%), scanned %d symbols (skipped %d)\n",
+			st.SubsumedSkips, st.DisjointRejects,
+			st.ElementsSkimmed, st.ElementsVisited+st.ElementsSkimmed, 100*st.WorkSavedRatio(),
+			st.AutomatonSteps, st.SymbolsSkipped)
+	} else {
+		st, err = sc.Validate(r)
+	}
 	if stats {
-		fmt.Fprintf(os.Stderr, "streaming schema cast: processed=%d skimmed=%d steps=%d values=%d\n",
-			st.ElementsProcessed, st.ElementsSkimmed, st.AutomatonSteps, st.ValuesChecked)
+		fmt.Fprintf(os.Stderr, "streaming schema cast: visited=%d skimmed=%d steps=%d values=%d\n",
+			st.ElementsVisited, st.ElementsSkimmed, st.AutomatonSteps, st.ValuesChecked)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "INVALID: %v\n", err)

@@ -143,7 +143,7 @@ func TestStreamValidateAll(t *testing.T) {
 			t.Fatalf("stream %d should pass: %v", i, e)
 		}
 	}
-	if st.ElementsProcessed == 0 || st.ElementsSkimmed == 0 {
+	if st.ElementsVisited == 0 || st.ElementsSkimmed == 0 {
 		t.Fatalf("batch stats should aggregate work: %+v", st)
 	}
 }

@@ -105,7 +105,7 @@ func main() {
 	start = time.Now()
 	for i, msg := range wire {
 		st, err := streamCaster.Validate(strings.NewReader(msg))
-		processed += st.ElementsProcessed
+		processed += st.ElementsVisited
 		skimmed += st.ElementsSkimmed
 		if (err == nil) != verdicts[i] {
 			log.Fatalf("message %d: streaming and tree casts disagree", i)

@@ -54,14 +54,15 @@ func (e *Engine) ValidateModified(doc *xmltree.Node, trie *update.Trie) (Stats, 
 	if τ == schema.NoType {
 		return st, contractError(schema.NodePath(doc), "original label %q is not a source root", oldLabel)
 	}
-	err := e.castValidateMod(τ, τp, doc, trie, &st)
+	err := e.castValidateMod(τ, τp, doc, trie, &st, 0)
 	return st, err
 }
 
-func (e *Engine) castValidateMod(τ, τp schema.TypeID, node *xmltree.Node, trie *update.Trie, st *Stats) error {
+func (e *Engine) castValidateMod(τ, τp schema.TypeID, node *xmltree.Node, trie *update.Trie, st *Stats, depth int) error {
+	st.noteDepth(depth)
 	// Case 1: untouched subtree — the no-modifications cast applies.
 	if !trie.Modified() && node.Delta == xmltree.DeltaNone {
-		return e.castValidate(τ, τp, node, st)
+		return e.castValidate(τ, τp, node, st, depth, nil)
 	}
 	tD := e.Dst.TypeOf(τp)
 	if tD.Simple {
@@ -117,7 +118,7 @@ func (e *Engine) castValidateMod(τ, τp schema.TypeID, node *xmltree.Node, trie
 		if !ok {
 			return contractError(schema.NodePath(c), "original label %q has no source child type under %q", oldLabel, tS.Name)
 		}
-		if err := e.castValidateMod(ω, ν, c, trie.Child(i), st); err != nil {
+		if err := e.castValidateMod(ω, ν, c, trie.Child(i), st, depth+1); err != nil {
 			return err
 		}
 	}
@@ -214,6 +215,9 @@ func (e *Engine) checkContentModified(tS, tD *schema.Type, node *xmltree.Node, s
 	caster := e.caster(tS.ID, tD.ID)
 	res := caster.ValidateModified(oldWord, newWord, clampBound(prefix, oldWord, newWord), clampBound(suffix, oldWord, newWord))
 	st.AutomatonSteps += int64(res.Scanned) + int64(res.StepsOnA)
+	if res.Reversed {
+		st.ReverseScans++
+	}
 	if !res.Accepted {
 		return nil, e.contentError(tD, node)
 	}

@@ -1,0 +1,109 @@
+package cast
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/wgen"
+)
+
+// TestValidateTracePaperPair replays the paper's Fig. 1a → Fig. 2 cast in
+// trace mode and pins the exact decision sequence: one descend at the root,
+// then one R_sub skip per child subtree (shipTo, billTo, items). The trace
+// counts must agree with the Stats counters — that is the contract xmlcast
+// -explain relies on.
+func TestValidateTracePaperPair(t *testing.T) {
+	_, e1, _ := paperEngines(t, Options{})
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 50, IncludeBillTo: true, Seed: 11})
+
+	tr := &telemetry.Trace{}
+	st, err := e1.ValidateTrace(doc, tr)
+	if err != nil {
+		t.Fatalf("valid cast failed: %v", err)
+	}
+	if got := tr.Count(telemetry.ActionSkip); int64(got) != st.SubsumedSkips {
+		t.Fatalf("trace skips (%d) must equal Stats.SubsumedSkips (%d)", got, st.SubsumedSkips)
+	}
+	if got := tr.Count(telemetry.ActionReject); int64(got) != st.DisjointRejects {
+		t.Fatalf("trace rejects (%d) must equal Stats.DisjointRejects (%d)", got, st.DisjointRejects)
+	}
+	if st.SubsumedSkips != 3 {
+		t.Fatalf("expected 3 subsumption skips (shipTo, billTo, items), got %d\n%s", st.SubsumedSkips, st)
+	}
+
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	// First decision: descend at the root.
+	if events[0].Action != telemetry.ActionDescend || events[0].Path != "/purchaseOrder" {
+		t.Fatalf("first event should descend at /purchaseOrder, got %+v", events[0])
+	}
+	if events[0].Dewey != "ε" || events[0].Depth != 0 {
+		t.Fatalf("root Dewey/depth wrong: %+v", events[0])
+	}
+	// The three skips carry the expected paths, Dewey numbers and depth 1.
+	var skipPaths, skipDeweys []string
+	for _, ev := range events {
+		if ev.Action == telemetry.ActionSkip {
+			skipPaths = append(skipPaths, ev.Path)
+			skipDeweys = append(skipDeweys, ev.Dewey)
+			if ev.Depth != 1 {
+				t.Fatalf("skip at wrong depth: %+v", ev)
+			}
+			if ev.SrcType == "" || ev.DstType == "" {
+				t.Fatalf("skip event missing (τ, τ') names: %+v", ev)
+			}
+		}
+	}
+	wantPaths := []string{"/purchaseOrder/shipTo", "/purchaseOrder/billTo", "/purchaseOrder/items"}
+	wantDeweys := []string{"0", "1", "2"}
+	for i := range wantPaths {
+		if skipPaths[i] != wantPaths[i] || skipDeweys[i] != wantDeweys[i] {
+			t.Fatalf("skip %d = (%s, %s), want (%s, %s)", i, skipPaths[i], skipDeweys[i], wantPaths[i], wantDeweys[i])
+		}
+	}
+	if st.MaxDepth != 1 {
+		t.Fatalf("MaxDepth should be 1 (skips stop the descent), got %d", st.MaxDepth)
+	}
+}
+
+// TestValidateTraceRejection traces the failing cast (no billTo): the root's
+// content model rejects, no subtree is ever entered, and no disjoint reject
+// fires (the failure is structural, not type-level).
+func TestValidateTraceRejection(t *testing.T) {
+	_, e1, _ := paperEngines(t, Options{})
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 50, IncludeBillTo: false, Seed: 11})
+
+	tr := &telemetry.Trace{}
+	st, err := e1.ValidateTrace(doc, tr)
+	if err == nil {
+		t.Fatal("cast without billTo must fail")
+	}
+	if st.DisjointRejects != 0 || tr.Count(telemetry.ActionReject) != 0 {
+		t.Fatal("failure should come from the content model, not R_dis")
+	}
+	events := tr.Events()
+	last := events[len(events)-1]
+	if last.Action != telemetry.ActionContent || last.Path != "/purchaseOrder" {
+		t.Fatalf("last event should be the root content rejection, got %+v", last)
+	}
+}
+
+// TestTraceMatchesUntracedStats guards the zero-cost claim the other way
+// round: tracing must not change what work is counted.
+func TestTraceMatchesUntracedStats(t *testing.T) {
+	_, _, e2 := paperEngines(t, Options{})
+	doc := wgen.PODocument(wgen.PODocOptions{Items: 30, IncludeBillTo: true, MaxQuantity: 99, Seed: 5})
+	plain, err := e2.Validate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := e2.ValidateTrace(doc, &telemetry.Trace{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != traced {
+		t.Fatalf("tracing changed the stats:\nplain  %+v\ntraced %+v", plain, traced)
+	}
+}

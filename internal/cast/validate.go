@@ -2,9 +2,12 @@ package cast
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/fa"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 	"repro/internal/xmltree"
 )
 
@@ -16,11 +19,23 @@ import (
 // the contract rather than the target schema).
 func (e *Engine) Validate(doc *xmltree.Node) (Stats, error) {
 	var st Stats
-	err := e.validateRoot(doc, &st)
+	err := e.validateRoot(doc, &st, nil)
 	return st, err
 }
 
-func (e *Engine) validateRoot(doc *xmltree.Node, st *Stats) error {
+// ValidateTrace is Validate in trace mode: every skip/reject/descend
+// decision (plus content-model, simple-value and full-validation events)
+// is recorded into tr with its path, Dewey number and (τ, τ') pair. The
+// trace makes a verdict explainable — it costs allocations proportional to
+// the number of decisions and is meant for -explain / ?explain=1 requests,
+// not the hot path (which passes a nil trace and pays only a pointer test).
+func (e *Engine) ValidateTrace(doc *xmltree.Node, tr *telemetry.Trace) (Stats, error) {
+	var st Stats
+	err := e.validateRoot(doc, &st, tr)
+	return st, err
+}
+
+func (e *Engine) validateRoot(doc *xmltree.Node, st *Stats, tr *telemetry.Trace) error {
 	if doc.IsText() {
 		return &schema.ValidationError{Path: "/", Reason: "root must be an element"}
 	}
@@ -36,20 +51,62 @@ func (e *Engine) validateRoot(doc *xmltree.Node, st *Stats) error {
 			Reason: fmt.Sprintf("label %q is not a permitted root of the target schema", doc.Label),
 		}
 	}
-	return e.castValidate(τ, τp, doc, st)
+	return e.castValidate(τ, τp, doc, st, 0, tr)
+}
+
+// traceEvent builds one decision event for node at depth; only called when
+// a trace was requested.
+func (e *Engine) traceEvent(a telemetry.Action, node *xmltree.Node, depth int, τ, τp schema.TypeID, detail string) telemetry.Event {
+	ev := telemetry.Event{
+		Action: a,
+		Path:   schema.NodePath(node),
+		Dewey:  deweyString(node),
+		Depth:  depth,
+		Detail: detail,
+	}
+	if τ != schema.NoType {
+		ev.SrcType = e.Src.TypeOf(τ).Name
+	}
+	if τp != schema.NoType {
+		ev.DstType = e.Dst.TypeOf(τp).Name
+	}
+	return ev
+}
+
+// deweyString renders a node's Dewey decimal number ("0.2.1"; "ε" for the
+// root, whose Dewey number is the empty sequence).
+func deweyString(n *xmltree.Node) string {
+	path := n.Path()
+	if len(path) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(path))
+	for i, p := range path {
+		parts[i] = strconv.Itoa(p)
+	}
+	return strings.Join(parts, ".")
 }
 
 // castValidate is the paper's validate(τ, τ', e): the subtree at node is
 // assumed valid with respect to τ (source); decide validity with respect to
-// τ' (target). The node itself has been counted by the caller.
-func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Stats) error {
+// τ' (target). The node itself has been counted by the caller. depth is the
+// node's element depth (root = 0); tr, when non-nil, receives one event per
+// decision.
+func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Stats, depth int, tr *telemetry.Trace) error {
+	st.noteDepth(depth)
 	if !e.opts.DisableRelations {
 		if e.Rel.Subsumed(τ, τp) {
 			st.SubsumedSkips++
+			if tr != nil {
+				tr.Record(e.traceEvent(telemetry.ActionSkip, node, depth, τ, τp, "subsumed: subtree target-valid without inspection"))
+			}
 			return nil
 		}
 		if e.Rel.Disjoint(τ, τp) {
 			st.DisjointRejects++
+			if tr != nil {
+				tr.Record(e.traceEvent(telemetry.ActionReject, node, depth, τ, τp, "disjoint: no source-valid subtree satisfies the target type"))
+			}
 			return &schema.ValidationError{
 				Path: schema.NodePath(node),
 				Reason: fmt.Sprintf("source type %q is disjoint from target type %q",
@@ -59,7 +116,15 @@ func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Sta
 	}
 	tS, tD := e.Src.TypeOf(τ), e.Dst.TypeOf(τp)
 	if tD.Simple {
-		return e.checkSimple(tD, node, st)
+		err := e.checkSimple(tD, node, st)
+		if tr != nil {
+			detail := "value satisfies target facets"
+			if err != nil {
+				detail = "value rejected by target facets"
+			}
+			tr.Record(e.traceEvent(telemetry.ActionSimple, node, depth, τ, τp, detail))
+		}
+		return err
 	}
 	if tS.Simple {
 		// Source-simple vs target-complex: the node's (source-valid)
@@ -68,12 +133,30 @@ func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Sta
 		// this shallow node settles it.
 		bs, err := fullValidateSubtree(e, τp, node)
 		st.addBaseline(bs)
+		if tr != nil {
+			tr.Record(e.traceEvent(telemetry.ActionFull, node, depth, τ, τp, "source type simple: full validation against target"))
+		}
 		return err
 	}
 	// Both complex: check the children label string against regexp_τ',
 	// exploiting that it belongs to L(regexp_τ) (§4).
+	if tr != nil {
+		tr.Record(e.traceEvent(telemetry.ActionDescend, node, depth, τ, τp, "neither subsumed nor disjoint: descending"))
+	}
+	steps0, skipped0 := st.AutomatonSteps, st.SymbolsSkipped
 	if err := e.checkContent(tS, tD, node, st); err != nil {
+		if tr != nil {
+			tr.Record(e.traceEvent(telemetry.ActionContent, node, depth, τ, τp,
+				fmt.Sprintf("content model rejected after scanning %d symbols", st.AutomatonSteps-steps0)))
+		}
 		return err
+	}
+	if tr != nil {
+		detail := fmt.Sprintf("content model accepted: scanned %d symbols", st.AutomatonSteps-steps0)
+		if saved := st.SymbolsSkipped - skipped0; saved > 0 {
+			detail += fmt.Sprintf(", immediate accept saved %d", saved)
+		}
+		tr.Record(e.traceEvent(telemetry.ActionContent, node, depth, τ, τp, detail))
 	}
 	for _, c := range node.Children {
 		if c.Delta == xmltree.DeltaDelete || c.IsText() {
@@ -94,7 +177,7 @@ func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Sta
 			}
 		}
 		st.ElementsVisited++
-		if err := e.castValidate(ω, ν, c, st); err != nil {
+		if err := e.castValidate(ω, ν, c, st, depth+1, tr); err != nil {
 			return err
 		}
 	}
@@ -106,7 +189,8 @@ func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Sta
 // (no per-node allocation — this runs once per element on the hot path).
 // With the content IDA enabled the scan may stop early (immediate accept);
 // membership in L(regexp_τ') is then guaranteed without reading the
-// remaining labels, though text-freeness is still enforced over the rest.
+// remaining labels, though text-freeness is still enforced over the rest —
+// those post-decision labels count as SymbolsSkipped, not AutomatonSteps.
 func (e *Engine) checkContent(tS, tD *schema.Type, node *xmltree.Node, st *Stats) error {
 	var ida *fa.IDA
 	var state int
@@ -143,6 +227,7 @@ func (e *Engine) checkContent(tS, tD *schema.Type, node *xmltree.Node, st *Stats
 			return contractError(schema.NodePath(c), "label %q unknown to the schemas", c.Label)
 		}
 		if decided {
+			st.SymbolsSkipped++
 			continue // model verdict settled; keep vetting text and labels only
 		}
 		st.AutomatonSteps++

@@ -104,13 +104,16 @@ type Config struct {
 	MaxBytes int64
 }
 
-// Stats is a counter snapshot for /metrics.
+// Stats is a counter snapshot for /metrics.json.
 type Stats struct {
-	Schemas   int         `json:"schemas"`
-	Pairs     int         `json:"pairs"`
-	Bytes     int64       `json:"bytes"`
-	Hits      int64       `json:"hits"`
-	Misses    int64       `json:"misses"`
+	Schemas   int   `json:"schemas"`
+	Pairs     int   `json:"pairs"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	// Coalesces counts hits that arrived while the pair's compile was still
+	// in flight: callers that the singleflight saved from compiling.
+	Coalesces int64       `json:"coalesces"`
 	Compiles  int64       `json:"compiles"`
 	Evictions int64       `json:"evictions"`
 	CompileNS int64       `json:"compileNS"`
@@ -151,7 +154,24 @@ type Registry struct {
 	bytes   int64
 
 	hits, misses, compiles, evictions atomic.Int64
+	coalesces                         atomic.Int64
 	compileNS                         atomic.Int64
+
+	// compileObserver, when set, receives each compile's wall-clock seconds
+	// (the bridge into a latency histogram owned by the serving layer).
+	compileObserver atomic.Pointer[func(seconds float64)]
+}
+
+// SetCompileObserver installs a callback invoked with each schema-pair
+// compile's duration in seconds. The serving layer points this at its
+// registry_compile_seconds histogram; a nil observer (the default) costs
+// one atomic load per compile.
+func (r *Registry) SetCompileObserver(fn func(seconds float64)) {
+	if fn == nil {
+		r.compileObserver.Store(nil)
+		return
+	}
+	r.compileObserver.Store(&fn)
 }
 
 // New returns an empty registry.
@@ -241,6 +261,13 @@ func (r *Registry) Pair(srcID, dstID string) (*Pair, error) {
 		r.hits.Add(1)
 		r.lru.MoveToFront(e.elem)
 		r.mu.Unlock()
+		select {
+		case <-e.ready:
+		default:
+			// The compile is still in flight: this caller coalesced onto it
+			// instead of compiling its own copy.
+			r.coalesces.Add(1)
+		}
 		<-e.ready
 		return e.pair, e.err
 	}
@@ -255,6 +282,9 @@ func (r *Registry) Pair(srcID, dstID string) (*Pair, error) {
 	pair, err := compilePair(src, dst)
 	d := time.Since(start)
 	r.compileNS.Add(int64(d))
+	if obs := r.compileObserver.Load(); obs != nil {
+		(*obs)(d.Seconds())
+	}
 	if pair != nil {
 		pair.CompileTime = d
 	}
@@ -349,6 +379,7 @@ func (r *Registry) Stats() Stats {
 		Bytes:     r.bytes,
 		Hits:      r.hits.Load(),
 		Misses:    r.misses.Load(),
+		Coalesces: r.coalesces.Load(),
 		Compiles:  r.compiles.Load(),
 		Evictions: r.evictions.Load(),
 		CompileNS: r.compileNS.Load(),

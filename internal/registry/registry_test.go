@@ -2,6 +2,7 @@ package registry
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -140,6 +141,94 @@ func TestSingleflight(t *testing.T) {
 	}
 	if len(st.PerPair) != 1 || st.PerPair[0].Hits != n-1 {
 		t.Fatalf("per-pair counters wrong: %+v", st.PerPair)
+	}
+	// A coalesce is by definition also a hit.
+	if st.Coalesces > st.Hits {
+		t.Fatalf("coalesces (%d) cannot exceed hits (%d)", st.Coalesces, st.Hits)
+	}
+}
+
+// TestCoalesceCounter pins a waiter mid-compile deterministically: it
+// compiles the pair once to learn the cache key, plants a fresh entry with
+// an open ready channel (exactly the state Pair leaves while a compile is
+// in flight), and calls Pair from another goroutine. That caller must be
+// counted as a coalesce and must receive the pair published at close time.
+// Black-box storming can't test this reliably — on a single-CPU runner the
+// compile finishes before any rival goroutine is scheduled.
+func TestCoalesceCounter(t *testing.T) {
+	r := New(Config{})
+	src, dst := figPair(t, r)
+	real, err := r.Pair(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r.mu.Lock()
+	key := r.schemas[src].Hash + "\x00" + r.schemas[dst].Hash
+	old := r.pairs[key]
+	e := &pairEntry{key: key, srcID: src, dstID: dst, ready: make(chan struct{})}
+	r.lru.Remove(old.elem)
+	e.elem = r.lru.PushFront(e)
+	r.pairs[key] = e
+	r.mu.Unlock()
+
+	got := make(chan *Pair, 1)
+	errc := make(chan error, 1)
+	go func() {
+		p, err := r.Pair(src, dst)
+		errc <- err
+		got <- p
+	}()
+
+	// The rival must take the coalesce branch — ready cannot be closed
+	// before this goroutine closes it — so spinning on the counter is
+	// deterministic, not a guess about scheduling.
+	for r.Stats().Coalesces < 1 {
+		runtime.Gosched()
+	}
+	e.pair = real
+	close(e.ready)
+
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if p := <-got; p != real {
+		t.Fatal("coalesced caller got a different pair instance")
+	}
+	st := r.Stats()
+	if st.Coalesces != 1 {
+		t.Fatalf("want exactly 1 coalesce, got %d", st.Coalesces)
+	}
+	if st.Coalesces > st.Hits {
+		t.Fatalf("coalesces (%d) cannot exceed hits (%d)", st.Coalesces, st.Hits)
+	}
+}
+
+// TestCompileObserver checks the telemetry hook: one observation per
+// compile, with a sane (non-negative) duration, and none for cache hits.
+func TestCompileObserver(t *testing.T) {
+	r := New(Config{})
+	var mu sync.Mutex
+	var observed []float64
+	r.SetCompileObserver(func(seconds float64) {
+		mu.Lock()
+		observed = append(observed, seconds)
+		mu.Unlock()
+	})
+	src, dst := figPair(t, r)
+	if _, err := r.Pair(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Pair(src, dst); err != nil { // hit: no new observation
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(observed) != 1 {
+		t.Fatalf("want exactly 1 compile observation, got %d", len(observed))
+	}
+	if observed[0] < 0 {
+		t.Fatalf("negative compile duration observed: %v", observed[0])
 	}
 }
 

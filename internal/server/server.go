@@ -8,11 +8,19 @@
 //
 //	PUT  /schemas/{id}            register a schema (XSD or DTD text body)
 //	GET  /schemas/{id}            registered-version metadata
-//	POST /cast/{src}/{dst}        cast-validate the request body (one doc)
+//	POST /cast/{src}/{dst}        cast-validate the request body (one doc;
+//	                              ?explain=1 adds the decision trace)
 //	POST /cast/{src}/{dst}/batch  cast-validate a JSON array of documents
 //	GET  /pairs/{src}/{dst}       static-compatibility report, no document
-//	GET  /metrics                 counter snapshot (JSON)
-//	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /metrics.json            counter snapshot (JSON)
+//	GET  /healthz                 liveness (503 while draining)
+//
+// Every route is wrapped in one middleware that assigns a request id,
+// tracks the in-flight gauge, observes the latency histogram and counts
+// the (route, status) pair — so the serving layer's families cost nothing
+// on the validation hot path (engines keep request-scoped Stats structs;
+// telemetry is fed once per request at this boundary).
 package server
 
 import (
@@ -20,13 +28,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	revalidate "repro"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 // maxSchemaBytes bounds a PUT /schemas body; schema texts are small, and
@@ -42,14 +53,22 @@ type Options struct {
 	// Workers sizes the batch-validation worker pool; <= 0 means one
 	// worker per logical CPU (per request).
 	Workers int
+	// AccessLog, when non-nil, receives one line per request (request id,
+	// method, path, route, status, duration).
+	AccessLog *log.Logger
 }
 
 // Server is the castd HTTP handler. Safe for concurrent use; all shared
-// state lives in the registry or in atomic counters.
+// state lives in the registry, in atomic counters, or in the telemetry
+// registry (whose series are atomics resolved once at construction).
 type Server struct {
-	reg     *registry.Registry
-	workers int
-	mux     *http.ServeMux
+	reg       *registry.Registry
+	workers   int
+	mux       *http.ServeMux
+	accessLog *log.Logger
+
+	draining atomic.Bool
+	reqID    atomic.Uint64
 
 	reqRegister, reqCast, reqBatch, reqPairs atomic.Int64
 	verdictValid, verdictInvalid             atomic.Int64
@@ -57,23 +76,131 @@ type Server struct {
 	// Cumulative streaming-work counters across all cast requests; the
 	// skimmed count is the serving-layer view of the paper's "skipped
 	// subtrees" economy.
-	elementsProcessed, elementsSkimmed, automatonSteps, valuesChecked atomic.Int64
+	elementsVisited, elementsSkimmed, automatonSteps, valuesChecked atomic.Int64
+
+	// Prometheus families. Labeled series are resolved in New or once per
+	// request — never per element.
+	met              *telemetry.Registry
+	httpRequests     *telemetry.CounterVec   // route, code
+	httpDuration     *telemetry.HistogramVec // route
+	inFlight         *telemetry.Gauge
+	verdicts         *telemetry.CounterVec // verdict
+	mElemVisited     *telemetry.Counter
+	mElemSkimmed     *telemetry.Counter
+	mSubtreesSkipped *telemetry.Counter
+	mSubtreesRejectd *telemetry.Counter
+	mSymbolsScanned  *telemetry.Counter
+	mSymbolsSkipped  *telemetry.Counter
+	mValuesChecked   *telemetry.Counter
 }
 
 // New wires the routes over a registry.
 func New(reg *registry.Registry, opts Options) *Server {
-	s := &Server{reg: reg, workers: opts.Workers, mux: http.NewServeMux()}
-	s.mux.HandleFunc("PUT /schemas/{id}", s.handleRegister)
-	s.mux.HandleFunc("GET /schemas/{id}", s.handleSchema)
-	s.mux.HandleFunc("POST /cast/{src}/{dst}", s.handleCast)
-	s.mux.HandleFunc("POST /cast/{src}/{dst}/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /pairs/{src}/{dst}", s.handlePairs)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	})
+	s := &Server{reg: reg, workers: opts.Workers, mux: http.NewServeMux(), accessLog: opts.AccessLog}
+
+	met := telemetry.NewRegistry()
+	s.met = met
+	s.httpRequests = met.CounterVec("http_requests_total",
+		"HTTP requests by route and status code.", "route", "code")
+	s.httpDuration = met.HistogramVec("http_request_duration_seconds",
+		"HTTP request latency by route.", telemetry.DefBuckets(), "route")
+	s.inFlight = met.Gauge("http_in_flight_requests",
+		"HTTP requests currently being served.")
+	s.verdicts = met.CounterVec("cast_verdicts_total",
+		"Cast validation verdicts.", "verdict")
+	s.mElemVisited = met.Counter("cast_elements_visited_total",
+		"Elements that received validation work.")
+	s.mElemSkimmed = met.Counter("cast_elements_skimmed_total",
+		"Elements consumed inside subsumed subtrees with no validation work.")
+	s.mSubtreesSkipped = met.Counter("cast_subtrees_skipped_total",
+		"Subtrees skipped because the (source, target) type pair is subsumed.")
+	s.mSubtreesRejectd = met.Counter("cast_subtrees_rejected_total",
+		"Rejections due to disjoint (source, target) type pairs.")
+	s.mSymbolsScanned = met.Counter("cast_symbols_scanned_total",
+		"Content-model symbols scanned (automaton transitions taken).")
+	s.mSymbolsSkipped = met.Counter("cast_symbols_skipped_total",
+		"Content-model symbols skipped after an immediate decision.")
+	s.mValuesChecked = met.Counter("cast_values_checked_total",
+		"Simple values tested against target facets.")
+
+	// Registry cache families: the compile histogram is fed by the
+	// registry's observer hook; the counters and gauges bridge to the
+	// registry's own atomics at scrape time.
+	compileHist := met.Histogram("registry_compile_seconds",
+		"Schema-pair compile latency (relations fixpoints + IDA construction).",
+		telemetry.ExponentialBuckets(0.0001, 10, 6))
+	reg.SetCompileObserver(compileHist.Observe)
+	met.CounterFunc("registry_hits_total", "Pair-cache hits.",
+		func() float64 { return float64(reg.Stats().Hits) })
+	met.CounterFunc("registry_misses_total", "Pair-cache misses.",
+		func() float64 { return float64(reg.Stats().Misses) })
+	met.CounterFunc("registry_coalesces_total",
+		"Pair requests coalesced onto an in-flight compile (singleflight).",
+		func() float64 { return float64(reg.Stats().Coalesces) })
+	met.CounterFunc("registry_compiles_total", "Schema-pair compiles.",
+		func() float64 { return float64(reg.Stats().Compiles) })
+	met.CounterFunc("registry_evictions_total", "Pair-cache evictions.",
+		func() float64 { return float64(reg.Stats().Evictions) })
+	met.GaugeFunc("registry_pairs", "Cached compiled pairs.",
+		func() float64 { return float64(reg.Stats().Pairs) })
+	met.GaugeFunc("registry_schemas", "Registered schema ids.",
+		func() float64 { return float64(reg.Stats().Schemas) })
+	met.GaugeFunc("registry_cache_bytes", "Approximate pair-cache footprint.",
+		func() float64 { return float64(reg.Stats().Bytes) })
+
+	s.route("PUT /schemas/{id}", "register", s.handleRegister)
+	s.route("GET /schemas/{id}", "schema", s.handleSchema)
+	s.route("POST /cast/{src}/{dst}", "cast", s.handleCast)
+	s.route("POST /cast/{src}/{dst}/batch", "batch", s.handleBatch)
+	s.route("GET /pairs/{src}/{dst}", "pairs", s.handlePairs)
+	s.route("GET /metrics", "metrics", s.handlePrometheus)
+	s.route("GET /metrics.json", "metrics.json", s.handleMetricsJSON)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
 	return s
+}
+
+// SetDraining flips the drain flag: while set, /healthz answers 503 so load
+// balancers stop routing new work here, while in-flight and late-arriving
+// requests still complete normally (castd flips it on SIGTERM, then lets
+// http.Server.Shutdown finish the stragglers).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Metrics returns the server's telemetry registry so embedders can add
+// their own families to the same /metrics page.
+func (s *Server) Metrics() *telemetry.Registry { return s.met }
+
+// statusWriter captures the response status for the access log and the
+// (route, code) counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route registers one handler under its middleware wrapper. name is the
+// static route label — resolved per request, not per element, and never
+// derived from the URL (unbounded label cardinality is a metrics leak).
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	duration := s.httpDuration.With(name) // resolve the series once
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqID.Add(1)
+		s.inFlight.Inc()
+		defer s.inFlight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		d := time.Since(start)
+		duration.Observe(d.Seconds())
+		s.httpRequests.With(name, strconv.Itoa(sw.status)).Inc()
+		if s.accessLog != nil {
+			s.accessLog.Printf("req=%d method=%s path=%s route=%s status=%d dur=%s",
+				id, r.Method, r.URL.Path, name, sw.status, d.Round(time.Microsecond))
+		}
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -148,29 +275,56 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 
 // streamStatsBody is the JSON shape of per-request streaming work.
 type streamStatsBody struct {
-	ElementsProcessed int64 `json:"elementsProcessed"`
-	ElementsSkimmed   int64 `json:"elementsSkimmed"`
-	AutomatonSteps    int64 `json:"automatonSteps"`
-	ValuesChecked     int64 `json:"valuesChecked"`
+	ElementsVisited int64   `json:"elementsVisited"`
+	ElementsSkimmed int64   `json:"elementsSkimmed"`
+	AutomatonSteps  int64   `json:"automatonSteps"`
+	SymbolsSkipped  int64   `json:"symbolsSkipped"`
+	SubsumedSkips   int64   `json:"subsumedSkips"`
+	DisjointRejects int64   `json:"disjointRejects"`
+	ValuesChecked   int64   `json:"valuesChecked"`
+	MaxDepth        int64   `json:"maxDepth"`
+	WorkSavedRatio  float64 `json:"workSavedRatio"`
 }
 
+func toStatsBody(st revalidate.StreamStats) streamStatsBody {
+	return streamStatsBody{
+		ElementsVisited: st.ElementsVisited,
+		ElementsSkimmed: st.ElementsSkimmed,
+		AutomatonSteps:  st.AutomatonSteps,
+		SymbolsSkipped:  st.SymbolsSkipped,
+		SubsumedSkips:   st.SubsumedSkips,
+		DisjointRejects: st.DisjointRejects,
+		ValuesChecked:   st.ValuesChecked,
+		MaxDepth:        st.MaxDepth,
+		WorkSavedRatio:  st.WorkSavedRatio(),
+	}
+}
+
+// recordStats folds one request's streaming work into the cumulative
+// counters (legacy JSON atomics and Prometheus families) and returns the
+// per-request JSON body. One call per request — the engines never touch
+// telemetry mid-validation.
 func (s *Server) recordStats(st revalidate.StreamStats) streamStatsBody {
-	s.elementsProcessed.Add(st.ElementsProcessed)
+	s.elementsVisited.Add(st.ElementsVisited)
 	s.elementsSkimmed.Add(st.ElementsSkimmed)
 	s.automatonSteps.Add(st.AutomatonSteps)
 	s.valuesChecked.Add(st.ValuesChecked)
-	return streamStatsBody{
-		ElementsProcessed: st.ElementsProcessed,
-		ElementsSkimmed:   st.ElementsSkimmed,
-		AutomatonSteps:    st.AutomatonSteps,
-		ValuesChecked:     st.ValuesChecked,
-	}
+	s.mElemVisited.Add(st.ElementsVisited)
+	s.mElemSkimmed.Add(st.ElementsSkimmed)
+	s.mSubtreesSkipped.Add(st.SubsumedSkips)
+	s.mSubtreesRejectd.Add(st.DisjointRejects)
+	s.mSymbolsScanned.Add(st.AutomatonSteps)
+	s.mSymbolsSkipped.Add(st.SymbolsSkipped)
+	s.mValuesChecked.Add(st.ValuesChecked)
+	return toStatsBody(st)
 }
 
 type castResponse struct {
 	Valid bool            `json:"valid"`
 	Error string          `json:"error,omitempty"`
 	Stats streamStatsBody `json:"stats"`
+	// Trace holds the decision events when the request asked ?explain=1.
+	Trace []revalidate.TraceEvent `json:"trace,omitempty"`
 }
 
 func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
@@ -179,15 +333,28 @@ func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	explain := r.URL.Query().Get("explain") == "1"
 	// The request body streams straight through the caster: O(depth)
-	// memory however large the document.
-	st, err := p.Stream.Validate(r.Body)
-	resp := castResponse{Valid: err == nil, Stats: s.recordStats(st)}
+	// memory however large the document (trace mode additionally holds the
+	// decision events).
+	var (
+		st    revalidate.StreamStats
+		trace []revalidate.TraceEvent
+		err   error
+	)
+	if explain {
+		st, trace, err = p.Stream.ValidateTraced(r.Body)
+	} else {
+		st, err = p.Stream.Validate(r.Body)
+	}
+	resp := castResponse{Valid: err == nil, Stats: s.recordStats(st), Trace: trace}
 	if err != nil {
 		s.verdictInvalid.Add(1)
+		s.verdicts.With("invalid").Inc()
 		resp.Error = err.Error()
 	} else {
 		s.verdictValid.Add(1)
+		s.verdicts.With("valid").Inc()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -240,6 +407,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.verdictValid.Add(int64(resp.Valid))
 	s.verdictInvalid.Add(int64(resp.Invalid))
+	s.verdicts.With("valid").Add(int64(resp.Valid))
+	s.verdicts.With("invalid").Add(int64(resp.Invalid))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -264,6 +433,21 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.WritePrometheus(w)
+}
+
 type metricsBody struct {
 	Requests struct {
 		Register int64 `json:"register"`
@@ -279,7 +463,7 @@ type metricsBody struct {
 	Cache  registry.Stats  `json:"cache"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	var m metricsBody
 	m.Requests.Register = s.reqRegister.Load()
 	m.Requests.Cast = s.reqCast.Load()
@@ -288,10 +472,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.Verdicts.Valid = s.verdictValid.Load()
 	m.Verdicts.Invalid = s.verdictInvalid.Load()
 	m.Stream = streamStatsBody{
-		ElementsProcessed: s.elementsProcessed.Load(),
-		ElementsSkimmed:   s.elementsSkimmed.Load(),
-		AutomatonSteps:    s.automatonSteps.Load(),
-		ValuesChecked:     s.valuesChecked.Load(),
+		ElementsVisited: s.elementsVisited.Load(),
+		ElementsSkimmed: s.elementsSkimmed.Load(),
+		AutomatonSteps:  s.automatonSteps.Load(),
+		ValuesChecked:   s.valuesChecked.Load(),
 	}
 	m.Cache = s.reg.Stats()
 	writeJSON(w, http.StatusOK, m)

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"log"
+	"regexp"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -71,13 +73,13 @@ func TestEndToEnd(t *testing.T) {
 		Valid bool   `json:"valid"`
 		Error string `json:"error"`
 		Stats struct {
-			ElementsProcessed int64 `json:"elementsProcessed"`
+			ElementsVisited int64 `json:"elementsVisited"`
 		} `json:"stats"`
 	}
 	if err := json.Unmarshal([]byte(body), &verdict); err != nil {
 		t.Fatalf("bad JSON: %v in %s", err, body)
 	}
-	if !verdict.Valid || verdict.Stats.ElementsProcessed == 0 {
+	if !verdict.Valid || verdict.Stats.ElementsVisited == 0 {
 		t.Fatalf("want valid verdict with work stats, got %s", body)
 	}
 
@@ -137,7 +139,7 @@ func TestEndToEnd(t *testing.T) {
 	}
 
 	// Metrics reflect the traffic.
-	code, body = do(t, "GET", ts.URL+"/metrics", "")
+	code, body = do(t, "GET", ts.URL+"/metrics.json", "")
 	if code != 200 {
 		t.Fatalf("metrics: %d", code)
 	}
@@ -147,7 +149,7 @@ func TestEndToEnd(t *testing.T) {
 		} `json:"requests"`
 		Verdicts struct{ Valid, Invalid int64 } `json:"verdicts"`
 		Stream   struct {
-			ElementsProcessed int64 `json:"elementsProcessed"`
+			ElementsVisited int64 `json:"elementsVisited"`
 		} `json:"stream"`
 		Cache struct {
 			Pairs    int   `json:"pairs"`
@@ -164,7 +166,7 @@ func TestEndToEnd(t *testing.T) {
 	if m.Verdicts.Valid != 1 || m.Verdicts.Invalid != 1 {
 		t.Fatalf("verdict counters wrong: %s", body)
 	}
-	if m.Stream.ElementsProcessed == 0 || m.Cache.Pairs != 2 || m.Cache.Compiles != 2 || m.Cache.Hits == 0 {
+	if m.Stream.ElementsVisited == 0 || m.Cache.Pairs != 2 || m.Cache.Compiles != 2 || m.Cache.Hits == 0 {
 		t.Fatalf("stream/cache counters wrong: %s", body)
 	}
 
@@ -272,7 +274,7 @@ func TestConcurrentColdPair(t *testing.T) {
 			t.Fatalf("request %d: %v", i, err)
 		}
 	}
-	_, body := do(t, "GET", ts.URL+"/metrics", "")
+	_, body := do(t, "GET", ts.URL+"/metrics.json", "")
 	var m struct {
 		Cache struct {
 			Compiles int64 `json:"compiles"`
@@ -302,12 +304,19 @@ func TestGracefulDrain(t *testing.T) {
 	if _, err := reg.Register("v2", wgen.Figure2XSD(false, 100), registry.FormatAuto, ""); err != nil {
 		t.Fatal(err)
 	}
-	hs := &http.Server{Handler: New(reg, Options{})}
+	srv := New(reg, Options{})
+	hs := &http.Server{Handler: srv}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// Healthy before the drain starts.
+	if code, body := do(t, "GET", base+"/healthz", ""); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz before drain: %d %s", code, body)
+	}
 
 	pr, pw := io.Pipe()
 	type result struct {
@@ -330,6 +339,13 @@ func TestGracefulDrain(t *testing.T) {
 	half := len(doc) / 2
 	if _, err := io.WriteString(pw, doc[:half]); err != nil {
 		t.Fatal(err)
+	}
+	// Start draining (as castd does on SIGTERM, before calling Shutdown):
+	// /healthz must flip to 503 so load balancers stop routing here, while
+	// the mid-body cast request keeps running.
+	srv.SetDraining(true)
+	if code, body := do(t, "GET", base+"/healthz", ""); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("healthz while draining should 503, got %d %s", code, body)
 	}
 	// Shutdown with the request mid-body: Shutdown must wait for it.
 	shutdownDone := make(chan error, 1)
@@ -354,4 +370,139 @@ func TestGracefulDrain(t *testing.T) {
 	if err := <-shutdownDone; err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
+}
+
+// TestMetricsPrometheus scrapes /metrics after some traffic and asserts the
+// acceptance families are present in well-formed Prometheus text.
+func TestMetricsPrometheus(t *testing.T) {
+	ts := newTestServer(t, registry.Config{})
+	registerFigSchemas(t, ts.URL)
+	do(t, "POST", ts.URL+"/cast/v1/v2", poXML(true))
+	do(t, "POST", ts.URL+"/cast/v1/v2", poXML(false))
+
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+
+	for _, want := range []string{
+		"# TYPE cast_subtrees_skipped_total counter",
+		"# TYPE cast_symbols_scanned_total counter",
+		"# TYPE registry_compile_seconds histogram",
+		"# TYPE http_request_duration_seconds histogram",
+		"registry_compile_seconds_count 1",
+		`cast_verdicts_total{verdict="valid"} 1`,
+		`cast_verdicts_total{verdict="invalid"} 1`,
+		"registry_compiles_total 1",
+		"http_in_flight_requests 1", // this scrape itself is in flight
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, body)
+		}
+	}
+	// The valid cast skims shipTo/billTo/items; the invalid one skims
+	// shipTo before the root content model rejects on the missing billTo.
+	if !strings.Contains(body, "cast_subtrees_skipped_total 4") {
+		t.Fatalf("want 4 skipped subtrees across the two casts:\n%s", body)
+	}
+	// Sample lines must be `name{labels} value` throughout.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+	}
+}
+
+var promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9]+(\.[0-9eE+-]+)?|\+Inf|NaN)$`)
+
+// TestExplainEndpoint asks for a decision trace alongside the verdict and
+// checks it agrees with the stats.
+func TestExplainEndpoint(t *testing.T) {
+	ts := newTestServer(t, registry.Config{})
+	registerFigSchemas(t, ts.URL)
+	code, body := do(t, "POST", ts.URL+"/cast/v1/v2?explain=1", poXML(true))
+	if code != 200 {
+		t.Fatalf("explain cast: %d %s", code, body)
+	}
+	var resp struct {
+		Valid bool `json:"valid"`
+		Stats struct {
+			SubsumedSkips int64 `json:"subsumedSkips"`
+		} `json:"stats"`
+		Trace []struct {
+			Action string `json:"action"`
+			Path   string `json:"path"`
+			Dewey  string `json:"dewey"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad JSON: %v in %s", err, body)
+	}
+	if !resp.Valid || len(resp.Trace) == 0 {
+		t.Fatalf("want valid verdict with trace: %s", body)
+	}
+	skips := 0
+	for _, ev := range resp.Trace {
+		if ev.Action == "skip" {
+			skips++
+		}
+	}
+	if int64(skips) != resp.Stats.SubsumedSkips || skips != 3 {
+		t.Fatalf("trace skips (%d) must equal stats subsumedSkips (%d): %s", skips, resp.Stats.SubsumedSkips, body)
+	}
+	if resp.Trace[0].Path != "/purchaseOrder" || resp.Trace[0].Dewey != "ε" {
+		t.Fatalf("root event wrong: %s", body)
+	}
+	// Without explain=1 no trace is attached.
+	_, body = do(t, "POST", ts.URL+"/cast/v1/v2", poXML(true))
+	if strings.Contains(body, `"trace"`) {
+		t.Fatalf("trace must be opt-in: %s", body)
+	}
+}
+
+// TestAccessLog checks the middleware emits one line per request with a
+// request id, route name and status.
+func TestAccessLog(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	logger := log.New(lockedWriter{&mu, &buf}, "", 0)
+	reg := registry.New(registry.Config{})
+	ts := httptest.NewServer(New(reg, Options{AccessLog: logger}))
+	defer ts.Close()
+	do(t, "GET", ts.URL+"/healthz", "")
+	do(t, "GET", ts.URL+"/schemas/nope", "")
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 access-log lines, got %q", out)
+	}
+	if !strings.Contains(lines[0], "req=1") || !strings.Contains(lines[0], "route=healthz") || !strings.Contains(lines[0], "status=200") {
+		t.Fatalf("first line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "req=2") || !strings.Contains(lines[1], "status=404") {
+		t.Fatalf("second line: %q", lines[1])
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }

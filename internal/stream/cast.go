@@ -4,12 +4,14 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/castmap"
 	"repro/internal/fa"
 	"repro/internal/schema"
 	"repro/internal/subsume"
+	"repro/internal/telemetry"
 )
 
 // Caster performs streaming schema cast validation: the incoming document
@@ -79,14 +81,62 @@ type castFrame struct {
 	text        strings.Builder
 }
 
+// traceCtx tracks where the stream currently is — open-element labels and
+// the Dewey number of the innermost open element — so trace events can be
+// tagged with paths. Allocated only in trace mode; the hot path carries a
+// nil pointer. The stream's Dewey numbers count element children only
+// (text nodes never open frames), which can differ from the tree engine's
+// Dewey numbers on mixed-content documents.
+type traceCtx struct {
+	labels []string // open element labels, root first
+	dewey  []int    // Dewey number of the innermost open element
+	childN []int    // per open frame: element children seen so far
+}
+
+// locate returns the path and Dewey string of a child of the innermost open
+// element (or of the root when nothing is open), given its child index.
+func (tc *traceCtx) locate(label string, idx int) (path, dewey string) {
+	path = "/" + label
+	if len(tc.labels) > 0 {
+		path = "/" + strings.Join(tc.labels, "/") + "/" + label
+	}
+	parts := make([]string, 0, len(tc.dewey)+1)
+	for _, d := range tc.dewey {
+		parts = append(parts, strconv.Itoa(d))
+	}
+	if len(tc.labels) > 0 {
+		parts = append(parts, strconv.Itoa(idx))
+	}
+	if len(parts) == 0 {
+		return path, "ε"
+	}
+	return path, strings.Join(parts, ".")
+}
+
 // Validate reads one XML document — assumed valid under the source schema —
 // from r and decides validity under the target schema.
 func (c *Caster) Validate(r io.Reader) (Stats, error) {
+	return c.validate(r, nil)
+}
+
+// ValidateTrace is Validate in trace mode: each skim, reject and descend
+// decision is recorded into tr with the element's path, Dewey number and
+// (τ, τ') pair. Trace mode allocates path-tracking state the hot path never
+// touches.
+func (c *Caster) ValidateTrace(r io.Reader, tr *telemetry.Trace) (Stats, error) {
+	return c.validate(r, tr)
+}
+
+func (c *Caster) validate(r io.Reader, tr *telemetry.Trace) (Stats, error) {
 	var st Stats
 	dec := xml.NewDecoder(r)
 	var stack []*castFrame
 	skimDepth := 0 // >0: inside a subsumed subtree, counting open elements
 	rootSeen := false
+	var tc *traceCtx
+	if tr != nil {
+		tc = &traceCtx{}
+	}
 
 	for {
 		tok, err := dec.Token()
@@ -101,9 +151,15 @@ func (c *Caster) Validate(r io.Reader) (Stats, error) {
 			if skimDepth > 0 {
 				skimDepth++
 				st.ElementsSkimmed++
+				st.noteDepth(len(stack) + skimDepth - 1)
 				continue
 			}
 			label := t.Name.Local
+			childIdx := 0
+			if tc != nil && len(tc.childN) > 0 {
+				childIdx = tc.childN[len(tc.childN)-1]
+				tc.childN[len(tc.childN)-1]++
+			}
 			var τ, τp schema.TypeID
 			if len(stack) == 0 {
 				if rootSeen {
@@ -127,7 +183,9 @@ func (c *Caster) Validate(r io.Reader) (Stats, error) {
 				if sym == fa.NoSymbol {
 					return st, fmt.Errorf("stream: label %q unknown to the schemas", label)
 				}
-				if !parent.contentDone {
+				if parent.contentDone {
+					st.SymbolsSkipped++ // model verdict settled; symbol arrives unscanned
+				} else {
 					st.AutomatonSteps++
 					if parent.ida != nil {
 						parent.idaState = parent.ida.D.Step(parent.idaState, sym)
@@ -163,12 +221,23 @@ func (c *Caster) Validate(r io.Reader) (Stats, error) {
 					return st, fmt.Errorf("stream: cast contract violated: no source child type for %q", label)
 				}
 			}
-			st.ElementsProcessed++
+			st.ElementsVisited++
+			st.noteDepth(len(stack))
 			if c.Rel.Subsumed(τ, τp) {
+				st.SubsumedSkips++
+				if tr != nil {
+					tr.Record(c.traceEvent(telemetry.ActionSkip, tc, label, childIdx, len(stack), τ, τp,
+						"subsumed: subtree target-valid, skimming"))
+				}
 				skimDepth = 1 // everything below is target-valid: skim it
 				continue
 			}
 			if c.Rel.Disjoint(τ, τp) {
+				st.DisjointRejects++
+				if tr != nil {
+					tr.Record(c.traceEvent(telemetry.ActionReject, tc, label, childIdx, len(stack), τ, τp,
+						"disjoint: no source-valid subtree satisfies the target type"))
+				}
 				return st, fmt.Errorf("stream: source type %q is disjoint from target type %q",
 					c.Src.TypeOf(τ).Name, c.Dst.TypeOf(τp).Name)
 			}
@@ -186,6 +255,20 @@ func (c *Caster) Validate(r io.Reader) (Stats, error) {
 					}
 				}
 			}
+			if tr != nil {
+				action, detail := telemetry.ActionDescend, "neither subsumed nor disjoint: validating content"
+				if f.tD.Simple {
+					action, detail = telemetry.ActionSimple, "simple target type: value checked at close"
+				}
+				tr.Record(c.traceEvent(action, tc, label, childIdx, len(stack), τ, τp, detail))
+			}
+			if tc != nil {
+				if len(tc.labels) > 0 {
+					tc.dewey = append(tc.dewey, childIdx)
+				}
+				tc.labels = append(tc.labels, label)
+				tc.childN = append(tc.childN, 0)
+			}
 			stack = append(stack, f)
 		case xml.EndElement:
 			if skimDepth > 0 {
@@ -194,6 +277,13 @@ func (c *Caster) Validate(r io.Reader) (Stats, error) {
 			}
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
+			if tc != nil {
+				tc.labels = tc.labels[:len(tc.labels)-1]
+				tc.childN = tc.childN[:len(tc.childN)-1]
+				if len(tc.dewey) > 0 {
+					tc.dewey = tc.dewey[:len(tc.dewey)-1]
+				}
+			}
 			if err := c.closeFrame(f, &st); err != nil {
 				return st, err
 			}
@@ -216,6 +306,20 @@ func (c *Caster) Validate(r io.Reader) (Stats, error) {
 		return st, fmt.Errorf("stream: no root element")
 	}
 	return st, nil
+}
+
+// traceEvent builds one decision event for the element named label, the
+// idx-th element child of the innermost open frame, at the given depth.
+func (c *Caster) traceEvent(a telemetry.Action, tc *traceCtx, label string, idx, depth int, τ, τp schema.TypeID, detail string) telemetry.Event {
+	path, dewey := tc.locate(label, idx)
+	ev := telemetry.Event{Action: a, Path: path, Dewey: dewey, Depth: depth, Detail: detail}
+	if τ != schema.NoType {
+		ev.SrcType = c.Src.TypeOf(τ).Name
+	}
+	if τp != schema.NoType {
+		ev.DstType = c.Dst.TypeOf(τp).Name
+	}
+	return ev
 }
 
 func (c *Caster) closeFrame(f *castFrame, st *Stats) error {

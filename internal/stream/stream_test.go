@@ -25,7 +25,7 @@ func TestStreamingFullValidation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("valid doc rejected: %v", err)
 	}
-	if st.ElementsProcessed == 0 || st.ValuesChecked == 0 {
+	if st.ElementsVisited == 0 || st.ValuesChecked == 0 {
 		t.Fatalf("stats empty: %+v", st)
 	}
 	if _, err := v.Validate(strings.NewReader(poXML(20, false, 99, 1))); err == nil {
@@ -78,7 +78,7 @@ func TestStreamingCastExperiment1(t *testing.T) {
 	}
 	// Everything under shipTo/billTo/items is skimmed: only a handful of
 	// elements receive validation work.
-	if st.ElementsProcessed > 4 {
+	if st.ElementsVisited > 4 {
 		t.Fatalf("expected ≤4 processed elements, got %+v", st)
 	}
 	if st.ElementsSkimmed < 300 {

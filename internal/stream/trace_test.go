@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/wgen"
+)
+
+// TestStreamingCastTrace replays the Fig. 1a → Fig. 2 cast over the token
+// stream in trace mode: descend at the root, then one R_sub skim per child
+// subtree, with paths and Dewey numbers agreeing with the tree engine's.
+func TestStreamingCastTrace(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	c, err := NewCaster(ps.Source1, ps.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &telemetry.Trace{}
+	st, err := c.ValidateTrace(strings.NewReader(poXML(40, true, 99, 9)), tr)
+	if err != nil {
+		t.Fatalf("cast should pass: %v", err)
+	}
+	if got := tr.Count(telemetry.ActionSkip); int64(got) != st.SubsumedSkips {
+		t.Fatalf("trace skips (%d) must equal Stats.SubsumedSkips (%d)", got, st.SubsumedSkips)
+	}
+	if st.SubsumedSkips != 3 {
+		t.Fatalf("expected 3 skims (shipTo, billTo, items), got %+v", st)
+	}
+	events := tr.Events()
+	if events[0].Action != telemetry.ActionDescend || events[0].Path != "/purchaseOrder" || events[0].Dewey != "ε" {
+		t.Fatalf("first event should descend at the root: %+v", events[0])
+	}
+	var skips []telemetry.Event
+	for _, ev := range events {
+		if ev.Action == telemetry.ActionSkip {
+			skips = append(skips, ev)
+		}
+	}
+	wantPaths := []string{"/purchaseOrder/shipTo", "/purchaseOrder/billTo", "/purchaseOrder/items"}
+	wantDeweys := []string{"0", "1", "2"}
+	for i, ev := range skips {
+		if ev.Path != wantPaths[i] || ev.Dewey != wantDeweys[i] || ev.Depth != 1 {
+			t.Fatalf("skip %d = %+v, want path %s dewey %s depth 1", i, ev, wantPaths[i], wantDeweys[i])
+		}
+		if ev.SrcType == "" || ev.DstType == "" {
+			t.Fatalf("skip event missing (τ, τ') names: %+v", ev)
+		}
+	}
+	if st.WorkSavedRatio() <= 0.9 {
+		t.Fatalf("nearly all elements should be skimmed, ratio = %v (%+v)", st.WorkSavedRatio(), st)
+	}
+}
+
+// TestStreamTraceMatchesUntracedStats: trace mode must not change the work
+// counters.
+func TestStreamTraceMatchesUntracedStats(t *testing.T) {
+	ps := wgen.NewPaperSchemas()
+	c, err := NewCaster(ps.Source2, ps.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml := poXML(25, true, 99, 4)
+	plain, err := c.Validate(strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := c.ValidateTrace(strings.NewReader(xml), &telemetry.Trace{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != traced {
+		t.Fatalf("tracing changed the stats:\nplain  %+v\ntraced %+v", plain, traced)
+	}
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the exposition golden file")
+
+// buildExerciseRegistry populates one of every family kind with fixed
+// values, including label escaping and a labeled histogram.
+func buildExerciseRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.Counter("cast_subtrees_skipped_total", "Subtrees skipped because (τ, τ') ∈ R_sub.")
+	c.Add(42)
+	g := reg.Gauge("http_in_flight_requests", "Requests currently being served.")
+	g.Set(3)
+	v := reg.CounterVec("http_requests_total", "Requests by route and status code.", "route", "code")
+	v.With("cast", "200").Add(7)
+	v.With("cast", "404").Add(1)
+	v.With("he\"llo\nwor\\ld", "200").Inc() // exercises label escaping
+	h := reg.Histogram("registry_compile_seconds", "Schema-pair compile latency.", []float64{0.01, 0.1, 1})
+	for _, o := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(o)
+	}
+	hv := reg.HistogramVec("http_request_duration_seconds", "Request latency by route.", []float64{0.25}, "route")
+	hv.With("cast").Observe(0.125)
+	hv.With("cast").Observe(0.5)
+	reg.CounterFunc("registry_hits_total", "Pair-cache hits.", func() float64 { return 9 })
+	reg.GaugeFunc("registry_pairs", "Cached compiled pairs.", func() float64 { return 2 })
+	return reg
+}
+
+// TestPrometheusGolden locks the exposition byte-for-byte against
+// testdata/exposition.golden (regenerate with `go test -run Golden -update`).
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildExerciseRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Fatalf("exposition drifted from golden file.\n-- got --\n%s\n-- want --\n%s", b.String(), want)
+	}
+}
+
+// TestPrometheusWellFormed runs the promtool-style shape check the CI
+// smoke job applies to the live daemon: every non-comment line must be
+// `name{labels} value`.
+func TestPrometheusWellFormed(t *testing.T) {
+	var b strings.Builder
+	if err := buildExerciseRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9]+(\.[0-9eE+-]+)?|\+Inf|NaN)$`)
+	comment := regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*`)
+	seenSample := false
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !comment.MatchString(line) {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		seenSample = true
+	}
+	if !seenSample {
+		t.Fatal("no samples rendered")
+	}
+	// Histogram invariants: buckets cumulative and capped by _count.
+	out := b.String()
+	if !strings.Contains(out, `registry_compile_seconds_bucket{le="+Inf"} 4`) {
+		t.Fatalf("+Inf bucket must equal total count:\n%s", out)
+	}
+	if !strings.Contains(out, "registry_compile_seconds_count 4") {
+		t.Fatalf("missing histogram count:\n%s", out)
+	}
+	if !strings.Contains(out, `http_request_duration_seconds_bucket{route="cast",le="+Inf"} 2`) {
+		t.Fatalf("labeled histogram le must come last:\n%s", out)
+	}
+}

@@ -1,0 +1,149 @@
+// Package telemetry is the repository's dependency-free observability
+// core: atomic counters, gauges and fixed-bucket histograms organized into
+// labeled families, rendered in the Prometheus text exposition format, plus
+// the structured decision-trace API that explains individual cast verdicts.
+//
+// The package exists because the paper's whole value proposition is *work
+// avoided* — subtrees skipped via R_sub, documents rejected early via
+// R_dis, symbols never scanned thanks to immediate decision automata — and
+// that economy must be observable in standard tooling once the daemon
+// serves real traffic.
+//
+// Concurrency contract: every metric mutation (Counter.Add, Gauge.Set,
+// Histogram.Observe) is a handful of atomic operations and never takes a
+// lock, so metrics may be touched from request handlers and batch workers
+// freely. Family lookups (CounterVec.With etc.) do take a short mutex and
+// are meant to be resolved once at construction time, not per event —
+// the per-element validate loop must stay atomics-only.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use, but counters that should be exported must be created through a
+// Registry so they render at scrape time.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0 for the Prometheus
+// counter contract; this is not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (in-flight requests, cache
+// residency). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat is a float64 updated with compare-and-swap on its bit
+// pattern; histograms use it for their observation sum.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. An observation v lands
+// in the first bucket whose upper bound satisfies v <= bound (Prometheus
+// `le` semantics); anything above the last bound lands in the implicit
+// +Inf bucket. Observe is lock-free: one atomic add per bucket hit, one
+// for the count, and a CAS loop for the float sum.
+type Histogram struct {
+	bounds  []float64      // sorted upper bounds, exclusive of +Inf
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sum     atomicFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.value() }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the +Inf bucket. For tests and ad-hoc inspection.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// DefBuckets returns the conventional latency bucket bounds (seconds),
+// matching the Prometheus client default.
+func DefBuckets() []float64 {
+	return []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+}
+
+// ExponentialBuckets returns n bounds starting at start, each factor times
+// the previous. start must be > 0, factor > 1, n >= 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExponentialBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates family types for rendering.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+	counterFuncKind
+	gaugeFuncKind
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case counterKind, counterFuncKind:
+		return "counter"
+	case gaugeKind, gaugeFuncKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family is a named metric with a fixed label set.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	bounds []float64      // histogram families
+	fn     func() float64 // *Func families
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []*series // insertion order, for stable rendering
+}
+
+// getSeries returns (creating if needed) the series for the given label
+// values. Callers resolve series once at construction time; this path
+// takes the family mutex and must stay off per-element loops.
+func (f *family) getSeries(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case counterKind:
+		s.counter = &Counter{}
+	case gaugeKind:
+		s.gauge = &Gauge{}
+	case histogramKind:
+		s.hist = newHistogram(f.bounds)
+	}
+	f.series[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Families are registered once at construction time
+// (duplicate or malformed names panic — they are programming errors, not
+// runtime conditions); mutating the registered metrics is lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []string, bounds []float64, fn func() float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...),
+		bounds: bounds, fn: fn,
+		series: map[string]*series{},
+	}
+	r.byName[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, counterKind, nil, nil, nil).getSeries(nil).counter
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, gaugeKind, nil, nil, nil).getSeries(nil).gauge
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// upper bucket bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, histogramKind, nil, bounds, nil).getSeries(nil).hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for subsystems that already keep their own atomic
+// counters (e.g. the registry cache) and only need exposition.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, counterFuncKind, nil, nil, fn)
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, gaugeFuncKind, nil, nil, fn)
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("telemetry: CounterVec needs at least one label")
+	}
+	return &CounterVec{f: r.register(name, help, counterKind, labels, nil, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Resolve once and hold the result; With takes a mutex.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.getSeries(values).counter }
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("telemetry: GaugeVec needs at least one label")
+	}
+	return &GaugeVec{f: r.register(name, help, gaugeKind, labels, nil, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.getSeries(values).gauge }
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family; every series shares
+// the same bucket bounds.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("telemetry: HistogramVec needs at least one label")
+	}
+	return &HistogramVec{f: r.register(name, help, histogramKind, labels, bounds, nil)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.getSeries(values).hist }
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// labelString renders {k="v",...} for the given names and values; extra
+// appends one more pair (histograms' le). Empty label sets render as "".
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format (version 0.0.4): HELP and TYPE comments followed by the samples,
+// histograms with cumulative le buckets plus _sum and _count. Series
+// within a family are rendered sorted by label values so scrapes are
+// deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind.promType())
+		switch f.kind {
+		case counterFuncKind, gaugeFuncKind:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+			continue
+		}
+		f.mu.Lock()
+		ser := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		sort.Slice(ser, func(i, j int) bool {
+			return strings.Join(ser[i].labelValues, "\x00") < strings.Join(ser[j].labelValues, "\x00")
+		})
+		for _, s := range ser {
+			ls := labelString(f.labels, s.labelValues, "", "")
+			switch f.kind {
+			case counterKind:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, s.counter.Value())
+			case gaugeKind:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, s.gauge.Value())
+			case histogramKind:
+				cum := int64(0)
+				for i, bound := range s.hist.bounds {
+					cum += s.hist.buckets[i].Load()
+					le := labelString(f.labels, s.labelValues, "le", formatFloat(bound))
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, le, cum)
+				}
+				cum += s.hist.buckets[len(s.hist.bounds)].Load()
+				le := labelString(f.labels, s.labelValues, "le", "+Inf")
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, le, cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, ls, formatFloat(s.hist.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, ls, s.hist.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

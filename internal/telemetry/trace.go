@@ -1,0 +1,85 @@
+package telemetry
+
+// The decision trace is the explanatory half of the telemetry layer: where
+// the metric families aggregate *how much* work the cast engines avoided,
+// a Trace records *which* decisions avoided it — one event per skip,
+// reject or descend, tagged with the node's path, its Dewey number and the
+// (τ, τ') type pair involved — so any verdict can be replayed and
+// explained (xmlcast -explain, castd ?explain=1).
+
+// Action classifies one decision taken during a cast validation.
+type Action string
+
+const (
+	// ActionDescend marks a subtree whose (τ, τ') pair is neither
+	// subsumed nor disjoint: the engine must look inside.
+	ActionDescend Action = "descend"
+	// ActionSkip marks a subtree skipped outright because (τ, τ') ∈ R_sub:
+	// everything below is target-valid by the source-validity contract.
+	ActionSkip Action = "skip"
+	// ActionReject marks an immediate rejection because (τ, τ') ∈ R_dis:
+	// no source-valid subtree can satisfy the target type.
+	ActionReject Action = "reject"
+	// ActionContent reports a content-model (children label string) check,
+	// including where the immediate decision automaton settled it.
+	ActionContent Action = "content"
+	// ActionSimple reports a simple-type value check against the target
+	// type's facets.
+	ActionSimple Action = "simple"
+	// ActionFull marks a subtree handed to the full target-schema
+	// validator (inserted content, or a simple source type that carries no
+	// knowledge about element children).
+	ActionFull Action = "full"
+)
+
+// Event is one recorded decision. Path is the XPath-like location
+// ("/po/items/item[2]"), Dewey the Dewey decimal number ("0.2.1"; "ε" for
+// the root), Depth the element depth (root = 0). SrcType/DstType name the
+// (τ, τ') pair the decision was made for; Detail is a human-readable
+// elaboration (e.g. where an IDA immediately accepted).
+type Event struct {
+	Action  Action `json:"action"`
+	Path    string `json:"path"`
+	Dewey   string `json:"dewey"`
+	Depth   int    `json:"depth"`
+	SrcType string `json:"srcType,omitempty"`
+	DstType string `json:"dstType,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Trace accumulates the decisions of one validation, in document order.
+// A Trace is single-validation, single-goroutine state — like a Stats
+// struct, not like a metric — and costs nothing when nil: engines only
+// build events when a trace was requested.
+type Trace struct {
+	events []Event
+}
+
+// Record appends one event. Safe on a nil receiver (no-op), so callers
+// holding an optional trace can record unconditionally off the hot path.
+func (t *Trace) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded events in order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Count returns how many events carry the given action — the bridge for
+// asserting a trace agrees with a Stats struct (skips, rejects).
+func (t *Trace) Count(a Action) int {
+	n := 0
+	for _, e := range t.Events() {
+		if e.Action == a {
+			n++
+		}
+	}
+	return n
+}

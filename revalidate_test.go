@@ -524,7 +524,7 @@ func TestStreamingPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatalf("streaming validation failed: %v", err)
 	}
-	if st.ElementsProcessed == 0 {
+	if st.ElementsVisited == 0 {
 		t.Fatalf("stats empty: %+v", st)
 	}
 	if _, err := dst.ValidateStream(strings.NewReader(poDocXML(5, false))); err == nil {
@@ -540,7 +540,7 @@ func TestStreamingPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatalf("streaming cast failed: %v", err)
 	}
-	if cst.ElementsProcessed > 4 || cst.ElementsSkimmed == 0 {
+	if cst.ElementsVisited > 4 || cst.ElementsSkimmed == 0 {
 		t.Fatalf("expected constant processing with skimming: %+v", cst)
 	}
 	if _, err := sc.Validate(strings.NewReader(poDocXML(5, false))); err == nil {

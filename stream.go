@@ -4,27 +4,67 @@ import (
 	"io"
 
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
-// StreamStats counts the work of a streaming validation.
+// StreamStats counts the work of a streaming validation. Field names are
+// shared with Stats and the internal engines so a counter means the same
+// thing wherever it appears.
 type StreamStats struct {
-	// ElementsProcessed counts elements that received validation work.
-	ElementsProcessed int64
+	// ElementsVisited counts elements that received validation work.
+	ElementsVisited int64
 	// ElementsSkimmed counts elements consumed inside subsumed subtrees
 	// with no validation work at all (streaming cast only).
 	ElementsSkimmed int64
-	// AutomatonSteps counts content-model transitions taken.
+	// AutomatonSteps counts content-model transitions taken — the number of
+	// child-label symbols scanned.
 	AutomatonSteps int64
+	// SymbolsSkipped counts child labels that arrived after an immediate
+	// decision automaton had already settled the content-model verdict.
+	SymbolsSkipped int64
+	// SubsumedSkips counts subtrees skimmed because the source type is
+	// subsumed by the target type.
+	SubsumedSkips int64
+	// DisjointRejects counts rejections caused by disjoint type pairs.
+	DisjointRejects int64
 	// ValuesChecked counts simple values tested against facets.
 	ValuesChecked int64
+	// MaxDepth is the deepest element depth reached (root = 0). Batch
+	// totals merge it with max, not sum.
+	MaxDepth int64
+}
+
+// WorkSavedRatio is the fraction of elements the caster skimmed instead of
+// validating: skimmed/(visited+skimmed). 0 when nothing flowed.
+func (s StreamStats) WorkSavedRatio() float64 {
+	total := s.ElementsVisited + s.ElementsSkimmed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ElementsSkimmed) / float64(total)
+}
+
+// SymbolsScannedRatio is the fraction of content-model symbols actually
+// scanned out of all symbols seen: steps/(steps+skipped). 1 when no
+// immediate decision fired.
+func (s StreamStats) SymbolsScannedRatio() float64 {
+	total := s.AutomatonSteps + s.SymbolsSkipped
+	if total == 0 {
+		return 1
+	}
+	return float64(s.AutomatonSteps) / float64(total)
 }
 
 func fromStreamStats(s stream.Stats) StreamStats {
 	return StreamStats{
-		ElementsProcessed: s.ElementsProcessed,
-		ElementsSkimmed:   s.ElementsSkimmed,
-		AutomatonSteps:    s.AutomatonSteps,
-		ValuesChecked:     s.ValuesChecked,
+		ElementsVisited: s.ElementsVisited,
+		ElementsSkimmed: s.ElementsSkimmed,
+		AutomatonSteps:  s.AutomatonSteps,
+		SymbolsSkipped:  s.SymbolsSkipped,
+		SubsumedSkips:   s.SubsumedSkips,
+		DisjointRejects: s.DisjointRejects,
+		ValuesChecked:   s.ValuesChecked,
+		MaxDepth:        s.MaxDepth,
 	}
 }
 
@@ -67,6 +107,16 @@ func NewStreamCaster(src, dst *Schema) (*StreamCaster, error) {
 func (c *StreamCaster) Validate(r io.Reader) (StreamStats, error) {
 	st, err := c.c.Validate(r)
 	return fromStreamStats(st), err
+}
+
+// ValidateTraced is Validate in trace mode: alongside the verdict and
+// statistics it returns the decision trace — one event per skim, reject and
+// descend, in document order. Trace mode allocates; use Validate on hot
+// paths.
+func (c *StreamCaster) ValidateTraced(r io.Reader) (StreamStats, []TraceEvent, error) {
+	tr := &telemetry.Trace{}
+	st, err := c.c.ValidateTrace(r, tr)
+	return fromStreamStats(st), fromTraceEvents(tr), err
 }
 
 // ValidateAll validates one document per reader concurrently on a pool of

@@ -231,8 +231,13 @@ func TestCastdSmoke(t *testing.T) {
 	if code, body := httpDo("GET", base+"/pairs/v1/v2", ""); code != 200 || !strings.Contains(body, `"alwaysValid":false`) {
 		t.Fatalf("pairs: %d %s", code, body)
 	}
-	if code, body := httpDo("GET", base+"/metrics", ""); code != 200 || !strings.Contains(body, `"compiles":1`) {
+	if code, body := httpDo("GET", base+"/metrics", ""); code != 200 ||
+		!strings.Contains(body, "registry_compiles_total 1") ||
+		!strings.Contains(body, "cast_subtrees_skipped_total") {
 		t.Fatalf("metrics: %d %s", code, body)
+	}
+	if code, body := httpDo("GET", base+"/metrics.json", ""); code != 200 || !strings.Contains(body, `"compiles":1`) {
+		t.Fatalf("metrics.json: %d %s", code, body)
 	}
 
 	// Graceful shutdown: SIGTERM drains and exits 0.
