@@ -1,0 +1,173 @@
+// Command benchdiff is the perf-regression gate: it compares a fresh
+// castbench -json run against the committed baseline (BENCH_cast.json)
+// and exits non-zero when a scenario got meaningfully slower or less
+// effective at skipping work.
+//
+// Usage:
+//
+//	castbench -json /tmp/current.json
+//	benchdiff -baseline BENCH_cast.json -current /tmp/current.json
+//
+// Two regressions are gated, with thresholds chosen to sit above
+// shared-runner noise (see EXPERIMENTS.md):
+//
+//   - ns/op: a scenario more than -max-slowdown (default 25%) slower than
+//     the baseline fails. Wall-clock numbers on CI runners are noisy, so
+//     the bar is deliberately loose; it catches algorithmic regressions
+//     (a lost fast path, an accidental O(n) in the hot loop), not
+//     single-digit drift.
+//   - skip ratio: the fraction of elements the cast validator skims or
+//     skips is machine-independent, so the tolerance is tight: a drop of
+//     more than -max-skip-drop (default 0.02) fails. This is the paper's
+//     actual claim — losing skipped subtrees means the optimization
+//     stopped firing, however fast the runner happens to be.
+//
+// A scenario present in the baseline but missing from the current run
+// also fails: silently dropping a benchmark is how regressions hide.
+// Scenarios only in the current run are reported but do not fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// scenario mirrors the benchScenario rows castbench -json writes.
+type scenario struct {
+	Name                string  `json:"name"`
+	NsPerOp             int64   `json:"nsPerOp"`
+	BaselineNsPerOp     int64   `json:"baselineNsPerOp"`
+	Speedup             float64 `json:"speedup"`
+	SkipRatio           float64 `json:"skipRatio"`
+	SymbolsScannedRatio float64 `json:"symbolsScannedRatio"`
+}
+
+// limits are the gate thresholds; a row fails when it exceeds either.
+type limits struct {
+	// MaxSlowdown is the tolerated fractional ns/op increase (0.25 = +25%).
+	MaxSlowdown float64
+	// MaxSkipDrop is the tolerated absolute skip-ratio decrease.
+	MaxSkipDrop float64
+}
+
+// verdict is the comparison result for one baseline scenario.
+type verdict struct {
+	Name     string
+	Old, New scenario
+	Missing  bool
+	Failures []string
+}
+
+// compare evaluates every baseline scenario against the current run.
+func compare(baseline, current []scenario, lim limits) []verdict {
+	byName := make(map[string]scenario, len(current))
+	for _, s := range current {
+		byName[s.Name] = s
+	}
+	var out []verdict
+	for _, old := range baseline {
+		v := verdict{Name: old.Name, Old: old}
+		cur, ok := byName[old.Name]
+		if !ok {
+			v.Missing = true
+			v.Failures = append(v.Failures, "scenario missing from current run")
+			out = append(out, v)
+			continue
+		}
+		v.New = cur
+		if old.NsPerOp > 0 {
+			slowdown := float64(cur.NsPerOp-old.NsPerOp) / float64(old.NsPerOp)
+			if slowdown > lim.MaxSlowdown {
+				v.Failures = append(v.Failures, fmt.Sprintf(
+					"ns/op %d -> %d (%+.1f%%, limit +%.0f%%)",
+					old.NsPerOp, cur.NsPerOp, slowdown*100, lim.MaxSlowdown*100))
+			}
+		}
+		if drop := old.SkipRatio - cur.SkipRatio; drop > lim.MaxSkipDrop {
+			v.Failures = append(v.Failures, fmt.Sprintf(
+				"skip ratio %.4f -> %.4f (-%.4f, limit -%.2f)",
+				old.SkipRatio, cur.SkipRatio, drop, lim.MaxSkipDrop))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// extras lists current scenarios with no baseline row (informational).
+func extras(baseline, current []scenario) []string {
+	known := make(map[string]bool, len(baseline))
+	for _, s := range baseline {
+		known[s.Name] = true
+	}
+	var names []string
+	for _, s := range current {
+		if !known[s.Name] {
+			names = append(names, s.Name)
+		}
+	}
+	return names
+}
+
+func load(path string) ([]scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []scenario
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no scenarios", path)
+	}
+	return rows, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_cast.json", "committed baseline scenario file")
+		currentPath  = flag.String("current", "", "fresh castbench -json output to gate (required)")
+		maxSlowdown  = flag.Float64("max-slowdown", 0.25, "tolerated fractional ns/op increase per scenario")
+		maxSkipDrop  = flag.Float64("max-skip-drop", 0.02, "tolerated absolute skip-ratio decrease per scenario")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	lim := limits{MaxSlowdown: *maxSlowdown, MaxSkipDrop: *maxSkipDrop}
+	failed := false
+	for _, v := range compare(baseline, current, lim) {
+		if len(v.Failures) == 0 {
+			fmt.Printf("ok   %-28s ns/op %8d -> %8d  skip %.4f -> %.4f\n",
+				v.Name, v.Old.NsPerOp, v.New.NsPerOp, v.Old.SkipRatio, v.New.SkipRatio)
+			continue
+		}
+		failed = true
+		for _, f := range v.Failures {
+			fmt.Printf("FAIL %-28s %s\n", v.Name, f)
+		}
+	}
+	for _, name := range extras(baseline, current) {
+		fmt.Printf("new  %-28s (no baseline row; commit a refreshed BENCH_cast.json to gate it)\n", name)
+	}
+	if failed {
+		fmt.Println("benchdiff: regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within thresholds")
+}

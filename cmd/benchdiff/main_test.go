@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+var lim = limits{MaxSlowdown: 0.25, MaxSkipDrop: 0.02}
+
+func row(name string, ns int64, skip float64) scenario {
+	return scenario{Name: name, NsPerOp: ns, SkipRatio: skip}
+}
+
+func failuresFor(t *testing.T, vs []verdict, name string) []string {
+	t.Helper()
+	for _, v := range vs {
+		if v.Name == name {
+			return v.Failures
+		}
+	}
+	t.Fatalf("no verdict for %q", name)
+	return nil
+}
+
+func TestCompareWithinThresholds(t *testing.T) {
+	base := []scenario{row("a", 1000, 0.99), row("b", 200000, 0.30)}
+	// 24% slower and a 0.019 skip drop both sit just inside the limits.
+	cur := []scenario{row("a", 1240, 0.971), row("b", 200000, 0.30)}
+	for _, v := range compare(base, cur, lim) {
+		if len(v.Failures) != 0 {
+			t.Errorf("%s: unexpected failures %v", v.Name, v.Failures)
+		}
+	}
+}
+
+func TestCompareSlowdownFails(t *testing.T) {
+	base := []scenario{row("a", 1000, 0.99)}
+	cur := []scenario{row("a", 1260, 0.99)} // +26%
+	fs := failuresFor(t, compare(base, cur, lim), "a")
+	if len(fs) != 1 || !strings.Contains(fs[0], "ns/op") {
+		t.Fatalf("want one ns/op failure, got %v", fs)
+	}
+}
+
+func TestCompareSkipDropFails(t *testing.T) {
+	base := []scenario{row("a", 1000, 0.99)}
+	cur := []scenario{row("a", 900, 0.96)} // faster, but skipping 0.03 less
+	fs := failuresFor(t, compare(base, cur, lim), "a")
+	if len(fs) != 1 || !strings.Contains(fs[0], "skip ratio") {
+		t.Fatalf("want one skip-ratio failure, got %v", fs)
+	}
+}
+
+func TestCompareMissingScenarioFails(t *testing.T) {
+	base := []scenario{row("a", 1000, 0.99), row("gone", 500, 0.5)}
+	cur := []scenario{row("a", 1000, 0.99)}
+	vs := compare(base, cur, lim)
+	fs := failuresFor(t, vs, "gone")
+	if len(fs) != 1 || !strings.Contains(fs[0], "missing") {
+		t.Fatalf("want missing-scenario failure, got %v", fs)
+	}
+	for _, v := range vs {
+		if v.Name == "gone" && !v.Missing {
+			t.Error("Missing flag not set")
+		}
+	}
+}
+
+func TestCompareSpeedupAndSkipGainPass(t *testing.T) {
+	base := []scenario{row("a", 1000, 0.90)}
+	cur := []scenario{row("a", 400, 0.99)}
+	if fs := failuresFor(t, compare(base, cur, lim), "a"); len(fs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", fs)
+	}
+}
+
+func TestExtrasReported(t *testing.T) {
+	base := []scenario{row("a", 1000, 0.99)}
+	cur := []scenario{row("a", 1000, 0.99), row("brand-new", 10, 0.1)}
+	got := extras(base, cur)
+	if len(got) != 1 || got[0] != "brand-new" {
+		t.Fatalf("extras = %v, want [brand-new]", got)
+	}
+}

@@ -14,6 +14,14 @@
 //	curl localhost:8347/pairs/v1/v2     # static compatibility, no document
 //	curl localhost:8347/metrics         # Prometheus text exposition
 //	curl localhost:8347/metrics.json    # JSON counter snapshot
+//	curl localhost:8347/debug/traces    # retained request traces (spans)
+//
+// Logging is structured (log/slog); -log-format selects the text or JSON
+// handler. Every record emitted while a request is active carries the
+// request's trace_id/span_id, so log lines correlate with the spans on
+// /debug/traces. Tracing is sampled at the tail: -trace-sample sets the
+// head probability (0 disables tracing entirely), and slow (>=
+// -trace-slow) or failed requests are always retained while tracing is on.
 //
 // With -pprof the net/http/pprof profiling handlers are mounted under
 // /debug/pprof/ (off by default: profiling endpoints leak heap contents
@@ -29,7 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -40,6 +48,7 @@ import (
 
 	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -50,7 +59,11 @@ func main() {
 		workers      = flag.Int("workers", 0, "batch validation workers per request (0 = one per CPU)")
 		drain        = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight validations")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
-		accessLog    = flag.Bool("access-log", false, "log one line per request (request id, route, status, duration)")
+		accessLog    = flag.Bool("access-log", false, "log one record per request (request id, route, status, duration, trace id)")
+		logFormat    = flag.String("log-format", "text", "log handler: text or json")
+		traceSample  = flag.Float64("trace-sample", 1, "head sampling probability for request traces in [0,1]; 0 disables tracing")
+		traceSlow    = flag.Duration("trace-slow", telemetry.DefaultSlowThreshold, "requests at least this slow are always retained by the tail sampler")
+		traceBuffer  = flag.Int("trace-buffer", telemetry.DefaultTraceCapacity, "retained-trace ring capacity for /debug/traces")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: castd [flags]\n")
@@ -62,12 +75,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	reg := registry.New(registry.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes})
-	opts := server.Options{Workers: *workers}
-	if *accessLog {
-		opts.AccessLog = log.New(os.Stderr, "", log.LstdFlags)
+	var inner slog.Handler
+	switch *logFormat {
+	case "text":
+		inner = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		inner = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "castd: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
 	}
-	srv := server.New(reg, opts)
+	// The correlating wrapper stamps trace_id/span_id onto every record
+	// logged with a request context — castd's, the server's and the
+	// registry's records all correlate with /debug/traces.
+	logger := slog.New(telemetry.NewCorrelateHandler(inner))
+
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{
+		SampleRate:    *traceSample,
+		SlowThreshold: *traceSlow,
+		Capacity:      *traceBuffer,
+	})
+
+	reg := registry.New(registry.Config{
+		MaxEntries: *cacheEntries,
+		MaxBytes:   *cacheBytes,
+		Logger:     logger,
+	})
+	srv := server.New(reg, server.Options{
+		Workers:   *workers,
+		Logger:    logger,
+		AccessLog: *accessLog,
+		Tracer:    tracer,
+	})
 	var handler http.Handler = srv
 	if *pprofOn {
 		// Explicit registrations instead of the package's init-time
@@ -81,7 +120,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/", srv)
 		handler = mux
-		log.Printf("castd: pprof enabled at /debug/pprof/")
+		logger.Info("castd: pprof enabled", "path", "/debug/pprof/")
 	}
 	hs := &http.Server{
 		Handler:           handler,
@@ -90,11 +129,14 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Printf("castd: %v", err)
+		logger.Error("castd: listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
 	// The resolved address matters when -addr asked for port 0.
-	log.Printf("castd: listening on %s", ln.Addr())
+	logger.Info("castd: listening",
+		"addr", ln.Addr().String(),
+		"trace_sample", *traceSample,
+		"log_format", *logFormat)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -104,18 +146,18 @@ func main() {
 
 	select {
 	case err := <-serveErr:
-		log.Printf("castd: %v", err)
+		logger.Error("castd: serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
 	srv.SetDraining(true) // /healthz answers 503 from here on
-	log.Printf("castd: draining in-flight validations (deadline %s)", *drain)
+	logger.Info("castd: draining in-flight validations", "deadline", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("castd: drain incomplete: %v", err)
+		logger.Error("castd: drain incomplete", "err", err)
 		os.Exit(1)
 	}
-	log.Printf("castd: bye")
+	logger.Info("castd: bye")
 }

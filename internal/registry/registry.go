@@ -25,15 +25,18 @@ package registry
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	revalidate "repro"
+	"repro/internal/telemetry"
 )
 
 // Format identifies a schema text format.
@@ -102,15 +105,21 @@ type Config struct {
 	MaxEntries int
 	// MaxBytes caps the approximate total Cost of cached pairs.
 	MaxBytes int64
+	// Logger, when non-nil, receives structured records for cache
+	// lifecycle events: one per eviction (with the victim's content hashes
+	// and byte cost) and one per hot-swap re-registration. Records are
+	// emitted with the triggering request's context, so they carry
+	// trace_id/span_id under a correlating handler.
+	Logger *slog.Logger
 }
 
 // Stats is a counter snapshot for /metrics.json.
 type Stats struct {
-	Schemas   int   `json:"schemas"`
-	Pairs     int   `json:"pairs"`
-	Bytes     int64 `json:"bytes"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
+	Schemas int   `json:"schemas"`
+	Pairs   int   `json:"pairs"`
+	Bytes   int64 `json:"bytes"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
 	// Coalesces counts hits that arrived while the pair's compile was still
 	// in flight: callers that the singleflight saved from compiling.
 	Coalesces int64       `json:"coalesces"`
@@ -140,12 +149,17 @@ type pairEntry struct {
 	elem         *list.Element
 	cost         int64
 	hits         atomic.Int64
+	// compiler is the span context active in the request that started this
+	// entry's compile; coalescing requests link their lookup span to it so
+	// the waterfall shows whose compile they piggybacked on.
+	compiler telemetry.SpanContext
 }
 
 // Registry is the concurrent schema store and pair cache. The mutex guards
 // only map/list bookkeeping; compiles and validations run outside it.
 type Registry struct {
-	cfg Config
+	cfg    Config
+	logger *slog.Logger // nil when Config.Logger was nil
 
 	mu      sync.Mutex
 	schemas map[string]*SchemaEntry
@@ -178,6 +192,7 @@ func (r *Registry) SetCompileObserver(fn func(seconds float64)) {
 func New(cfg Config) *Registry {
 	return &Registry{
 		cfg:     cfg,
+		logger:  cfg.Logger,
 		schemas: map[string]*SchemaEntry{},
 		pairs:   map[string]*pairEntry{},
 		lru:     list.New(),
@@ -190,6 +205,13 @@ func New(cfg Config) *Registry {
 // compiled from the previous version stay cached (under their content
 // hash) and stay usable by holders.
 func (r *Registry) Register(id, text string, format Format, dtdRoot string) (*SchemaEntry, error) {
+	return r.RegisterCtx(context.Background(), id, text, format, dtdRoot)
+}
+
+// RegisterCtx is Register with a request context: a hot-swap (re-register
+// under an id already bound to different content) emits one structured log
+// record correlated to the requesting trace.
+func (r *Registry) RegisterCtx(ctx context.Context, id, text string, format Format, dtdRoot string) (*SchemaEntry, error) {
 	if id == "" {
 		return nil, fmt.Errorf("registry: empty schema id")
 	}
@@ -203,8 +225,17 @@ func (r *Registry) Register(id, text string, format Format, dtdRoot string) (*Sc
 	h := sha256.Sum256([]byte(string(format) + "\x00" + dtdRoot + "\x00" + text))
 	e.Hash = hex.EncodeToString(h[:])
 	r.mu.Lock()
+	old := r.schemas[id]
 	r.schemas[id] = e
 	r.mu.Unlock()
+	if r.logger != nil && old != nil && old.Hash != e.Hash {
+		r.logger.LogAttrs(ctx, slog.LevelInfo, "registry: schema hot-swapped",
+			slog.String("id", id),
+			slog.String("old_hash", old.Hash),
+			slog.String("new_hash", e.Hash),
+			slog.Int("old_bytes", old.Bytes),
+			slog.Int("new_bytes", e.Bytes))
+	}
 	return e, nil
 }
 
@@ -239,20 +270,51 @@ func (r *Registry) Schemas() []*SchemaEntry {
 	return out
 }
 
+// Lookup outcomes reported by PairCtx.
+const (
+	// LookupHit resolved a fully compiled cached pair.
+	LookupHit = "hit"
+	// LookupMiss compiled the pair in this call.
+	LookupMiss = "miss"
+	// LookupCoalesce waited on a compile another caller was running.
+	LookupCoalesce = "coalesce"
+)
+
+// Lookup describes how a PairCtx call was satisfied — the span-attribute
+// view of the hit/miss/coalesce counters.
+type Lookup struct {
+	// Outcome is LookupHit, LookupMiss or LookupCoalesce.
+	Outcome string
+	// Compiler is, for a coalesced lookup, the span context that was
+	// active in the request running the compile — the link target that
+	// makes the singleflight visible in a trace waterfall. Zero otherwise.
+	Compiler telemetry.SpanContext
+}
+
 // Pair returns the compiled caster pair for the current versions of the
 // two schema ids, compiling (once, however many callers arrive
 // concurrently) on a cache miss.
 func (r *Registry) Pair(srcID, dstID string) (*Pair, error) {
+	p, _, err := r.PairCtx(context.Background(), srcID, dstID)
+	return p, err
+}
+
+// PairCtx is Pair with a request context: the returned Lookup reports how
+// the call was satisfied (for span attributes and links), eviction log
+// records triggered by an insert are correlated to ctx's trace, and a
+// compile started here records ctx's span so later coalescers can link to
+// it.
+func (r *Registry) PairCtx(ctx context.Context, srcID, dstID string) (*Pair, Lookup, error) {
 	r.mu.Lock()
 	src, ok := r.schemas[srcID]
 	if !ok {
 		r.mu.Unlock()
-		return nil, &UnknownSchemaError{ID: srcID}
+		return nil, Lookup{}, &UnknownSchemaError{ID: srcID}
 	}
 	dst, ok := r.schemas[dstID]
 	if !ok {
 		r.mu.Unlock()
-		return nil, &UnknownSchemaError{ID: dstID}
+		return nil, Lookup{}, &UnknownSchemaError{ID: dstID}
 	}
 	key := src.Hash + "\x00" + dst.Hash
 	if e, ok := r.pairs[key]; ok {
@@ -261,17 +323,21 @@ func (r *Registry) Pair(srcID, dstID string) (*Pair, error) {
 		r.hits.Add(1)
 		r.lru.MoveToFront(e.elem)
 		r.mu.Unlock()
+		lk := Lookup{Outcome: LookupHit}
 		select {
 		case <-e.ready:
 		default:
 			// The compile is still in flight: this caller coalesced onto it
 			// instead of compiling its own copy.
 			r.coalesces.Add(1)
+			lk.Outcome = LookupCoalesce
+			lk.Compiler = e.compiler
 		}
 		<-e.ready
-		return e.pair, e.err
+		return e.pair, lk, e.err
 	}
 	e := &pairEntry{key: key, srcID: srcID, dstID: dstID, ready: make(chan struct{})}
+	e.compiler = telemetry.SpanFromContext(ctx).Context()
 	e.elem = r.lru.PushFront(e)
 	r.pairs[key] = e
 	r.misses.Add(1)
@@ -291,23 +357,45 @@ func (r *Registry) Pair(srcID, dstID string) (*Pair, error) {
 	e.pair, e.err = pair, err
 	close(e.ready)
 
+	lk := Lookup{Outcome: LookupMiss}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.pairs[key] != e {
 		// Evicted while compiling; nothing to account.
-		return pair, err
+		r.mu.Unlock()
+		return pair, lk, err
 	}
 	if err != nil {
 		// Failed compiles are not cached, so a corrected re-registration
 		// retries instead of replaying the stale error.
 		delete(r.pairs, key)
 		r.lru.Remove(e.elem)
-		return nil, err
+		r.mu.Unlock()
+		return nil, lk, err
 	}
 	e.cost = pair.Cost
 	r.bytes += e.cost
-	r.evictLocked(e)
-	return pair, nil
+	victims := r.evictLocked(e)
+	r.mu.Unlock()
+	r.logEvictions(ctx, victims)
+	return pair, lk, nil
+}
+
+// logEvictions emits one structured record per evicted entry, outside the
+// registry mutex.
+func (r *Registry) logEvictions(ctx context.Context, victims []*pairEntry) {
+	if r.logger == nil {
+		return
+	}
+	for _, v := range victims {
+		srcHash, dstHash, _ := strings.Cut(v.key, "\x00")
+		r.logger.LogAttrs(ctx, slog.LevelInfo, "registry: pair evicted",
+			slog.String("src", v.srcID),
+			slog.String("dst", v.dstID),
+			slog.String("src_hash", srcHash),
+			slog.String("dst_hash", dstHash),
+			slog.Int64("bytes", v.cost),
+			slog.Int64("hits", v.hits.Load()))
+	}
 }
 
 // compilePair loads both texts into a fresh universe and preprocesses the
@@ -337,29 +425,33 @@ func compilePair(src, dst *SchemaEntry) (*Pair, error) {
 }
 
 // evictLocked drops LRU entries until the budgets hold, never evicting
-// keep (the entry just inserted or hit). Evicted pairs remain usable by
+// keep (the entry just inserted or hit), and returns the victims so the
+// caller can log them outside the mutex. Evicted pairs remain usable by
 // holders; only the cache forgets them. Caller holds r.mu.
-func (r *Registry) evictLocked(keep *pairEntry) {
+func (r *Registry) evictLocked(keep *pairEntry) []*pairEntry {
 	over := func() bool {
 		if r.cfg.MaxEntries > 0 && len(r.pairs) > r.cfg.MaxEntries {
 			return true
 		}
 		return r.cfg.MaxBytes > 0 && r.bytes > r.cfg.MaxBytes
 	}
+	var victims []*pairEntry
 	for over() {
 		back := r.lru.Back()
 		if back == nil {
-			return
+			break
 		}
 		victim := back.Value.(*pairEntry)
 		if victim == keep {
-			return
+			break
 		}
 		r.lru.Remove(back)
 		delete(r.pairs, victim.key)
 		r.bytes -= victim.cost
 		r.evictions.Add(1)
+		victims = append(victims, victim)
 	}
+	return victims
 }
 
 // Len reports the number of cached compiled pairs.

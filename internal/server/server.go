@@ -14,6 +14,8 @@
 //	GET  /pairs/{src}/{dst}       static-compatibility report, no document
 //	GET  /metrics                 Prometheus text exposition
 //	GET  /metrics.json            counter snapshot (JSON)
+//	GET  /debug/traces            retained request traces (JSON; ?format=html)
+//	GET  /debug/traces/{id}       one trace's span tree (JSON; ?format=html)
 //	GET  /healthz                 liveness (503 while draining)
 //
 // Every route is wrapped in one middleware that assigns a request id,
@@ -21,6 +23,16 @@
 // the (route, status) pair — so the serving layer's families cost nothing
 // on the validation hot path (engines keep request-scoped Stats structs;
 // telemetry is fed once per request at this boundary).
+//
+// The same middleware is the trace boundary: it extracts the W3C
+// traceparent header (malformed values fall back to a fresh trace id),
+// opens the request's root span, injects the local span context on the
+// response, plants the span in the request context (so every slog record
+// emitted under a telemetry.CorrelateHandler carries trace_id/span_id),
+// and emits the structured access record. Work routes open child spans
+// around the registry lookup and the cast itself; observability routes
+// (/metrics, /debug/traces, /healthz) are never traced, so scrapes and
+// waterfall views do not fill the ring they read.
 package server
 
 import (
@@ -28,8 +40,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -53,9 +67,18 @@ type Options struct {
 	// Workers sizes the batch-validation worker pool; <= 0 means one
 	// worker per logical CPU (per request).
 	Workers int
-	// AccessLog, when non-nil, receives one line per request (request id,
-	// method, path, route, status, duration).
-	AccessLog *log.Logger
+	// Logger, when non-nil, receives the server's structured records. Wrap
+	// its handler in telemetry.NewCorrelateHandler so records carry
+	// trace_id/span_id (castd does); the server only logs with request
+	// contexts, never ids directly.
+	Logger *slog.Logger
+	// AccessLog, when true, emits one Logger record per request (request
+	// id, method, path, route, status, duration).
+	AccessLog bool
+	// Tracer, when non-nil, records request-scoped spans served on
+	// /debug/traces. A nil tracer disables tracing entirely: the hot path
+	// pays only nil checks.
+	Tracer *telemetry.Tracer
 }
 
 // Server is the castd HTTP handler. Safe for concurrent use; all shared
@@ -65,7 +88,9 @@ type Server struct {
 	reg       *registry.Registry
 	workers   int
 	mux       *http.ServeMux
-	accessLog *log.Logger
+	logger    *slog.Logger
+	accessLog bool
+	tracer    *telemetry.Tracer
 
 	draining atomic.Bool
 	reqID    atomic.Uint64
@@ -96,7 +121,10 @@ type Server struct {
 
 // New wires the routes over a registry.
 func New(reg *registry.Registry, opts Options) *Server {
-	s := &Server{reg: reg, workers: opts.Workers, mux: http.NewServeMux(), accessLog: opts.AccessLog}
+	s := &Server{
+		reg: reg, workers: opts.Workers, mux: http.NewServeMux(),
+		logger: opts.Logger, accessLog: opts.AccessLog, tracer: opts.Tracer,
+	}
 
 	met := telemetry.NewRegistry()
 	s.met = met
@@ -148,15 +176,54 @@ func New(reg *registry.Registry, opts Options) *Server {
 	met.GaugeFunc("registry_cache_bytes", "Approximate pair-cache footprint.",
 		func() float64 { return float64(reg.Stats().Bytes) })
 
-	s.route("PUT /schemas/{id}", "register", s.handleRegister)
-	s.route("GET /schemas/{id}", "schema", s.handleSchema)
-	s.route("POST /cast/{src}/{dst}", "cast", s.handleCast)
-	s.route("POST /cast/{src}/{dst}/batch", "batch", s.handleBatch)
-	s.route("GET /pairs/{src}/{dst}", "pairs", s.handlePairs)
-	s.route("GET /metrics", "metrics", s.handlePrometheus)
-	s.route("GET /metrics.json", "metrics.json", s.handleMetricsJSON)
-	s.route("GET /healthz", "healthz", s.handleHealthz)
+	// Build identity and process lifetime, for fleet dashboards ("which
+	// revision is each instance running, and since when").
+	goVersion, revision := buildIdentity()
+	met.GaugeVec("castd_build_info",
+		"Build metadata; the value is always 1.", "go_version", "revision").
+		With(goVersion, revision).Set(1)
+	started := time.Now()
+	met.GaugeFunc("castd_uptime_seconds", "Seconds since the server was constructed.",
+		func() float64 { return time.Since(started).Seconds() })
+
+	// Tail-sampler economy: how many request traces were started, kept
+	// (slow/error/head-sampled) and dropped. Zero throughout when tracing
+	// is disabled.
+	met.CounterFunc("castd_traces_started_total", "Request traces started.",
+		func() float64 { return float64(s.tracer.Stats().Started) })
+	met.CounterFunc("castd_traces_retained_total", "Request traces retained by the tail sampler.",
+		func() float64 { return float64(s.tracer.Stats().Retained) })
+	met.CounterFunc("castd_traces_dropped_total", "Request traces dropped by the tail sampler.",
+		func() float64 { return float64(s.tracer.Stats().Dropped) })
+
+	s.route("PUT /schemas/{id}", "register", true, s.handleRegister)
+	s.route("GET /schemas/{id}", "schema", true, s.handleSchema)
+	s.route("POST /cast/{src}/{dst}", "cast", true, s.handleCast)
+	s.route("POST /cast/{src}/{dst}/batch", "batch", true, s.handleBatch)
+	s.route("GET /pairs/{src}/{dst}", "pairs", true, s.handlePairs)
+	s.route("GET /metrics", "metrics", false, s.handlePrometheus)
+	s.route("GET /metrics.json", "metrics.json", false, s.handleMetricsJSON)
+	s.route("GET /debug/traces", "traces", false, s.handleTraces)
+	s.route("GET /debug/traces/{id}", "trace", false, s.handleTrace)
+	s.route("GET /healthz", "healthz", false, s.handleHealthz)
 	return s
+}
+
+// buildIdentity reads the build's Go version and VCS revision; "unknown"
+// when the binary was built without VCS stamping (tests, go run).
+func buildIdentity() (goVersion, revision string) {
+	goVersion, revision = runtime.Version(), "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				revision = kv.Value
+			}
+		}
+	}
+	return goVersion, revision
 }
 
 // SetDraining flips the drain flag: while set, /healthz answers 503 so load
@@ -184,21 +251,54 @@ func (w *statusWriter) WriteHeader(code int) {
 // route registers one handler under its middleware wrapper. name is the
 // static route label — resolved per request, not per element, and never
 // derived from the URL (unbounded label cardinality is a metrics leak).
-func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+// traced routes get a root span (observability endpoints set it false so
+// scraping /debug/traces does not fill the ring being scraped).
+func (s *Server) route(pattern, name string, traced bool, h http.HandlerFunc) {
 	duration := s.httpDuration.With(name) // resolve the series once
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqID.Add(1)
 		s.inFlight.Inc()
 		defer s.inFlight.Dec()
 		start := time.Now()
+
+		var span *telemetry.Span
+		if traced {
+			// A malformed traceparent parses to ok=false and a zero
+			// context, which StartRequest treats as "begin a fresh trace".
+			parent, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+			span = s.tracer.StartRequest("http "+name, parent)
+			if span != nil {
+				span.SetAttr("http.method", r.Method)
+				span.SetAttr("http.path", r.URL.Path)
+				span.SetAttr("http.route", name)
+				span.SetAttr("request.id", id)
+				// Inject our context so clients (and curl users) can find
+				// the request on /debug/traces.
+				w.Header().Set("traceparent", telemetry.FormatTraceparent(span.Context()))
+				r = r.WithContext(telemetry.ContextWithSpan(r.Context(), span))
+			}
+		}
+
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		d := time.Since(start)
 		duration.Observe(d.Seconds())
 		s.httpRequests.With(name, strconv.Itoa(sw.status)).Inc()
-		if s.accessLog != nil {
-			s.accessLog.Printf("req=%d method=%s path=%s route=%s status=%d dur=%s",
-				id, r.Method, r.URL.Path, name, sw.status, d.Round(time.Microsecond))
+
+		span.SetAttr("http.status", sw.status)
+		if sw.status >= http.StatusInternalServerError {
+			span.SetError(http.StatusText(sw.status))
+		}
+		span.End()
+
+		if s.accessLog && s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.Uint64("req", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", name),
+				slog.Int("status", sw.status),
+				slog.Duration("dur", d.Round(time.Microsecond)))
 		}
 	})
 }
@@ -222,10 +322,28 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // pair resolves a (src, dst) id pair, mapping registry errors to HTTP
-// statuses (404 unknown id, 422 uncompilable pair).
+// statuses (404 unknown id, 422 uncompilable pair). The lookup runs under
+// a "registry.lookup" child span whose outcome attribute distinguishes
+// hit, miss (this request paid the compile) and coalesce (this request
+// waited on another's compile — linked to the compiler's span).
 func (s *Server) pair(w http.ResponseWriter, r *http.Request) (*registry.Pair, bool) {
 	src, dst := r.PathValue("src"), r.PathValue("dst")
-	p, err := s.reg.Pair(src, dst)
+	sp := telemetry.SpanFromContext(r.Context()).StartChild("registry.lookup")
+	sp.SetAttr("src", src)
+	sp.SetAttr("dst", dst)
+	ctx := telemetry.ContextWithSpan(r.Context(), sp)
+	p, lk, err := s.reg.PairCtx(ctx, src, dst)
+	if lk.Outcome != "" {
+		sp.SetAttr("outcome", lk.Outcome)
+	}
+	sp.AddLink(lk.Compiler)
+	if p != nil && lk.Outcome == registry.LookupMiss {
+		sp.SetAttr("compile_ns", p.CompileTime.Nanoseconds())
+	}
+	if err != nil {
+		sp.SetError(err.Error())
+	}
+	sp.End()
 	if err != nil {
 		var unknown *registry.UnknownSchemaError
 		if errors.As(err, &unknown) {
@@ -256,11 +374,19 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown format %q (want xsd or dtd)", format)
 		return
 	}
-	e, err := s.reg.Register(r.PathValue("id"), string(body), format, r.URL.Query().Get("root"))
+	sp := telemetry.SpanFromContext(r.Context()).StartChild("registry.register")
+	sp.SetAttr("schema.id", r.PathValue("id"))
+	sp.SetAttr("schema.bytes", len(body))
+	e, err := s.reg.RegisterCtx(telemetry.ContextWithSpan(r.Context(), sp),
+		r.PathValue("id"), string(body), format, r.URL.Query().Get("root"))
 	if err != nil {
+		sp.SetError(err.Error())
+		sp.End()
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	sp.SetAttr("schema.hash", e.Hash)
+	sp.End()
 	writeJSON(w, http.StatusOK, e)
 }
 
@@ -336,7 +462,10 @@ func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
 	explain := r.URL.Query().Get("explain") == "1"
 	// The request body streams straight through the caster: O(depth)
 	// memory however large the document (trace mode additionally holds the
-	// decision events).
+	// decision events). One span covers the whole cast; per-element work
+	// stays in the request-scoped Stats struct and is attached as span
+	// attributes afterwards.
+	sp := telemetry.SpanFromContext(r.Context()).StartChild("cast.validate")
 	var (
 		st    revalidate.StreamStats
 		trace []revalidate.TraceEvent
@@ -347,6 +476,8 @@ func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st, err = p.Stream.Validate(r.Body)
 	}
+	annotateCastSpan(sp, st, trace, err)
+	sp.End()
 	resp := castResponse{Valid: err == nil, Stats: s.recordStats(st), Trace: trace}
 	if err != nil {
 		s.verdictInvalid.Add(1)
@@ -357,6 +488,36 @@ func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
 		s.verdicts.With("valid").Inc()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// annotateCastSpan attaches one cast's work economy to its span, plus the
+// decision-trace events when the request asked for ?explain=1. An invalid
+// document is a verdict, not a span error — the tail sampler should not
+// retain every rejection, only requests the daemon itself failed.
+func annotateCastSpan(sp *telemetry.Span, st revalidate.StreamStats, trace []revalidate.TraceEvent, err error) {
+	if sp == nil {
+		return
+	}
+	verdict := "valid"
+	if err != nil {
+		verdict = "invalid"
+	}
+	sp.SetAttr("verdict", verdict)
+	sp.SetAttr("elements.visited", st.ElementsVisited)
+	sp.SetAttr("elements.skimmed", st.ElementsSkimmed)
+	sp.SetAttr("subtrees.skipped", st.SubsumedSkips)
+	sp.SetAttr("subtrees.rejected", st.DisjointRejects)
+	sp.SetAttr("symbols.scanned", st.AutomatonSteps)
+	sp.SetAttr("symbols.skipped", st.SymbolsSkipped)
+	sp.SetAttr("work.saved_ratio", st.WorkSavedRatio())
+	for _, ev := range trace {
+		sp.AddEvent(ev.Action,
+			telemetry.Attr{Key: "path", Value: ev.Path},
+			telemetry.Attr{Key: "dewey", Value: ev.Dewey},
+			telemetry.Attr{Key: "src_type", Value: ev.SrcType},
+			telemetry.Attr{Key: "dst_type", Value: ev.DstType},
+			telemetry.Attr{Key: "detail", Value: ev.Detail})
+	}
 }
 
 type batchResponse struct {
@@ -394,7 +555,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, d := range docs {
 		readers[i] = strings.NewReader(d)
 	}
+	sp := telemetry.SpanFromContext(r.Context()).StartChild("cast.batch")
+	sp.SetAttr("docs", len(docs))
+	sp.SetAttr("workers", workers)
 	errs, st := p.Stream.ValidateAll(readers, workers)
+	sp.SetAttr("elements.visited", st.ElementsVisited)
+	sp.SetAttr("elements.skimmed", st.ElementsSkimmed)
+	sp.End()
 	resp := batchResponse{Count: len(docs), Verdicts: make([]*string, len(docs)), Stats: s.recordStats(st)}
 	for i, err := range errs {
 		if err != nil {

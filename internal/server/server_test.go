@@ -1,15 +1,15 @@
 package server
 
 import (
-	"log"
-	"regexp"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -470,14 +470,14 @@ func TestExplainEndpoint(t *testing.T) {
 	}
 }
 
-// TestAccessLog checks the middleware emits one line per request with a
-// request id, route name and status.
+// TestAccessLog checks the middleware emits one structured record per
+// request with a request id, route name and status.
 func TestAccessLog(t *testing.T) {
 	var buf strings.Builder
 	var mu sync.Mutex
-	logger := log.New(lockedWriter{&mu, &buf}, "", 0)
+	logger := slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil))
 	reg := registry.New(registry.Config{})
-	ts := httptest.NewServer(New(reg, Options{AccessLog: logger}))
+	ts := httptest.NewServer(New(reg, Options{Logger: logger, AccessLog: true}))
 	defer ts.Close()
 	do(t, "GET", ts.URL+"/healthz", "")
 	do(t, "GET", ts.URL+"/schemas/nope", "")
@@ -486,13 +486,13 @@ func TestAccessLog(t *testing.T) {
 	mu.Unlock()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 2 {
-		t.Fatalf("want 2 access-log lines, got %q", out)
+		t.Fatalf("want 2 access-log records, got %q", out)
 	}
 	if !strings.Contains(lines[0], "req=1") || !strings.Contains(lines[0], "route=healthz") || !strings.Contains(lines[0], "status=200") {
-		t.Fatalf("first line: %q", lines[0])
+		t.Fatalf("first record: %q", lines[0])
 	}
 	if !strings.Contains(lines[1], "req=2") || !strings.Contains(lines[1], "status=404") {
-		t.Fatalf("second line: %q", lines[1])
+		t.Fatalf("second record: %q", lines[1])
 	}
 }
 

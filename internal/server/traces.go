@@ -1,0 +1,223 @@
+package server
+
+// The /debug/traces endpoints serve the tracer's retained-trace ring: a
+// JSON list (newest first), a single trace's span tree, and — with
+// ?format=html — a minimal dependency-free waterfall view for humans
+// staring at a slow request. Like /debug/pprof, these endpoints are
+// diagnostics for operators, not a public API: castd exposes them on the
+// same listener, and deployments that front the daemon with a proxy
+// should keep /debug/* internal.
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// traceSummary is one row of the GET /debug/traces listing.
+type traceSummary struct {
+	TraceID    string    `json:"traceId"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"durationNs"`
+	Spans      int       `json:"spans"`
+	Reason     string    `json:"reason"`
+	Error      string    `json:"error,omitempty"`
+}
+
+type tracesBody struct {
+	Enabled bool                  `json:"enabled"`
+	Stats   telemetry.TracerStats `json:"stats"`
+	Traces  []traceSummary        `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.tracer.Traces()
+	if r.URL.Query().Get("format") == "html" {
+		s.renderTraceList(w, traces)
+		return
+	}
+	body := tracesBody{
+		Enabled: s.tracer != nil,
+		Stats:   s.tracer.Stats(),
+		Traces:  make([]traceSummary, 0, len(traces)),
+	}
+	for _, td := range traces {
+		body.Traces = append(body.Traces, traceSummary{
+			TraceID:    td.TraceID,
+			Name:       td.Name,
+			Start:      td.Start,
+			DurationNS: td.DurationNS,
+			Spans:      len(td.Spans),
+			Reason:     td.Reason,
+			Error:      td.Error,
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	td, ok := s.tracer.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no retained trace %q (dropped by the sampler, ring-evicted, or never seen)", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "html" {
+		s.renderWaterfall(w, td)
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
+}
+
+// waterfallRow is one span laid out for the HTML view: indentation from
+// tree depth, bar geometry in percent of the root duration.
+type waterfallRow struct {
+	Name     string
+	SpanID   string
+	Depth    int
+	LeftPct  float64
+	WidthPct float64
+	Duration string
+	Error    string
+	Events   int
+	Attrs    string
+}
+
+// layoutWaterfall orders spans parent-before-child (siblings by start
+// time) and computes bar geometry. Spans with a missing parent (e.g. the
+// root's remote parent) are treated as roots.
+func layoutWaterfall(td *telemetry.TraceData) []waterfallRow {
+	byParent := map[string][]*telemetry.SpanData{}
+	known := map[string]bool{}
+	for i := range td.Spans {
+		known[td.Spans[i].SpanID] = true
+	}
+	for i := range td.Spans {
+		sp := &td.Spans[i]
+		parent := sp.ParentID
+		if !known[parent] {
+			parent = "" // root, or parent only exists on the wire
+		}
+		byParent[parent] = append(byParent[parent], sp)
+	}
+	for _, kids := range byParent {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+	}
+	total := td.DurationNS
+	if total <= 0 {
+		total = 1
+	}
+	var rows []waterfallRow
+	var walk func(parent string, depth int)
+	walk = func(parent string, depth int) {
+		for _, sp := range byParent[parent] {
+			attrs := ""
+			for _, a := range sp.Attrs {
+				if attrs != "" {
+					attrs += " "
+				}
+				attrs += fmt.Sprintf("%s=%v", a.Key, a.Value)
+			}
+			left := float64(sp.Start.Sub(td.Start).Nanoseconds()) / float64(total) * 100
+			width := float64(sp.DurationNS) / float64(total) * 100
+			if width < 0.2 {
+				width = 0.2 // keep instantaneous spans visible
+			}
+			rows = append(rows, waterfallRow{
+				Name:     sp.Name,
+				SpanID:   sp.SpanID,
+				Depth:    depth,
+				LeftPct:  left,
+				WidthPct: width,
+				Duration: time.Duration(sp.DurationNS).Round(time.Microsecond).String(),
+				Error:    sp.Error,
+				Events:   len(sp.Events),
+				Attrs:    attrs,
+			})
+			walk(sp.SpanID, depth+1)
+		}
+	}
+	walk("", 0)
+	return rows
+}
+
+var listTmpl = template.Must(template.New("list").Parse(`<!DOCTYPE html>
+<html><head><title>castd traces</title><style>
+body{font:13px monospace;margin:2em}
+table{border-collapse:collapse}
+td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}
+.err{color:#b00}
+</style></head><body>
+<h1>retained traces ({{len .}})</h1>
+<table><tr><th>trace</th><th>name</th><th>duration</th><th>spans</th><th>kept because</th><th>error</th></tr>
+{{range .}}<tr>
+<td><a href="/debug/traces/{{.TraceID}}?format=html">{{.TraceID}}</a></td>
+<td>{{.Name}}</td><td>{{.Duration}}</td><td>{{.Spans}}</td><td>{{.Reason}}</td>
+<td class="err">{{.Error}}</td>
+</tr>{{end}}</table>
+</body></html>
+`))
+
+var waterfallTmpl = template.Must(template.New("trace").Parse(`<!DOCTYPE html>
+<html><head><title>trace {{.TraceID}}</title><style>
+body{font:13px monospace;margin:2em}
+.row{display:flex;align-items:center;margin:2px 0}
+.label{width:34em;white-space:nowrap;overflow:hidden;text-overflow:ellipsis}
+.lane{position:relative;flex:1;height:14px;background:#f4f4f4}
+.bar{position:absolute;top:2px;height:10px;background:#4a90d9}
+.bar.err{background:#b00}
+.meta{color:#777;margin-left:1em;white-space:nowrap}
+.attrs{color:#999;font-size:11px;margin:0 0 6px 34em}
+</style></head><body>
+<h1>trace {{.TraceID}}</h1>
+<p>{{.Name}} — {{.Duration}}{{if .Error}} — <span style="color:#b00">{{.Error}}</span>{{end}} (kept: {{.Reason}})</p>
+{{range .Rows}}<div class="row">
+<div class="label" style="padding-left:{{.Depth}}em">{{.Name}}</div>
+<div class="lane"><div class="bar{{if .Error}} err{{end}}" style="left:{{printf "%.2f" .LeftPct}}%;width:{{printf "%.2f" .WidthPct}}%"></div></div>
+<div class="meta">{{.Duration}}{{if .Events}} · {{.Events}} events{{end}}</div>
+</div>{{if .Attrs}}<div class="attrs">{{.Attrs}}</div>{{end}}
+{{end}}
+<p><a href="/debug/traces/{{.TraceID}}">JSON</a> · <a href="/debug/traces?format=html">all traces</a></p>
+</body></html>
+`))
+
+func (s *Server) renderTraceList(w http.ResponseWriter, traces []*telemetry.TraceData) {
+	type row struct {
+		TraceID, Name, Duration, Reason, Error string
+		Spans                                  int
+	}
+	rows := make([]row, 0, len(traces))
+	for _, td := range traces {
+		rows = append(rows, row{
+			TraceID:  td.TraceID,
+			Name:     td.Name,
+			Duration: time.Duration(td.DurationNS).Round(time.Microsecond).String(),
+			Reason:   td.Reason,
+			Error:    td.Error,
+			Spans:    len(td.Spans),
+		})
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	listTmpl.Execute(w, rows)
+}
+
+func (s *Server) renderWaterfall(w http.ResponseWriter, td *telemetry.TraceData) {
+	data := struct {
+		TraceID, Name, Duration, Reason, Error string
+		Rows                                   []waterfallRow
+	}{
+		TraceID:  td.TraceID,
+		Name:     td.Name,
+		Duration: time.Duration(td.DurationNS).Round(time.Microsecond).String(),
+		Reason:   td.Reason,
+		Error:    td.Error,
+		Rows:     layoutWaterfall(td),
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	waterfallTmpl.Execute(w, data)
+}

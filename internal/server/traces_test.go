@@ -1,0 +1,424 @@
+package server
+
+// End-to-end tests of the trace boundary: traceparent propagation through
+// the middleware, the span tree on /debug/traces, log/trace correlation,
+// the HTML views, and the disabled-tracer hot path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/telemetry"
+)
+
+const (
+	knownTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	knownTraceID     = "4bf92f3577b34da6a3ce929d0e0e4736"
+)
+
+// newTracedServer builds a server with a retain-everything tracer and a
+// JSON access log, returning the test server and the log buffer.
+func newTracedServer(t *testing.T) (*httptest.Server, *strings.Builder, *sync.Mutex) {
+	t.Helper()
+	var buf strings.Builder
+	var mu sync.Mutex
+	logger := slog.New(telemetry.NewCorrelateHandler(
+		slog.NewJSONHandler(lockedWriter{&mu, &buf}, nil)))
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{
+		SampleRate:    1,
+		SlowThreshold: time.Hour, // retention must come from the head sampler
+		Capacity:      64,
+	})
+	srv := New(registry.New(registry.Config{}), Options{
+		Logger:    logger,
+		AccessLog: true,
+		Tracer:    tracer,
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, &buf, &mu
+}
+
+// traceDetail fetches and decodes GET /debug/traces/{id}.
+func traceDetail(t *testing.T, base, id string) telemetry.TraceData {
+	t.Helper()
+	code, body := do(t, "GET", base+"/debug/traces/"+id, "")
+	if code != 200 {
+		t.Fatalf("trace detail: %d %s", code, body)
+	}
+	var td telemetry.TraceData
+	if err := json.Unmarshal([]byte(body), &td); err != nil {
+		t.Fatalf("bad trace JSON: %v in %s", err, body)
+	}
+	return td
+}
+
+// TestTraceEndToEnd is the acceptance flow: a cast request arriving with a
+// known traceparent shows up on /debug/traces under that trace id, with
+// handler, registry and cast spans all carrying non-zero durations, and
+// the access-log record carries the same trace id.
+func TestTraceEndToEnd(t *testing.T) {
+	ts, buf, mu := newTracedServer(t)
+	registerFigSchemas(t, ts.URL)
+
+	req, err := http.NewRequest("POST", ts.URL+"/cast/v1/v2", strings.NewReader(poXML(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", knownTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("cast: %d", resp.StatusCode)
+	}
+	// The response injects our span context: same trace, fresh span id.
+	injected := resp.Header.Get("traceparent")
+	if !strings.HasPrefix(injected, "00-"+knownTraceID+"-") {
+		t.Fatalf("injected traceparent %q does not join the inbound trace", injected)
+	}
+	if strings.Contains(injected, "00f067aa0ba902b7") {
+		t.Fatalf("injected traceparent %q reused the remote span id", injected)
+	}
+
+	// The trace id shows up in the listing.
+	code, body := do(t, "GET", ts.URL+"/debug/traces", "")
+	if code != 200 || !strings.Contains(body, knownTraceID) {
+		t.Fatalf("listing (%d) missing trace id: %s", code, body)
+	}
+	var listing struct {
+		Enabled bool `json:"enabled"`
+		Stats   struct {
+			Retained uint64 `json:"retained"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if !listing.Enabled || listing.Stats.Retained == 0 {
+		t.Fatalf("listing header wrong: %s", body)
+	}
+
+	// The span tree: root http span parented to the remote span, registry
+	// lookup and cast spans beneath it, all with non-zero durations.
+	td := traceDetail(t, ts.URL, knownTraceID)
+	byName := map[string]telemetry.SpanData{}
+	for _, sd := range td.Spans {
+		byName[sd.Name] = sd
+	}
+	root, ok := byName["http cast"]
+	if !ok {
+		t.Fatalf("no http cast span in %v", names(td))
+	}
+	if root.ParentID != "00f067aa0ba902b7" {
+		t.Errorf("root parent = %q, want the remote span id", root.ParentID)
+	}
+	for _, name := range []string{"http cast", "registry.lookup", "cast.validate"} {
+		sd, ok := byName[name]
+		if !ok {
+			t.Fatalf("span %q missing from trace: %v", name, names(td))
+		}
+		if sd.TraceID != knownTraceID {
+			t.Errorf("%s trace id = %s", name, sd.TraceID)
+		}
+		if sd.DurationNS <= 0 {
+			t.Errorf("%s duration = %d, want > 0", name, sd.DurationNS)
+		}
+		if name != "http cast" && sd.ParentID != root.SpanID {
+			t.Errorf("%s parent = %q, want root %q", name, sd.ParentID, root.SpanID)
+		}
+	}
+	// First lookup pays the compile: outcome=miss with a compile cost.
+	if !hasAttr(byName["registry.lookup"], "outcome", "miss") {
+		t.Errorf("registry.lookup attrs = %v, want outcome=miss", byName["registry.lookup"].Attrs)
+	}
+	if !hasAttr(byName["cast.validate"], "verdict", "valid") {
+		t.Errorf("cast.validate attrs = %v, want verdict=valid", byName["cast.validate"].Attrs)
+	}
+
+	// The access record for the cast carries the same trace id.
+	mu.Lock()
+	logOut := buf.String()
+	mu.Unlock()
+	var castRecord map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(logOut), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		if rec["route"] == "cast" {
+			castRecord = rec
+		}
+	}
+	if castRecord == nil {
+		t.Fatalf("no cast access record in %s", logOut)
+	}
+	if castRecord["trace_id"] != knownTraceID {
+		t.Errorf("access record trace_id = %v, want %s", castRecord["trace_id"], knownTraceID)
+	}
+	if castRecord["span_id"] == "" || castRecord["span_id"] == nil {
+		t.Error("access record has no span_id")
+	}
+}
+
+func names(td telemetry.TraceData) []string {
+	var out []string
+	for _, sd := range td.Spans {
+		out = append(out, sd.Name)
+	}
+	return out
+}
+
+func hasAttr(sd telemetry.SpanData, key string, want any) bool {
+	for _, a := range sd.Attrs {
+		if a.Key == key && fmt.Sprint(a.Value) == fmt.Sprint(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTraceLookupOutcomes: the second identical cast resolves the pair
+// from cache, so its registry.lookup span reports outcome=hit.
+func TestTraceLookupOutcomes(t *testing.T) {
+	ts, _, _ := newTracedServer(t)
+	registerFigSchemas(t, ts.URL)
+	do(t, "POST", ts.URL+"/cast/v1/v2", poXML(true))
+	do(t, "POST", ts.URL+"/cast/v1/v2", poXML(true))
+
+	code, body := do(t, "GET", ts.URL+"/debug/traces", "")
+	if code != 200 {
+		t.Fatalf("listing: %d", code)
+	}
+	var listing struct {
+		Traces []struct {
+			TraceID string `json:"traceId"`
+			Name    string `json:"name"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	// Newest first: listing[0] is the second cast.
+	var castIDs []string
+	for _, tr := range listing.Traces {
+		if tr.Name == "http cast" {
+			castIDs = append(castIDs, tr.TraceID)
+		}
+	}
+	if len(castIDs) != 2 {
+		t.Fatalf("want 2 cast traces, got %v", listing.Traces)
+	}
+	second := traceDetail(t, ts.URL, castIDs[0])
+	first := traceDetail(t, ts.URL, castIDs[1])
+	outcome := func(td telemetry.TraceData) string {
+		for _, sd := range td.Spans {
+			if sd.Name == "registry.lookup" {
+				for _, a := range sd.Attrs {
+					if a.Key == "outcome" {
+						return fmt.Sprint(a.Value)
+					}
+				}
+			}
+		}
+		return ""
+	}
+	if got := outcome(first); got != registry.LookupMiss {
+		t.Errorf("first cast lookup outcome = %q, want miss", got)
+	}
+	if got := outcome(second); got != registry.LookupHit {
+		t.Errorf("second cast lookup outcome = %q, want hit", got)
+	}
+}
+
+// TestExplainSpanEvents: ?explain=1 bridges decision-trace events onto the
+// cast span.
+func TestExplainSpanEvents(t *testing.T) {
+	ts, _, _ := newTracedServer(t)
+	registerFigSchemas(t, ts.URL)
+	code, _ := do(t, "POST", ts.URL+"/cast/v1/v2?explain=1", poXML(true))
+	if code != 200 {
+		t.Fatalf("explained cast: %d", code)
+	}
+	// Plain casts carry no events.
+	code, _ = do(t, "POST", ts.URL+"/cast/v1/v2", poXML(true))
+	if code != 200 {
+		t.Fatalf("plain cast: %d", code)
+	}
+
+	code, body := do(t, "GET", ts.URL+"/debug/traces", "")
+	if code != 200 {
+		t.Fatal("listing failed")
+	}
+	var listing struct {
+		Traces []struct {
+			TraceID string `json:"traceId"`
+			Name    string `json:"name"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	var castIDs []string
+	for _, tr := range listing.Traces {
+		if tr.Name == "http cast" {
+			castIDs = append(castIDs, tr.TraceID)
+		}
+	}
+	if len(castIDs) != 2 {
+		t.Fatalf("want 2 cast traces, got %v", listing.Traces)
+	}
+	events := func(td telemetry.TraceData) []telemetry.SpanEvent {
+		for _, sd := range td.Spans {
+			if sd.Name == "cast.validate" {
+				return sd.Events
+			}
+		}
+		t.Fatalf("no cast.validate span: %v", names(td))
+		return nil
+	}
+	explained := traceDetail(t, ts.URL, castIDs[1]) // older = explain request
+	plain := traceDetail(t, ts.URL, castIDs[0])
+	evs := events(explained)
+	if len(evs) == 0 {
+		t.Fatal("explain=1 cast span has no decision events")
+	}
+	sawSkip := false
+	for _, ev := range evs {
+		if ev.Name == "skip" {
+			sawSkip = true
+		}
+	}
+	if !sawSkip {
+		t.Errorf("no skip event among %v", evs)
+	}
+	if got := events(plain); len(got) != 0 {
+		t.Errorf("plain cast span has %d events, want 0 (explain is opt-in)", len(got))
+	}
+}
+
+// TestTraceHTMLViews: the ?format=html list and waterfall render.
+func TestTraceHTMLViews(t *testing.T) {
+	ts, _, _ := newTracedServer(t)
+	registerFigSchemas(t, ts.URL)
+	do(t, "POST", ts.URL+"/cast/v1/v2", poXML(true))
+
+	resp, err := http.Get(ts.URL + "/debug/traces?format=html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("list view: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+
+	code, body := do(t, "GET", ts.URL+"/debug/traces", "")
+	if code != 200 {
+		t.Fatal("listing failed")
+	}
+	var listing struct {
+		Traces []struct {
+			TraceID string `json:"traceId"`
+			Name    string `json:"name"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	var id string
+	for _, tr := range listing.Traces {
+		if tr.Name == "http cast" {
+			id = tr.TraceID
+		}
+	}
+	if id == "" {
+		t.Fatal("no cast trace retained")
+	}
+	code, html := do(t, "GET", ts.URL+"/debug/traces/"+id+"?format=html", "")
+	if code != 200 {
+		t.Fatalf("waterfall: %d", code)
+	}
+	for _, want := range []string{"http cast", "registry.lookup", "cast.validate", id} {
+		if !strings.Contains(html, want) {
+			t.Errorf("waterfall missing %q", want)
+		}
+	}
+
+	if code, _ := do(t, "GET", ts.URL+"/debug/traces/ffffffffffffffffffffffffffffffff", ""); code != 404 {
+		t.Errorf("unknown trace id: %d, want 404", code)
+	}
+}
+
+// TestTracerDisabled: without a tracer the middleware injects nothing and
+// /debug/traces reports disabled with an empty list.
+func TestTracerDisabled(t *testing.T) {
+	ts := newTestServer(t, registry.Config{})
+	registerFigSchemas(t, ts.URL)
+
+	req, err := http.NewRequest("POST", ts.URL+"/cast/v1/v2", strings.NewReader(poXML(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", knownTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("cast: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("traceparent"); got != "" {
+		t.Errorf("disabled tracer injected traceparent %q", got)
+	}
+
+	code, body := do(t, "GET", ts.URL+"/debug/traces", "")
+	if code != 200 {
+		t.Fatalf("listing: %d", code)
+	}
+	var listing struct {
+		Enabled bool           `json:"enabled"`
+		Traces  []traceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Enabled || len(listing.Traces) != 0 {
+		t.Fatalf("disabled listing = %s", body)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/debug/traces/"+knownTraceID, ""); code != 404 {
+		t.Errorf("disabled detail: %d, want 404", code)
+	}
+}
+
+// TestBuildInfoMetrics: the build-identity and uptime families are present
+// on /metrics alongside the tail-sampler counters.
+func TestBuildInfoMetrics(t *testing.T) {
+	ts, _, _ := newTracedServer(t)
+	code, body := do(t, "GET", ts.URL+"/metrics", "")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"castd_build_info{",
+		"go_version=",
+		"castd_uptime_seconds",
+		"castd_traces_started_total",
+		"castd_traces_retained_total",
+		"castd_traces_dropped_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

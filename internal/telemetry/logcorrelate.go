@@ -1,0 +1,52 @@
+package telemetry
+
+// Log/trace correlation: every slog record emitted while a span is active
+// carries that span's trace_id and span_id, so an operator can pivot from
+// a log line to the request's waterfall on /debug/traces and back. The
+// contract is context-based — handlers log with the request context, the
+// middleware has already planted the span there — which keeps call sites
+// free of explicit id plumbing.
+
+import (
+	"context"
+	"log/slog"
+)
+
+// CorrelateHandler is a slog.Handler wrapper that appends trace_id and
+// span_id attributes to any record whose context carries a span. Records
+// logged outside a request pass through untouched.
+type CorrelateHandler struct {
+	inner slog.Handler
+}
+
+// NewCorrelateHandler wraps inner with span correlation.
+func NewCorrelateHandler(inner slog.Handler) *CorrelateHandler {
+	return &CorrelateHandler{inner: inner}
+}
+
+// Enabled implements slog.Handler.
+func (h *CorrelateHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler.
+func (h *CorrelateHandler) Handle(ctx context.Context, r slog.Record) error {
+	if s := SpanFromContext(ctx); s != nil {
+		sc := s.Context()
+		r.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *CorrelateHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &CorrelateHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *CorrelateHandler) WithGroup(name string) slog.Handler {
+	return &CorrelateHandler{inner: h.inner.WithGroup(name)}
+}

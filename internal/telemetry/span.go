@@ -1,0 +1,494 @@
+package telemetry
+
+// Span tracing is the third leg of the telemetry layer: metrics say how
+// much work the casters saved in aggregate, decision traces say which
+// decisions saved it inside one validation, and spans say where one
+// request's wall-clock time went — parse vs. registry lookup (or a
+// singleflight compile another request is paying for) vs. the cast itself.
+//
+// The design follows the same discipline as the metrics core: stdlib only,
+// no lock on any per-element path. Spans are created a handful of times
+// per request (handler, registry, cast), never per element; a nil *Tracer
+// or nil *Span turns every operation into a nil check, so a daemon started
+// with sampling off pays nothing but those checks.
+//
+// Sampling is tail-based: every request of an enabled tracer records its
+// spans, and the keep/drop decision is made when the root span ends, so
+// slow requests and error requests are always retained however low the
+// head probability — exactly the requests an operator goes looking for.
+// Retained traces land in a fixed-size ring buffer served by
+// GET /debug/traces; the ring mutex is held for a pointer swap once per
+// retained request.
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C trace-context trace id: 16 bytes, rendered as 32 hex
+// digits. The zero value is invalid (per spec) and means "no trace".
+type TraceID [16]byte
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// SpanID is a W3C trace-context span id: 8 bytes, 16 hex digits.
+type SpanID [8]byte
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// SpanContext is the propagatable identity of a span: what travels in a
+// traceparent header and what a child or a link refers to.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled carries the inbound trace-flags sampled bit. It is
+	// propagated on outbound headers but does not override the local
+	// tail-sampling decision (a remote head-sampler cannot know which of
+	// our requests will turn out slow).
+	Sampled bool
+}
+
+// IsValid reports whether both ids are non-zero.
+func (sc SpanContext) IsValid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Attr is one span attribute. Values are kept as any and marshalled by
+// encoding/json at export time; use strings, integers, floats or bools.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanEvent is a point-in-time annotation inside a span (the bridge from
+// decision-trace events: one skip/reject decision becomes one event).
+type SpanEvent struct {
+	Name  string    `json:"name"`
+	Time  time.Time `json:"time"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// Span is one timed operation inside a request. A Span is single-goroutine
+// state, like a Stats struct: the goroutine that Started it mutates it and
+// Ends it. All methods are safe on a nil receiver (no-ops), so callers
+// thread optional spans without branching.
+type Span struct {
+	req    *requestTrace
+	ctx    SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	end    time.Time
+	attrs  []Attr
+	events []SpanEvent
+	links  []SpanContext
+	errMsg string
+	root   bool
+}
+
+// Context returns the span's propagatable identity (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// SetAttr attaches one key/value attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// AddEvent appends a point-in-time event stamped with the tracer clock.
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, SpanEvent{Name: name, Time: s.req.tracer.clock(), Attrs: attrs})
+}
+
+// AddLink records a causal link to another span context — e.g. a registry
+// lookup that coalesced onto a compile another request is running links to
+// that request's span instead of pretending it did the work itself.
+func (s *Span) AddLink(sc SpanContext) {
+	if s == nil || !sc.IsValid() {
+		return
+	}
+	s.links = append(s.links, sc)
+}
+
+// SetError marks the span failed. Error traces are always retained by the
+// tail sampler.
+func (s *Span) SetError(msg string) {
+	if s == nil {
+		return
+	}
+	s.errMsg = msg
+}
+
+// StartChild opens a child span under s, in the same request.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.req.startSpan(name, s.ctx.SpanID)
+}
+
+// End stamps the span's end time. Ending the root span finalizes the
+// request: the tail sampler decides keep/drop and a kept trace is
+// published to the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.end = s.req.tracer.clock()
+	if s.root {
+		s.req.tracer.finish(s.req, s)
+	}
+}
+
+// requestTrace collects the spans of one request. Span creation takes its
+// mutex — a few times per request, never per element — because batch
+// handlers may open child spans from pooled workers.
+type requestTrace struct {
+	tracer  *Tracer
+	traceID TraceID
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+func (rt *requestTrace) startSpan(name string, parent SpanID) *Span {
+	s := &Span{
+		req:    rt,
+		ctx:    SpanContext{TraceID: rt.traceID, SpanID: rt.tracer.newSpanID(), Sampled: true},
+		parent: parent,
+		name:   name,
+		start:  rt.tracer.clock(),
+	}
+	rt.mu.Lock()
+	rt.spans = append(rt.spans, s)
+	rt.mu.Unlock()
+	return s
+}
+
+// SpanData is the exported, JSON-ready form of one finished span.
+type SpanData struct {
+	TraceID    string      `json:"traceId"`
+	SpanID     string      `json:"spanId"`
+	ParentID   string      `json:"parentId,omitempty"`
+	Name       string      `json:"name"`
+	Start      time.Time   `json:"start"`
+	DurationNS int64       `json:"durationNs"`
+	Attrs      []Attr      `json:"attrs,omitempty"`
+	Events     []SpanEvent `json:"events,omitempty"`
+	// Links name other spans as "traceid:spanid" pairs.
+	Links []string `json:"links,omitempty"`
+	Error string   `json:"error,omitempty"`
+}
+
+// TraceData is one retained trace: the root summary plus every span.
+type TraceData struct {
+	TraceID    string     `json:"traceId"`
+	Name       string     `json:"name"`
+	Start      time.Time  `json:"start"`
+	DurationNS int64      `json:"durationNs"`
+	Error      string     `json:"error,omitempty"`
+	Reason     string     `json:"reason"` // why the tail sampler kept it
+	Spans      []SpanData `json:"spans"`
+}
+
+// Retention reasons reported in TraceData.Reason.
+const (
+	ReasonSampled = "sampled" // head probability
+	ReasonSlow    = "slow"    // root duration >= SlowThreshold
+	ReasonError   = "error"   // a span recorded an error
+)
+
+// TracerOptions configure a Tracer.
+type TracerOptions struct {
+	// SampleRate is the head probability in [0, 1] of retaining a trace
+	// that is neither slow nor failed. Slow and error traces are always
+	// retained. A rate of 1 retains everything (the ring still bounds
+	// memory).
+	SampleRate float64
+	// SlowThreshold marks a trace slow when its root span lasts at least
+	// this long; 0 means DefaultSlowThreshold.
+	SlowThreshold time.Duration
+	// Capacity bounds the ring of retained traces; 0 means
+	// DefaultTraceCapacity.
+	Capacity int
+
+	// clock and randFloat are test seams.
+	clock     func() time.Time
+	randFloat func() float64
+}
+
+// DefaultSlowThreshold is the slow-trace cutoff when none is configured.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// DefaultTraceCapacity is the retained-trace ring size when none is
+// configured.
+const DefaultTraceCapacity = 256
+
+// TracerStats counts the tail sampler's decisions.
+type TracerStats struct {
+	Started  uint64 `json:"started"`
+	Retained uint64 `json:"retained"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// Tracer owns the id generator, the tail sampler and the retained-trace
+// ring. A nil *Tracer is a disabled tracer: StartRequest returns a nil
+// span and every downstream operation no-ops.
+type Tracer struct {
+	sampleRate float64
+	slow       time.Duration
+	clock      func() time.Time
+	randFloat  func() float64
+
+	started, retained, dropped atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*TraceData // capacity-bounded; next points at the oldest slot
+	next int
+	full bool
+}
+
+// NewTracer builds a tracer. A SampleRate <= 0 returns nil — the disabled
+// tracer — because with tail retention also off there is nothing a
+// recording tracer could ever publish.
+func NewTracer(opts TracerOptions) *Tracer {
+	if opts.SampleRate <= 0 {
+		return nil
+	}
+	if opts.SampleRate > 1 {
+		opts.SampleRate = 1
+	}
+	t := &Tracer{
+		sampleRate: opts.SampleRate,
+		slow:       opts.SlowThreshold,
+		clock:      opts.clock,
+		randFloat:  opts.randFloat,
+	}
+	if t.slow <= 0 {
+		t.slow = DefaultSlowThreshold
+	}
+	if t.clock == nil {
+		t.clock = time.Now
+	}
+	if t.randFloat == nil {
+		t.randFloat = rand.Float64
+	}
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t.ring = make([]*TraceData, 0, capacity)
+	return t
+}
+
+// newTraceID draws a non-zero random trace id. rand/v2's global generator
+// is goroutine-sharded, so this takes no lock.
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		hi, lo := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(hi >> (8 * i))
+			id[8+i] = byte(lo >> (8 * i))
+		}
+	}
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		v := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(v >> (8 * i))
+		}
+	}
+	return id
+}
+
+// StartRequest opens the root span of a new request. A valid parent
+// context (from an inbound traceparent header) joins its trace and becomes
+// the root span's parent; otherwise a fresh trace id is drawn. Returns nil
+// on a nil tracer.
+func (t *Tracer) StartRequest(name string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	rt := &requestTrace{tracer: t}
+	var parentSpan SpanID
+	if parent.IsValid() {
+		rt.traceID = parent.TraceID
+		parentSpan = parent.SpanID
+	} else {
+		rt.traceID = t.newTraceID()
+	}
+	s := rt.startSpan(name, parentSpan)
+	s.root = true
+	return s
+}
+
+// finish runs the tail sampler on a completed request and publishes kept
+// traces to the ring.
+func (t *Tracer) finish(rt *requestTrace, root *Span) {
+	rt.mu.Lock()
+	spans := rt.spans
+	rt.mu.Unlock()
+
+	reason := ""
+	switch {
+	case hasError(spans):
+		reason = ReasonError
+	case root.end.Sub(root.start) >= t.slow:
+		reason = ReasonSlow
+	case t.randFloat() < t.sampleRate:
+		reason = ReasonSampled
+	default:
+		t.dropped.Add(1)
+		return
+	}
+	t.retained.Add(1)
+
+	td := &TraceData{
+		TraceID:    rt.traceID.String(),
+		Name:       root.name,
+		Start:      root.start,
+		DurationNS: root.end.Sub(root.start).Nanoseconds(),
+		Error:      root.errMsg,
+		Reason:     reason,
+		Spans:      make([]SpanData, 0, len(spans)),
+	}
+	for _, s := range spans {
+		end := s.end
+		if end.IsZero() {
+			// A span left open when the request finished (a handler bug,
+			// not a reason to lose the trace): clamp to the root's end.
+			end = root.end
+		}
+		sd := SpanData{
+			TraceID:    s.ctx.TraceID.String(),
+			SpanID:     s.ctx.SpanID.String(),
+			Name:       s.name,
+			Start:      s.start,
+			DurationNS: end.Sub(s.start).Nanoseconds(),
+			Attrs:      s.attrs,
+			Events:     s.events,
+			Error:      s.errMsg,
+		}
+		if !s.parent.IsZero() {
+			sd.ParentID = s.parent.String()
+		}
+		for _, l := range s.links {
+			sd.Links = append(sd.Links, l.TraceID.String()+":"+l.SpanID.String())
+		}
+		td.Spans = append(td.Spans, sd)
+	}
+
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, td)
+	} else {
+		t.ring[t.next] = td
+		t.next = (t.next + 1) % cap(t.ring)
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+func hasError(spans []*Span) bool {
+	for _, s := range spans {
+		if s.errMsg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Traces snapshots the retained traces, newest first. Nil-safe.
+func (t *Tracer) Traces() []*TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*TraceData, 0, len(t.ring))
+	// The ring is ordered oldest → newest starting at next (when full) or
+	// at 0 (while filling); walk it backwards.
+	n := len(t.ring)
+	for i := 0; i < n; i++ {
+		idx := (t.next - 1 - i + n) % n
+		if !t.full {
+			idx = n - 1 - i
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Trace returns the retained trace with the given hex id. Nil-safe.
+func (t *Tracer) Trace(traceID string) (*TraceData, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		if t.ring[i].TraceID == traceID {
+			return t.ring[i], true
+		}
+	}
+	return nil, false
+}
+
+// Stats snapshots the sampler counters. Nil-safe.
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	return TracerStats{
+		Started:  t.started.Load(),
+		Retained: t.retained.Load(),
+		Dropped:  t.dropped.Load(),
+	}
+}
+
+// spanCtxKey carries the active *Span through a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying the span. A nil span returns ctx
+// unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,309 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic sampler tests.
+type fakeClock struct{ now time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// testTracer builds a tracer with a deterministic clock and head sampler.
+func testTracer(rate float64, slow time.Duration, capacity int, clk *fakeClock, roll float64) *Tracer {
+	return NewTracer(TracerOptions{
+		SampleRate:    rate,
+		SlowThreshold: slow,
+		Capacity:      capacity,
+		clock:         clk.Now,
+		randFloat:     func() float64 { return roll },
+	})
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	const header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	sc, ok := ParseTraceparent(header)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) not ok", header)
+	}
+	if got := sc.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", got)
+	}
+	if got := sc.SpanID.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("span id = %s", got)
+	}
+	if !sc.Sampled {
+		t.Error("sampled flag not decoded")
+	}
+	if got := FormatTraceparent(sc); got != header {
+		t.Errorf("round trip = %q, want %q", got, header)
+	}
+
+	// Propagation: a request started with this parent joins its trace and
+	// the injected header carries the same trace id with a fresh span id.
+	clk := newFakeClock()
+	tr := testTracer(1, time.Second, 8, clk, 0)
+	span := tr.StartRequest("http cast", sc)
+	out := span.Context()
+	if out.TraceID != sc.TraceID {
+		t.Errorf("child trace id = %s, want inherited %s", out.TraceID, sc.TraceID)
+	}
+	if out.SpanID == sc.SpanID || out.SpanID.IsZero() {
+		t.Errorf("child span id = %s, want fresh non-zero", out.SpanID)
+	}
+	reinjected := FormatTraceparent(out)
+	if !strings.HasPrefix(reinjected, "00-4bf92f3577b34da6a3ce929d0e0e4736-") {
+		t.Errorf("injected header %q lost the trace id", reinjected)
+	}
+	span.End()
+	td, ok := tr.Trace("4bf92f3577b34da6a3ce929d0e0e4736")
+	if !ok {
+		t.Fatal("joined trace not retained")
+	}
+	// The remote parent id is preserved on the root span.
+	if td.Spans[0].ParentID != "00f067aa0ba902b7" {
+		t.Errorf("root parent = %q, want remote parent", td.Spans[0].ParentID)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-header",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // 3 fields
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // version 00 with 5 fields
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // forbidden version
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // non-hex version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero parent id
+		"00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",    // short trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b-01",    // short parent id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-1",    // short flags
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",   // non-hex trace id
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+	// A malformed header must fall back to a fresh trace id, not zero.
+	clk := newFakeClock()
+	tr := testTracer(1, time.Second, 8, clk, 0)
+	sc, _ := ParseTraceparent("garbage")
+	span := tr.StartRequest("http cast", sc)
+	if span.Context().TraceID.IsZero() {
+		t.Error("fresh trace id not drawn after malformed header")
+	}
+	if td := span.Context().TraceID.String(); strings.Contains("garbage", td) {
+		t.Error("trace id should be random")
+	}
+	span.End()
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Per spec, a future version with extra fields still parses as 00.
+	sc, ok := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	if !ok || sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("future version rejected: ok=%v sc=%+v", ok, sc)
+	}
+}
+
+func TestTailSamplerDeterminism(t *testing.T) {
+	const slow = 100 * time.Millisecond
+	cases := []struct {
+		name   string
+		roll   float64 // head-sampler draw (< rate keeps)
+		dur    time.Duration
+		fail   bool
+		reason string // "" = dropped
+	}{
+		{"fast-unlucky-dropped", 0.99, time.Millisecond, false, ""},
+		{"fast-lucky-sampled", 0.001, time.Millisecond, false, ReasonSampled},
+		{"slow-always-kept", 0.99, slow, false, ReasonSlow},
+		{"error-always-kept", 0.99, time.Millisecond, true, ReasonError},
+		{"error-beats-slow", 0.99, slow * 2, true, ReasonError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			tr := testTracer(0.01, slow, 8, clk, tc.roll)
+			span := tr.StartRequest("req", SpanContext{})
+			clk.Advance(tc.dur)
+			if tc.fail {
+				span.SetError("boom")
+			}
+			span.End()
+			st := tr.Stats()
+			if tc.reason == "" {
+				if st.Retained != 0 || st.Dropped != 1 {
+					t.Fatalf("stats = %+v, want dropped", st)
+				}
+				return
+			}
+			if st.Retained != 1 || st.Dropped != 0 {
+				t.Fatalf("stats = %+v, want retained", st)
+			}
+			traces := tr.Traces()
+			if len(traces) != 1 {
+				t.Fatalf("%d traces retained", len(traces))
+			}
+			if traces[0].Reason != tc.reason {
+				t.Errorf("reason = %q, want %q", traces[0].Reason, tc.reason)
+			}
+			if traces[0].DurationNS != tc.dur.Nanoseconds() {
+				t.Errorf("duration = %d, want %d", traces[0].DurationNS, tc.dur.Nanoseconds())
+			}
+		})
+	}
+}
+
+func TestRingNewestFirstAndEviction(t *testing.T) {
+	clk := newFakeClock()
+	tr := testTracer(1, time.Hour, 3, clk, 0)
+	for i := 0; i < 5; i++ {
+		span := tr.StartRequest(fmt.Sprintf("req-%d", i), SpanContext{})
+		clk.Advance(time.Millisecond)
+		span.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("%d retained, want ring capacity 3", len(traces))
+	}
+	// Newest first: req-4, req-3, req-2; req-0 and req-1 were evicted.
+	for i, want := range []string{"req-4", "req-3", "req-2"} {
+		if traces[i].Name != want {
+			t.Errorf("traces[%d] = %s, want %s", i, traces[i].Name, want)
+		}
+	}
+	if st := tr.Stats(); st.Started != 5 || st.Retained != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSpanTreeAndEvents(t *testing.T) {
+	clk := newFakeClock()
+	tr := testTracer(1, time.Hour, 4, clk, 0)
+	root := tr.StartRequest("http cast", SpanContext{})
+	clk.Advance(time.Millisecond)
+	child := root.StartChild("registry.lookup")
+	child.SetAttr("outcome", "hit")
+	other := SpanContext{TraceID: TraceID{1}, SpanID: SpanID{2}}
+	child.AddLink(other)
+	child.AddLink(SpanContext{}) // invalid link ignored
+	clk.Advance(2 * time.Millisecond)
+	child.End()
+	leaf := root.StartChild("cast.validate")
+	leaf.AddEvent("skip", Attr{Key: "path", Value: "/order/items"})
+	clk.Advance(time.Millisecond)
+	// leaf deliberately left open: finish must clamp it to the root end.
+	root.End()
+
+	td, ok := tr.Trace(root.Context().TraceID.String())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("%d spans, want 3", len(td.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sd := range td.Spans {
+		byName[sd.Name] = sd
+	}
+	rootID := byName["http cast"].SpanID
+	if byName["registry.lookup"].ParentID != rootID {
+		t.Error("child not parented to root")
+	}
+	if byName["registry.lookup"].DurationNS != (2 * time.Millisecond).Nanoseconds() {
+		t.Errorf("child duration = %d", byName["registry.lookup"].DurationNS)
+	}
+	wantLink := other.TraceID.String() + ":" + other.SpanID.String()
+	if links := byName["registry.lookup"].Links; len(links) != 1 || links[0] != wantLink {
+		t.Errorf("links = %v, want [%s]", links, wantLink)
+	}
+	if evs := byName["cast.validate"].Events; len(evs) != 1 || evs[0].Name != "skip" {
+		t.Errorf("events = %v", evs)
+	}
+	// Open child clamped to root end: started 3ms in, root ended at 4ms.
+	if byName["cast.validate"].DurationNS != time.Millisecond.Nanoseconds() {
+		t.Errorf("open span duration = %d, want clamp to root end", byName["cast.validate"].DurationNS)
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	if tr := NewTracer(TracerOptions{SampleRate: 0}); tr != nil {
+		t.Fatal("SampleRate 0 should disable the tracer")
+	}
+	var tr *Tracer
+	span := tr.StartRequest("req", SpanContext{})
+	if span != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// Every operation must be a safe no-op on the nil span.
+	span.SetAttr("k", 1)
+	span.AddEvent("e")
+	span.AddLink(SpanContext{TraceID: TraceID{1}, SpanID: SpanID{1}})
+	span.SetError("x")
+	if c := span.StartChild("child"); c != nil {
+		t.Fatal("nil span returned a child")
+	}
+	span.End()
+	if sc := span.Context(); sc.IsValid() {
+		t.Error("nil span context should be invalid")
+	}
+	if got := tr.Traces(); got != nil {
+		t.Errorf("nil tracer Traces = %v", got)
+	}
+	if _, ok := tr.Trace("x"); ok {
+		t.Error("nil tracer Trace found something")
+	}
+	if st := tr.Stats(); st != (TracerStats{}) {
+		t.Errorf("nil tracer stats = %+v", st)
+	}
+	ctx := ContextWithSpan(context.Background(), nil)
+	if SpanFromContext(ctx) != nil {
+		t.Error("nil span stored in context")
+	}
+	if SpanFromContext(nil) != nil {
+		t.Error("nil context should yield nil span")
+	}
+}
+
+func TestCorrelateHandlerStampsIDs(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewCorrelateHandler(slog.NewJSONHandler(&buf, nil)))
+
+	clk := newFakeClock()
+	tr := testTracer(1, time.Hour, 4, clk, 0)
+	span := tr.StartRequest("req", SpanContext{})
+	ctx := ContextWithSpan(context.Background(), span)
+	logger.InfoContext(ctx, "inside request")
+	logger.Info("outside request")
+	span.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d log lines", len(lines))
+	}
+	var inside map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &inside); err != nil {
+		t.Fatal(err)
+	}
+	sc := span.Context()
+	if inside["trace_id"] != sc.TraceID.String() || inside["span_id"] != sc.SpanID.String() {
+		t.Errorf("correlated record = %v, want trace_id=%s span_id=%s", inside, sc.TraceID, sc.SpanID)
+	}
+	if strings.Contains(lines[1], "trace_id") {
+		t.Errorf("record outside a request got correlation attrs: %s", lines[1])
+	}
+}

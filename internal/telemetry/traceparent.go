@@ -1,0 +1,70 @@
+package telemetry
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) traceparent
+// header codec. Only the traceparent field is implemented — tracestate is
+// vendor baggage the daemon neither reads nor owes anyone — and only the
+// parts castd needs: extract an inbound (trace-id, parent-id, sampled)
+// triple, inject the local span context on responses.
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// sampledFlag is the only trace-flags bit the spec defines.
+const sampledFlag = 0x01
+
+// ParseTraceparent decodes a traceparent header value. It returns ok=false
+// on anything malformed — wrong field count or width, non-hex digits, the
+// forbidden version ff, an all-zero trace or parent id — in which case the
+// caller starts a fresh trace instead of propagating garbage. Per spec,
+// versions other than 00 are accepted as long as the 00-format prefix
+// parses (fields beyond the fourth are ignored then).
+func ParseTraceparent(header string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(header), "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	version, traceID, parentID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || len(traceID) != 32 || len(parentID) != 16 || len(flags) != 2 {
+		return SpanContext{}, false
+	}
+	vb, err := hex.DecodeString(version)
+	if err != nil || vb[0] == 0xff {
+		return SpanContext{}, false
+	}
+	if vb[0] == 0 && len(parts) != 4 {
+		// Version 00 defines exactly four fields.
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	tb, err := hex.DecodeString(traceID)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	copy(sc.TraceID[:], tb)
+	pb, err := hex.DecodeString(parentID)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	copy(sc.SpanID[:], pb)
+	fb, err := hex.DecodeString(flags)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sc.Sampled = fb[0]&sampledFlag != 0
+	if !sc.IsValid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// FormatTraceparent renders a span context as a version-00 traceparent
+// value, suitable for response headers and outbound requests.
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}

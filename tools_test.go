@@ -181,13 +181,22 @@ func TestCastdSmoke(t *testing.T) {
 	}
 	defer cmd.Process.Kill()
 
-	// The daemon logs its resolved address once the listener is up.
+	// The daemon logs its resolved address (a structured slog record with
+	// an addr attribute) once the listener is up.
 	var base string
 	sc := bufio.NewScanner(stderr)
 	for sc.Scan() {
 		line := sc.Text()
-		if i := strings.Index(line, "listening on "); i >= 0 {
-			base = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+		if !strings.Contains(line, "castd: listening") {
+			continue
+		}
+		for _, field := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(field, "addr="); ok {
+				base = "http://" + v
+				break
+			}
+		}
+		if base != "" {
 			break
 		}
 	}
