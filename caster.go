@@ -1,6 +1,8 @@
 package revalidate
 
 import (
+	"context"
+
 	"repro/internal/baseline"
 	"repro/internal/cast"
 	"repro/internal/telemetry"
@@ -170,6 +172,16 @@ func (c *Caster) Validate(doc *Document) error {
 	return err
 }
 
+// ValidateContext is ValidateStats with cooperative cancellation: the walk
+// polls ctx.Done() with amortized checks (every few hundred elements), so
+// a canceled or deadline-expired validation returns promptly with an error
+// wrapping the context's cause while the hot path stays lock-free. Use it
+// wherever a validation serves a request with a deadline.
+func (c *Caster) ValidateContext(ctx context.Context, doc *Document) (Stats, error) {
+	cs, err := c.engine.ValidateContext(ctx, doc.root)
+	return fromCastStats(cs), err
+}
+
 // ValidateStats is Validate with work statistics.
 func (c *Caster) ValidateStats(doc *Document) (Stats, error) {
 	cs, err := c.engine.Validate(doc.root)
@@ -195,10 +207,20 @@ func (c *Caster) ValidateTraced(doc *Document) (Stats, []TraceEvent, error) {
 // document (nil when valid), and the Stats are the batch totals, merged
 // from per-worker counters with atomic adds.
 func (c *Caster) ValidateAll(docs []*Document, workers int) ([]error, Stats) {
+	return c.ValidateAllContext(context.Background(), docs, workers)
+}
+
+// ValidateAllContext is ValidateAll with fault containment and cooperative
+// cancellation: each document's validation runs under a per-slot panic
+// guard (a panicking validation yields a *PanicError verdict for its own
+// slot, never crashes the pool), workers poll ctx between documents, and a
+// canceled batch marks every unclaimed slot with the context's cause.
+func (c *Caster) ValidateAllContext(ctx context.Context, docs []*Document, workers int) ([]error, Stats) {
 	if len(docs) == 0 {
 		return nil, Stats{}
 	}
 	errs := make([]error, len(docs))
+	done := ctx.Done()
 	var total Stats
 	runWorkers(len(docs), workers, func(claim func() (int, bool)) {
 		var local Stats
@@ -207,7 +229,13 @@ func (c *Caster) ValidateAll(docs []*Document, workers int) ([]error, Stats) {
 			if !ok {
 				break
 			}
-			cs, err := c.engine.Validate(docs[i].root)
+			if done != nil && ctx.Err() != nil {
+				errs[i] = context.Cause(ctx)
+				continue
+			}
+			cs, err := guardValidate(func() (cast.Stats, error) {
+				return c.engine.ValidateContext(ctx, docs[i].root)
+			})
 			errs[i] = err
 			local.Add(fromCastStats(cs))
 		}

@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -64,6 +65,12 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 1, "head sampling probability for request traces in [0,1]; 0 disables tracing")
 		traceSlow    = flag.Duration("trace-slow", telemetry.DefaultSlowThreshold, "requests at least this slow are always retained by the tail sampler")
 		traceBuffer  = flag.Int("trace-buffer", telemetry.DefaultTraceCapacity, "retained-trace ring capacity for /debug/traces")
+		castTimeout  = flag.Duration("cast-timeout", 30*time.Second, "per-request deadline for cast and batch validations; stalled reads and long casts fail with 408 (0 = no deadline)")
+		maxDocBytes  = flag.Int64("max-doc-bytes", 64<<20, "max bytes per document; larger casts fail with 413, larger batch entries fail their slot (0 = unlimited)")
+		maxDepth     = flag.Int("max-depth", 1024, "max open-element depth per document; deeper documents fail with 422 (0 = unlimited)")
+		maxElements  = flag.Int64("max-elements", 10_000_000, "max elements per document, visited plus skimmed; larger documents fail with 422 (0 = unlimited)")
+		maxInFlight  = flag.Int("max-in-flight", 256, "max concurrently admitted work requests; excess requests are shed with 429 + Retry-After (0 = unlimited)")
+		faultSpec    = flag.String("fault-inject", "", "arm fault injection for chaos testing, e.g. \"compile-panic,read-delay=50ms\" (never use in production)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: castd [flags]\n")
@@ -101,11 +108,26 @@ func main() {
 		MaxBytes:   *cacheBytes,
 		Logger:     logger,
 	})
+	if *faultSpec != "" {
+		cfg, err := faultinject.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "castd: -fault-inject: %v\n", err)
+			os.Exit(2)
+		}
+		faultinject.Enable(cfg)
+		logger.Warn("castd: fault injection armed — this build will fail on purpose",
+			"spec", *faultSpec)
+	}
 	srv := server.New(reg, server.Options{
-		Workers:   *workers,
-		Logger:    logger,
-		AccessLog: *accessLog,
-		Tracer:    tracer,
+		Workers:     *workers,
+		Logger:      logger,
+		AccessLog:   *accessLog,
+		Tracer:      tracer,
+		CastTimeout: *castTimeout,
+		MaxDocBytes: *maxDocBytes,
+		MaxDepth:    *maxDepth,
+		MaxElements: *maxElements,
+		MaxInFlight: *maxInFlight,
 	})
 	var handler http.Handler = srv
 	if *pprofOn {

@@ -62,7 +62,7 @@ func (e *Engine) castValidateMod(τ, τp schema.TypeID, node *xmltree.Node, trie
 	st.noteDepth(depth)
 	// Case 1: untouched subtree — the no-modifications cast applies.
 	if !trie.Modified() && node.Delta == xmltree.DeltaNone {
-		return e.castValidate(τ, τp, node, st, depth, nil)
+		return e.castValidate(τ, τp, node, st, depth, nil, nil)
 	}
 	tD := e.Dst.TypeOf(τp)
 	if tD.Simple {

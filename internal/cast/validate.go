@@ -1,6 +1,7 @@
 package cast
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -11,6 +12,48 @@ import (
 	"repro/internal/xmltree"
 )
 
+// cancelCheckEvery amortizes cancellation polls: a context-aware walk
+// checks ctx.Done() once per this many elements, so cancellation costs one
+// counter decrement per element on the hot path and a canceled validation
+// stops within one interval of work.
+const cancelCheckEvery = 256
+
+// cancelCheck carries the amortized cancellation state of one
+// context-aware walk. A nil *cancelCheck (the non-context entry points)
+// disables checking entirely.
+type cancelCheck struct {
+	ctx       context.Context
+	done      <-chan struct{}
+	countdown int
+}
+
+func newCancelCheck(ctx context.Context) *cancelCheck {
+	done := ctx.Done()
+	if done == nil {
+		return nil // context.Background() etc: nothing to poll
+	}
+	return &cancelCheck{ctx: ctx, done: done, countdown: cancelCheckEvery}
+}
+
+// check polls for cancellation once per cancelCheckEvery calls.
+func (cc *cancelCheck) check(st *Stats) error {
+	if cc == nil {
+		return nil
+	}
+	cc.countdown--
+	if cc.countdown > 0 {
+		return nil
+	}
+	cc.countdown = cancelCheckEvery
+	select {
+	case <-cc.done:
+		return fmt.Errorf("cast: validation canceled after %d elements: %w",
+			st.ElementsVisited, context.Cause(cc.ctx))
+	default:
+		return nil
+	}
+}
+
 // Validate performs schema cast validation without modifications (§3.2):
 // given a document valid under the source schema, decide validity under the
 // target schema. The verdict is accompanied by work statistics. If the
@@ -19,7 +62,18 @@ import (
 // the contract rather than the target schema).
 func (e *Engine) Validate(doc *xmltree.Node) (Stats, error) {
 	var st Stats
-	err := e.validateRoot(doc, &st, nil)
+	err := e.validateRoot(doc, &st, nil, nil)
+	return st, err
+}
+
+// ValidateContext is Validate with cooperative cancellation: the walk polls
+// ctx.Done() every cancelCheckEvery elements, so the hot path pays one
+// counter decrement per element and a canceled validation returns (with an
+// error wrapping the context's cause) within one check interval. A context
+// that can never be canceled costs nothing beyond a nil check.
+func (e *Engine) ValidateContext(ctx context.Context, doc *xmltree.Node) (Stats, error) {
+	var st Stats
+	err := e.validateRoot(doc, &st, nil, newCancelCheck(ctx))
 	return st, err
 }
 
@@ -31,11 +85,11 @@ func (e *Engine) Validate(doc *xmltree.Node) (Stats, error) {
 // not the hot path (which passes a nil trace and pays only a pointer test).
 func (e *Engine) ValidateTrace(doc *xmltree.Node, tr *telemetry.Trace) (Stats, error) {
 	var st Stats
-	err := e.validateRoot(doc, &st, tr)
+	err := e.validateRoot(doc, &st, tr, nil)
 	return st, err
 }
 
-func (e *Engine) validateRoot(doc *xmltree.Node, st *Stats, tr *telemetry.Trace) error {
+func (e *Engine) validateRoot(doc *xmltree.Node, st *Stats, tr *telemetry.Trace, cc *cancelCheck) error {
 	if doc.IsText() {
 		return &schema.ValidationError{Path: "/", Reason: "root must be an element"}
 	}
@@ -51,7 +105,7 @@ func (e *Engine) validateRoot(doc *xmltree.Node, st *Stats, tr *telemetry.Trace)
 			Reason: fmt.Sprintf("label %q is not a permitted root of the target schema", doc.Label),
 		}
 	}
-	return e.castValidate(τ, τp, doc, st, 0, tr)
+	return e.castValidate(τ, τp, doc, st, 0, tr, cc)
 }
 
 // traceEvent builds one decision event for node at depth; only called when
@@ -92,8 +146,11 @@ func deweyString(n *xmltree.Node) string {
 // τ' (target). The node itself has been counted by the caller. depth is the
 // node's element depth (root = 0); tr, when non-nil, receives one event per
 // decision.
-func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Stats, depth int, tr *telemetry.Trace) error {
+func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Stats, depth int, tr *telemetry.Trace, cc *cancelCheck) error {
 	st.noteDepth(depth)
+	if err := cc.check(st); err != nil {
+		return err
+	}
 	if !e.opts.DisableRelations {
 		if e.Rel.Subsumed(τ, τp) {
 			st.SubsumedSkips++
@@ -177,7 +234,7 @@ func (e *Engine) castValidate(τ, τp schema.TypeID, node *xmltree.Node, st *Sta
 			}
 		}
 		st.ElementsVisited++
-		if err := e.castValidate(ω, ν, c, st, depth+1, tr); err != nil {
+		if err := e.castValidate(ω, ν, c, st, depth+1, tr, cc); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,159 @@
+// Package faultinject is the chaos-engineering seam of the cast pipeline:
+// a process-global, atomically swapped fault configuration that the
+// registry and server consult at a handful of choke points (schema-pair
+// compiles, document-body reads). When disabled — the default, and the only
+// state production ever runs in — every hook is one atomic pointer load
+// that returns immediately, so the hot path pays nothing for the seam.
+//
+// Faults are enabled either by tests (Enable/Disable) or by the castd
+// -fault-inject flag (Parse), which exists so chaos smoke jobs can exercise
+// the daemon's containment story end to end: injected compile panics must
+// surface as structured 500s with the poisoned registry entry evicted,
+// failing or stalling readers must fail only their own request, and
+// injected delays must never outlive the request deadline.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects which faults fire. The zero value injects nothing.
+type Config struct {
+	// CompileDelay stalls every schema-pair compile (singleflight waiters
+	// pile up behind it — the coalesce path under load).
+	CompileDelay time.Duration
+	// CompileErr fails every compile with ErrInjected.
+	CompileErr bool
+	// CompilePanic panics inside every compile; the registry must recover,
+	// deliver the error to coalesced waiters and evict the poisoned entry.
+	CompilePanic bool
+	// ReadDelay stalls every document-body read (a slow client).
+	ReadDelay time.Duration
+	// ReadErrAfter fails document-body reads with ErrInjected once this many
+	// bytes have been delivered (0 disables read faults).
+	ReadErrAfter int64
+}
+
+// ErrInjected marks every error this package fabricates, so tests and
+// handlers can tell injected faults from organic ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// active is nil when injection is off (the steady state).
+var active atomic.Pointer[Config]
+
+// Enable installs a fault configuration process-wide.
+func Enable(c Config) { active.Store(&c) }
+
+// Disable turns all fault injection off.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether any fault configuration is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Compile fires the compile-stage faults: it applies the configured delay,
+// then errors or panics per the configuration. The registry calls it at the
+// top of every schema-pair compile.
+func Compile() error {
+	c := active.Load()
+	if c == nil {
+		return nil
+	}
+	if c.CompileDelay > 0 {
+		time.Sleep(c.CompileDelay)
+	}
+	if c.CompilePanic {
+		panic("faultinject: injected compile panic")
+	}
+	if c.CompileErr {
+		return fmt.Errorf("compile failed: %w", ErrInjected)
+	}
+	return nil
+}
+
+// Reader wraps a document-body reader with the configured read faults; it
+// returns r unchanged when no read fault is installed, so the undisturbed
+// path allocates nothing.
+func Reader(r io.Reader) io.Reader {
+	c := active.Load()
+	if c == nil || (c.ReadDelay == 0 && c.ReadErrAfter == 0) {
+		return r
+	}
+	return &faultReader{r: r, delay: c.ReadDelay, errAfter: c.ReadErrAfter}
+}
+
+type faultReader struct {
+	r        io.Reader
+	delay    time.Duration
+	errAfter int64 // 0 = never error
+	n        int64
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	if fr.delay > 0 {
+		time.Sleep(fr.delay)
+	}
+	if fr.errAfter > 0 {
+		if fr.n >= fr.errAfter {
+			return 0, fmt.Errorf("read failed after %d bytes: %w", fr.n, ErrInjected)
+		}
+		// Cap the read at the fault boundary: exactly errAfter bytes are
+		// delivered before the failure, however large the caller's buffer.
+		if rem := fr.errAfter - fr.n; int64(len(p)) > rem {
+			p = p[:rem]
+		}
+	}
+	n, err := fr.r.Read(p)
+	fr.n += int64(n)
+	return n, err
+}
+
+// Parse decodes a -fault-inject flag value: a comma-separated list of
+// directives, e.g. "compile-panic", "compile-err", "compile-delay=50ms",
+// "read-delay=10ms", "read-err-after=1024". An empty spec is the zero
+// Config.
+func Parse(spec string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(part), "=")
+		switch key {
+		case "compile-panic":
+			c.CompilePanic = true
+		case "compile-err":
+			c.CompileErr = true
+		case "compile-delay", "read-delay":
+			if !hasVal {
+				return Config{}, fmt.Errorf("faultinject: %s needs a duration value", key)
+			}
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: %s: %w", key, err)
+			}
+			if key == "compile-delay" {
+				c.CompileDelay = d
+			} else {
+				c.ReadDelay = d
+			}
+		case "read-err-after":
+			if !hasVal {
+				return Config{}, fmt.Errorf("faultinject: read-err-after needs a byte count")
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return Config{}, fmt.Errorf("faultinject: read-err-after: want a positive integer, got %q", val)
+			}
+			c.ReadErrAfter = n
+		default:
+			return Config{}, fmt.Errorf("faultinject: unknown directive %q", key)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsTransparent(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("enabled after Disable")
+	}
+	if err := Compile(); err != nil {
+		t.Fatalf("disabled Compile: %v", err)
+	}
+	r := strings.NewReader("hello")
+	if Reader(r) != io.Reader(r) {
+		t.Fatal("disabled Reader must return its argument unchanged")
+	}
+}
+
+func TestCompileFaults(t *testing.T) {
+	defer Disable()
+	Enable(Config{CompileErr: true})
+	if err := Compile(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	Enable(Config{CompilePanic: true})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CompilePanic did not panic")
+			}
+		}()
+		Compile()
+	}()
+	Enable(Config{CompileDelay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("CompileDelay did not delay")
+	}
+}
+
+func TestReaderFaults(t *testing.T) {
+	defer Disable()
+	Enable(Config{ReadErrAfter: 4})
+	fr := Reader(strings.NewReader("0123456789"))
+	buf := make([]byte, 4)
+	if n, err := fr.Read(buf); n != 4 || err != nil {
+		t.Fatalf("first read: n=%d err=%v", n, err)
+	}
+	if _, err := fr.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected read error, got %v", err)
+	}
+	// Delay-only wrapping still delivers all bytes.
+	Enable(Config{ReadDelay: time.Millisecond})
+	all, err := io.ReadAll(Reader(strings.NewReader("abc")))
+	if err != nil || string(all) != "abc" {
+		t.Fatalf("delayed read: %q %v", all, err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	c, err := Parse("compile-panic, read-err-after=1024, read-delay=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.CompilePanic || c.ReadErrAfter != 1024 || c.ReadDelay != 5*time.Millisecond {
+		t.Fatalf("parsed wrong: %+v", c)
+	}
+	if c, err := Parse(""); err != nil || c != (Config{}) {
+		t.Fatalf("empty spec: %+v %v", c, err)
+	}
+	for _, bad := range []string{"wat", "compile-delay", "read-err-after=-1", "read-err-after=x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package leakcheck is a test helper that asserts goroutine hygiene: a
+// snapshot-and-compare pair wrapped around a test proves that whatever the
+// test spawned — HTTP handlers, batch workers, singleflight compiles —
+// wound down after drain instead of leaking. It is imported only from
+// tests; the daemon never depends on it.
+//
+// The comparison is tolerant by necessity: the runtime and net/http keep a
+// few long-lived service goroutines (idle-connection reapers, the test
+// framework itself), so Check polls until the count returns to within a
+// small slack of the baseline rather than demanding exact equality, and
+// dumps every goroutine stack when it times out so the leak is named, not
+// just counted.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// slack is the number of extra goroutines tolerated over the baseline:
+// connection-pool keepalives and timer goroutines park asynchronously.
+const slack = 3
+
+// Snapshot settles briefly and returns the current goroutine count. Take
+// it before the code under test starts anything.
+func Snapshot() int {
+	// Let goroutines from previous tests park before counting.
+	n := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		time.Sleep(5 * time.Millisecond)
+		m := runtime.NumGoroutine()
+		if m >= n {
+			return m
+		}
+		n = m
+	}
+	return n
+}
+
+// Check fails t unless the goroutine count returns to base+slack within
+// five seconds. Call it after every server, pool and request the test
+// started has been shut down or drained; on failure it logs a full stack
+// dump of every live goroutine.
+func Check(t testing.TB, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutine leak: %d live after drain (baseline %d, slack %d)\n%s", n, base, slack, buf)
+}

@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+)
+
+// TestCompilePanicContained is the regression test for the singleflight
+// poisoning bug: a panicking compile used to leave the entry's ready
+// channel unclosed forever — every coalesced waiter hung, and the dead
+// entry shadowed the key until restart. Now the panic is recovered into a
+// *CompilePanicError, every waiter gets it, the entry is evicted, and the
+// next lookup recompiles cleanly.
+func TestCompilePanicContained(t *testing.T) {
+	base := leakcheck.Snapshot()
+	r := New(Config{})
+	src, dst := figPair(t, r)
+
+	faultinject.Enable(faultinject.Config{CompilePanic: true})
+	defer faultinject.Disable()
+
+	// Fan concurrent lookups at the same cold pair: one pays the panicking
+	// compile, the rest coalesce onto it. All must return, none may hang.
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Pair(src, dst)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		var cp *CompilePanicError
+		if !errors.As(err, &cp) {
+			t.Fatalf("lookup %d: want *CompilePanicError, got %v", i, err)
+		}
+		if cp.Src != src || cp.Dst != dst || len(cp.Stack) == 0 {
+			t.Fatalf("lookup %d: panic error missing context: %+v", i, cp)
+		}
+	}
+	st := r.Stats()
+	if st.CompilePanics == 0 {
+		t.Fatal("CompilePanics counter did not move")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("poisoned entry stayed cached: %d entries", r.Len())
+	}
+
+	// Disarm and retry: the key must compile cleanly — no stale error, no
+	// stale entry.
+	faultinject.Disable()
+	p, err := r.Pair(src, dst)
+	if err != nil {
+		t.Fatalf("retry after contained panic: %v", err)
+	}
+	if p == nil || p.Stream == nil {
+		t.Fatal("retry returned no usable pair")
+	}
+	leakcheck.Check(t, base)
+}
+
+// TestCompileErrorInjection exercises the non-panic injected failure: a
+// plain error from the compile seam must flow to the caller wrapped, stay
+// uncached, and clear once disarmed.
+func TestCompileErrorInjection(t *testing.T) {
+	r := New(Config{})
+	src, dst := figPair(t, r)
+
+	faultinject.Enable(faultinject.Config{CompileErr: true})
+	defer faultinject.Disable()
+	if _, err := r.Pair(src, dst); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want injected compile error, got %v", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("failed compile cached: %d entries", r.Len())
+	}
+
+	faultinject.Disable()
+	if _, err := r.Pair(src, dst); err != nil {
+		t.Fatalf("retry after injected error: %v", err)
+	}
+}

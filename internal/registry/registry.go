@@ -30,12 +30,14 @@ import (
 	"encoding/hex"
 	"fmt"
 	"log/slog"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	revalidate "repro"
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -99,6 +101,21 @@ func (e *UnknownSchemaError) Error() string {
 	return fmt.Sprintf("registry: unknown schema id %q", e.ID)
 }
 
+// CompilePanicError reports a schema-pair compile that panicked. The
+// registry recovers the panic so the singleflight cannot poison its cache:
+// the compiling caller and every coalesced waiter receive this error, the
+// entry is evicted (the next lookup retries the compile), and the daemon
+// maps it to a 500 — a server fault, not a verdict about the document.
+type CompilePanicError struct {
+	Src, Dst string // schema ids of the pair whose compile panicked
+	Value    any    // recovered panic value
+	Stack    []byte // compiling goroutine's stack at recovery
+}
+
+func (e *CompilePanicError) Error() string {
+	return fmt.Sprintf("registry: compiling pair (%q, %q) panicked: %v", e.Src, e.Dst, e.Value)
+}
+
 // Config bounds the pair cache. Zero values mean unbounded.
 type Config struct {
 	// MaxEntries caps the number of cached compiled pairs.
@@ -122,11 +139,15 @@ type Stats struct {
 	Misses  int64 `json:"misses"`
 	// Coalesces counts hits that arrived while the pair's compile was still
 	// in flight: callers that the singleflight saved from compiling.
-	Coalesces int64       `json:"coalesces"`
-	Compiles  int64       `json:"compiles"`
-	Evictions int64       `json:"evictions"`
-	CompileNS int64       `json:"compileNS"`
-	PerPair   []PairStats `json:"perPair,omitempty"`
+	Coalesces int64 `json:"coalesces"`
+	Compiles  int64 `json:"compiles"`
+	Evictions int64 `json:"evictions"`
+	// CompilePanics counts schema-pair compiles that panicked and were
+	// recovered (the singleflight poisoning the fault-containment layer
+	// guards against).
+	CompilePanics int64       `json:"compilePanics"`
+	CompileNS     int64       `json:"compileNS"`
+	PerPair       []PairStats `json:"perPair,omitempty"`
 }
 
 // PairStats are the per-pair counters, MRU first.
@@ -170,6 +191,7 @@ type Registry struct {
 	hits, misses, compiles, evictions atomic.Int64
 	coalesces                         atomic.Int64
 	compileNS                         atomic.Int64
+	compilePanics                     atomic.Int64
 
 	// compileObserver, when set, receives each compile's wall-clock seconds
 	// (the bridge into a latency histogram owned by the serving layer).
@@ -345,7 +367,7 @@ func (r *Registry) PairCtx(ctx context.Context, srcID, dstID string) (*Pair, Loo
 
 	r.compiles.Add(1)
 	start := time.Now()
-	pair, err := compilePair(src, dst)
+	pair, err := r.compilePairRecovered(ctx, src, dst)
 	d := time.Since(start)
 	r.compileNS.Add(int64(d))
 	if obs := r.compileObserver.Load(); obs != nil {
@@ -396,6 +418,33 @@ func (r *Registry) logEvictions(ctx context.Context, victims []*pairEntry) {
 			slog.Int64("bytes", v.cost),
 			slog.Int64("hits", v.hits.Load()))
 	}
+}
+
+// compilePairRecovered runs compilePair under a panic guard. Without it a
+// panicking compile would poison the singleflight: ready would never close
+// (coalesced waiters hang forever) and the broken entry would shadow the
+// key until process restart. Recovering here turns the panic into an
+// ordinary compile error, which the caller's existing failed-compile path
+// already evicts — so waiters get the error and the next lookup retries.
+func (r *Registry) compilePairRecovered(ctx context.Context, src, dst *SchemaEntry) (pair *Pair, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			perr := &CompilePanicError{Src: src.ID, Dst: dst.ID, Value: rec, Stack: debug.Stack()}
+			r.compilePanics.Add(1)
+			if r.logger != nil {
+				r.logger.LogAttrs(ctx, slog.LevelError, "registry: compile panicked",
+					slog.String("src", src.ID),
+					slog.String("dst", dst.ID),
+					slog.Any("panic", rec),
+					slog.String("stack", string(perr.Stack)))
+			}
+			pair, err = nil, perr
+		}
+	}()
+	if err := faultinject.Compile(); err != nil {
+		return nil, fmt.Errorf("registry: pair (%q, %q): %w", src.ID, dst.ID, err)
+	}
+	return compilePair(src, dst)
 }
 
 // compilePair loads both texts into a fresh universe and preprocesses the
@@ -466,15 +515,16 @@ func (r *Registry) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := Stats{
-		Schemas:   len(r.schemas),
-		Pairs:     len(r.pairs),
-		Bytes:     r.bytes,
-		Hits:      r.hits.Load(),
-		Misses:    r.misses.Load(),
-		Coalesces: r.coalesces.Load(),
-		Compiles:  r.compiles.Load(),
-		Evictions: r.evictions.Load(),
-		CompileNS: r.compileNS.Load(),
+		Schemas:       len(r.schemas),
+		Pairs:         len(r.pairs),
+		Bytes:         r.bytes,
+		Hits:          r.hits.Load(),
+		Misses:        r.misses.Load(),
+		Coalesces:     r.coalesces.Load(),
+		Compiles:      r.compiles.Load(),
+		Evictions:     r.evictions.Load(),
+		CompilePanics: r.compilePanics.Load(),
+		CompileNS:     r.compileNS.Load(),
 	}
 	for el := r.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*pairEntry)

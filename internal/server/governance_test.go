@@ -1,0 +1,248 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// newGovernedServer builds a test server with explicit governance options.
+func newGovernedServer(t *testing.T, opts Options) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(registry.New(registry.Config{}), opts))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestShed429WhenSaturated(t *testing.T) {
+	ts := newGovernedServer(t, Options{MaxInFlight: 1})
+	registerFigSchemas(t, ts.URL)
+
+	// Saturate the single slot: a cast whose body never finishes keeps the
+	// handler parked inside the slot until we release the pipe.
+	pr, pw := io.Pipe()
+	go pw.Write([]byte(`<purchaseOrder orderDate="2004-03-14">`))
+	inFlight := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/cast/v1/v2", "application/xml", pr)
+		if err == nil {
+			resp.Body.Close()
+		}
+		inFlight <- err
+	}()
+	// Wait until the holder owns the slot (it must get past admission and
+	// into the body read before the probe arrives).
+	time.Sleep(200 * time.Millisecond)
+
+	resp, err := http.Post(ts.URL+"/cast/v1/v2", "application/xml", strings.NewReader(poXML(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("want 429 from saturated server, got %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("want Retry-After: 1 on shed response, got %q", got)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("shed response not a structured error: %s", body)
+	}
+
+	// Release the holder; its truncated document draws an invalid verdict
+	// and frees the slot.
+	pw.Close()
+	if err := <-inFlight; err != nil {
+		t.Fatalf("holding request failed at the transport: %v", err)
+	}
+
+	// The freed slot admits again.
+	if code, body := do(t, "POST", ts.URL+"/cast/v1/v2", poXML(true)); code != 200 {
+		t.Fatalf("post-drain cast: %d %s", code, body)
+	}
+
+	// The shed and queue-wait families are on /metrics.
+	_, metrics := do(t, "GET", ts.URL+"/metrics", "")
+	for _, want := range []string{"castd_shed_total 1", "castd_queue_wait_seconds_bucket", "castd_panics_total 0"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestCastTimeout408(t *testing.T) {
+	ts := newGovernedServer(t, Options{CastTimeout: 300 * time.Millisecond})
+	registerFigSchemas(t, ts.URL)
+
+	// The body stalls after the prolog: the walker is stuck inside a read,
+	// where only the mirrored connection deadline can reach it.
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write([]byte(`<purchaseOrder orderDate="2004-03-14">`))
+		// Keep the pipe open well past the deadline, then release it so the
+		// client transport can finish.
+		time.Sleep(2 * time.Second)
+		pw.Close()
+	}()
+	resp, err := http.Post(ts.URL+"/cast/v1/v2", "application/xml", pr)
+	if err != nil {
+		t.Fatalf("slow-body request failed at the transport: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("want 408 for stalled body, got %d %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("timeout response not a structured error: %s", body)
+	}
+}
+
+func TestMaxDocBytes413(t *testing.T) {
+	ts := newGovernedServer(t, Options{MaxDocBytes: 512})
+	registerFigSchemas(t, ts.URL)
+
+	big := poXML(true) + strings.Repeat("<!-- padding -->", 100)
+	if len(big) <= 512 {
+		t.Fatalf("test document too small: %d bytes", len(big))
+	}
+	code, body := do(t, "POST", ts.URL+"/cast/v1/v2", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("want 413 for oversized document, got %d %s", code, body)
+	}
+	// A document inside the bound still validates.
+	small := poXML(true)
+	if len(small) > 512 {
+		t.Skipf("generated document unexpectedly large: %d bytes", len(small))
+	}
+	if code, body := do(t, "POST", ts.URL+"/cast/v1/v2", small); code != 200 {
+		t.Fatalf("small document: %d %s", code, body)
+	}
+}
+
+func TestStructuralLimits422(t *testing.T) {
+	ts := newGovernedServer(t, Options{MaxDepth: 8, MaxElements: 50})
+	registerFigSchemas(t, ts.URL)
+
+	deep := `<purchaseOrder orderDate="2004-03-14"><shipTo country="US">` +
+		strings.Repeat("<name>", 40) + strings.Repeat("</name>", 40) +
+		`</shipTo></purchaseOrder>`
+	code, body := do(t, "POST", ts.URL+"/cast/v1/v2", deep)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("want 422 for over-deep document, got %d %s", code, body)
+	}
+	if !strings.Contains(body, "depth") {
+		t.Fatalf("422 body does not name the limit: %s", body)
+	}
+
+	// Element limit: a fat but shallow purchase order.
+	fat := string(poXMLItems(t, 200))
+	code, body = do(t, "POST", ts.URL+"/cast/v1/v2", fat)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("want 422 for over-long document, got %d %s", code, body)
+	}
+	if !strings.Contains(body, "elements") {
+		t.Fatalf("422 body does not name the limit: %s", body)
+	}
+}
+
+// TestBatchOversizedSlot pins the batch shape of the byte limit: an
+// oversized entry fails its own slot with a structured verdict while its
+// siblings validate normally.
+func TestBatchOversizedSlot(t *testing.T) {
+	ts := newGovernedServer(t, Options{MaxDocBytes: 1 << 12})
+	registerFigSchemas(t, ts.URL)
+
+	big := poXML(true) + strings.Repeat("<!-- pad -->", 1000)
+	docs, err := json.Marshal([]string{poXML(true), big, poXML(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, "POST", ts.URL+"/cast/v1/v2/batch", string(docs))
+	if code != 200 {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	var resp struct {
+		Valid    int       `json:"valid"`
+		Invalid  int       `json:"invalid"`
+		Verdicts []*string `json:"verdicts"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad JSON: %v in %s", err, body)
+	}
+	if resp.Valid != 1 || resp.Invalid != 2 {
+		t.Fatalf("want 1 valid / 2 invalid, got %s", body)
+	}
+	if resp.Verdicts[1] == nil || !strings.Contains(*resp.Verdicts[1], "per-document limit") {
+		t.Fatalf("oversized slot verdict wrong: %s", body)
+	}
+	if resp.Verdicts[0] != nil || resp.Verdicts[2] == nil {
+		t.Fatalf("sibling verdicts disturbed: %s", body)
+	}
+}
+
+// TestMiddlewarePanicRecovery drives a panicking handler through the
+// middleware directly: the response must be a structured 500 and the panic
+// counter must move — the daemon's process must not.
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	s := New(registry.New(registry.Config{}), Options{})
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+	r := httptest.NewRequest("GET", "/boom", nil)
+	s.serve(sw, r, false, func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	if sw.status != http.StatusInternalServerError {
+		t.Fatalf("want 500 after recovered panic, got %d", sw.status)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "handler bug") {
+		t.Fatalf("panic response not structured: %s", rec.Body.String())
+	}
+	if got := s.mPanics.Value(); got != 1 {
+		t.Fatalf("castd_panics_total = %v, want 1", got)
+	}
+	// A panic after the header went out cannot be unsent; the recorded
+	// status still flips so the access log and counters tell the truth.
+	rec2 := httptest.NewRecorder()
+	sw2 := &statusWriter{ResponseWriter: rec2, status: http.StatusOK}
+	s.serve(sw2, r, false, func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic("late bug")
+	})
+	if sw2.status != http.StatusInternalServerError {
+		t.Fatalf("late panic not recorded: %d", sw2.status)
+	}
+}
+
+// poXMLItems renders a purchase order with n items (for element limits).
+func poXMLItems(t *testing.T, n int) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`<purchaseOrder orderDate="2004-03-14"><shipTo country="US"><name>a</name>` +
+		`<street>b</street><city>c</city><state>d</state><zip>1</zip></shipTo>` +
+		`<billTo country="US"><name>a</name><street>b</street><city>c</city>` +
+		`<state>d</state><zip>1</zip></billTo><items>`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<item partNum="p%d"><productName>x</productName>`+
+			`<quantity>1</quantity><USPrice>1.0</USPrice></item>`, i)
+	}
+	b.WriteString(`</items></purchaseOrder>`)
+	return b.String()
+}

@@ -36,12 +36,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -50,6 +52,7 @@ import (
 	"time"
 
 	revalidate "repro"
+	"repro/internal/faultinject"
 	"repro/internal/registry"
 	"repro/internal/telemetry"
 )
@@ -58,9 +61,15 @@ import (
 // an unbounded read is a trivial memory DoS.
 const maxSchemaBytes = 16 << 20
 
-// maxBatchBytes bounds a POST /cast batch body (single-document casts
-// stream and need no bound).
+// maxBatchBytes bounds a POST /cast batch body (single-document casts are
+// bounded per document by Options.MaxDocBytes).
 const maxBatchBytes = 256 << 20
+
+// admissionGrace is how long a request may queue for an in-flight slot
+// before it is shed with 429: long enough to ride out momentary bursts,
+// short enough that a saturated server answers (and frees the connection)
+// almost immediately instead of stacking goroutines.
+const admissionGrace = 50 * time.Millisecond
 
 // Options tune the server.
 type Options struct {
@@ -79,6 +88,27 @@ type Options struct {
 	// /debug/traces. A nil tracer disables tracing entirely: the hot path
 	// pays only nil checks.
 	Tracer *telemetry.Tracer
+
+	// CastTimeout bounds one cast or batch request end to end: it becomes
+	// the request context's deadline (the stream walker polls it with
+	// amortized checks) and the connection's read deadline (so a stalled
+	// client fails the body read instead of pinning a worker). <= 0
+	// disables the deadline.
+	CastTimeout time.Duration
+	// MaxDocBytes bounds one document's bytes: the /cast body via
+	// http.MaxBytesReader, and each element of a /batch array by length.
+	// <= 0 means unlimited.
+	MaxDocBytes int64
+	// MaxDepth bounds open-element depth per document; a deeper document is
+	// rejected with 422 before the stack grows further. <= 0 unlimited.
+	MaxDepth int
+	// MaxElements bounds elements (visited + skimmed) per document.
+	// <= 0 unlimited.
+	MaxElements int64
+	// MaxInFlight bounds concurrently admitted work requests (register,
+	// cast, batch, pairs). Excess requests wait briefly for a slot and are
+	// then shed with 429 + Retry-After. <= 0 disables admission control.
+	MaxInFlight int
 }
 
 // Server is the castd HTTP handler. Safe for concurrent use; all shared
@@ -94,6 +124,14 @@ type Server struct {
 
 	draining atomic.Bool
 	reqID    atomic.Uint64
+
+	// Resource-governance knobs (fixed at construction, read-only after).
+	castTimeout time.Duration
+	maxDocBytes int64
+	limits      revalidate.Limits
+	// admit is the in-flight semaphore for work routes; nil disables
+	// admission control.
+	admit chan struct{}
 
 	reqRegister, reqCast, reqBatch, reqPairs atomic.Int64
 	verdictValid, verdictInvalid             atomic.Int64
@@ -117,6 +155,11 @@ type Server struct {
 	mSymbolsScanned  *telemetry.Counter
 	mSymbolsSkipped  *telemetry.Counter
 	mValuesChecked   *telemetry.Counter
+
+	// Fault-containment families.
+	mPanics    *telemetry.Counter   // panics recovered (middleware + batch slots)
+	mShed      *telemetry.Counter   // requests shed with 429
+	mQueueWait *telemetry.Histogram // admission queue wait of admitted requests
 }
 
 // New wires the routes over a registry.
@@ -124,6 +167,12 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s := &Server{
 		reg: reg, workers: opts.Workers, mux: http.NewServeMux(),
 		logger: opts.Logger, accessLog: opts.AccessLog, tracer: opts.Tracer,
+		castTimeout: opts.CastTimeout,
+		maxDocBytes: opts.MaxDocBytes,
+		limits:      revalidate.Limits{MaxDepth: opts.MaxDepth, MaxElements: opts.MaxElements},
+	}
+	if opts.MaxInFlight > 0 {
+		s.admit = make(chan struct{}, opts.MaxInFlight)
 	}
 
 	met := telemetry.NewRegistry()
@@ -150,6 +199,13 @@ func New(reg *registry.Registry, opts Options) *Server {
 		"Content-model symbols skipped after an immediate decision.")
 	s.mValuesChecked = met.Counter("cast_values_checked_total",
 		"Simple values tested against target facets.")
+	s.mPanics = met.Counter("castd_panics_total",
+		"Panics recovered by the request middleware and batch workers.")
+	s.mShed = met.Counter("castd_shed_total",
+		"Requests shed with 429 because every -max-in-flight slot stayed busy.")
+	s.mQueueWait = met.Histogram("castd_queue_wait_seconds",
+		"Time admitted requests waited for an in-flight slot.",
+		telemetry.ExponentialBuckets(0.0001, 10, 6))
 
 	// Registry cache families: the compile histogram is fed by the
 	// registry's observer hook; the counters and gauges bridge to the
@@ -169,6 +225,9 @@ func New(reg *registry.Registry, opts Options) *Server {
 		func() float64 { return float64(reg.Stats().Compiles) })
 	met.CounterFunc("registry_evictions_total", "Pair-cache evictions.",
 		func() float64 { return float64(reg.Stats().Evictions) })
+	met.CounterFunc("registry_compile_panics_total",
+		"Schema-pair compiles that panicked, were recovered and evicted.",
+		func() float64 { return float64(reg.Stats().CompilePanics) })
 	met.GaugeFunc("registry_pairs", "Cached compiled pairs.",
 		func() float64 { return float64(reg.Stats().Pairs) })
 	met.GaugeFunc("registry_schemas", "Registered schema ids.",
@@ -196,16 +255,19 @@ func New(reg *registry.Registry, opts Options) *Server {
 	met.CounterFunc("castd_traces_dropped_total", "Request traces dropped by the tail sampler.",
 		func() float64 { return float64(s.tracer.Stats().Dropped) })
 
-	s.route("PUT /schemas/{id}", "register", true, s.handleRegister)
-	s.route("GET /schemas/{id}", "schema", true, s.handleSchema)
-	s.route("POST /cast/{src}/{dst}", "cast", true, s.handleCast)
-	s.route("POST /cast/{src}/{dst}/batch", "batch", true, s.handleBatch)
-	s.route("GET /pairs/{src}/{dst}", "pairs", true, s.handlePairs)
-	s.route("GET /metrics", "metrics", false, s.handlePrometheus)
-	s.route("GET /metrics.json", "metrics.json", false, s.handleMetricsJSON)
-	s.route("GET /debug/traces", "traces", false, s.handleTraces)
-	s.route("GET /debug/traces/{id}", "trace", false, s.handleTrace)
-	s.route("GET /healthz", "healthz", false, s.handleHealthz)
+	// Work routes are governed (admission control applies); observability
+	// routes are not — a saturated server must still answer /healthz and
+	// /metrics, or the operator loses sight of it exactly when it matters.
+	s.route("PUT /schemas/{id}", "register", true, true, s.handleRegister)
+	s.route("GET /schemas/{id}", "schema", true, false, s.handleSchema)
+	s.route("POST /cast/{src}/{dst}", "cast", true, true, s.handleCast)
+	s.route("POST /cast/{src}/{dst}/batch", "batch", true, true, s.handleBatch)
+	s.route("GET /pairs/{src}/{dst}", "pairs", true, true, s.handlePairs)
+	s.route("GET /metrics", "metrics", false, false, s.handlePrometheus)
+	s.route("GET /metrics.json", "metrics.json", false, false, s.handleMetricsJSON)
+	s.route("GET /debug/traces", "traces", false, false, s.handleTraces)
+	s.route("GET /debug/traces/{id}", "trace", false, false, s.handleTrace)
+	s.route("GET /healthz", "healthz", false, false, s.handleHealthz)
 	return s
 }
 
@@ -237,23 +299,41 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 func (s *Server) Metrics() *telemetry.Registry { return s.met }
 
 // statusWriter captures the response status for the access log and the
-// (route, code) counter.
+// (route, code) counter, and whether a header has been sent — the panic
+// recovery path must know if a 500 can still be written.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// Unwrap exposes the underlying writer so http.ResponseController can find
+// per-connection controls (the cast handlers set read deadlines).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // route registers one handler under its middleware wrapper. name is the
 // static route label — resolved per request, not per element, and never
 // derived from the URL (unbounded label cardinality is a metrics leak).
 // traced routes get a root span (observability endpoints set it false so
-// scraping /debug/traces does not fill the ring being scraped).
-func (s *Server) route(pattern, name string, traced bool, h http.HandlerFunc) {
+// scraping /debug/traces does not fill the ring being scraped); governed
+// routes pass admission control before their handler runs.
+//
+// The middleware is also the fault boundary: a panicking handler is
+// recovered here — counted, logged with its stack under the request's
+// trace ids, and answered with a 500 if the header has not been sent — so
+// no single request can take the daemon down.
+func (s *Server) route(pattern, name string, traced, governed bool, h http.HandlerFunc) {
 	duration := s.httpDuration.With(name) // resolve the series once
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqID.Add(1)
@@ -280,7 +360,7 @@ func (s *Server) route(pattern, name string, traced bool, h http.HandlerFunc) {
 		}
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		s.serve(sw, r, governed, h)
 		d := time.Since(start)
 		duration.Observe(d.Seconds())
 		s.httpRequests.With(name, strconv.Itoa(sw.status)).Inc()
@@ -301,6 +381,72 @@ func (s *Server) route(pattern, name string, traced bool, h http.HandlerFunc) {
 				slog.Duration("dur", d.Round(time.Microsecond)))
 		}
 	})
+}
+
+// serve runs one request through admission control and the panic guard.
+// Recovery answers 500 when the header has not gone out yet; either way the
+// recovered value and stack are logged under the request's trace ids and
+// castd_panics_total moves, so a crash is an alertable, attributable event
+// instead of a dead process.
+func (s *Server) serve(sw *statusWriter, r *http.Request, governed bool, h http.HandlerFunc) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+			panic(rec) // stdlib convention for deliberately aborting a response
+		}
+		s.mPanics.Inc()
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+				slog.String("path", r.URL.Path),
+				slog.Any("panic", rec),
+				slog.String("stack", string(debug.Stack())))
+		}
+		if !sw.wrote {
+			writeError(sw, http.StatusInternalServerError, "internal error: %v", rec)
+		} else {
+			// Too late for a clean 500 on the wire; still record it for the
+			// (route, code) counter, access log and span error flag.
+			sw.status = http.StatusInternalServerError
+		}
+	}()
+	if governed && s.admit != nil {
+		wait := time.Now()
+		if !s.acquire(r.Context()) {
+			s.mShed.Inc()
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusTooManyRequests,
+				"server is at its -max-in-flight capacity; retry after a short backoff")
+			return
+		}
+		s.mQueueWait.Observe(time.Since(wait).Seconds())
+		defer func() { <-s.admit }()
+	}
+	h(sw, r)
+}
+
+// acquire takes an in-flight slot: immediately when one is free, otherwise
+// after waiting at most admissionGrace. false means the request is shed —
+// bounded queueing rides out bursts without converting overload into an
+// unbounded goroutine pileup.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.admit <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(admissionGrace)
+	defer t.Stop()
+	select {
+	case s.admit <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -346,14 +492,61 @@ func (s *Server) pair(w http.ResponseWriter, r *http.Request) (*registry.Pair, b
 	sp.End()
 	if err != nil {
 		var unknown *registry.UnknownSchemaError
-		if errors.As(err, &unknown) {
+		var compPanic *registry.CompilePanicError
+		switch {
+		case errors.As(err, &unknown):
 			writeError(w, http.StatusNotFound, "%v", err)
-		} else {
+		case errors.As(err, &compPanic):
+			// A compiler bug, not a client error: the registry recovered
+			// the panic and evicted the entry, so a retry recompiles.
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		default:
 			writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		}
 		return nil, false
 	}
 	return p, true
+}
+
+// castContext derives the context a cast or batch request validates under.
+// The deadline covers the whole request; it is mirrored onto the
+// connection's read deadline because the walker's amortized ctx polls can
+// only fire between tokens — a client that stops sending blocks the decoder
+// inside Read, where only the connection deadline can reach it (the failed
+// read surfaces as os.ErrDeadlineExceeded and maps to 408).
+func (s *Server) castContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc) {
+	if s.castTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	// Best effort: test recorders don't implement deadlines, real
+	// connections do.
+	http.NewResponseController(w).SetReadDeadline(time.Now().Add(s.castTimeout))
+	return context.WithTimeout(r.Context(), s.castTimeout)
+}
+
+// governanceStatus maps a validation error produced by a resource limit to
+// its HTTP status: 408 when the deadline (context or connection read)
+// expired or the client went away, 413 when the body outgrew -max-doc-bytes,
+// 422 when the document exceeded a structural limit. ok=false means the
+// error is an ordinary verdict, not a governance rejection.
+func governanceStatus(err error) (status int, ok bool) {
+	var maxBytes *http.MaxBytesError
+	var limit *revalidate.LimitError
+	switch {
+	case err == nil:
+		return 0, false
+	case errors.As(err, &maxBytes):
+		return http.StatusRequestEntityTooLarge, true
+	case errors.As(err, &limit):
+		return http.StatusUnprocessableEntity, true
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, os.ErrDeadlineExceeded):
+		return http.StatusRequestTimeout, true
+	case errors.Is(err, context.Canceled):
+		// The client canceled (connection closed); 408 tells the access
+		// log the server did not fail the request.
+		return http.StatusRequestTimeout, true
+	}
+	return 0, false
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -460,11 +653,20 @@ func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	explain := r.URL.Query().Get("explain") == "1"
+	ctx, cancel := s.castContext(w, r)
+	defer cancel()
 	// The request body streams straight through the caster: O(depth)
 	// memory however large the document (trace mode additionally holds the
-	// decision events). One span covers the whole cast; per-element work
-	// stays in the request-scoped Stats struct and is attached as span
-	// attributes afterwards.
+	// decision events). MaxBytesReader bounds the bytes one document may
+	// push through that stream; the faultinject seam is a no-op unless the
+	// operator armed -fault-inject. One span covers the whole cast;
+	// per-element work stays in the request-scoped Stats struct and is
+	// attached as span attributes afterwards.
+	body := io.Reader(r.Body)
+	if s.maxDocBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxDocBytes)
+	}
+	body = faultinject.Reader(body)
 	sp := telemetry.SpanFromContext(r.Context()).StartChild("cast.validate")
 	var (
 		st    revalidate.StreamStats
@@ -472,12 +674,20 @@ func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
 		err   error
 	)
 	if explain {
-		st, trace, err = p.Stream.ValidateTraced(r.Body)
+		st, trace, err = p.Stream.ValidateTracedContext(ctx, body, s.limits)
 	} else {
-		st, err = p.Stream.Validate(r.Body)
+		st, err = p.Stream.ValidateContext(ctx, body, s.limits)
 	}
 	annotateCastSpan(sp, st, trace, err)
 	sp.End()
+	if status, governed := governanceStatus(err); governed {
+		// A governance rejection is not a validity verdict: the cast was
+		// cut short, so neither valid nor invalid moves — the structured
+		// error names the limit that fired.
+		s.recordStats(st)
+		writeError(w, status, "%v", err)
+		return
+	}
 	resp := castResponse{Valid: err == nil, Stats: s.recordStats(st), Trace: trace}
 	if err != nil {
 		s.verdictInvalid.Add(1)
@@ -536,9 +746,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx, cancel := s.castContext(w, r)
+	defer cancel()
 	var docs []string
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBatchBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
 	if err := dec.Decode(&docs); err != nil {
+		if status, governed := governanceStatus(err); governed {
+			writeError(w, status, "batch body: %v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "batch body must be a JSON array of XML documents: %v", err)
 		return
 	}
@@ -551,20 +767,55 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		workers = n
 	}
-	readers := make([]io.Reader, len(docs))
+	// Per-document byte limit: an oversized batch entry gets a verdict for
+	// its own slot without ever reaching a worker, mirroring what 413 does
+	// for a single cast while the rest of the batch proceeds.
+	errs := make([]error, len(docs))
+	var keep []int
+	var readers []io.Reader
 	for i, d := range docs {
-		readers[i] = strings.NewReader(d)
+		if s.maxDocBytes > 0 && int64(len(d)) > s.maxDocBytes {
+			errs[i] = fmt.Errorf("document is %d bytes, over the per-document limit (%d)",
+				len(d), s.maxDocBytes)
+			continue
+		}
+		keep = append(keep, i)
+		readers = append(readers, faultinject.Reader(strings.NewReader(d)))
 	}
 	sp := telemetry.SpanFromContext(r.Context()).StartChild("cast.batch")
 	sp.SetAttr("docs", len(docs))
 	sp.SetAttr("workers", workers)
-	errs, st := p.Stream.ValidateAll(readers, workers)
+	kept, st := p.Stream.ValidateAllContext(ctx, readers, workers, s.limits)
+	for j, i := range keep {
+		errs[i] = kept[j]
+	}
 	sp.SetAttr("elements.visited", st.ElementsVisited)
 	sp.SetAttr("elements.skimmed", st.ElementsSkimmed)
 	sp.End()
+	if ctx.Err() != nil {
+		// The deadline or client cut the batch short: unclaimed slots carry
+		// the context's cause, so per-document verdicts would conflate
+		// "invalid" with "never looked at". Fail the whole request instead.
+		s.recordStats(st)
+		writeError(w, http.StatusRequestTimeout, "batch aborted: %v", context.Cause(ctx))
+		return
+	}
 	resp := batchResponse{Count: len(docs), Verdicts: make([]*string, len(docs)), Stats: s.recordStats(st)}
 	for i, err := range errs {
 		if err != nil {
+			var pe *revalidate.PanicError
+			if errors.As(err, &pe) {
+				// A contained worker panic is a server fault on one slot:
+				// count it and log the stack, but keep the slot's verdict
+				// structured like any other rejection.
+				s.mPanics.Inc()
+				if s.logger != nil {
+					s.logger.LogAttrs(r.Context(), slog.LevelError, "batch slot panic",
+						slog.Int("doc", i),
+						slog.Any("panic", pe.Value),
+						slog.String("stack", string(pe.Stack)))
+				}
+			}
 			msg := err.Error()
 			resp.Verdicts[i] = &msg
 			resp.Invalid++

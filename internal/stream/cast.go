@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -116,7 +117,16 @@ func (tc *traceCtx) locate(label string, idx int) (path, dewey string) {
 // Validate reads one XML document — assumed valid under the source schema —
 // from r and decides validity under the target schema.
 func (c *Caster) Validate(r io.Reader) (Stats, error) {
-	return c.validate(r, nil)
+	return c.validate(context.Background(), r, nil, Limits{})
+}
+
+// ValidateContext is Validate with cooperative cancellation and resource
+// limits: the walker polls ctx.Done() every cancelCheckEvery tokens (so
+// the hot path stays lock-free and a canceled cast stops within one check
+// interval), and a document exceeding lim's depth or element bounds is
+// rejected with a *LimitError. The zero Limits is unlimited.
+func (c *Caster) ValidateContext(ctx context.Context, r io.Reader, lim Limits) (Stats, error) {
+	return c.validate(ctx, r, nil, lim)
 }
 
 // ValidateTrace is Validate in trace mode: each skim, reject and descend
@@ -124,10 +134,16 @@ func (c *Caster) Validate(r io.Reader) (Stats, error) {
 // (τ, τ') pair. Trace mode allocates path-tracking state the hot path never
 // touches.
 func (c *Caster) ValidateTrace(r io.Reader, tr *telemetry.Trace) (Stats, error) {
-	return c.validate(r, tr)
+	return c.validate(context.Background(), r, tr, Limits{})
 }
 
-func (c *Caster) validate(r io.Reader, tr *telemetry.Trace) (Stats, error) {
+// ValidateTraceContext is ValidateTrace with the cancellation and limit
+// behavior of ValidateContext.
+func (c *Caster) ValidateTraceContext(ctx context.Context, r io.Reader, tr *telemetry.Trace, lim Limits) (Stats, error) {
+	return c.validate(ctx, r, tr, lim)
+}
+
+func (c *Caster) validate(ctx context.Context, r io.Reader, tr *telemetry.Trace, lim Limits) (Stats, error) {
 	var st Stats
 	dec := xml.NewDecoder(r)
 	var stack []*castFrame
@@ -137,8 +153,24 @@ func (c *Caster) validate(r io.Reader, tr *telemetry.Trace) (Stats, error) {
 	if tr != nil {
 		tc = &traceCtx{}
 	}
+	// done is nil for context.Background(), making every cancellation check
+	// a no-op branch; countdown amortizes the channel poll.
+	done := ctx.Done()
+	countdown := cancelCheckEvery
 
 	for {
+		if done != nil {
+			countdown--
+			if countdown <= 0 {
+				countdown = cancelCheckEvery
+				select {
+				case <-done:
+					return st, fmt.Errorf("stream: validation canceled after %d elements: %w",
+						st.ElementsVisited+st.ElementsSkimmed, context.Cause(ctx))
+				default:
+				}
+			}
+		}
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break
@@ -152,6 +184,12 @@ func (c *Caster) validate(r io.Reader, tr *telemetry.Trace) (Stats, error) {
 				skimDepth++
 				st.ElementsSkimmed++
 				st.noteDepth(len(stack) + skimDepth - 1)
+				if err := lim.checkDepth(len(stack) + skimDepth); err != nil {
+					return st, err
+				}
+				if err := lim.checkElements(st.ElementsVisited + st.ElementsSkimmed); err != nil {
+					return st, err
+				}
 				continue
 			}
 			label := t.Name.Local
@@ -223,6 +261,12 @@ func (c *Caster) validate(r io.Reader, tr *telemetry.Trace) (Stats, error) {
 			}
 			st.ElementsVisited++
 			st.noteDepth(len(stack))
+			if err := lim.checkDepth(len(stack) + 1); err != nil {
+				return st, err
+			}
+			if err := lim.checkElements(st.ElementsVisited + st.ElementsSkimmed); err != nil {
+				return st, err
+			}
 			if c.Rel.Subsumed(τ, τp) {
 				st.SubsumedSkips++
 				if tr != nil {

@@ -1,0 +1,52 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/wgen"
+)
+
+// FuzzStreamValidate feeds arbitrary bytes through the streaming caster
+// under the daemon's resource limits. The contract under fuzzing is the
+// fault-containment contract: any input — malformed XML, truncated
+// documents, pathological nesting, binary garbage — must produce a verdict
+// or an error, never a panic, never a hang, and never blow past the
+// configured depth/element limits.
+func FuzzStreamValidate(f *testing.F) {
+	ps := wgen.NewPaperSchemas()
+	c, err := NewCaster(ps.Source1, ps.Target)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seeds from the paper's running example: a valid Figure 1a purchase
+	// order, the billTo-less variant Figure 2 rejects, a truncated
+	// document, an unknown label, deep nesting and plain garbage.
+	valid := poXML(5, true, 99, 1)
+	f.Add([]byte(valid))
+	f.Add([]byte(poXML(5, false, 99, 2)))
+	f.Add([]byte(valid[:len(valid)/2]))
+	f.Add([]byte(`<purchaseOrder><bogus/></purchaseOrder>`))
+	f.Add([]byte(strings.Repeat(`<shipTo>`, 200)))
+	f.Add([]byte(``))
+	f.Add([]byte("\xff\xfe\x00<not xml"))
+
+	const maxDepth, maxElements = 64, 10_000
+	lim := Limits{MaxDepth: maxDepth, MaxElements: maxElements}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := c.ValidateContext(context.Background(), bytes.NewReader(data), lim)
+		// MaxDepth counts open elements; the deepest recorded depth index
+		// is root=0, so the stat may reach the bound but not pass it.
+		if st.MaxDepth >= maxDepth {
+			t.Fatalf("depth limit not enforced: reached %d (limit %d)", st.MaxDepth, maxDepth)
+		}
+		// The element check fires after counting the element that crossed
+		// the bound, so the stat may overshoot by exactly one.
+		if total := st.ElementsVisited + st.ElementsSkimmed; total > maxElements+1 {
+			t.Fatalf("element limit not enforced: consumed %d (limit %d)", total, maxElements)
+		}
+		_ = err // any verdict is acceptable; crashing or hanging is not
+	})
+}

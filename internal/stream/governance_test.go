@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/wgen"
+)
+
+func paperCaster(t *testing.T) *Caster {
+	t.Helper()
+	ps := wgen.NewPaperSchemas()
+	c, err := NewCaster(ps.Source1, ps.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// endlessPO yields an unbounded purchase-order document: a valid prolog
+// followed by item elements forever. The only way a validation of it ends
+// is a limit or a cancellation — which is the point.
+type endlessPO struct {
+	prolog *strings.Reader
+	i      int
+	buf    []byte
+}
+
+func newEndlessPO() *endlessPO {
+	return &endlessPO{prolog: strings.NewReader(
+		`<purchaseOrder orderDate="2004-03-14"><shipTo country="US"><name>a</name>` +
+			`<street>b</street><city>c</city><state>d</state><zip>1</zip></shipTo>` +
+			`<billTo country="US"><name>a</name><street>b</street><city>c</city>` +
+			`<state>d</state><zip>1</zip></billTo><items>`)}
+}
+
+func (e *endlessPO) Read(p []byte) (int, error) {
+	if e.prolog.Len() > 0 {
+		return e.prolog.Read(p)
+	}
+	if len(e.buf) == 0 {
+		e.i++
+		e.buf = []byte(fmt.Sprintf(
+			`<item partNum="p%d"><productName>x</productName><quantity>1</quantity>`+
+				`<USPrice>1.0</USPrice></item>`, e.i))
+	}
+	n := copy(p, e.buf)
+	e.buf = e.buf[n:]
+	return n, nil
+}
+
+// TestCancellationStopsEndlessStream is the acceptance check for the
+// amortized context polls: a cast over a document that never ends must stop
+// within one check interval of the deadline, carrying the context's cause.
+func TestCancellationStopsEndlessStream(t *testing.T) {
+	c := paperCaster(t)
+	cause := errors.New("operator pulled the plug")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+
+	st, err := c.ValidateContext(ctx, newEndlessPO(), Limits{})
+	if err == nil {
+		t.Fatal("canceled cast returned no error")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("error does not carry the cancellation cause: %v", err)
+	}
+	// Pre-canceled context: the walker may consume at most one check
+	// interval of elements before noticing.
+	if total := st.ElementsVisited + st.ElementsSkimmed; total > cancelCheckEvery {
+		t.Fatalf("consumed %d elements after cancellation (check interval %d)", total, cancelCheckEvery)
+	}
+}
+
+// TestBackgroundContextIsFree proves the hot path exemption: a context that
+// can never be canceled must not even arm the countdown, and validation
+// results must match the context-free API.
+func TestBackgroundContextIsFree(t *testing.T) {
+	c := paperCaster(t)
+	doc := poXML(50, true, 99, 3)
+	want, werr := c.Validate(strings.NewReader(doc))
+	got, gerr := c.ValidateContext(context.Background(), strings.NewReader(doc), Limits{})
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("verdicts differ: %v vs %v", werr, gerr)
+	}
+	if want != got {
+		t.Fatalf("stats differ: %+v vs %+v", want, got)
+	}
+}
+
+func TestMaxElementsLimit(t *testing.T) {
+	c := paperCaster(t)
+	lim := Limits{MaxElements: 100}
+	_, err := c.ValidateContext(context.Background(), newEndlessPO(), lim)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if le.Kind != "elements" || le.Limit != 100 {
+		t.Fatalf("wrong limit fired: %+v", le)
+	}
+	// A document inside the budget is untouched by the limit.
+	if _, err := c.ValidateContext(context.Background(), strings.NewReader(poXML(3, true, 99, 4)), lim); err != nil {
+		t.Fatalf("small doc rejected under element limit: %v", err)
+	}
+}
+
+func TestMaxDepthLimit(t *testing.T) {
+	c := paperCaster(t)
+	// Nesting inside a skimmed subtree (shipTo is subsumed) exercises the
+	// skim branch's depth guard — the walker must enforce depth even on
+	// elements it does no validation work for.
+	deep := `<purchaseOrder orderDate="2004-03-14"><shipTo country="US">` +
+		strings.Repeat("<name>", 40) + strings.Repeat("</name>", 40) +
+		`</shipTo></purchaseOrder>`
+	_, err := c.ValidateContext(context.Background(), strings.NewReader(deep), Limits{MaxDepth: 8})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if le.Kind != "depth" || le.Limit != 8 {
+		t.Fatalf("wrong limit fired: %+v", le)
+	}
+	// A generous bound stays invisible.
+	if _, err := c.ValidateContext(context.Background(), strings.NewReader(poXML(3, true, 99, 5)), Limits{MaxDepth: 64}); err != nil {
+		t.Fatalf("shallow doc rejected under depth limit: %v", err)
+	}
+}
+
+// TestReaderErrorSurfaces pins down fault containment at the io boundary: a
+// reader failing mid-document must produce that error, wrapped, not a hang
+// or a panic.
+func TestReaderErrorSurfaces(t *testing.T) {
+	c := paperCaster(t)
+	boom := errors.New("connection reset by chaos")
+	r := io.MultiReader(strings.NewReader(`<purchaseOrder orderDate="2004-03-14">`), errReader{boom})
+	_, err := c.ValidateContext(context.Background(), r, Limits{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("reader error lost: %v", err)
+	}
+}
+
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }

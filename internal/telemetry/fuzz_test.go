@@ -1,0 +1,36 @@
+package telemetry
+
+import "testing"
+
+// FuzzTraceparent hardens the one header castd parses from untrusted
+// clients. Any byte string must either be rejected (ok=false) or decode to
+// a valid span context that survives a format→parse round trip unchanged —
+// and parsing must never panic, since a malformed traceparent is the
+// cheapest possible thing to put on the wire.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01") // forbidden version
+	f.Add("00-00000000000000000000000000000000-b7ad6b7169203331-01") // zero trace id
+	f.Add("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+
+	f.Fuzz(func(t *testing.T, header string) {
+		sc, ok := ParseTraceparent(header)
+		if !ok {
+			if sc != (SpanContext{}) {
+				t.Fatalf("rejected header leaked a non-zero context: %+v", sc)
+			}
+			return
+		}
+		if !sc.IsValid() {
+			t.Fatalf("accepted header produced an invalid context: %+v", sc)
+		}
+		rt, ok2 := ParseTraceparent(FormatTraceparent(sc))
+		if !ok2 || rt != sc {
+			t.Fatalf("round trip not stable: %q -> %+v -> %+v (ok=%v)", header, sc, rt, ok2)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package revalidate
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/stream"
@@ -109,6 +110,18 @@ func (c *StreamCaster) Validate(r io.Reader) (StreamStats, error) {
 	return fromStreamStats(st), err
 }
 
+// ValidateContext is Validate with cooperative cancellation and resource
+// limits: the stream walker polls ctx.Done() with amortized checks (every
+// few hundred tokens), so a canceled or deadline-expired cast stops within
+// one check interval, and a document exceeding lim's depth or element
+// bounds is rejected with a *LimitError. The zero Limits is unlimited.
+// This is the entry point a daemon should use: it bounds what one hostile
+// document or one slow client can cost.
+func (c *StreamCaster) ValidateContext(ctx context.Context, r io.Reader, lim Limits) (StreamStats, error) {
+	st, err := c.c.ValidateContext(ctx, r, lim)
+	return fromStreamStats(st), err
+}
+
 // ValidateTraced is Validate in trace mode: alongside the verdict and
 // statistics it returns the decision trace — one event per skim, reject and
 // descend, in document order. Trace mode allocates; use Validate on hot
@@ -116,6 +129,14 @@ func (c *StreamCaster) Validate(r io.Reader) (StreamStats, error) {
 func (c *StreamCaster) ValidateTraced(r io.Reader) (StreamStats, []TraceEvent, error) {
 	tr := &telemetry.Trace{}
 	st, err := c.c.ValidateTrace(r, tr)
+	return fromStreamStats(st), fromTraceEvents(tr), err
+}
+
+// ValidateTracedContext is ValidateTraced with the cancellation and limit
+// behavior of ValidateContext.
+func (c *StreamCaster) ValidateTracedContext(ctx context.Context, r io.Reader, lim Limits) (StreamStats, []TraceEvent, error) {
+	tr := &telemetry.Trace{}
+	st, err := c.c.ValidateTraceContext(ctx, r, tr, lim)
 	return fromStreamStats(st), fromTraceEvents(tr), err
 }
 
@@ -128,10 +149,21 @@ func (c *StreamCaster) ValidateTraced(r io.Reader) (StreamStats, []TraceEvent, e
 // reader that fails mid-stream fails only its own slot (with the reader's
 // error wrapped), never its siblings.
 func (c *StreamCaster) ValidateAll(rs []io.Reader, workers int) ([]error, StreamStats) {
+	return c.ValidateAllContext(context.Background(), rs, workers, Limits{})
+}
+
+// ValidateAllContext is ValidateAll with fault containment and resource
+// governance: every document runs under the cancellation and limit
+// behavior of ValidateContext, each slot's validation is panic-guarded (a
+// panicking worker yields a *PanicError verdict for its own slot, never
+// crashes the pool), and a canceled batch marks every unclaimed slot with
+// the context's cause instead of consuming its reader.
+func (c *StreamCaster) ValidateAllContext(ctx context.Context, rs []io.Reader, workers int, lim Limits) ([]error, StreamStats) {
 	if len(rs) == 0 {
 		return nil, StreamStats{}
 	}
 	errs := make([]error, len(rs))
+	done := ctx.Done()
 	var total StreamStats
 	runWorkers(len(rs), workers, func(claim func() (int, bool)) {
 		var local StreamStats
@@ -140,7 +172,13 @@ func (c *StreamCaster) ValidateAll(rs []io.Reader, workers int) ([]error, Stream
 			if !ok {
 				break
 			}
-			st, err := c.c.Validate(rs[i])
+			if done != nil && ctx.Err() != nil {
+				errs[i] = context.Cause(ctx)
+				continue
+			}
+			st, err := guardValidate(func() (stream.Stats, error) {
+				return c.c.ValidateContext(ctx, rs[i], lim)
+			})
 			errs[i] = err
 			local.Add(fromStreamStats(st))
 		}
