@@ -21,6 +21,12 @@
 //     more than -max-skip-drop (default 0.02) fails. This is the paper's
 //     actual claim — losing skipped subtrees means the optimization
 //     stopped firing, however fast the runner happens to be.
+//   - allocs/op: scenarios that record steady-state allocations (the
+//     streaming rows) are gated exactly: allocation counts are
+//     deterministic, so any increase beyond -max-alloc-growth (default 0)
+//     fails. This keeps the pooled scanner hot path allocation-free; a
+//     stray conversion or escaped buffer shows up as +1 here long before
+//     it shows up in ns/op.
 //
 // A scenario present in the baseline but missing from the current run
 // also fails: silently dropping a benchmark is how regressions hide.
@@ -42,14 +48,19 @@ type scenario struct {
 	Speedup             float64 `json:"speedup"`
 	SkipRatio           float64 `json:"skipRatio"`
 	SymbolsScannedRatio float64 `json:"symbolsScannedRatio"`
+	AllocsPerOp         int64   `json:"allocsPerOp,omitempty"`
+	BaselineAllocsPerOp int64   `json:"baselineAllocsPerOp,omitempty"`
 }
 
-// limits are the gate thresholds; a row fails when it exceeds either.
+// limits are the gate thresholds; a row fails when it exceeds any.
 type limits struct {
 	// MaxSlowdown is the tolerated fractional ns/op increase (0.25 = +25%).
 	MaxSlowdown float64
 	// MaxSkipDrop is the tolerated absolute skip-ratio decrease.
 	MaxSkipDrop float64
+	// MaxAllocGrowth is the tolerated absolute allocs/op increase for
+	// scenarios whose baseline row records allocations.
+	MaxAllocGrowth int64
 }
 
 // verdict is the comparison result for one baseline scenario.
@@ -89,6 +100,17 @@ func compare(baseline, current []scenario, lim limits) []verdict {
 			v.Failures = append(v.Failures, fmt.Sprintf(
 				"skip ratio %.4f -> %.4f (-%.4f, limit -%.2f)",
 				old.SkipRatio, cur.SkipRatio, drop, lim.MaxSkipDrop))
+		}
+		// Allocation counts are deterministic, so the gate is exact. Only
+		// rows whose baseline recorded allocations participate: a zero in
+		// the baseline means the scenario predates the column (or is a
+		// tree row, where allocations are not a tracked property).
+		if old.AllocsPerOp > 0 {
+			if growth := cur.AllocsPerOp - old.AllocsPerOp; growth > lim.MaxAllocGrowth {
+				v.Failures = append(v.Failures, fmt.Sprintf(
+					"allocs/op %d -> %d (+%d, limit +%d)",
+					old.AllocsPerOp, cur.AllocsPerOp, growth, lim.MaxAllocGrowth))
+			}
 		}
 		out = append(out, v)
 	}
@@ -131,6 +153,7 @@ func main() {
 		currentPath  = flag.String("current", "", "fresh castbench -json output to gate (required)")
 		maxSlowdown  = flag.Float64("max-slowdown", 0.25, "tolerated fractional ns/op increase per scenario")
 		maxSkipDrop  = flag.Float64("max-skip-drop", 0.02, "tolerated absolute skip-ratio decrease per scenario")
+		maxAllocs    = flag.Int64("max-alloc-growth", 0, "tolerated absolute allocs/op increase per scenario")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -149,12 +172,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	lim := limits{MaxSlowdown: *maxSlowdown, MaxSkipDrop: *maxSkipDrop}
+	lim := limits{MaxSlowdown: *maxSlowdown, MaxSkipDrop: *maxSkipDrop, MaxAllocGrowth: *maxAllocs}
 	failed := false
 	for _, v := range compare(baseline, current, lim) {
 		if len(v.Failures) == 0 {
-			fmt.Printf("ok   %-28s ns/op %8d -> %8d  skip %.4f -> %.4f\n",
-				v.Name, v.Old.NsPerOp, v.New.NsPerOp, v.Old.SkipRatio, v.New.SkipRatio)
+			allocs := ""
+			if v.Old.AllocsPerOp > 0 || v.New.AllocsPerOp > 0 {
+				allocs = fmt.Sprintf("  allocs %d -> %d", v.Old.AllocsPerOp, v.New.AllocsPerOp)
+			}
+			fmt.Printf("ok   %-28s ns/op %8d -> %8d  skip %.4f -> %.4f%s\n",
+				v.Name, v.Old.NsPerOp, v.New.NsPerOp, v.Old.SkipRatio, v.New.SkipRatio, allocs)
 			continue
 		}
 		failed = true

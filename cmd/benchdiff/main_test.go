@@ -74,6 +74,32 @@ func TestCompareSpeedupAndSkipGainPass(t *testing.T) {
 	}
 }
 
+func TestCompareAllocGrowthFails(t *testing.T) {
+	base := []scenario{{Name: "a", NsPerOp: 1000, SkipRatio: 0.99, AllocsPerOp: 2}}
+	cur := []scenario{{Name: "a", NsPerOp: 1000, SkipRatio: 0.99, AllocsPerOp: 3}}
+	fs := failuresFor(t, compare(base, cur, lim), "a")
+	if len(fs) != 1 || !strings.Contains(fs[0], "allocs/op") {
+		t.Fatalf("want one allocs/op failure, got %v", fs)
+	}
+	// An equal count passes, and a reduction passes.
+	for _, n := range []int64{1, 2} {
+		cur[0].AllocsPerOp = n
+		if fs := failuresFor(t, compare(base, cur, lim), "a"); len(fs) != 0 {
+			t.Fatalf("allocs/op %d vs baseline 2 flagged: %v", n, fs)
+		}
+	}
+}
+
+func TestCompareAllocGateSkippedWithoutBaseline(t *testing.T) {
+	// Rows whose baseline predates the allocs column (or tree rows, which
+	// never record it) must not be gated on allocations.
+	base := []scenario{row("a", 1000, 0.99)}
+	cur := []scenario{{Name: "a", NsPerOp: 1000, SkipRatio: 0.99, AllocsPerOp: 50}}
+	if fs := failuresFor(t, compare(base, cur, lim), "a"); len(fs) != 0 {
+		t.Fatalf("alloc gate fired without a baseline count: %v", fs)
+	}
+}
+
 func TestExtrasReported(t *testing.T) {
 	base := []scenario{row("a", 1000, 0.99)}
 	cur := []scenario{row("a", 1000, 0.99), row("brand-new", 10, 0.1)}

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	revalidate "repro"
@@ -256,6 +257,7 @@ func runStreaming(ps *wgen.PaperSchemas) {
 		fatal(err)
 	}
 	streamFull := stream.NewValidator(ps.Target)
+	streamFullStd := stream.NewValidator(ps.Target, stream.WithEncodingXML())
 	treeTime := timeIt(func() {
 		doc, err := xmltree.ParseString(string(data))
 		if err != nil {
@@ -275,9 +277,15 @@ func runStreaming(ps *wgen.PaperSchemas) {
 			fatal(err)
 		}
 	})
-	fmt.Printf("  parse + tree cast:        %v per 500-item document\n", treeTime)
-	fmt.Printf("  streaming cast:           %v (O(depth) memory, subsumed subtrees skimmed)\n", scTime)
-	fmt.Printf("  streaming full:           %v\n", sfTime)
+	sfStdTime := timeIt(func() {
+		if _, err := streamFullStd.Validate(bytes.NewReader(data)); err != nil {
+			fatal(err)
+		}
+	})
+	fmt.Printf("  parse + tree cast:             %v per 500-item document\n", treeTime)
+	fmt.Printf("  streaming cast (scanner):      %v (O(depth) memory, subsumed subtrees skimmed)\n", scTime)
+	fmt.Printf("  streaming full (scanner):      %v\n", sfTime)
+	fmt.Printf("  streaming full (encoding/xml): %v\n", sfStdTime)
 	fmt.Println()
 }
 
@@ -403,6 +411,19 @@ type benchScenario struct {
 	// SymbolsScannedRatio is automaton steps over all content-model symbols
 	// seen: < 1 means immediate decisions cut scanning short.
 	SymbolsScannedRatio float64 `json:"symbolsScannedRatio"`
+	// AllocsPerOp is the steady-state heap allocations per validation on
+	// the cast path. Recorded for the streaming scenarios, where the pooled
+	// scanner hot path is a tracked property; omitted (0) for tree rows.
+	AllocsPerOp int64 `json:"allocsPerOp,omitempty"`
+	// BaselineAllocsPerOp is the same measure for the baseline validator.
+	BaselineAllocsPerOp int64 `json:"baselineAllocsPerOp,omitempty"`
+}
+
+// allocsPerOp measures steady-state allocations of one fn call, after a
+// warm-up round so pools are populated.
+func allocsPerOp(fn func()) int64 {
+	fn()
+	return int64(testing.AllocsPerRun(10, fn))
 }
 
 // runJSON times the representative scenarios (Experiment 1, Experiment 2,
@@ -426,24 +447,39 @@ func runJSON(ps *wgen.PaperSchemas, path string) {
 		doc := wgen.PODocument(wgen.PODocOptions{Items: items, IncludeBillTo: true, MaxQuantity: 99, Seed: 2004})
 		out = append(out, treeRow("exp2-cast-vs-full-1000", engine, base, doc))
 	}
-	// Streaming cast vs streaming full on serialized bytes.
+	// Streaming scenarios on serialized bytes. The stream-cast scenario's
+	// baseline is the conventional-tokenizer (encoding/xml) full validator
+	// — the same "full (Xerces-style)" computation the scenario has tracked
+	// since it was introduced, and the comparison the paper makes (cast
+	// engine vs. stock full validation). The byte-level scanner's own
+	// contribution is tracked separately by stream-full-scan-vs-stdxml-500,
+	// so neither win can silently mask a regression in the other.
 	{
 		data := wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 500, IncludeBillTo: true, Seed: 11}))
 		sc, err := stream.NewCaster(ps.Source1, ps.Target)
 		if err != nil {
 			fatal(err)
 		}
-		sf := stream.NewValidator(ps.Target)
-		castTime := timeIt(func() {
+		sfScan := stream.NewValidator(ps.Target)
+		sfStd := stream.NewValidator(ps.Target, stream.WithEncodingXML())
+		castFn := func() {
 			if _, err := sc.Validate(bytes.NewReader(data)); err != nil {
 				fatal(err)
 			}
-		})
-		fullTime := timeIt(func() {
-			if _, err := sf.Validate(bytes.NewReader(data)); err != nil {
+		}
+		scanFullFn := func() {
+			if _, err := sfScan.Validate(bytes.NewReader(data)); err != nil {
 				fatal(err)
 			}
-		})
+		}
+		stdFullFn := func() {
+			if _, err := sfStd.Validate(bytes.NewReader(data)); err != nil {
+				fatal(err)
+			}
+		}
+		castTime := timeIt(castFn)
+		scanFullTime := timeIt(scanFullFn)
+		stdFullTime := timeIt(stdFullFn)
 		st, err := sc.Validate(bytes.NewReader(data))
 		if err != nil {
 			fatal(err)
@@ -451,10 +487,22 @@ func runJSON(ps *wgen.PaperSchemas, path string) {
 		out = append(out, benchScenario{
 			Name:                "stream-cast-vs-full-500",
 			NsPerOp:             castTime.Nanoseconds(),
-			BaselineNsPerOp:     fullTime.Nanoseconds(),
-			Speedup:             float64(fullTime) / float64(castTime),
+			BaselineNsPerOp:     stdFullTime.Nanoseconds(),
+			Speedup:             float64(stdFullTime) / float64(castTime),
 			SkipRatio:           st.WorkSavedRatio(),
 			SymbolsScannedRatio: st.SymbolsScannedRatio(),
+			AllocsPerOp:         allocsPerOp(castFn),
+			BaselineAllocsPerOp: allocsPerOp(stdFullFn),
+		})
+		out = append(out, benchScenario{
+			Name:                "stream-full-scan-vs-stdxml-500",
+			NsPerOp:             scanFullTime.Nanoseconds(),
+			BaselineNsPerOp:     stdFullTime.Nanoseconds(),
+			Speedup:             float64(stdFullTime) / float64(scanFullTime),
+			SkipRatio:           0,
+			SymbolsScannedRatio: 1,
+			AllocsPerOp:         allocsPerOp(scanFullFn),
+			BaselineAllocsPerOp: allocsPerOp(stdFullFn),
 		})
 	}
 

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,9 @@ func main() {
 		streaming  = flag.Bool("stream", false, "validate from the token stream without building a tree (O(depth) memory)")
 		stats      = flag.Bool("stats", false, "print work statistics to stderr")
 		explain    = flag.Bool("explain", false, "print the decision trace (skips, rejects, descends) to stderr; implies a schema cast")
+		maxDepth   = flag.Int("max-depth", 0, "streaming: reject documents nested deeper than this (0 = unlimited)")
+		maxElems   = flag.Int64("max-elements", 0, "streaming: reject documents with more elements than this (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "streaming: abort validation after this duration (0 = none)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xmlcast [-source schema] -target schema [flags] document.xml\n")
@@ -63,7 +67,14 @@ func main() {
 	defer docFile.Close()
 
 	if *streaming {
-		runStreaming(u, target, *sourcePath, *dtdRoot, docFile, *stats, *explain)
+		lim := revalidate.Limits{MaxDepth: *maxDepth, MaxElements: *maxElems}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		runStreaming(ctx, u, target, *sourcePath, *dtdRoot, docFile, lim, *stats, *explain)
 		return
 	}
 	doc, err := revalidate.ParseDocument(docFile)
@@ -126,10 +137,12 @@ func printTrace(trace []revalidate.TraceEvent) {
 }
 
 // runStreaming validates straight off the token stream: full validation
-// without -source, streaming schema cast with it.
-func runStreaming(u *revalidate.Universe, target *revalidate.Schema, sourcePath, dtdRoot string, r *os.File, stats, explain bool) {
+// without -source, streaming schema cast with it. Both modes run governed:
+// the -max-depth/-max-elements/-timeout flags bound what one document can
+// cost, matching the daemon's posture.
+func runStreaming(ctx context.Context, u *revalidate.Universe, target *revalidate.Schema, sourcePath, dtdRoot string, r *os.File, lim revalidate.Limits, stats, explain bool) {
 	if sourcePath == "" {
-		st, err := target.ValidateStream(r)
+		st, err := target.ValidateStreamContext(ctx, r, lim)
 		if stats {
 			fmt.Fprintf(os.Stderr, "streaming full validation: visited=%d steps=%d values=%d\n",
 				st.ElementsVisited, st.AutomatonSteps, st.ValuesChecked)
@@ -148,14 +161,14 @@ func runStreaming(u *revalidate.Universe, target *revalidate.Schema, sourcePath,
 	var st revalidate.StreamStats
 	if explain {
 		var trace []revalidate.TraceEvent
-		st, trace, err = sc.ValidateTraced(r)
+		st, trace, err = sc.ValidateTracedContext(ctx, r, lim)
 		printTrace(trace)
 		fmt.Fprintf(os.Stderr, "explain: %d skips, %d rejects; skimmed %d of %d elements (work saved %.1f%%), scanned %d symbols (skipped %d)\n",
 			st.SubsumedSkips, st.DisjointRejects,
 			st.ElementsSkimmed, st.ElementsVisited+st.ElementsSkimmed, 100*st.WorkSavedRatio(),
 			st.AutomatonSteps, st.SymbolsSkipped)
 	} else {
-		st, err = sc.Validate(r)
+		st, err = sc.ValidateContext(ctx, r, lim)
 	}
 	if stats {
 		fmt.Fprintf(os.Stderr, "streaming schema cast: visited=%d skimmed=%d steps=%d values=%d\n",

@@ -62,6 +62,19 @@ func (a *Alphabet) Lookup(name string) Symbol {
 	return NoSymbol
 }
 
+// LookupBytes is Lookup keyed by raw bytes. The string conversion in the
+// map index compiles to a no-allocation lookup, so byte-level tokenizers
+// can resolve labels without materializing a string per element.
+func (a *Alphabet) LookupBytes(name []byte) Symbol {
+	if a.byName == nil {
+		return NoSymbol
+	}
+	if s, ok := a.byName[string(name)]; ok {
+		return s
+	}
+	return NoSymbol
+}
+
 // Name returns the label string for s. It panics if s is out of range.
 func (a *Alphabet) Name(s Symbol) string {
 	return a.names[s]

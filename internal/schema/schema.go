@@ -158,6 +158,17 @@ func (s *Schema) RootType(label string) TypeID {
 	return NoType
 }
 
+// RootTypeSym is RootType for an already-resolved label symbol.
+func (s *Schema) RootTypeSym(sym fa.Symbol) TypeID {
+	if sym == fa.NoSymbol {
+		return NoType
+	}
+	if id, ok := s.Roots[sym]; ok {
+		return id
+	}
+	return NoType
+}
+
 // Compile validates the schema's internal consistency, checks every content
 // model for 1-unambiguity (the XML Schema UPA constraint / determinism
 // requirement the paper's optimality results rest on), compiles content

@@ -30,16 +30,20 @@ type Caster struct {
 	Rel      *subsume.Relations
 
 	casters *castmap.Table
+	stdXML  bool
 }
 
 // NewCaster preprocesses a compiled (source, target) pair sharing one
-// alphabet.
-func NewCaster(src, dst *schema.Schema) (*Caster, error) {
+// alphabet. By default validation tokenizes with the byte-level scanner
+// (package xmlscan); WithEncodingXML selects the retained encoding/xml
+// path instead.
+func NewCaster(src, dst *schema.Schema, opts ...Option) (*Caster, error) {
 	rel, err := subsume.Compute(src, dst)
 	if err != nil {
 		return nil, err
 	}
-	return &Caster{Src: src, Dst: dst, Rel: rel, casters: castmap.New(src, dst, rel, true)}, nil
+	return &Caster{Src: src, Dst: dst, Rel: rel,
+		casters: castmap.New(src, dst, rel, true), stdXML: buildOptions(opts).stdXML}, nil
 }
 
 // NewCasterFrom builds a streaming caster from preprocessing another
@@ -47,8 +51,8 @@ func NewCaster(src, dst *schema.Schema) (*Caster, error) {
 // compiled (src, dst) pair (e.g. a cast.Engine). The daemon uses this to
 // hold one set of relations and IDAs per schema pair shared by the tree
 // and streaming validation modes.
-func NewCasterFrom(src, dst *schema.Schema, rel *subsume.Relations, table *castmap.Table) *Caster {
-	return &Caster{Src: src, Dst: dst, Rel: rel, casters: table}
+func NewCasterFrom(src, dst *schema.Schema, rel *subsume.Relations, table *castmap.Table, opts ...Option) *Caster {
+	return &Caster{Src: src, Dst: dst, Rel: rel, casters: table, stdXML: buildOptions(opts).stdXML}
 }
 
 // CasterSizes reports the caster's content-model footprint: caster count
@@ -144,11 +148,22 @@ func (c *Caster) ValidateTraceContext(ctx context.Context, r io.Reader, tr *tele
 }
 
 func (c *Caster) validate(ctx context.Context, r io.Reader, tr *telemetry.Trace, lim Limits) (Stats, error) {
+	if c.stdXML {
+		return c.validateStd(ctx, r, tr, lim)
+	}
+	return c.validateScan(ctx, r, tr, lim)
+}
+
+// validateStd is the encoding/xml-backed body of the streaming cast, kept
+// as the reference the differential fuzz targets compare the scanner
+// against.
+func (c *Caster) validateStd(ctx context.Context, r io.Reader, tr *telemetry.Trace, lim Limits) (Stats, error) {
 	var st Stats
 	dec := xml.NewDecoder(r)
 	var stack []*castFrame
 	skimDepth := 0 // >0: inside a subsumed subtree, counting open elements
 	rootSeen := false
+	firstToken := true
 	var tc *traceCtx
 	if tr != nil {
 		tc = &traceCtx{}
@@ -178,18 +193,20 @@ func (c *Caster) validate(ctx context.Context, r io.Reader, tr *telemetry.Trace,
 		if err != nil {
 			return st, fmt.Errorf("stream: %w", err)
 		}
+		isFirst := firstToken
+		firstToken = false
 		switch t := tok.(type) {
 		case xml.StartElement:
 			if skimDepth > 0 {
 				skimDepth++
 				st.ElementsSkimmed++
-				st.noteDepth(len(stack) + skimDepth - 1)
 				if err := lim.checkDepth(len(stack) + skimDepth); err != nil {
 					return st, err
 				}
 				if err := lim.checkElements(st.ElementsVisited + st.ElementsSkimmed); err != nil {
 					return st, err
 				}
+				st.noteDepth(len(stack) + skimDepth - 1)
 				continue
 			}
 			label := t.Name.Local
@@ -260,13 +277,13 @@ func (c *Caster) validate(ctx context.Context, r io.Reader, tr *telemetry.Trace,
 				}
 			}
 			st.ElementsVisited++
-			st.noteDepth(len(stack))
 			if err := lim.checkDepth(len(stack) + 1); err != nil {
 				return st, err
 			}
 			if err := lim.checkElements(st.ElementsVisited + st.ElementsSkimmed); err != nil {
 				return st, err
 			}
+			st.noteDepth(len(stack))
 			if c.Rel.Subsumed(τ, τp) {
 				st.SubsumedSkips++
 				if tr != nil {
@@ -319,6 +336,12 @@ func (c *Caster) validate(ctx context.Context, r io.Reader, tr *telemetry.Trace,
 				skimDepth--
 				continue
 			}
+			if len(stack) == 0 {
+				// Unreachable while encoding/xml enforces tag matching,
+				// but the invariant belongs to the walker, not the
+				// tokenizer.
+				return st, fmt.Errorf("stream: unexpected end element </%s>", t.Name.Local)
+			}
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if tc != nil {
@@ -332,10 +355,22 @@ func (c *Caster) validate(ctx context.Context, r io.Reader, tr *telemetry.Trace,
 				return st, err
 			}
 		case xml.CharData:
-			if skimDepth > 0 || len(stack) == 0 {
+			if skimDepth > 0 {
 				continue
 			}
 			text := string(t)
+			if isFirst {
+				// The scanner path skips a leading byte-order mark;
+				// encoding/xml surfaces it as text. Strip it so both
+				// paths see the same document.
+				text = strings.TrimPrefix(text, "\uFEFF")
+			}
+			if len(stack) == 0 {
+				if strings.TrimSpace(text) == "" {
+					continue // inter-element whitespace around the root
+				}
+				return st, fmt.Errorf("stream: text outside the root element")
+			}
 			f := stack[len(stack)-1]
 			if !f.tD.Simple {
 				if strings.TrimSpace(text) == "" {

@@ -1,0 +1,27 @@
+package stream
+
+// options collects walker construction choices.
+type options struct {
+	stdXML bool
+}
+
+// Option configures a Validator or Caster at construction time.
+type Option func(*options)
+
+// WithEncodingXML selects the encoding/xml tokenizer instead of the
+// default byte-level scanner (package xmlscan). The two paths accept the
+// same documents and produce the same statistics; the encoding/xml path
+// is retained as the reference implementation the differential fuzz
+// targets compare against, and as an escape hatch should a scanner
+// divergence ever surface in production.
+func WithEncodingXML() Option {
+	return func(o *options) { o.stdXML = true }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}

@@ -19,6 +19,7 @@
 package stream
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -107,14 +108,18 @@ func (s *Stats) noteDepth(d int) {
 // Validator performs full streaming validation against one schema.
 type Validator struct {
 	S *schema.Schema
+
+	stdXML bool
 }
 
-// NewValidator returns a streaming validator for a compiled schema.
-func NewValidator(s *schema.Schema) *Validator {
+// NewValidator returns a streaming validator for a compiled schema. By
+// default it tokenizes with the byte-level scanner (package xmlscan);
+// WithEncodingXML selects the retained encoding/xml path instead.
+func NewValidator(s *schema.Schema, opts ...Option) *Validator {
 	if !s.Compiled() {
 		panic("stream: schema must be compiled")
 	}
-	return &Validator{S: s}
+	return &Validator{S: s, stdXML: buildOptions(opts).stdXML}
 }
 
 // frame is the per-open-element state of the full validator.
@@ -126,11 +131,44 @@ type frame struct {
 
 // Validate reads one XML document from r and validates it.
 func (v *Validator) Validate(r io.Reader) (Stats, error) {
+	return v.ValidateContext(context.Background(), r, Limits{})
+}
+
+// ValidateContext is Validate with cooperative cancellation and resource
+// limits, mirroring Caster.ValidateContext: the walker polls ctx.Done()
+// every cancelCheckEvery tokens, and a document exceeding lim's depth or
+// element bounds is rejected with a *LimitError. The zero Limits is
+// unlimited.
+func (v *Validator) ValidateContext(ctx context.Context, r io.Reader, lim Limits) (Stats, error) {
+	if v.stdXML {
+		return v.validateStd(ctx, r, lim)
+	}
+	return v.validateScan(ctx, r, lim)
+}
+
+// validateStd is the encoding/xml-backed body of Validate, kept as the
+// reference the differential fuzz targets compare the scanner against.
+func (v *Validator) validateStd(ctx context.Context, r io.Reader, lim Limits) (Stats, error) {
 	var st Stats
 	dec := xml.NewDecoder(r)
 	var stack []*frame
 	rootSeen := false
+	firstToken := true
+	done := ctx.Done()
+	countdown := cancelCheckEvery
 	for {
+		if done != nil {
+			countdown--
+			if countdown <= 0 {
+				countdown = cancelCheckEvery
+				select {
+				case <-done:
+					return st, fmt.Errorf("stream: validation canceled after %d elements: %w",
+						st.ElementsVisited+st.ElementsSkimmed, context.Cause(ctx))
+				default:
+				}
+			}
+		}
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break
@@ -138,6 +176,8 @@ func (v *Validator) Validate(r io.Reader) (Stats, error) {
 		if err != nil {
 			return st, fmt.Errorf("stream: %w", err)
 		}
+		isFirst := firstToken
+		firstToken = false
 		switch t := tok.(type) {
 		case xml.StartElement:
 			label := t.Name.Local
@@ -172,6 +212,12 @@ func (v *Validator) Validate(r io.Reader) (Stats, error) {
 				}
 			}
 			st.ElementsVisited++
+			if err := lim.checkDepth(len(stack) + 1); err != nil {
+				return st, err
+			}
+			if err := lim.checkElements(st.ElementsVisited); err != nil {
+				return st, err
+			}
 			st.noteDepth(len(stack))
 			tt := v.S.TypeOf(τ)
 			f := &frame{t: tt}
@@ -180,16 +226,31 @@ func (v *Validator) Validate(r io.Reader) (Stats, error) {
 			}
 			stack = append(stack, f)
 		case xml.EndElement:
+			if len(stack) == 0 {
+				// Unreachable while encoding/xml enforces tag matching,
+				// but the invariant belongs to the walker, not the
+				// tokenizer.
+				return st, fmt.Errorf("stream: unexpected end element </%s>", t.Name.Local)
+			}
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if err := v.closeFrame(f, &st); err != nil {
 				return st, err
 			}
 		case xml.CharData:
-			if len(stack) == 0 {
-				continue
-			}
 			text := string(t)
+			if isFirst {
+				// The scanner path skips a leading byte-order mark;
+				// encoding/xml surfaces it as text. Strip it so both
+				// paths see the same document.
+				text = strings.TrimPrefix(text, "\uFEFF")
+			}
+			if len(stack) == 0 {
+				if strings.TrimSpace(text) == "" {
+					continue // inter-element whitespace around the root
+				}
+				return st, fmt.Errorf("stream: text outside the root element")
+			}
 			f := stack[len(stack)-1]
 			if strings.TrimSpace(text) == "" && !f.t.Simple {
 				continue // inter-element whitespace

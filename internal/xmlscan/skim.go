@@ -1,0 +1,146 @@
+package xmlscan
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrSkimDepth reports a subtree that opened more simultaneous elements
+// than SkimLimits.MaxOpen allows.
+var ErrSkimDepth = errors.New("xmlscan: skim depth limit exceeded")
+
+// ErrSkimElements reports a skim that pushed the document's element count
+// past SkimLimits.MaxTotalElements.
+var ErrSkimElements = errors.New("xmlscan: skim element limit exceeded")
+
+// SkimLimits bounds one SkimSubtree call. BaseOpen identifies the subtree:
+// skimming ends when fewer than BaseOpen elements remain open (i.e. the
+// element that was innermost when the skim began has closed). The other
+// fields carry the caller's resource-governance state into the skim so a
+// hostile subtree cannot hide from depth or element limits; zero values
+// are unlimited.
+type SkimLimits struct {
+	// BaseOpen is the scanner's Depth() when the skim begins.
+	BaseOpen int
+	// MaxOpen caps simultaneously open elements (absolute, whole
+	// document); exceeding it stops the skim with ErrSkimDepth.
+	MaxOpen int
+	// MaxTotalElements caps the document's total element count. The skim
+	// adds its own count to BaseElements for the check, and exceeding the
+	// cap stops the skim with ErrSkimElements after counting the element
+	// that crossed it.
+	MaxTotalElements int64
+	// BaseElements is the number of elements the caller had already
+	// counted when the skim began.
+	BaseElements int64
+	// ChunkElements pauses the skim (Done=false) after counting this many
+	// elements in one call, so the caller can amortize cancellation
+	// checks; resume by calling SkimSubtree again with the same BaseOpen.
+	ChunkElements int
+}
+
+// SkimResult reports what one SkimSubtree call consumed.
+type SkimResult struct {
+	// Elements is the number of element start tags consumed by this call.
+	Elements int64
+	// MaxOpen is the largest open-element count reached (absolute), 0 if
+	// no element was opened.
+	MaxOpen int
+	// Done is true when the subtree has fully closed; false means the
+	// call paused at ChunkElements and the skim must be resumed.
+	Done bool
+}
+
+// SkimSubtree consumes the rest of the innermost open subtree — every
+// event through the matching end tag — without producing events. The
+// input is still held to full well-formedness (tag matching, attribute
+// syntax, character range, entity validity), so skimming never accepts
+// bytes the event path would reject; it only skips the per-event
+// bookkeeping. This is the streaming analogue of the tree caster's
+// skipped subtree: the bytes flow, the validation work does not.
+func (s *Scanner) SkimSubtree(lim SkimLimits) (SkimResult, error) {
+	var res SkimResult
+	if s.err != nil {
+		return res, s.err
+	}
+	if s.pendingEnd && len(s.frames) >= lim.BaseOpen {
+		// The subtree root itself was self-closing.
+		s.pendingEnd = false
+		top := s.frames[len(s.frames)-1]
+		s.frames = s.frames[:len(s.frames)-1]
+		s.names = s.names[:top.off]
+	}
+	for len(s.frames) >= lim.BaseOpen {
+		if lim.ChunkElements > 0 && res.Elements >= int64(lim.ChunkElements) {
+			return res, nil
+		}
+		if _, err := s.textRun(false); err != nil {
+			s.err = err
+			return res, err
+		}
+		b, ok := s.getc()
+		if !ok {
+			if s.readErr != io.EOF {
+				s.err = s.readErr
+				return res, s.err
+			}
+			s.err = s.syntaxf("unexpected EOF")
+			return res, s.err
+		}
+		_ = b // always '<': textRun stops only there
+		b, err := s.mustgetc()
+		if err != nil {
+			s.err = err
+			return res, err
+		}
+		switch b {
+		case '/':
+			if _, err := s.endTag(); err != nil {
+				return res, err
+			}
+		case '?':
+			if err := s.procInst(); err != nil {
+				s.err = err
+				return res, err
+			}
+		case '!':
+			isCData, err := s.bang()
+			if err != nil {
+				s.err = err
+				return res, err
+			}
+			if isCData {
+				if err := s.textInto(-1, true, false); err != nil {
+					s.err = err
+					return res, err
+				}
+			}
+		default:
+			s.ungetc()
+			if _, err := s.startTag(); err != nil {
+				return res, err
+			}
+			res.Elements++
+			open := len(s.frames)
+			if lim.MaxOpen > 0 && open > lim.MaxOpen {
+				s.err = ErrSkimDepth
+				return res, s.err
+			}
+			if lim.MaxTotalElements > 0 && lim.BaseElements+res.Elements > lim.MaxTotalElements {
+				s.err = ErrSkimElements
+				return res, s.err
+			}
+			if open > res.MaxOpen {
+				res.MaxOpen = open
+			}
+			if s.pendingEnd {
+				s.pendingEnd = false
+				top := s.frames[len(s.frames)-1]
+				s.frames = s.frames[:len(s.frames)-1]
+				s.names = s.names[:top.off]
+			}
+		}
+	}
+	res.Done = true
+	return res, nil
+}

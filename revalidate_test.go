@@ -1,6 +1,8 @@
 package revalidate
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -552,6 +554,45 @@ func TestStreamingPublicAPI(t *testing.T) {
 	foreign, _ := other.LoadXSDString(wgen.Figure2XSD(false, 100))
 	if _, err := NewStreamCaster(src, foreign); err == nil {
 		t.Fatal("cross-universe stream caster must be rejected")
+	}
+}
+
+func TestValidateStreamContextGovernance(t *testing.T) {
+	_, _, dst := loadPaperPair(t)
+	xml := poDocXML(50, true)
+
+	// The governed variant with generous limits agrees with ValidateStream.
+	st, err := dst.ValidateStreamContext(context.Background(), strings.NewReader(xml),
+		Limits{MaxDepth: 100, MaxElements: 100000})
+	if err != nil {
+		t.Fatalf("governed streaming validation failed: %v", err)
+	}
+	if st.ElementsVisited == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+
+	// An element budget below the document size yields a LimitError.
+	_, err = dst.ValidateStreamContext(context.Background(), strings.NewReader(xml),
+		Limits{MaxElements: 10})
+	var le *LimitError
+	if !errors.As(err, &le) || le.Kind != "elements" {
+		t.Fatalf("want elements LimitError, got %v", err)
+	}
+
+	// A depth cap of 1 rejects any nested document.
+	_, err = dst.ValidateStreamContext(context.Background(), strings.NewReader(xml),
+		Limits{MaxDepth: 1})
+	if !errors.As(err, &le) || le.Kind != "depth" {
+		t.Fatalf("want depth LimitError, got %v", err)
+	}
+
+	// A pre-canceled context stops the validation and surfaces the cause.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dst.ValidateStreamContext(ctx, strings.NewReader(strings.Repeat(" ", 100000)+xml), Limits{}); err == nil {
+		t.Fatal("pre-canceled context must fail")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
 	}
 }
 

@@ -73,7 +73,18 @@ func fromStreamStats(s stream.Stats) StreamStats {
 // building a document tree: memory is proportional to element depth. For
 // revalidation with source-schema knowledge use a StreamCaster.
 func (s *Schema) ValidateStream(r io.Reader) (StreamStats, error) {
-	st, err := stream.NewValidator(s.s).Validate(r)
+	return s.ValidateStreamContext(context.Background(), r, Limits{})
+}
+
+// ValidateStreamContext is ValidateStream with cooperative cancellation
+// and resource limits, mirroring StreamCaster.ValidateContext: the walker
+// polls ctx.Done() with amortized checks, and a document exceeding lim's
+// depth or element bounds is rejected with a *LimitError. The zero Limits
+// is unlimited. Full validation serves untrusted input more often than
+// the cast path does, so governed entry points matter at least as much
+// here.
+func (s *Schema) ValidateStreamContext(ctx context.Context, r io.Reader, lim Limits) (StreamStats, error) {
+	st, err := stream.NewValidator(s.s).ValidateContext(ctx, r, lim)
 	return fromStreamStats(st), err
 }
 
