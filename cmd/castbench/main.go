@@ -13,6 +13,11 @@
 //	-json     machine-readable scenario results written to BENCH_cast.json
 //	-all      everything (default when no flag is given)
 //
+// The -json output additionally times registry-cold-vs-warm-start: one
+// pair compile (relations fixpoints + IDA construction) against loading
+// the same pair from a serialized artifact blob — the economy behind
+// castd's -artifact-dir warm restarts.
+//
 // Wall-clock numbers are machine-dependent; the shapes (constant vs.
 // linear, cast vs. baseline ratios) are what reproduce the paper. The
 // -json output pairs each wall-clock number with the machine-independent
@@ -22,6 +27,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	revalidate "repro"
+	"repro/internal/artifact"
 	"repro/internal/baseline"
 	"repro/internal/cast"
 	"repro/internal/strcast"
@@ -506,6 +514,13 @@ func runJSON(ps *wgen.PaperSchemas, path string) {
 		})
 	}
 
+	// Cold vs. warm registry startup: acquiring one compiled pair by
+	// compiling it (universe load + relation fixpoints + IDA construction)
+	// versus loading its artifact blob from disk (read + decode + schema
+	// re-parse + fingerprint check). The warm path is what castd pays per
+	// pair after a restart with -artifact-dir.
+	out = append(out, artifactStartupRow())
+
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
@@ -519,6 +534,75 @@ func runJSON(ps *wgen.PaperSchemas, path string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "castbench: wrote %d scenarios to %s\n", len(out), path)
+}
+
+// artifactStartupRow times the registry-cold-vs-warm-start scenario on a
+// scaled catalog pair (48 section types a side), large enough that the
+// quadratic per-pair work — the R_sub/R_dis fixpoint plus IDA construction
+// — shows over the per-schema compile both paths share. NsPerOp is the
+// warm path (artifact store load: disk read + decode + deterministic
+// schema re-parse + fingerprint check); BaselineNsPerOp is the cold path
+// (full pair compile); Speedup is the warm restart's advantage, and it
+// grows with schema size because only the pair work is skipped. The
+// work-ratio columns are neutral — no document is validated here.
+func artifactStartupRow() benchScenario {
+	srcText, dstText := wgen.ScaledXSD(48, true, 100), wgen.ScaledXSD(48, false, 100)
+	info := func(text string) artifact.SchemaInfo {
+		h := sha256.Sum256([]byte("xsd\x00\x00" + text))
+		return artifact.SchemaInfo{Format: "xsd", Text: text, Hash: hex.EncodeToString(h[:])}
+	}
+	srcInfo, dstInfo := info(srcText), info(dstText)
+
+	compileOnce := func() *revalidate.Caster {
+		u := revalidate.NewUniverse()
+		ss, err := u.LoadXSDString(srcText)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := u.LoadXSDString(dstText)
+		if err != nil {
+			fatal(err)
+		}
+		c, _, err := revalidate.NewCasterPair(ss, ds)
+		if err != nil {
+			fatal(err)
+		}
+		return c
+	}
+	coldTime := timeIt(func() { compileOnce() })
+
+	dir, err := os.MkdirTemp("", "castbench-artifacts-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := artifact.OpenStore(dir, nil)
+	if err != nil {
+		fatal(err)
+	}
+	caster := compileOnce()
+	blob, err := artifact.Encode(srcInfo, dstInfo, caster, caster.Report())
+	if err != nil {
+		fatal(err)
+	}
+	key := artifact.Key(srcInfo.Hash, dstInfo.Hash)
+	if err := store.Put(key, blob); err != nil {
+		fatal(err)
+	}
+	warmTime := timeIt(func() {
+		if _, err := store.LoadPair(key); err != nil {
+			fatal(err)
+		}
+	})
+
+	return benchScenario{
+		Name:                "registry-cold-vs-warm-start",
+		NsPerOp:             warmTime.Nanoseconds(),
+		BaselineNsPerOp:     coldTime.Nanoseconds(),
+		Speedup:             float64(coldTime) / float64(warmTime),
+		SkipRatio:           0,
+		SymbolsScannedRatio: 1,
+	}
 }
 
 // treeRow times one tree-engine scenario against the full baseline and

@@ -23,6 +23,14 @@
 // head probability (0 disables tracing entirely), and slow (>=
 // -trace-slow) or failed requests are always retained while tracing is on.
 //
+// With -artifact-dir the daemon persists each compiled pair as a
+// content-addressed artifact blob and warms from that directory after a
+// restart with zero recompiles; corrupt or stale blobs are quarantined and
+// recompiled. With -peers (plus -self-url) daemons form a cluster: each
+// pair key has one rendezvous-hash owner, and the other members fetch its
+// compiled artifact (or proxy the first request to it) instead of
+// compiling their own copy.
+//
 // With -pprof the net/http/pprof profiling handlers are mounted under
 // /debug/pprof/ (off by default: profiling endpoints leak heap contents
 // and should never face untrusted clients).
@@ -43,9 +51,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/faultinject"
 	"repro/internal/registry"
 	"repro/internal/server"
@@ -71,6 +81,9 @@ func main() {
 		maxElements  = flag.Int64("max-elements", 10_000_000, "max elements per document, visited plus skimmed; larger documents fail with 422 (0 = unlimited)")
 		maxInFlight  = flag.Int("max-in-flight", 256, "max concurrently admitted work requests; excess requests are shed with 429 + Retry-After (0 = unlimited)")
 		faultSpec    = flag.String("fault-inject", "", "arm fault injection for chaos testing, e.g. \"compile-panic,read-delay=50ms\" (never use in production)")
+		artifactDir  = flag.String("artifact-dir", "", "persist compiled pair artifacts in this directory; a restarted daemon warms from it with zero recompiles (empty = in-memory only)")
+		peersFlag    = flag.String("peers", "", "comma-separated base URLs of every cluster member; each pair is compiled once cluster-wide by its rendezvous-hash owner (empty = standalone)")
+		selfURL      = flag.String("self-url", "", "this instance's base URL as peers address it, e.g. http://10.0.0.1:8347 (required with -peers)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: castd [flags]\n")
@@ -103,10 +116,35 @@ func main() {
 		Capacity:      *traceBuffer,
 	})
 
+	var peers []string
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if *selfURL == "" {
+			fmt.Fprintln(os.Stderr, "castd: -peers requires -self-url so this instance knows which pair keys it owns")
+			os.Exit(2)
+		}
+	}
+
+	var store *artifact.Store
+	if *artifactDir != "" {
+		var err error
+		store, err = artifact.OpenStore(*artifactDir, logger)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "castd: -artifact-dir: %v\n", err)
+			os.Exit(2)
+		}
+		logger.Info("castd: artifact store open", "dir", *artifactDir)
+	}
+
 	reg := registry.New(registry.Config{
 		MaxEntries: *cacheEntries,
 		MaxBytes:   *cacheBytes,
 		Logger:     logger,
+		Store:      store,
 	})
 	if *faultSpec != "" {
 		cfg, err := faultinject.Parse(*faultSpec)
@@ -128,6 +166,8 @@ func main() {
 		MaxDepth:    *maxDepth,
 		MaxElements: *maxElements,
 		MaxInFlight: *maxInFlight,
+		SelfURL:     *selfURL,
+		Peers:       peers,
 	})
 	var handler http.Handler = srv
 	if *pprofOn {

@@ -1,0 +1,45 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzArtifactDecode: arbitrary bytes must error cleanly out of Decode and
+// Inspect — never panic, never allocate proportionally to a hostile length
+// field. To let the fuzzer reach past the CRC gate into the section
+// decoders, each input is also retried with its header rewritten to carry a
+// valid magic, version, length and payload CRC.
+func FuzzArtifactDecode(f *testing.F) {
+	blob := encodeFigPair(f)
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:headerSize])
+	f.Add(blob[:4])
+	f.Add([]byte{})
+	f.Add([]byte("XCAF"))
+	f.Add(append([]byte("XCAF\x01\x00\x00\x00"), make([]byte, 12)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := Decode(data); err == nil {
+			if _, err := Inspect(data); err != nil {
+				t.Fatalf("decodable blob not inspectable: %v", err)
+			}
+		}
+		_, _ = Inspect(data)
+
+		// Re-run with a repaired header so mutations exercise the payload
+		// decoders, not just the CRC check.
+		if len(data) > headerSize {
+			fixed := append([]byte(nil), data...)
+			copy(fixed, magic[:])
+			binary.LittleEndian.PutUint32(fixed[4:], Version)
+			payload := fixed[headerSize:]
+			binary.LittleEndian.PutUint32(fixed[8:], crc32.ChecksumIEEE(payload))
+			binary.LittleEndian.PutUint64(fixed[12:], uint64(len(payload)))
+			_, _ = Decode(fixed)
+			_, _ = Inspect(fixed)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"encoding/json"
+)
+
+// Info is the structural summary Inspect extracts from a blob: everything
+// schemadump prints in -artifact mode. It is built from the parsed sections
+// alone — the schema texts are never re-compiled — so inspection works even
+// on blobs a current build would classify stale.
+type Info struct {
+	Version      int    `json:"version"`
+	TotalBytes   int    `json:"totalBytes"`
+	PayloadBytes int    `json:"payloadBytes"`
+	CRC32        uint32 `json:"crc32"`
+	Key          string `json:"key"`
+
+	Src SchemaSummary `json:"src"`
+	Dst SchemaSummary `json:"dst"`
+
+	AlphabetSize int `json:"alphabetSize"`
+	SrcTypes     int `json:"srcTypes"`
+	DstTypes     int `json:"dstTypes"`
+	// SubsumedPairs and DisjointPairs count set bits of R_sub and cleared
+	// bits of R_nondis, matching subsume.Stats.
+	SubsumedPairs int `json:"subsumedPairs"`
+	DisjointPairs int `json:"disjointPairs"`
+
+	Casters []CasterInfo `json:"casters"`
+	// ProductStates totals c_immed states across all casters — the figure
+	// the registry used to estimate cost before artifacts existed.
+	ProductStates int             `json:"productStates"`
+	Sections      []SectionInfo   `json:"sections"`
+	Report        json.RawMessage `json:"report"`
+}
+
+// SchemaSummary describes one schema of the pair without its text.
+type SchemaSummary struct {
+	Format    string `json:"format"`
+	DTDRoot   string `json:"dtdRoot,omitempty"`
+	Hash      string `json:"hash"`
+	TextBytes int    `json:"textBytes"`
+}
+
+// CasterInfo summarizes one serialized per-type-pair caster.
+type CasterInfo struct {
+	SrcType       int `json:"srcType"`
+	DstType       int `json:"dstType"`
+	ProductStates int `json:"productStates"`
+	TargetStates  int `json:"targetStates"`
+}
+
+// Inspect parses a blob's header and sections into an Info. It validates
+// magic, version, CRC and section structure exactly like Decode but stops
+// short of re-parsing the schema texts.
+func Inspect(blob []byte) (*Info, error) {
+	a, err := parse(blob)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{
+		Version:      Version,
+		TotalBytes:   len(blob),
+		PayloadBytes: len(blob) - headerSize,
+		CRC32:        binary.LittleEndian.Uint32(blob[8:]),
+		Key:          Key(a.src.Hash, a.dst.Hash),
+		Src:          summarize(a.src),
+		Dst:          summarize(a.dst),
+		AlphabetSize: len(a.alphabet),
+		SrcTypes:     a.nSrc,
+		DstTypes:     a.nDst,
+		Sections:     a.sections,
+		Report:       json.RawMessage(a.reportJSON),
+	}
+	for _, v := range a.sub {
+		if v {
+			info.SubsumedPairs++
+		}
+	}
+	for _, v := range a.nondis {
+		if !v {
+			info.DisjointPairs++
+		}
+	}
+	for i := range a.casters {
+		c := &a.casters[i]
+		info.Casters = append(info.Casters, CasterInfo{
+			SrcType:       c.srcType,
+			DstType:       c.dstType,
+			ProductStates: c.pStates,
+			TargetStates:  len(c.bIA),
+		})
+		info.ProductStates += c.pStates
+	}
+	return info, nil
+}
+
+func summarize(in SchemaInfo) SchemaSummary {
+	return SchemaSummary{Format: in.Format, DTDRoot: in.DTDRoot, Hash: in.Hash, TextBytes: len(in.Text)}
+}

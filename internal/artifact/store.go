@@ -1,0 +1,152 @@
+package artifact
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Store is an on-disk blob store for pair artifacts, keyed by Key. Writes
+// are atomic (temp file + rename in the same directory), so a crashed or
+// concurrent writer can never leave a half-written blob under a live key;
+// blobs that fail to decode are quarantined (renamed aside) so one corrupt
+// file cannot re-trip every restart. A Store is safe for concurrent use.
+type Store struct {
+	dir    string
+	logger *slog.Logger
+
+	hits, misses, writes, corrupt atomic.Int64
+}
+
+// StoreStats is a counter snapshot for /metrics.
+type StoreStats struct {
+	// Hits counts blobs found and successfully decoded.
+	Hits int64
+	// Misses counts lookups of keys with no stored blob.
+	Misses int64
+	// Writes counts blobs written through after a compile.
+	Writes int64
+	// Corrupt counts blobs found but rejected (corrupt or stale) and
+	// quarantined.
+	Corrupt int64
+}
+
+// OpenStore opens (creating if needed) an artifact store rooted at dir.
+// logger may be nil.
+func OpenStore(dir string, logger *slog.Logger) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: open store: %w", err)
+	}
+	return &Store{dir: dir, logger: logger}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Writes:  s.writes.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// validKey accepts exactly the lowercase-hex shape Key produces. Keys are
+// used as file names and arrive over the peer-fetch route, so anything else
+// is rejected before it can touch the filesystem.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+".xca") }
+
+// Get returns the raw blob stored under key, or ErrNotFound. No counters
+// move: Get serves the peer-fetch route, not the cache lookup path.
+func (s *Store) Get(key string) ([]byte, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("%w: invalid key %q", ErrNotFound, key)
+	}
+	b, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("artifact: read %s: %w", key, err)
+	}
+	return b, nil
+}
+
+// LoadPair loads and fully decodes the artifact under key. A missing blob
+// counts a miss and returns ErrNotFound; a blob that fails to decode counts
+// a corruption, is quarantined, and returns the decode error; a good blob
+// counts a hit.
+func (s *Store) LoadPair(key string) (*Decoded, error) {
+	blob, err := s.Get(key)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, err
+	}
+	dec, err := Decode(blob)
+	if err != nil {
+		s.corrupt.Add(1)
+		s.quarantine(key, err)
+		return nil, err
+	}
+	s.hits.Add(1)
+	return dec, nil
+}
+
+// quarantine moves a rejected blob aside (key.xca → key.xca.corrupt) so the
+// next lookup misses cleanly and the bytes stay available for forensics.
+func (s *Store) quarantine(key string, cause error) {
+	p := s.path(key)
+	if err := os.Rename(p, p+".corrupt"); err != nil && s.logger != nil {
+		s.logger.Warn("artifact: quarantine failed", "key", key, "error", err)
+		return
+	}
+	if s.logger != nil {
+		s.logger.Warn("artifact: blob quarantined", "key", key, "cause", cause)
+	}
+}
+
+// Put atomically writes blob under key: the bytes land in a temp file in
+// the store directory and are renamed into place, so readers only ever see
+// complete blobs. Overwrites any previous blob under the key.
+func (s *Store) Put(key string, blob []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("artifact: invalid key %q", key)
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: write %s: %w", key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return fmt.Errorf("artifact: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("artifact: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("artifact: write %s: %w", key, err)
+	}
+	s.writes.Add(1)
+	return nil
+}

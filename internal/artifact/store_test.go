@@ -1,0 +1,100 @@
+package artifact
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreMissHitCorrupt(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	blob := encodeFigPair(t)
+	info, err := Inspect(blob)
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	key := info.Key
+
+	// Miss.
+	if _, err := store.LoadPair(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store: want ErrNotFound, got %v", err)
+	}
+	if st := store.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("after miss: %+v", st)
+	}
+
+	// Write-through + hit.
+	if err := store.Put(key, blob); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	dec, err := store.LoadPair(key)
+	if err != nil {
+		t.Fatalf("load after put: %v", err)
+	}
+	if dec.Size != len(blob) {
+		t.Fatalf("decoded size %d, want %d", dec.Size, len(blob))
+	}
+	if st := store.Stats(); st.Hits != 1 || st.Writes != 1 {
+		t.Fatalf("after hit: %+v", st)
+	}
+
+	// Corrupt the stored blob (truncate it): the next load must fail
+	// cleanly, quarantine the file, and count the corruption.
+	path := filepath.Join(store.Dir(), key+".xca")
+	if err := os.Truncate(path, int64(len(blob)/2)); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if _, err := store.LoadPair(key); err == nil {
+		t.Fatal("truncated blob decoded successfully")
+	} else if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated blob: want ErrCorrupt, got %v", err)
+	}
+	if st := store.Stats(); st.Corrupt != 1 {
+		t.Fatalf("after corruption: %+v", st)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt blob still live under its key: %v", err)
+	}
+	// And the key now misses cleanly — a fresh compile can write through.
+	if _, err := store.LoadPair(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after quarantine: want ErrNotFound, got %v", err)
+	}
+	if err := store.Put(key, blob); err != nil {
+		t.Fatalf("re-put after quarantine: %v", err)
+	}
+	if _, err := store.LoadPair(key); err != nil {
+		t.Fatalf("load after re-put: %v", err)
+	}
+}
+
+func TestStoreRejectsHostileKeys(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, key := range []string{"", "..", "../../etc/passwd", "ABCDEF", "short", string(make([]byte, 64))} {
+		if err := store.Put(key, []byte("x")); err == nil {
+			t.Fatalf("Put accepted hostile key %q", key)
+		}
+		if _, err := store.Get(key); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(%q): want ErrNotFound, got %v", key, err)
+		}
+	}
+}
+
+func TestKeyShape(t *testing.T) {
+	k := Key("aaa", "bbb")
+	if !validKey(k) {
+		t.Fatalf("Key produced an invalid key %q", k)
+	}
+	if k == Key("bbb", "aaa") {
+		t.Fatal("key is direction-insensitive; (src,dst) and (dst,src) must differ")
+	}
+}

@@ -65,6 +65,27 @@ func New(src, dst *schema.Schema, opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// Restore assembles an engine from precomputed parts — relations and a
+// caster table deserialized from a stored artifact — without re-running
+// subsume.Compute or rebuilding any content-model automata. The relations
+// must be over exactly this schema pair.
+func Restore(src, dst *schema.Schema, rel *subsume.Relations, table *castmap.Table, opts Options) (*Engine, error) {
+	if rel == nil || table == nil {
+		return nil, fmt.Errorf("cast: Restore: nil relations or caster table")
+	}
+	if rel.Src != src || rel.Dst != dst {
+		return nil, fmt.Errorf("cast: Restore: relations are not over this schema pair")
+	}
+	return &Engine{
+		Src:     src,
+		Dst:     dst,
+		Rel:     rel,
+		opts:    opts,
+		full:    baseline.New(dst),
+		casters: table,
+	}, nil
+}
+
 // MustNew is New that panics on error; for tests and examples.
 func MustNew(src, dst *schema.Schema, opts Options) *Engine {
 	e, err := New(src, dst, opts)

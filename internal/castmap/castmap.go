@@ -131,6 +131,33 @@ func (t *Table) Len() int {
 	return len(t.precomputed) + len(*t.overflow.Load())
 }
 
+// Snapshot returns the table's current contents — the precomputed tier plus
+// every published on-demand pair — as one map copy, for serialization.
+func (t *Table) Snapshot() map[Pair]*strcast.Caster {
+	over := *t.overflow.Load()
+	out := make(map[Pair]*strcast.Caster, len(t.precomputed)+len(over))
+	for p, c := range t.precomputed {
+		out[p] = c
+	}
+	for p, c := range over {
+		out[p] = c
+	}
+	return out
+}
+
+// Restore rebuilds a table whose precomputed tier holds exactly the given
+// casters (typically a deserialized Snapshot), adopting the map. Pairs not
+// present keep the usual on-demand overflow behavior.
+func Restore(src, dst *schema.Schema, casters map[Pair]*strcast.Caster) *Table {
+	if casters == nil {
+		casters = map[Pair]*strcast.Caster{}
+	}
+	t := &Table{src: src, dst: dst, precomputed: casters}
+	empty := map[Pair]*strcast.Caster{}
+	t.overflow.Store(&empty)
+	return t
+}
+
 // Sizes reports the table's footprint: the number of casters held and the
 // total number of c_immed product-IDA states across them. The serving
 // layer's GET /pairs report and the registry's eviction cost estimate both

@@ -116,6 +116,37 @@ func (d *DFA) Widen(numSymbols int) *DFA {
 	return w
 }
 
+// Table exposes the DFA's dense representation — accept flags and the
+// transition table, as copies — for serialization. The layout matches
+// RestoreDFA: trans[state*numSymbols+symbol] is the successor or Dead.
+func (d *DFA) Table() (start int, accept []bool, trans []int32) {
+	return d.start, append([]bool(nil), d.accept...), append([]int32(nil), d.trans...)
+}
+
+// RestoreDFA rebuilds a DFA from its dense representation (the shape Table
+// returns), validating it: len(trans) must equal len(accept)*numSymbols,
+// and the start state and every transition target must be Dead or a valid
+// state id. The slices are adopted, not copied.
+func RestoreDFA(numSymbols, start int, accept []bool, trans []int32) (*DFA, error) {
+	if numSymbols < 0 {
+		return nil, fmt.Errorf("fa: RestoreDFA: negative alphabet size %d", numSymbols)
+	}
+	n := len(accept)
+	if len(trans) != n*numSymbols {
+		return nil, fmt.Errorf("fa: RestoreDFA: transition table has %d entries, want %d states × %d symbols = %d",
+			len(trans), n, numSymbols, n*numSymbols)
+	}
+	if start != Dead && (start < 0 || start >= n) {
+		return nil, fmt.Errorf("fa: RestoreDFA: start state %d out of range [0,%d)", start, n)
+	}
+	for i, t := range trans {
+		if t != Dead && (t < 0 || int(t) >= n) {
+			return nil, fmt.Errorf("fa: RestoreDFA: transition %d targets state %d, out of range [0,%d)", i, t, n)
+		}
+	}
+	return &DFA{numSymbols: numSymbols, start: start, accept: accept, trans: trans}, nil
+}
+
 // Clone returns a deep copy of the DFA.
 func (d *DFA) Clone() *DFA {
 	c := &DFA{

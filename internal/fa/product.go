@@ -1,5 +1,7 @@
 package fa
 
+import "fmt"
+
 // Product is the intersection automaton of two DFAs (EDBT'04 §4.1): it runs
 // both components in parallel and accepts exactly L(a) ∩ L(b). Pair states
 // are materialized lazily (only pairs reachable from (start_a, start_b)),
@@ -35,6 +37,53 @@ func (p *Product) StatePair(s int) (int, int) {
 
 // NumStates returns the number of materialized product states.
 func (p *Product) NumStates() int { return len(p.pairs) }
+
+// PairTable returns the component pairs of every materialized product state
+// as a flat copy: entries 2s and 2s+1 hold the (q_a, q_b) components of
+// product state s. Either component may be Dead. The layout matches
+// RestoreProduct.
+func (p *Product) PairTable() []int32 {
+	out := make([]int32, 0, 2*len(p.pairs))
+	for _, k := range p.pairs {
+		out = append(out, k.a, k.b)
+	}
+	return out
+}
+
+// RestoreProduct rebuilds product bookkeeping from its serialized parts:
+// the two component automata, the product DFA, and the flat pair table
+// PairTable produced. It validates shape — one pair per product state, each
+// component Dead or in range, no both-Dead pair, no duplicate pair — and
+// rebuilds the reverse index.
+func RestoreProduct(a, b, d *DFA, pairTable []int32) (*Product, error) {
+	if a.NumSymbols() != b.NumSymbols() || d.NumSymbols() != a.NumSymbols() {
+		return nil, fmt.Errorf("fa: RestoreProduct: mismatched alphabets (%d, %d, %d)",
+			a.NumSymbols(), b.NumSymbols(), d.NumSymbols())
+	}
+	if len(pairTable) != 2*d.NumStates() {
+		return nil, fmt.Errorf("fa: RestoreProduct: %d pair components for %d product states",
+			len(pairTable), d.NumStates())
+	}
+	p := &Product{A: a, B: b, DFA: d, index: make(map[pair]int, d.NumStates())}
+	for s := 0; s < d.NumStates(); s++ {
+		k := pair{pairTable[2*s], pairTable[2*s+1]}
+		if k.a == Dead && k.b == Dead {
+			return nil, fmt.Errorf("fa: RestoreProduct: product state %d maps to the implicit dead pair", s)
+		}
+		if k.a != Dead && (k.a < 0 || int(k.a) >= a.NumStates()) {
+			return nil, fmt.Errorf("fa: RestoreProduct: product state %d has a-component %d out of range", s, k.a)
+		}
+		if k.b != Dead && (k.b < 0 || int(k.b) >= b.NumStates()) {
+			return nil, fmt.Errorf("fa: RestoreProduct: product state %d has b-component %d out of range", s, k.b)
+		}
+		if _, dup := p.index[k]; dup {
+			return nil, fmt.Errorf("fa: RestoreProduct: duplicate pair (%d,%d)", k.a, k.b)
+		}
+		p.index[k] = s
+		p.pairs = append(p.pairs, k)
+	}
+	return p, nil
+}
 
 // Intersect builds the product automaton of a and b restricted to pairs
 // reachable from (start_a, start_b). Both automata must share the same

@@ -28,6 +28,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"log/slog"
 	"runtime/debug"
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	revalidate "repro"
+	"repro/internal/artifact"
 	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
@@ -83,15 +85,16 @@ type Pair struct {
 	Stream               *revalidate.StreamCaster
 	Report               revalidate.PairReport
 	CompileTime          time.Duration
-	// Cost is the approximate cache footprint charged against the byte
-	// budget: the two schema texts plus an estimate of the compiled
-	// automata (costPerIDAState bytes per c_immed state).
+	// Cost is the cache footprint charged against the byte budget: the
+	// pair's serialized artifact size (schema texts, relation matrices,
+	// product IDAs). Only if encoding fails does it fall back to the old
+	// costPerIDAState estimate.
 	Cost int64
 }
 
 // costPerIDAState approximates the memory of one product-IDA state (dense
-// transition row plus flag bits); the eviction budget is advisory, not an
-// allocator, so a coarse constant is enough.
+// transition row plus flag bits); used only as the Cost fallback when a
+// pair cannot be serialized.
 const costPerIDAState = 64
 
 // UnknownSchemaError reports a lookup of an unregistered schema id.
@@ -122,6 +125,11 @@ type Config struct {
 	MaxEntries int
 	// MaxBytes caps the approximate total Cost of cached pairs.
 	MaxBytes int64
+	// Store, when non-nil, persists compiled pairs as artifacts: lookups go
+	// memory → disk → compile, and every compile (or peer install) writes
+	// its blob through, so a restarted daemon warms from disk with zero
+	// recompiles. Corrupt or stale blobs fall back to a fresh compile.
+	Store *artifact.Store
 	// Logger, when non-nil, receives structured records for cache
 	// lifecycle events: one per eviction (with the victim's content hashes
 	// and byte cost) and one per hot-swap re-registration. Records are
@@ -180,7 +188,8 @@ type pairEntry struct {
 // only map/list bookkeeping; compiles and validations run outside it.
 type Registry struct {
 	cfg    Config
-	logger *slog.Logger // nil when Config.Logger was nil
+	logger *slog.Logger    // nil when Config.Logger was nil
+	store  *artifact.Store // nil when persistence is disabled
 
 	mu      sync.Mutex
 	schemas map[string]*SchemaEntry
@@ -215,11 +224,16 @@ func New(cfg Config) *Registry {
 	return &Registry{
 		cfg:     cfg,
 		logger:  cfg.Logger,
+		store:   cfg.Store,
 		schemas: map[string]*SchemaEntry{},
 		pairs:   map[string]*pairEntry{},
 		lru:     list.New(),
 	}
 }
+
+// Store returns the artifact store the registry reads and writes through
+// to, nil when persistence is disabled.
+func (r *Registry) Store() *artifact.Store { return r.store }
 
 // Register binds id to a schema text, compiling it once standalone so a
 // broken schema is rejected at registration time rather than at first
@@ -298,6 +312,9 @@ const (
 	LookupHit = "hit"
 	// LookupMiss compiled the pair in this call.
 	LookupMiss = "miss"
+	// LookupArtifact loaded the pair from the artifact store instead of
+	// compiling it.
+	LookupArtifact = "artifact"
 	// LookupCoalesce waited on a compile another caller was running.
 	LookupCoalesce = "coalesce"
 )
@@ -365,21 +382,41 @@ func (r *Registry) PairCtx(ctx context.Context, srcID, dstID string) (*Pair, Loo
 	r.misses.Add(1)
 	r.mu.Unlock()
 
-	r.compiles.Add(1)
+	outcome := LookupMiss
+	var err error
 	start := time.Now()
-	pair, err := r.compilePairRecovered(ctx, src, dst)
-	d := time.Since(start)
-	r.compileNS.Add(int64(d))
-	if obs := r.compileObserver.Load(); obs != nil {
-		(*obs)(d.Seconds())
-	}
+	pair := r.loadArtifactPair(ctx, src, dst)
 	if pair != nil {
-		pair.CompileTime = d
+		// Disk hit: the pair is ready without a compile; CompileTime is the
+		// decode/reconstruction wall clock.
+		pair.CompileTime = time.Since(start)
+		outcome = LookupArtifact
+	} else {
+		r.compiles.Add(1)
+		start = time.Now()
+		var blob []byte
+		pair, blob, err = r.compilePairRecovered(ctx, src, dst)
+		d := time.Since(start)
+		r.compileNS.Add(int64(d))
+		if obs := r.compileObserver.Load(); obs != nil {
+			(*obs)(d.Seconds())
+		}
+		if pair != nil {
+			pair.CompileTime = d
+		}
+		if err == nil && blob != nil && r.store != nil {
+			if perr := r.store.Put(artifact.Key(src.Hash, dst.Hash), blob); perr != nil && r.logger != nil {
+				r.logger.LogAttrs(ctx, slog.LevelWarn, "registry: artifact write-through failed",
+					slog.String("src", src.ID),
+					slog.String("dst", dst.ID),
+					slog.String("error", perr.Error()))
+			}
+		}
 	}
 	e.pair, e.err = pair, err
 	close(e.ready)
 
-	lk := Lookup{Outcome: LookupMiss}
+	lk := Lookup{Outcome: outcome}
 	r.mu.Lock()
 	if r.pairs[key] != e {
 		// Evicted while compiling; nothing to account.
@@ -426,7 +463,7 @@ func (r *Registry) logEvictions(ctx context.Context, victims []*pairEntry) {
 // key until process restart. Recovering here turns the panic into an
 // ordinary compile error, which the caller's existing failed-compile path
 // already evicts — so waiters get the error and the next lookup retries.
-func (r *Registry) compilePairRecovered(ctx context.Context, src, dst *SchemaEntry) (pair *Pair, err error) {
+func (r *Registry) compilePairRecovered(ctx context.Context, src, dst *SchemaEntry) (pair *Pair, blob []byte, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			perr := &CompilePanicError{Src: src.ID, Dst: dst.ID, Value: rec, Stack: debug.Stack()}
@@ -438,39 +475,224 @@ func (r *Registry) compilePairRecovered(ctx context.Context, src, dst *SchemaEnt
 					slog.Any("panic", rec),
 					slog.String("stack", string(perr.Stack)))
 			}
-			pair, err = nil, perr
+			pair, blob, err = nil, nil, perr
 		}
 	}()
 	if err := faultinject.Compile(); err != nil {
-		return nil, fmt.Errorf("registry: pair (%q, %q): %w", src.ID, dst.ID, err)
+		return nil, nil, fmt.Errorf("registry: pair (%q, %q): %w", src.ID, dst.ID, err)
 	}
 	return compilePair(src, dst)
 }
 
 // compilePair loads both texts into a fresh universe and preprocesses the
 // pair once (shared relations and caster table for both validation modes).
-func compilePair(src, dst *SchemaEntry) (*Pair, error) {
+// The returned blob is the pair's serialized artifact, ready for the store
+// write-through; encoding it is cheap next to the fixpoints just computed,
+// and its length is the pair's real cache footprint.
+func compilePair(src, dst *SchemaEntry) (*Pair, []byte, error) {
 	u := revalidate.NewUniverse()
 	ss, err := src.load(u)
 	if err != nil {
-		return nil, fmt.Errorf("registry: source %q: %w", src.ID, err)
+		return nil, nil, fmt.Errorf("registry: source %q: %w", src.ID, err)
 	}
 	ds, err := dst.load(u)
 	if err != nil {
-		return nil, fmt.Errorf("registry: target %q: %w", dst.ID, err)
+		return nil, nil, fmt.Errorf("registry: target %q: %w", dst.ID, err)
 	}
 	c, sc, err := revalidate.NewCasterPair(ss, ds)
 	if err != nil {
-		return nil, fmt.Errorf("registry: pair (%q, %q): %w", src.ID, dst.ID, err)
+		return nil, nil, fmt.Errorf("registry: pair (%q, %q): %w", src.ID, dst.ID, err)
 	}
 	report := c.Report()
-	return &Pair{
+	pair := &Pair{
 		Src: src, Dst: dst,
 		SrcSchema: ss, DstSchema: ds,
 		Caster: c, Stream: sc,
 		Report: report,
-		Cost:   int64(src.Bytes+dst.Bytes) + int64(report.IDAStates)*costPerIDAState,
-	}, nil
+	}
+	blob, err := artifact.Encode(src.artifactInfo(), dst.artifactInfo(), c, report)
+	if err != nil {
+		// Unencodable pairs stay servable; charge the old estimate instead.
+		pair.Cost = int64(src.Bytes+dst.Bytes) + int64(report.IDAStates)*costPerIDAState
+		return pair, nil, nil
+	}
+	pair.Cost = int64(len(blob))
+	return pair, blob, nil
+}
+
+// artifactInfo is the schema's identity as the artifact codec carries it.
+func (e *SchemaEntry) artifactInfo() artifact.SchemaInfo {
+	return artifact.SchemaInfo{Format: string(e.Format), DTDRoot: e.DTDRoot, Text: e.Text, Hash: e.Hash}
+}
+
+// loadArtifactPair tries the disk store for the pair's artifact. Any
+// failure — no store, not found, corrupt, stale — returns nil and the
+// caller compiles fresh; the store itself counts the outcome and
+// quarantines corrupt files.
+func (r *Registry) loadArtifactPair(ctx context.Context, src, dst *SchemaEntry) *Pair {
+	if r.store == nil {
+		return nil
+	}
+	dec, err := r.store.LoadPair(artifact.Key(src.Hash, dst.Hash))
+	if err != nil {
+		if !errors.Is(err, artifact.ErrNotFound) && r.logger != nil {
+			r.logger.LogAttrs(ctx, slog.LevelWarn, "registry: artifact load failed, compiling fresh",
+				slog.String("src", src.ID),
+				slog.String("dst", dst.ID),
+				slog.String("error", err.Error()))
+		}
+		return nil
+	}
+	return pairFromDecoded(src, dst, dec)
+}
+
+// pairFromDecoded wraps a decoded artifact as a cache pair; Cost is the
+// blob's real size on the wire.
+func pairFromDecoded(src, dst *SchemaEntry, dec *artifact.Decoded) *Pair {
+	return &Pair{
+		Src: src, Dst: dst,
+		SrcSchema: dec.SrcSchema, DstSchema: dec.DstSchema,
+		Caster: dec.Caster, Stream: dec.Stream,
+		Report: dec.Report,
+		Cost:   int64(dec.Size),
+	}
+}
+
+// CachedPair returns the compiled pair for the current versions of the two
+// schema ids only if it is already in memory and ready — no disk read, no
+// compile, no blocking on an in-flight compile. The cluster router uses it
+// to prefer a warm local copy over peer traffic.
+func (r *Registry) CachedPair(srcID, dstID string) (*Pair, bool) {
+	r.mu.Lock()
+	src, ok := r.schemas[srcID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false
+	}
+	dst, ok := r.schemas[dstID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false
+	}
+	e, ok := r.pairs[src.Hash+"\x00"+dst.Hash]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		r.mu.Unlock()
+		return nil, false
+	}
+	if e.err != nil {
+		r.mu.Unlock()
+		return nil, false
+	}
+	e.hits.Add(1)
+	r.hits.Add(1)
+	r.lru.MoveToFront(e.elem)
+	r.mu.Unlock()
+	return e.pair, true
+}
+
+// InstallArtifact decodes a peer-fetched artifact blob and inserts the pair
+// into the cache under the current versions of the two schema ids, without
+// counting a compile. The blob must address exactly those versions — its
+// embedded content hashes are checked — and is written through to the local
+// store so the pair survives a restart. If the pair landed in the cache
+// concurrently (a racing lookup or install), that copy wins and is
+// returned.
+func (r *Registry) InstallArtifact(ctx context.Context, srcID, dstID string, blob []byte) (*Pair, error) {
+	r.mu.Lock()
+	src, ok := r.schemas[srcID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, &UnknownSchemaError{ID: srcID}
+	}
+	dst, ok := r.schemas[dstID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, &UnknownSchemaError{ID: dstID}
+	}
+	key := src.Hash + "\x00" + dst.Hash
+	if e, ok := r.pairs[key]; ok {
+		r.hits.Add(1)
+		e.hits.Add(1)
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		<-e.ready
+		return e.pair, e.err
+	}
+	r.mu.Unlock()
+
+	start := time.Now()
+	dec, err := artifact.Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("registry: installing artifact for (%q, %q): %w", srcID, dstID, err)
+	}
+	if dec.Src.Hash != src.Hash || dec.Dst.Hash != dst.Hash {
+		return nil, fmt.Errorf("registry: artifact for (%q, %q) addresses different schema content", srcID, dstID)
+	}
+	pair := pairFromDecoded(src, dst, dec)
+	pair.CompileTime = time.Since(start)
+
+	r.mu.Lock()
+	if e, ok := r.pairs[key]; ok {
+		// Raced with a concurrent lookup or install; keep whichever landed.
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		<-e.ready
+		return e.pair, e.err
+	}
+	e := &pairEntry{key: key, srcID: srcID, dstID: dstID, ready: make(chan struct{}), pair: pair, cost: pair.Cost}
+	close(e.ready)
+	e.elem = r.lru.PushFront(e)
+	r.pairs[key] = e
+	r.bytes += e.cost
+	victims := r.evictLocked(e)
+	r.mu.Unlock()
+	r.logEvictions(ctx, victims)
+
+	if r.store != nil {
+		if perr := r.store.Put(artifact.Key(src.Hash, dst.Hash), blob); perr != nil && r.logger != nil {
+			r.logger.LogAttrs(ctx, slog.LevelWarn, "registry: artifact write-through failed",
+				slog.String("src", srcID),
+				slog.String("dst", dstID),
+				slog.String("error", perr.Error()))
+		}
+	}
+	return pair, nil
+}
+
+// ArtifactBlob returns the encoded artifact addressed by key (artifact.Key
+// over the pair's content hashes) for the peer-serving route: from the disk
+// store when it has the blob, else re-encoded from the in-memory pair.
+// Wraps artifact.ErrNotFound when this node holds neither.
+func (r *Registry) ArtifactBlob(key string) ([]byte, error) {
+	if r.store != nil {
+		if blob, err := r.store.Get(key); err == nil {
+			return blob, nil
+		}
+	}
+	r.mu.Lock()
+	var pair *Pair
+	for _, e := range r.pairs {
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.err == nil && e.pair != nil && artifact.Key(e.pair.Src.Hash, e.pair.Dst.Hash) == key {
+			pair = e.pair
+			break
+		}
+	}
+	r.mu.Unlock()
+	if pair == nil {
+		return nil, fmt.Errorf("registry: no artifact under key %s: %w", key, artifact.ErrNotFound)
+	}
+	return artifact.Encode(pair.Src.artifactInfo(), pair.Dst.artifactInfo(), pair.Caster, pair.Report)
 }
 
 // evictLocked drops LRU entries until the budgets hold, never evicting

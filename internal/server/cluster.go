@@ -1,0 +1,231 @@
+// Cluster routing for castd: every compiled (source, target) pair key is
+// owned by exactly one member, chosen by rendezvous hashing over the peer
+// list, so the cluster pays each pair's preprocessing once no matter which
+// node a cast lands on. A non-owner resolves a pair in this order:
+//
+//  1. its own warm cache (a pair already installed serves locally forever);
+//  2. GET /artifacts/{key} from the owner — one blob transfer, after which
+//     this node casts locally at full speed;
+//  3. proxying the whole request to the owner (first request for a pair the
+//     owner has not compiled yet: the proxy makes the owner compile it, and
+//     the next request here succeeds via 2);
+//  4. if the owner is unreachable, compiling locally — availability beats
+//     the once-per-cluster economy when a peer is down.
+//
+// Forwarded requests carry a loop-guard header; a receiving node serves
+// them locally unconditionally, so disagreeing peer lists degrade into an
+// extra compile, never a proxy loop.
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/registry"
+	"repro/internal/telemetry"
+)
+
+// handleArtifact serves GET /artifacts/{key}: the compiled pair blob for a
+// peer (or any client warming a cache). 404 when this node holds neither a
+// stored blob nor an in-memory pair under the key.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.reg.ArtifactBlob(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(blob)
+}
+
+// forwardedHeader marks a request already proxied once; the receiver must
+// answer locally.
+const forwardedHeader = "X-Castd-Forwarded"
+
+// fetchTimeout bounds one artifact fetch from a peer. Blobs are small
+// (schema texts plus automata tables), so a slow fetch means a sick peer —
+// better to fall through to proxy or local compile than to wait.
+const fetchTimeout = 10 * time.Second
+
+// errPeerNotFound reports a clean 404 from the owner: it is alive but has
+// not compiled the pair, so proxying to it is the right next step.
+var errPeerNotFound = errors.New("peer has no artifact")
+
+type cluster struct {
+	self   string
+	peers  []string // normalized; includes self
+	client *http.Client
+}
+
+// newCluster normalizes the peer list; nil (clustering disabled) unless
+// both self and at least one peer are configured.
+func newCluster(self string, peers []string) *cluster {
+	if self == "" || len(peers) == 0 {
+		return nil
+	}
+	c := &cluster{self: normalizePeer(self), client: &http.Client{}}
+	seen := map[string]bool{}
+	for _, p := range append(peers, self) {
+		if p = normalizePeer(p); p != "" && !seen[p] {
+			seen[p] = true
+			c.peers = append(c.peers, p)
+		}
+	}
+	if len(c.peers) < 2 {
+		return nil // a cluster of one routes everything locally anyway
+	}
+	return c
+}
+
+func normalizePeer(u string) string {
+	for len(u) > 0 && u[len(u)-1] == '/' {
+		u = u[:len(u)-1]
+	}
+	return u
+}
+
+// owner picks the pair key's owning peer by rendezvous (highest-random-
+// weight) hashing: every node scores each peer against the key and takes
+// the maximum, so all nodes agree without coordination, and removing one
+// peer only remaps the keys it owned.
+func (c *cluster) owner(key string) string {
+	var best string
+	var bestScore [sha256.Size]byte
+	for _, p := range c.peers {
+		score := sha256.Sum256([]byte(p + "\x00" + key))
+		if best == "" || bytes.Compare(score[:], bestScore[:]) > 0 {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}
+
+// fetchArtifact downloads one blob from the owner. A 404 maps to
+// errPeerNotFound; anything else non-200 or transport-level is a peer
+// error.
+func (c *cluster) fetchArtifact(ctx context.Context, owner, key string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, fetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/artifacts/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, errPeerNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer %s: artifact fetch returned %s", owner, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// clusterPair routes one pair-resolving request ((src, dst) already parsed
+// from the path) through the cluster. Returns (pair, false) when the
+// caller should serve locally with pair; (nil, false) when the caller
+// should fall through to its normal local lookup (owner here, schemas
+// unknown, or owner unreachable); (nil, true) when the response has
+// already been written (proxied, or proxy failure reported).
+func (s *Server) clusterPair(w http.ResponseWriter, r *http.Request, srcID, dstID string) (*registry.Pair, bool) {
+	src, ok := s.reg.Schema(srcID)
+	if !ok {
+		return nil, false // local lookup produces the 404
+	}
+	dst, ok := s.reg.Schema(dstID)
+	if !ok {
+		return nil, false
+	}
+	key := artifact.Key(src.Hash, dst.Hash)
+	owner := s.cluster.owner(key)
+	sp := telemetry.SpanFromContext(r.Context())
+	sp.SetAttr("cluster.owner", owner)
+	if owner == s.cluster.self {
+		return nil, false
+	}
+	if p, ok := s.reg.CachedPair(srcID, dstID); ok {
+		// Installed (or compiled under fallback) earlier: no peer traffic.
+		return p, false
+	}
+
+	blob, err := s.cluster.fetchArtifact(r.Context(), owner, key)
+	switch {
+	case err == nil:
+		p, ierr := s.reg.InstallArtifact(r.Context(), srcID, dstID, blob)
+		if ierr == nil {
+			s.mPeerFetch.Inc()
+			sp.SetAttr("cluster.via", "fetch")
+			return p, false
+		}
+		// A blob this node cannot use (owner on a different build, say):
+		// proxying still gets the client a verdict.
+		s.mPeerErrors.Inc()
+		s.logPeer(r, "artifact install failed, proxying", owner, ierr)
+	case errors.Is(err, errPeerNotFound):
+		// Owner is alive but has not compiled the pair; the proxied request
+		// below makes it compile once for the whole cluster.
+	default:
+		// Owner unreachable: availability wins, compile locally. The pair
+		// lands in this node's cache, so the outage costs one extra compile.
+		s.mPeerErrors.Inc()
+		s.logPeer(r, "peer fetch failed, compiling locally", owner, err)
+		return nil, false
+	}
+
+	s.mPeerForwards.Inc()
+	sp.SetAttr("cluster.via", "proxy")
+	if err := s.proxyToPeer(w, r, owner); err != nil {
+		// The request body may be partially consumed; a local retry could
+		// mis-validate, so report the failure instead.
+		s.mPeerErrors.Inc()
+		s.logPeer(r, "proxy failed", owner, err)
+		writeError(w, http.StatusBadGateway, "proxying to pair owner %s: %v", owner, err)
+	}
+	return nil, true
+}
+
+// proxyToPeer replays the request against the owner and streams the
+// response back. The loop-guard header makes the owner answer locally.
+func (s *Server) proxyToPeer(w http.ResponseWriter, r *http.Request, owner string) error {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		return err
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(forwardedHeader, "1")
+	resp, err := s.cluster.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return nil
+}
+
+func (s *Server) logPeer(r *http.Request, msg, owner string, err error) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelWarn, "cluster: "+msg,
+		slog.String("peer", owner),
+		slog.String("path", r.URL.Path),
+		slog.String("error", err.Error()))
+}

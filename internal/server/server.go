@@ -12,6 +12,7 @@
 //	                              ?explain=1 adds the decision trace)
 //	POST /cast/{src}/{dst}/batch  cast-validate a JSON array of documents
 //	GET  /pairs/{src}/{dst}       static-compatibility report, no document
+//	GET  /artifacts/{key}         compiled pair artifact blob (peer fetch)
 //	GET  /metrics                 Prometheus text exposition
 //	GET  /metrics.json            counter snapshot (JSON)
 //	GET  /debug/traces            retained request traces (JSON; ?format=html)
@@ -52,6 +53,7 @@ import (
 	"time"
 
 	revalidate "repro"
+	"repro/internal/artifact"
 	"repro/internal/faultinject"
 	"repro/internal/registry"
 	"repro/internal/telemetry"
@@ -109,6 +111,17 @@ type Options struct {
 	// cast, batch, pairs). Excess requests wait briefly for a slot and are
 	// then shed with 429 + Retry-After. <= 0 disables admission control.
 	MaxInFlight int
+
+	// SelfURL is this instance's base URL as its peers address it (e.g.
+	// "http://10.0.0.1:8080"). Clustering is enabled only when both SelfURL
+	// and Peers are set.
+	SelfURL string
+	// Peers lists the base URLs of every cluster member (self included;
+	// it is added if missing). Each compiled (source, target) pair key is
+	// owned by one member chosen by rendezvous hashing; a non-owner first
+	// tries to fetch the owner's compiled artifact, then proxies the
+	// request, so the cluster pays each pair's preprocessing once.
+	Peers []string
 }
 
 // Server is the castd HTTP handler. Safe for concurrent use; all shared
@@ -160,6 +173,13 @@ type Server struct {
 	mPanics    *telemetry.Counter   // panics recovered (middleware + batch slots)
 	mShed      *telemetry.Counter   // requests shed with 429
 	mQueueWait *telemetry.Histogram // admission queue wait of admitted requests
+
+	// Cluster state; nil when -peers is unset. The peer counters exist
+	// either way so dashboards see stable zero series on single nodes.
+	cluster       *cluster
+	mPeerForwards *telemetry.Counter
+	mPeerFetch    *telemetry.Counter
+	mPeerErrors   *telemetry.Counter
 }
 
 // New wires the routes over a registry.
@@ -206,6 +226,36 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.mQueueWait = met.Histogram("castd_queue_wait_seconds",
 		"Time admitted requests waited for an in-flight slot.",
 		telemetry.ExponentialBuckets(0.0001, 10, 6))
+
+	// Cluster families: stable zero series when -peers is unset.
+	s.cluster = newCluster(opts.SelfURL, opts.Peers)
+	s.mPeerForwards = met.Counter("castd_peer_forwards_total",
+		"Cast requests proxied whole to the pair's owning peer.")
+	s.mPeerFetch = met.Counter("castd_peer_fetch_total",
+		"Pair artifacts fetched from the owning peer and installed locally.")
+	s.mPeerErrors = met.Counter("castd_peer_errors_total",
+		"Peer fetches, installs or proxies that failed.")
+
+	// Artifact-store families bridge the store's own counters; all zero
+	// when the registry runs without -artifact-dir.
+	storeStats := func() artifact.StoreStats {
+		if st := reg.Store(); st != nil {
+			return st.Stats()
+		}
+		return artifact.StoreStats{}
+	}
+	met.CounterFunc("artifact_store_hits_total",
+		"Artifact-store loads that decoded into a servable pair.",
+		func() float64 { return float64(storeStats().Hits) })
+	met.CounterFunc("artifact_store_misses_total",
+		"Artifact-store lookups that found no blob.",
+		func() float64 { return float64(storeStats().Misses) })
+	met.CounterFunc("artifact_store_writes_total",
+		"Artifact blobs written through to the store.",
+		func() float64 { return float64(storeStats().Writes) })
+	met.CounterFunc("artifact_store_corrupt_total",
+		"Artifact blobs rejected as corrupt or stale and quarantined.",
+		func() float64 { return float64(storeStats().Corrupt) })
 
 	// Registry cache families: the compile histogram is fed by the
 	// registry's observer hook; the counters and gauges bridge to the
@@ -263,6 +313,9 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.route("POST /cast/{src}/{dst}", "cast", true, true, s.handleCast)
 	s.route("POST /cast/{src}/{dst}/batch", "batch", true, true, s.handleBatch)
 	s.route("GET /pairs/{src}/{dst}", "pairs", true, true, s.handlePairs)
+	// Not governed: a saturated owner must still hand blobs to peers, or
+	// overload on one node cascades into cluster-wide recompiles.
+	s.route("GET /artifacts/{key}", "artifact", true, false, s.handleArtifact)
 	s.route("GET /metrics", "metrics", false, false, s.handlePrometheus)
 	s.route("GET /metrics.json", "metrics.json", false, false, s.handleMetricsJSON)
 	s.route("GET /debug/traces", "traces", false, false, s.handleTraces)
@@ -474,6 +527,15 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // waited on another's compile — linked to the compiler's span).
 func (s *Server) pair(w http.ResponseWriter, r *http.Request) (*registry.Pair, bool) {
 	src, dst := r.PathValue("src"), r.PathValue("dst")
+	if s.cluster != nil && r.Header.Get(forwardedHeader) == "" {
+		p, handled := s.clusterPair(w, r, src, dst)
+		if handled {
+			return nil, false
+		}
+		if p != nil {
+			return p, true
+		}
+	}
 	sp := telemetry.SpanFromContext(r.Context()).StartChild("registry.lookup")
 	sp.SetAttr("src", src)
 	sp.SetAttr("dst", dst)

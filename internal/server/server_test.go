@@ -402,6 +402,15 @@ func TestMetricsPrometheus(t *testing.T) {
 		`cast_verdicts_total{verdict="invalid"} 1`,
 		"registry_compiles_total 1",
 		"http_in_flight_requests 1", // this scrape itself is in flight
+		// The artifact-store and peer families exist (at zero) even on a
+		// single node with no -artifact-dir, so dashboards never gap.
+		"artifact_store_hits_total 0",
+		"artifact_store_misses_total 0",
+		"artifact_store_writes_total 0",
+		"artifact_store_corrupt_total 0",
+		"castd_peer_forwards_total 0",
+		"castd_peer_fetch_total 0",
+		"castd_peer_errors_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("missing %q in exposition:\n%s", want, body)

@@ -62,6 +62,35 @@ func New(a, b *fa.DFA) *Caster {
 	}
 }
 
+// Restore rebuilds a Caster from deserialized parts, skipping the
+// DeriveCastIDA/DeriveIDA preprocessing New pays: cImmed must be a
+// full-product IDA over (a, b) and bImmed the target automaton's own IDA
+// (bImmed.D must be b itself, as DeriveIDA guarantees). Reverse-automaton
+// machinery stays lazy, exactly as after New.
+func Restore(a, b *fa.DFA, cImmed, bImmed *fa.IDA) (*Caster, error) {
+	if a.NumSymbols() != b.NumSymbols() {
+		return nil, fmt.Errorf("strcast: Restore: mismatched alphabets (%d vs %d)", a.NumSymbols(), b.NumSymbols())
+	}
+	if cImmed.Pairs == nil {
+		return nil, fmt.Errorf("strcast: Restore: c_immed has no product bookkeeping")
+	}
+	if cImmed.Pairs.A != a || cImmed.Pairs.B != b {
+		return nil, fmt.Errorf("strcast: Restore: c_immed product components are not the caster's automata")
+	}
+	if bImmed.D != b {
+		return nil, fmt.Errorf("strcast: Restore: b_immed is not an IDA over the target automaton")
+	}
+	if len(cImmed.IA) != cImmed.D.NumStates() || len(cImmed.IR) != cImmed.D.NumStates() {
+		return nil, fmt.Errorf("strcast: Restore: c_immed IA/IR sets sized %d/%d for %d states",
+			len(cImmed.IA), len(cImmed.IR), cImmed.D.NumStates())
+	}
+	if len(bImmed.IA) != b.NumStates() || len(bImmed.IR) != b.NumStates() {
+		return nil, fmt.Errorf("strcast: Restore: b_immed IA/IR sets sized %d/%d for %d states",
+			len(bImmed.IA), len(bImmed.IR), b.NumStates())
+	}
+	return &Caster{A: a, B: b, CImmed: cImmed, BImmed: bImmed}, nil
+}
+
 // reverse returns the lazily-built reverse automata.
 func (c *Caster) reverse() (revA *fa.DFA, revCImmed, revBImmed *fa.IDA) {
 	c.revOnce.Do(func() {

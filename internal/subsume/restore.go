@@ -1,0 +1,53 @@
+package subsume
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// Matrices returns deep copies of the R_sub and R_nondis matrices, indexed
+// [sourceType][targetType], for serialization.
+func (r *Relations) Matrices() (sub, nondis [][]bool) {
+	copyMatrix := func(m [][]bool) [][]bool {
+		if len(m) == 0 {
+			return nil
+		}
+		out := boolMatrix(len(m), len(m[0]))
+		for i := range m {
+			copy(out[i], m[i])
+		}
+		return out
+	}
+	return copyMatrix(r.sub), copyMatrix(r.nondis)
+}
+
+// Restore rebuilds Relations from previously computed matrices (the shape
+// Matrices returns) without re-running the fixpoint computations. The
+// schemas must be compiled and share one alphabet, exactly as for Compute;
+// the matrices must be |src.Types| × |dst.Types|. Like Compute, Restore
+// widens both schemas' automata to the shared alphabet so later product
+// operations are well-defined.
+func Restore(src, dst *schema.Schema, sub, nondis [][]bool) (*Relations, error) {
+	if !src.Compiled() || !dst.Compiled() {
+		return nil, errors.New("subsume: schemas must be compiled")
+	}
+	if src.Alpha != dst.Alpha {
+		return nil, errors.New("subsume: schemas must share an alphabet (load them into one Universe)")
+	}
+	ns, nd := len(src.Types), len(dst.Types)
+	for name, m := range map[string][][]bool{"sub": sub, "nondis": nondis} {
+		if len(m) != ns {
+			return nil, fmt.Errorf("subsume: Restore: %s matrix has %d rows, want %d", name, len(m), ns)
+		}
+		for i := range m {
+			if len(m[i]) != nd {
+				return nil, fmt.Errorf("subsume: Restore: %s matrix row %d has %d columns, want %d", name, i, len(m[i]), nd)
+			}
+		}
+	}
+	src.WidenToAlphabet()
+	dst.WidenToAlphabet()
+	return &Relations{Src: src, Dst: dst, sub: sub, nondis: nondis}, nil
+}

@@ -1,6 +1,9 @@
 package wgen
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // XSD-text forms of the paper's schemas. Parsing these through the xsd
 // loader must produce schemas equivalent to the programmatic builders in
@@ -66,4 +69,60 @@ func Figure2XSD(optionalBill bool, quantityMax int) string {
   </xsd:complexType>
 </xsd:schema>
 `, poType, billOccurs, quantityMax)
+}
+
+// ScaledXSD returns a synthetic catalog schema with n section types (2n+1
+// complex types overall), as XSD text. Every section shares its child
+// element names, so the R_sub/R_dis fixpoint does real product-DFA work on
+// each of the (2n+1)² type pairs — the schema to reach for when per-pair
+// preprocessing must dominate a measurement, as in the cold-vs-warm
+// registry startup scenario. optionalNote and quantityMax distinguish a
+// source/target pair the same way Figure2XSD's parameters do: notes
+// optional→required and a tightened quantity facet both force
+// revalidation of the affected subtrees.
+func ScaledXSD(sections int, optionalNote bool, quantityMax int) string {
+	noteOccurs := ""
+	if optionalNote {
+		noteOccurs = ` minOccurs="0"`
+	}
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="catalog" type="Catalog"/>
+
+  <xsd:complexType name="Catalog">
+    <xsd:sequence>
+`)
+	for i := 0; i < sections; i++ {
+		fmt.Fprintf(&b, "      <xsd:element name=\"section%[1]d\" type=\"Section%[1]d\" minOccurs=\"0\"/>\n", i)
+	}
+	b.WriteString(`    </xsd:sequence>
+  </xsd:complexType>
+`)
+	for i := 0; i < sections; i++ {
+		fmt.Fprintf(&b, `
+  <xsd:complexType name="Section%[1]d">
+    <xsd:sequence>
+      <xsd:element name="title" type="xsd:string"/>
+      <xsd:element name="note" type="xsd:string"%[2]s/>
+      <xsd:element name="entry" type="Entry%[1]d" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="Entry%[1]d">
+    <xsd:sequence>
+      <xsd:element name="sku" type="xsd:string"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="%[3]d"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+    </xsd:sequence>
+  </xsd:complexType>
+`, i, noteOccurs, quantityMax+i)
+	}
+	b.WriteString("</xsd:schema>\n")
+	return b.String()
 }

@@ -1,6 +1,7 @@
 package xsd
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -324,6 +325,40 @@ func TestSharedAlphabetCastIntegration(t *testing.T) {
 	for _, s := range []*schema.Schema{src, dst} {
 		if _, err := baseline.New(s).Validate(doc); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+func TestScaledXSDParsesAndRelates(t *testing.T) {
+	const sections = 6
+	alpha := fa.NewAlphabet()
+	src, err := ParseString(wgen.ScaledXSD(sections, true, 100), Options{Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := ParseString(wgen.ScaledXSD(sections, false, 100), Options{Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sections; i++ {
+		for _, name := range []string{"Section", "Entry"} {
+			if src.TypeByName(fmt.Sprintf("%s%d", name, i)) == schema.NoType {
+				t.Fatalf("source missing %s%d", name, i)
+			}
+		}
+	}
+	rel := subsume.MustCompute(src, dst)
+	if rel.Subsumed(src.RootType("catalog"), dst.RootType("catalog")) {
+		t.Fatal("optional-note catalog must not be subsumed by required-note")
+	}
+	// The reverse tightening direction: every required-note section is
+	// subsumed by its optional-note twin, so the swapped pair is a no-op
+	// cast at the section level.
+	relBack := subsume.MustCompute(dst, src)
+	for i := 0; i < sections; i++ {
+		name := fmt.Sprintf("Section%d", i)
+		if !relBack.Subsumed(dst.TypeByName(name), src.TypeByName(name)) {
+			t.Fatalf("%s (required note) should be subsumed by its optional twin", name)
 		}
 	}
 }
