@@ -45,6 +45,7 @@ import (
 	"repro/internal/strcast"
 	"repro/internal/stream"
 	"repro/internal/subsume"
+	"repro/internal/telemetry"
 	"repro/internal/update"
 	"repro/internal/wgen"
 	"repro/internal/xmltree"
@@ -511,6 +512,40 @@ func runJSON(ps *wgen.PaperSchemas, path string) {
 			SymbolsScannedRatio: 1,
 			AllocsPerOp:         allocsPerOp(scanFullFn),
 			BaselineAllocsPerOp: allocsPerOp(stdFullFn),
+		})
+	}
+
+	// Runtime-collector overhead: the same streaming cast with the go_*
+	// health sampler ticking at a deliberately hostile cadence (10ms; the
+	// production default is 10s) versus no sampler at all. NsPerOp is the
+	// sampled run, BaselineNsPerOp the quiet one, so Speedup ≈ 1.0 is the
+	// tracked property — the observability tax on the validate path must
+	// stay in the noise. No alloc columns: testing.AllocsPerRun counts
+	// process-wide allocations, and the concurrent sampler would pollute
+	// them.
+	{
+		data := wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 500, IncludeBillTo: true, Seed: 11}))
+		sc, err := stream.NewCaster(ps.Source1, ps.Target)
+		if err != nil {
+			fatal(err)
+		}
+		castFn := func() {
+			if _, err := sc.Validate(bytes.NewReader(data)); err != nil {
+				fatal(err)
+			}
+		}
+		quietTime := timeIt(castFn)
+		col := telemetry.NewRuntimeCollector(telemetry.NewRegistry(), 10*time.Millisecond)
+		col.Start()
+		sampledTime := timeIt(castFn)
+		col.Stop()
+		out = append(out, benchScenario{
+			Name:                "stream-cast-runtime-sampler-500",
+			NsPerOp:             sampledTime.Nanoseconds(),
+			BaselineNsPerOp:     quietTime.Nanoseconds(),
+			Speedup:             float64(quietTime) / float64(sampledTime),
+			SkipRatio:           0,
+			SymbolsScannedRatio: 1,
 		})
 	}
 

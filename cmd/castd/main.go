@@ -15,6 +15,8 @@
 //	curl localhost:8347/metrics         # Prometheus text exposition
 //	curl localhost:8347/metrics.json    # JSON counter snapshot
 //	curl localhost:8347/debug/traces    # retained request traces (spans)
+//	curl localhost:8347/debug/profiles  # continuous-profiling ring (pprof)
+//	curl localhost:8347/debug/hotpairs  # per-pair cast cost attribution
 //
 // Logging is structured (log/slog); -log-format selects the text or JSON
 // handler. Every record emitted while a request is active carries the
@@ -57,6 +59,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/faultinject"
+	"repro/internal/profiling"
 	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -81,6 +84,14 @@ func main() {
 		maxElements  = flag.Int64("max-elements", 10_000_000, "max elements per document, visited plus skimmed; larger documents fail with 422 (0 = unlimited)")
 		maxInFlight  = flag.Int("max-in-flight", 256, "max concurrently admitted work requests; excess requests are shed with 429 + Retry-After (0 = unlimited)")
 		faultSpec    = flag.String("fault-inject", "", "arm fault injection for chaos testing, e.g. \"compile-panic,read-delay=50ms\" (never use in production)")
+		runtimeIvl   = flag.Duration("runtime-metrics-interval", 10*time.Second, "Go runtime health sampling cadence for the go_* metric families (0 = sample once at startup only)")
+		profRing     = flag.Int("profile-ring", 32, "retained profiles in the /debug/profiles ring")
+		profBaseline = flag.Duration("profile-baseline", 10*time.Minute, "period of the low-rate baseline profile capture (0 = no baseline)")
+		profCPU      = flag.Duration("profile-cpu-duration", 5*time.Second, "CPU profiling window per capture")
+		profLatency  = flag.Duration("profile-latency-threshold", 0, "capture a profile when a work request is at least this slow (0 = trigger off)")
+		profHeap     = flag.Int64("profile-heap-growth", 0, "capture a heap profile when live heap grows by at least this many bytes between checks (0 = trigger off)")
+		hotPairs     = flag.Int("hot-pairs", server.DefaultHotPairK, "schema pairs tracked individually on /metrics and /debug/hotpairs; the rest fold into pair=\"other\" (negative = off)")
+		peerProbe    = flag.Duration("peer-probe-interval", server.DefaultPeerProbeInterval, "peer health probe cadence feeding castd_peer_up (clustered daemons only)")
 		artifactDir  = flag.String("artifact-dir", "", "persist compiled pair artifacts in this directory; a restarted daemon warms from it with zero recompiles (empty = in-memory only)")
 		peersFlag    = flag.String("peers", "", "comma-separated base URLs of every cluster member; each pair is compiled once cluster-wide by its rendezvous-hash owner (empty = standalone)")
 		selfURL      = flag.String("self-url", "", "this instance's base URL as peers address it, e.g. http://10.0.0.1:8347 (required with -peers)")
@@ -156,19 +167,43 @@ func main() {
 		logger.Warn("castd: fault injection armed — this build will fail on purpose",
 			"spec", *faultSpec)
 	}
-	srv := server.New(reg, server.Options{
-		Workers:     *workers,
-		Logger:      logger,
-		AccessLog:   *accessLog,
-		Tracer:      tracer,
-		CastTimeout: *castTimeout,
-		MaxDocBytes: *maxDocBytes,
-		MaxDepth:    *maxDepth,
-		MaxElements: *maxElements,
-		MaxInFlight: *maxInFlight,
-		SelfURL:     *selfURL,
-		Peers:       peers,
+	// The profiling ring captures on a low-rate baseline plus anomaly
+	// triggers; the server feeds it slow-request, shed and panic events.
+	prof := profiling.New(profiling.Options{
+		Capacity:         *profRing,
+		CPUDuration:      *profCPU,
+		BaselineInterval: *profBaseline,
+		LatencyThreshold: *profLatency,
+		HeapGrowth:       *profHeap,
+		Logger:           logger,
 	})
+	prof.Start()
+	defer prof.Stop()
+
+	srv := server.New(reg, server.Options{
+		Workers:           *workers,
+		Logger:            logger,
+		AccessLog:         *accessLog,
+		Tracer:            tracer,
+		CastTimeout:       *castTimeout,
+		MaxDocBytes:       *maxDocBytes,
+		MaxDepth:          *maxDepth,
+		MaxElements:       *maxElements,
+		MaxInFlight:       *maxInFlight,
+		Profiler:          prof,
+		HotPairK:          *hotPairs,
+		PeerProbeInterval: *peerProbe,
+		SelfURL:           *selfURL,
+		Peers:             peers,
+	})
+	defer srv.Close()
+
+	// Runtime health sampling lands on the same /metrics page as the cast
+	// families; one construction-time sample means the first scrape is
+	// never empty.
+	runtimeStats := telemetry.NewRuntimeCollector(srv.Metrics(), *runtimeIvl)
+	runtimeStats.Start()
+	defer runtimeStats.Stop()
 	var handler http.Handler = srv
 	if *pprofOn {
 		// Explicit registrations instead of the package's init-time

@@ -1,0 +1,409 @@
+// Package profiling is castd's continuous-profiling ring: it captures
+// pprof CPU, heap and goroutine profiles on triggers — a periodic low-rate
+// baseline plus anomaly triggers (a request slower than the latency
+// threshold, heap growth beyond a budget between checks, a shed or a
+// recovered panic) — and retains the gzipped protos in a bounded
+// in-memory ring served by GET /debug/profiles.
+//
+// The point is after-the-fact diagnosis: by the time an operator sees a
+// latency spike on a dashboard, the spike is over and `go tool pprof`
+// against a live endpoint sees a healthy process. A trigger that fires
+// *during* the anomaly captures the evidence while it exists.
+//
+// Capture discipline: the runtime allows one CPU profile at a time, so a
+// CompareAndSwap guard drops overlapping CPU requests (counted, never
+// queued — a queued profile would run after the anomaly it was meant to
+// catch). Anomaly triggers share a cooldown so a minute of bad latency
+// produces one profile, not one per request. Everything is stdlib
+// (runtime/pprof); profiles written with debug=0 are already gzipped
+// protobuf, stored as captured.
+package profiling
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"runtime/metrics"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kinds of profile the ring captures.
+const (
+	KindCPU       = "cpu"
+	KindHeap      = "heap"
+	KindGoroutine = "goroutine"
+)
+
+// Triggers recorded on captured profiles.
+const (
+	TriggerBaseline   = "baseline"
+	TriggerLatency    = "latency"
+	TriggerHeapGrowth = "heap-growth"
+	TriggerShed       = "shed"
+	TriggerPanic      = "panic"
+)
+
+// heapMetric is the live heap reading the growth watcher polls; unlike
+// runtime.ReadMemStats it does not stop the world.
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+// Meta describes one retained profile without its bytes.
+type Meta struct {
+	ID      uint64    `json:"id"`
+	Kind    string    `json:"kind"`
+	Trigger string    `json:"trigger"`
+	Taken   time.Time `json:"taken"`
+	// DurationNS is the CPU profiling window; 0 for snapshot kinds.
+	DurationNS int64 `json:"durationNs"`
+	Bytes      int   `json:"bytes"`
+}
+
+// profile is one retained capture.
+type profile struct {
+	Meta
+	data []byte
+}
+
+// Stats counts the profiler's lifetime decisions.
+type Stats struct {
+	// Captured counts profiles successfully taken and admitted to the ring.
+	Captured uint64 `json:"captured"`
+	// Dropped counts captures that never produced a retained profile: CPU
+	// captures skipped because one was already running, captures suppressed
+	// by the anomaly cooldown, failed writes, and ring evictions.
+	Dropped uint64 `json:"dropped"`
+}
+
+// Options configure a Profiler. The zero value is usable: every trigger
+// off, defaults for the ring bounds and CPU window.
+type Options struct {
+	// Capacity bounds the number of retained profiles; <= 0 means 32.
+	Capacity int
+	// MaxBytes bounds the summed size of retained profiles; <= 0 means 64 MiB.
+	MaxBytes int64
+	// CPUDuration is the CPU profiling window; <= 0 means 5s.
+	CPUDuration time.Duration
+	// BaselineInterval is the period of the low-rate baseline capture (one
+	// CPU + heap + goroutine set per tick); <= 0 disables the baseline.
+	BaselineInterval time.Duration
+	// LatencyThreshold arms the latency trigger: an ObserveLatency call at
+	// or above it captures a CPU profile. <= 0 disables the trigger.
+	LatencyThreshold time.Duration
+	// HeapGrowth arms the heap watcher: live heap growing by at least this
+	// many bytes between two checks captures a heap profile. <= 0 disables.
+	HeapGrowth int64
+	// CheckInterval is the heap watcher cadence; <= 0 means 10s.
+	CheckInterval time.Duration
+	// Cooldown is the minimum gap between anomaly-triggered captures
+	// (latency, heap growth, shed, panic — baseline is exempt); <= 0 means
+	// one minute.
+	Cooldown time.Duration
+	// Logger, when non-nil, receives one record per capture and failure.
+	Logger *slog.Logger
+}
+
+// Profiler owns the capture triggers and the bounded ring. All methods are
+// safe on a nil receiver, so a daemon with profiling unconfigured pays nil
+// checks only.
+type Profiler struct {
+	opts Options
+
+	captured, dropped atomic.Uint64
+	cpuRunning        atomic.Bool
+	lastAnomaly       atomic.Int64 // unix nanos of the last anomaly capture
+
+	mu     sync.Mutex
+	ring   []*profile
+	total  int64 // summed data bytes in ring
+	nextID uint64
+
+	startOnce, stopOnce sync.Once
+	stop                chan struct{}
+	done                chan struct{}
+}
+
+// New builds a profiler. Nothing runs until Start.
+func New(opts Options) *Profiler {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 32
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 64 << 20
+	}
+	if opts.CPUDuration <= 0 {
+		opts.CPUDuration = 5 * time.Second
+	}
+	if opts.CheckInterval <= 0 {
+		opts.CheckInterval = 10 * time.Second
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = time.Minute
+	}
+	return &Profiler{
+		opts: opts,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the baseline and heap-watcher loops (only those that are
+// armed). Trigger methods work with or without Start.
+func (p *Profiler) Start() {
+	if p == nil {
+		return
+	}
+	p.startOnce.Do(func() {
+		go p.loop()
+	})
+}
+
+// Stop terminates the background loops and waits for them. Idempotent and
+// safe without Start.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.startOnce.Do(func() { close(p.done) }) // never started: unblock the wait
+		<-p.done
+	})
+}
+
+func (p *Profiler) loop() {
+	defer close(p.done)
+	var baseline, heapCheck <-chan time.Time
+	if p.opts.BaselineInterval > 0 {
+		t := time.NewTicker(p.opts.BaselineInterval)
+		defer t.Stop()
+		baseline = t.C
+	}
+	var prevHeap uint64
+	var heapPrimed bool
+	if p.opts.HeapGrowth > 0 {
+		t := time.NewTicker(p.opts.CheckInterval)
+		defer t.Stop()
+		heapCheck = t.C
+		prevHeap, heapPrimed = liveHeapBytes()
+	}
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-baseline:
+			// The baseline set: a CPU window plus the two cheap snapshots.
+			// Baselines skip the anomaly cooldown — they ARE the low rate.
+			p.CaptureHeap(TriggerBaseline)
+			p.CaptureGoroutine(TriggerBaseline)
+			p.CaptureCPU(TriggerBaseline)
+		case <-heapCheck:
+			cur, ok := liveHeapBytes()
+			if !ok {
+				continue
+			}
+			if heapPrimed && int64(cur)-int64(prevHeap) >= p.opts.HeapGrowth {
+				if p.admitAnomaly() {
+					p.CaptureHeap(TriggerHeapGrowth)
+					p.CaptureGoroutine(TriggerHeapGrowth)
+				}
+			}
+			prevHeap, heapPrimed = cur, true
+		}
+	}
+}
+
+// liveHeapBytes reads the live heap size without stopping the world.
+func liveHeapBytes() (uint64, bool) {
+	s := []metrics.Sample{{Name: heapMetric}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0, false
+	}
+	return s[0].Value.Uint64(), true
+}
+
+// admitAnomaly passes at most one anomaly capture per cooldown window; a
+// denied trigger is counted dropped so a storm of slow requests is visible
+// even though it produces one profile.
+func (p *Profiler) admitAnomaly() bool {
+	now := time.Now().UnixNano()
+	for {
+		last := p.lastAnomaly.Load()
+		if now-last < int64(p.opts.Cooldown) {
+			p.dropped.Add(1)
+			return false
+		}
+		if p.lastAnomaly.CompareAndSwap(last, now) {
+			return true
+		}
+	}
+}
+
+// ObserveLatency feeds one request's duration to the latency trigger: a
+// request at or over the threshold captures a CPU profile of the next
+// window (the anomaly that made THIS request slow is usually still in
+// progress — a compile storm, a saturated scheduler) in a goroutine, so
+// the serving path never blocks on profiling.
+func (p *Profiler) ObserveLatency(d time.Duration) {
+	if p == nil || p.opts.LatencyThreshold <= 0 || d < p.opts.LatencyThreshold {
+		return
+	}
+	if !p.admitAnomaly() {
+		return
+	}
+	go func() {
+		p.CaptureGoroutine(TriggerLatency)
+		p.CaptureCPU(TriggerLatency)
+	}()
+}
+
+// Event reports a shed or panic: cheap snapshot captures under the same
+// anomaly cooldown, asynchronously.
+func (p *Profiler) Event(trigger string) {
+	if p == nil {
+		return
+	}
+	if !p.admitAnomaly() {
+		return
+	}
+	go func() {
+		p.CaptureGoroutine(trigger)
+		p.CaptureHeap(trigger)
+	}()
+}
+
+// CaptureCPU profiles CPU for the configured window and retains the
+// result. Only one CPU profile may run at a time (a runtime restriction);
+// overlapping calls are dropped, not queued.
+func (p *Profiler) CaptureCPU(trigger string) error {
+	if p == nil {
+		return nil
+	}
+	if !p.cpuRunning.CompareAndSwap(false, true) {
+		p.dropped.Add(1)
+		return fmt.Errorf("profiling: a CPU profile is already running")
+	}
+	defer p.cpuRunning.Store(false)
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		// Something else (the /debug/pprof handler, say) holds the runtime's
+		// own single-profile slot.
+		p.dropped.Add(1)
+		p.logf("cpu profile start failed", trigger, err)
+		return err
+	}
+	start := time.Now()
+	select {
+	case <-time.After(p.opts.CPUDuration):
+	case <-p.stop:
+		// Shutting down: finish the profile early rather than abandon it.
+	}
+	pprof.StopCPUProfile()
+	p.retain(KindCPU, trigger, time.Since(start), buf.Bytes())
+	return nil
+}
+
+// CaptureHeap snapshots the heap profile (gzipped proto, debug=0).
+func (p *Profiler) CaptureHeap(trigger string) error { return p.snapshot("heap", KindHeap, trigger) }
+
+// CaptureGoroutine snapshots every goroutine's stack.
+func (p *Profiler) CaptureGoroutine(trigger string) error {
+	return p.snapshot("goroutine", KindGoroutine, trigger)
+}
+
+func (p *Profiler) snapshot(lookup, kind, trigger string) error {
+	if p == nil {
+		return nil
+	}
+	prof := pprof.Lookup(lookup)
+	if prof == nil {
+		p.dropped.Add(1)
+		return fmt.Errorf("profiling: no %q profile in this runtime", lookup)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteTo(&buf, 0); err != nil {
+		p.dropped.Add(1)
+		p.logf(lookup+" profile write failed", trigger, err)
+		return err
+	}
+	p.retain(kind, trigger, 0, buf.Bytes())
+	return nil
+}
+
+// retain admits one capture to the ring, evicting oldest-first to respect
+// both the count and byte bounds.
+func (p *Profiler) retain(kind, trigger string, window time.Duration, data []byte) {
+	p.mu.Lock()
+	p.nextID++
+	pr := &profile{
+		Meta: Meta{
+			ID:         p.nextID,
+			Kind:       kind,
+			Trigger:    trigger,
+			Taken:      time.Now(),
+			DurationNS: window.Nanoseconds(),
+			Bytes:      len(data),
+		},
+		data: data,
+	}
+	p.ring = append(p.ring, pr)
+	p.total += int64(len(data))
+	for len(p.ring) > p.opts.Capacity || (p.total > p.opts.MaxBytes && len(p.ring) > 1) {
+		p.total -= int64(len(p.ring[0].data))
+		p.ring[0] = nil
+		p.ring = p.ring[1:]
+		p.dropped.Add(1)
+	}
+	p.mu.Unlock()
+	p.captured.Add(1)
+	if p.opts.Logger != nil {
+		p.opts.Logger.Info("profiling: captured",
+			"id", pr.ID, "kind", kind, "trigger", trigger, "bytes", len(data))
+	}
+}
+
+func (p *Profiler) logf(msg, trigger string, err error) {
+	if p.opts.Logger != nil {
+		p.opts.Logger.Warn("profiling: "+msg, "trigger", trigger, "error", err.Error())
+	}
+}
+
+// Profiles lists retained profile metadata, newest first. Nil-safe.
+func (p *Profiler) Profiles() []Meta {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Meta, 0, len(p.ring))
+	for i := len(p.ring) - 1; i >= 0; i-- {
+		out = append(out, p.ring[i].Meta)
+	}
+	return out
+}
+
+// Profile returns one retained profile's metadata and bytes. Nil-safe.
+func (p *Profiler) Profile(id uint64) (Meta, []byte, bool) {
+	if p == nil {
+		return Meta{}, nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pr := range p.ring {
+		if pr.ID == id {
+			return pr.Meta, pr.data, true
+		}
+	}
+	return Meta{}, nil, false
+}
+
+// Stats snapshots the capture counters. Nil-safe.
+func (p *Profiler) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{Captured: p.captured.Load(), Dropped: p.dropped.Load()}
+}

@@ -1,0 +1,234 @@
+package profiling
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+	"time"
+)
+
+// newQuick returns a profiler with bounds small enough to exercise
+// eviction and a CPU window short enough for tests.
+func newQuick(opts Options) *Profiler {
+	if opts.CPUDuration == 0 {
+		opts.CPUDuration = 20 * time.Millisecond
+	}
+	if opts.Cooldown == 0 {
+		opts.Cooldown = time.Nanosecond
+	}
+	return New(opts)
+}
+
+func TestSnapshotCapturesAreGzippedPprof(t *testing.T) {
+	p := newQuick(Options{})
+	defer p.Stop()
+	if err := p.CaptureGoroutine(TriggerBaseline); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CaptureHeap(TriggerBaseline); err != nil {
+		t.Fatal(err)
+	}
+	metas := p.Profiles()
+	if len(metas) != 2 {
+		t.Fatalf("got %d profiles, want 2", len(metas))
+	}
+	// Newest first: heap then goroutine.
+	if metas[0].Kind != KindHeap || metas[1].Kind != KindGoroutine {
+		t.Fatalf("unexpected order: %s, %s", metas[0].Kind, metas[1].Kind)
+	}
+	for _, m := range metas {
+		_, data, ok := p.Profile(m.ID)
+		if !ok {
+			t.Fatalf("profile %d not retrievable", m.ID)
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s profile is not gzip: %v", m.Kind, err)
+		}
+		if raw, err := io.ReadAll(zr); err != nil || len(raw) == 0 {
+			t.Fatalf("%s profile gunzip: %v (%d bytes)", m.Kind, err, len(raw))
+		}
+	}
+	if st := p.Stats(); st.Captured != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want 2 captured / 0 dropped", st)
+	}
+}
+
+func TestCPUCaptureGuard(t *testing.T) {
+	p := newQuick(Options{CPUDuration: 200 * time.Millisecond})
+	defer p.Stop()
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		close(started)
+		errc <- p.CaptureCPU(TriggerBaseline)
+	}()
+	<-started
+	// Wait until the first capture holds the guard, then collide with it.
+	deadline := time.Now().Add(time.Second)
+	for !p.cpuRunning.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !p.cpuRunning.Load() {
+		t.Fatal("first CPU capture never started")
+	}
+	if err := p.CaptureCPU(TriggerLatency); err == nil {
+		t.Fatal("overlapping CPU capture should be rejected")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("first CPU capture failed: %v", err)
+	}
+	st := p.Stats()
+	if st.Captured != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 captured / 1 dropped", st)
+	}
+	if metas := p.Profiles(); len(metas) != 1 || metas[0].Kind != KindCPU || metas[0].DurationNS <= 0 {
+		t.Fatalf("unexpected profiles: %+v", metas)
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	p := newQuick(Options{Capacity: 3})
+	defer p.Stop()
+	for i := 0; i < 5; i++ {
+		if err := p.CaptureGoroutine(TriggerBaseline); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metas := p.Profiles()
+	if len(metas) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(metas))
+	}
+	// Oldest evicted: the three newest ids survive.
+	if metas[0].ID != 5 || metas[2].ID != 3 {
+		t.Fatalf("wrong survivors: %+v", metas)
+	}
+	if _, _, ok := p.Profile(1); ok {
+		t.Fatal("evicted profile still retrievable")
+	}
+	st := p.Stats()
+	if st.Captured != 5 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v, want 5 captured / 2 dropped", st)
+	}
+}
+
+func TestRingByteBound(t *testing.T) {
+	p := newQuick(Options{Capacity: 100, MaxBytes: 1})
+	defer p.Stop()
+	p.CaptureGoroutine(TriggerBaseline)
+	p.CaptureGoroutine(TriggerBaseline)
+	// Over the byte budget the ring still keeps the newest capture.
+	if metas := p.Profiles(); len(metas) != 1 || metas[0].ID != 2 {
+		t.Fatalf("byte bound kept %+v, want only id 2", metas)
+	}
+}
+
+func TestLatencyTrigger(t *testing.T) {
+	p := newQuick(Options{LatencyThreshold: 50 * time.Millisecond, CPUDuration: 10 * time.Millisecond})
+	defer p.Stop()
+	p.ObserveLatency(10 * time.Millisecond) // under threshold: ignored
+	if got := p.Profiles(); len(got) != 0 {
+		t.Fatalf("under-threshold latency captured %d profiles", len(got))
+	}
+	p.ObserveLatency(60 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(p.Profiles()) >= 2 { // goroutine snapshot + CPU window
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	metas := p.Profiles()
+	if len(metas) < 2 {
+		t.Fatalf("latency trigger captured %d profiles, want >= 2", len(metas))
+	}
+	for _, m := range metas {
+		if m.Trigger != TriggerLatency {
+			t.Fatalf("wrong trigger on %+v", m)
+		}
+	}
+}
+
+func TestAnomalyCooldown(t *testing.T) {
+	p := New(Options{LatencyThreshold: time.Nanosecond, Cooldown: time.Hour,
+		CPUDuration: 10 * time.Millisecond})
+	defer p.Stop()
+	p.ObserveLatency(time.Second)
+	p.ObserveLatency(time.Second) // within cooldown: dropped
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(p.Profiles()) < 2 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := p.Stats(); st.Dropped == 0 {
+		t.Fatalf("cooldown suppression not counted: %+v", st)
+	}
+	if got := len(p.Profiles()); got != 2 {
+		t.Fatalf("cooldown let %d profiles through, want the first trigger's 2", got)
+	}
+}
+
+func TestBaselineLoop(t *testing.T) {
+	p := newQuick(Options{BaselineInterval: 10 * time.Millisecond, CPUDuration: time.Millisecond})
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && p.Stats().Captured < 3 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if st := p.Stats(); st.Captured < 3 {
+		t.Fatalf("baseline loop captured %d in 2s at 10ms interval", st.Captured)
+	}
+	for _, m := range p.Profiles() {
+		if m.Trigger != TriggerBaseline {
+			t.Fatalf("unexpected trigger %+v", m)
+		}
+	}
+}
+
+func TestHeapGrowthTrigger(t *testing.T) {
+	p := newQuick(Options{HeapGrowth: 1 << 20, CheckInterval: 5 * time.Millisecond})
+	p.Start()
+	defer p.Stop()
+	// Grow the live heap well past the 1 MiB budget and keep it reachable.
+	var sink [][]byte
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && p.Stats().Captured == 0 {
+		sink = append(sink, make([]byte, 1<<20))
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Stats().Captured == 0 {
+		t.Fatal("heap growth trigger never fired")
+	}
+	_ = sink
+	found := false
+	for _, m := range p.Profiles() {
+		if m.Trigger == TriggerHeapGrowth {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no heap-growth profile in %+v", p.Profiles())
+	}
+}
+
+func TestNilProfiler(t *testing.T) {
+	var p *Profiler
+	p.Start()
+	p.ObserveLatency(time.Hour)
+	p.Event(TriggerShed)
+	if err := p.CaptureCPU(TriggerBaseline); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Profiles(); got != nil {
+		t.Fatalf("nil profiler has profiles: %v", got)
+	}
+	if _, _, ok := p.Profile(1); ok {
+		t.Fatal("nil profiler resolved a profile")
+	}
+	if st := p.Stats(); st != (Stats{}) {
+		t.Fatalf("nil profiler stats: %+v", st)
+	}
+	p.Stop()
+}

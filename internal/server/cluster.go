@@ -108,15 +108,44 @@ func (c *cluster) owner(key string) string {
 	return best
 }
 
-// fetchArtifact downloads one blob from the owner. A 404 maps to
-// errPeerNotFound; anything else non-200 or transport-level is a peer
-// error.
+// fetchArtifact downloads one blob from the owner under a client span.
+// The outbound request inherits the caller's context (so the request
+// deadline and a hung-up client cancel the fetch, tightened by
+// fetchTimeout) and carries the span's traceparent — the owner's artifact
+// route joins the same trace, so the cross-node hop shows as one waterfall
+// on /debug/traces. A 404 maps to errPeerNotFound; anything else non-200
+// or transport-level is a peer error.
 func (c *cluster) fetchArtifact(ctx context.Context, owner, key string) ([]byte, error) {
+	sp := telemetry.SpanFromContext(ctx).StartChild("peer.fetch")
+	sp.SetAttr("peer", owner)
+	sp.SetAttr("artifact.key", key)
+	blob, err := c.doFetch(ctx, sp, owner, key)
+	switch {
+	case err == nil:
+		sp.SetAttr("outcome", "ok")
+		sp.SetAttr("artifact.bytes", len(blob))
+	case errors.Is(err, errPeerNotFound):
+		// Not a failure: the owner is alive, it just has not compiled the
+		// pair yet. The span records the outcome without tripping the tail
+		// sampler's always-keep-errors rule.
+		sp.SetAttr("outcome", "not-found")
+	default:
+		sp.SetAttr("outcome", "error")
+		sp.SetError(err.Error())
+	}
+	sp.End()
+	return blob, err
+}
+
+func (c *cluster) doFetch(ctx context.Context, sp *telemetry.Span, owner, key string) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, fetchTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/artifacts/"+key, nil)
 	if err != nil {
 		return nil, err
+	}
+	if sc := sp.Context(); sc.IsValid() {
+		req.Header.Set("traceparent", telemetry.FormatTraceparent(sc))
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -195,29 +224,58 @@ func (s *Server) clusterPair(w http.ResponseWriter, r *http.Request, srcID, dstI
 	return nil, true
 }
 
-// proxyToPeer replays the request against the owner and streams the
-// response back. The loop-guard header makes the owner answer locally.
+// proxyToPeer replays the request against the owner under a client span
+// and streams the response back. The loop-guard header makes the owner
+// answer locally. The outbound request uses the inbound request's context,
+// so the client's deadline and disconnect propagate to the peer call; its
+// traceparent is overwritten with the proxy span's own context (the
+// header clone carries the client's original value, which would make the
+// owner's root span a sibling of ours instead of a child — the waterfall
+// must read client → proxy hop → owner).
 func (s *Server) proxyToPeer(w http.ResponseWriter, r *http.Request, owner string) error {
+	sp := telemetry.SpanFromContext(r.Context()).StartChild("peer.proxy")
+	sp.SetAttr("peer", owner)
+	status, err := s.doProxy(w, r, sp, owner)
+	if err != nil {
+		sp.SetAttr("outcome", "error")
+		sp.SetError(err.Error())
+	} else {
+		sp.SetAttr("outcome", "ok")
+		sp.SetAttr("http.status", status)
+	}
+	sp.End()
+	return err
+}
+
+func (s *Server) doProxy(w http.ResponseWriter, r *http.Request, sp *telemetry.Span, owner string) (int, error) {
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), r.Body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(forwardedHeader, "1")
+	if sc := sp.Context(); sc.IsValid() {
+		req.Header.Set("traceparent", telemetry.FormatTraceparent(sc))
+	}
 	resp, err := s.cluster.client.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	h := w.Header()
 	for k, vs := range resp.Header {
+		if k == "Traceparent" {
+			// The peer's inject would clobber this node's own response
+			// header; the client should see the span it actually talked to.
+			continue
+		}
 		for _, v := range vs {
 			h.Add(k, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
-	return nil
+	return resp.StatusCode, nil
 }
 
 func (s *Server) logPeer(r *http.Request, msg, owner string, err error) {

@@ -48,8 +48,12 @@ func twoNodes(t *testing.T) (urlA, urlB string, regA, regB *registry.Registry) {
 	t.Cleanup(tsB.Close)
 	peers := []string{tsA.URL, tsB.URL}
 	regA, regB = registry.New(registry.Config{}), registry.New(registry.Config{})
-	lhA.set(New(regA, Options{SelfURL: tsA.URL, Peers: peers}))
-	lhB.set(New(regB, Options{SelfURL: tsB.URL, Peers: peers}))
+	srvA, srvB := New(regA, Options{SelfURL: tsA.URL, Peers: peers}),
+		New(regB, Options{SelfURL: tsB.URL, Peers: peers})
+	t.Cleanup(srvA.Close) // stop the peer probers, not just the listeners
+	t.Cleanup(srvB.Close)
+	lhA.set(srvA)
+	lhB.set(srvB)
 	return tsA.URL, tsB.URL, regA, regB
 }
 
@@ -217,7 +221,9 @@ func TestClusterOwnerUnreachable(t *testing.T) {
 	ts := httptest.NewServer(lh)
 	t.Cleanup(ts.Close)
 	reg := registry.New(registry.Config{})
-	lh.set(New(reg, Options{SelfURL: ts.URL, Peers: []string{ts.URL, deadURL}}))
+	srv := New(reg, Options{SelfURL: ts.URL, Peers: []string{ts.URL, deadURL}})
+	t.Cleanup(srv.Close)
+	lh.set(srv)
 	registerFigSchemas(t, ts.URL)
 
 	// Find a pair the dead peer owns; sweep distinct source schemas until

@@ -1,0 +1,65 @@
+// Diagnostics endpoints: the continuous-profiling ring and the hot-pair
+// attribution table. Both are observability routes — untraced (reading
+// diagnostics must not fill the rings being read) and ungoverned (a
+// saturated node is exactly the one an operator needs to profile).
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/hotpair"
+	"repro/internal/profiling"
+)
+
+// profilesBody is the GET /debug/profiles response.
+type profilesBody struct {
+	// Enabled is false when the daemon runs without a profiler; the list is
+	// then necessarily empty.
+	Enabled  bool             `json:"enabled"`
+	Stats    profiling.Stats  `json:"stats"`
+	Profiles []profiling.Meta `json:"profiles"`
+}
+
+// handleProfiles lists the retained profiles, newest first.
+func (s *Server) handleProfiles(w http.ResponseWriter, _ *http.Request) {
+	body := profilesBody{
+		Enabled:  s.profiler != nil,
+		Stats:    s.profiler.Stats(),
+		Profiles: s.profiler.Profiles(),
+	}
+	if body.Profiles == nil {
+		body.Profiles = []profiling.Meta{}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleProfile downloads one retained profile: a gzipped pprof proto,
+// exactly as runtime/pprof wrote it, ready for `go tool pprof`.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "profile id must be an integer: %v", err)
+		return
+	}
+	meta, data, ok := s.profiler.Profile(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no retained profile %d (the ring may have evicted it)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("castd-%s-%s-%d.pb.gz", meta.Kind, meta.Trigger, meta.ID)))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// handleHotpairs serves the ranked per-pair attribution table.
+func (s *Server) handleHotpairs(w http.ResponseWriter, _ *http.Request) {
+	snap := s.hotPairs.Snapshot()
+	if snap.Tracked == nil {
+		snap.Tracked = []hotpair.Entry{}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}

@@ -49,12 +49,15 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	revalidate "repro"
 	"repro/internal/artifact"
 	"repro/internal/faultinject"
+	"repro/internal/hotpair"
+	"repro/internal/profiling"
 	"repro/internal/registry"
 	"repro/internal/telemetry"
 )
@@ -111,6 +114,21 @@ type Options struct {
 	// cast, batch, pairs). Excess requests wait briefly for a slot and are
 	// then shed with 429 + Retry-After. <= 0 disables admission control.
 	MaxInFlight int
+
+	// Profiler, when non-nil, receives the server's capture triggers (slow
+	// requests, sheds, recovered panics) and serves its ring on
+	// /debug/profiles. The caller owns its lifecycle (Start/Stop); a nil
+	// profiler leaves the endpoints mounted but empty.
+	Profiler *profiling.Profiler
+	// HotPairK bounds per-pair cast attribution to the K costliest schema
+	// pairs (plus an `other` overflow bucket) on /metrics and
+	// /debug/hotpairs. 0 means DefaultHotPairK; negative disables tracking.
+	HotPairK int
+
+	// PeerProbeInterval is the cadence of the background peer health prober
+	// feeding castd_peer_up; <= 0 means DefaultPeerProbeInterval. Only
+	// meaningful with clustering enabled.
+	PeerProbeInterval time.Duration
 
 	// SelfURL is this instance's base URL as its peers address it (e.g.
 	// "http://10.0.0.1:8080"). Clustering is enabled only when both SelfURL
@@ -180,7 +198,26 @@ type Server struct {
 	mPeerForwards *telemetry.Counter
 	mPeerFetch    *telemetry.Counter
 	mPeerErrors   *telemetry.Counter
+
+	// Diagnostics: the profile ring's triggers, and bounded per-pair cast
+	// attribution. Both are nil-safe no-ops when unconfigured.
+	profiler *profiling.Profiler
+	hotPairs *hotpair.Tracker
+
+	// Peer health prober state; nil channels when not clustered.
+	proberStop chan struct{}
+	proberDone chan struct{}
+	closeOnce  sync.Once
 }
+
+// DefaultHotPairK is the hot-pair attribution bound when Options.HotPairK
+// is zero: generous enough for a real schema portfolio, small enough that
+// the K+1 label sets never threaten a Prometheus server.
+const DefaultHotPairK = 32
+
+// DefaultPeerProbeInterval is the peer health probe cadence when
+// Options.PeerProbeInterval is unset.
+const DefaultPeerProbeInterval = 5 * time.Second
 
 // New wires the routes over a registry.
 func New(reg *registry.Registry, opts Options) *Server {
@@ -235,6 +272,32 @@ func New(reg *registry.Registry, opts Options) *Server {
 		"Pair artifacts fetched from the owning peer and installed locally.")
 	s.mPeerErrors = met.Counter("castd_peer_errors_total",
 		"Peer fetches, installs or proxies that failed.")
+	// Peer liveness from the background prober. Standalone daemons render
+	// the family with no series (HELP/TYPE only): the label space is the
+	// peer list, and a standalone node has none.
+	peerUp := met.GaugeVec("castd_peer_up",
+		"1 when the peer answered its last health probe, 0 otherwise.", "peer")
+	if s.cluster != nil {
+		s.startProber(peerUp, opts.PeerProbeInterval)
+	}
+
+	// Continuous-profiling ring: capture counters bridge the profiler's own
+	// atomics and read zero while no profiler is configured.
+	s.profiler = opts.Profiler
+	met.CounterFunc("castd_profiles_captured_total",
+		"Profiles captured into the /debug/profiles ring.",
+		func() float64 { return float64(s.profiler.Stats().Captured) })
+	met.CounterFunc("castd_profiles_dropped_total",
+		"Profile captures dropped: ring evictions, cooldown suppressions, overlapping CPU requests.",
+		func() float64 { return float64(s.profiler.Stats().Dropped) })
+
+	// Hot-pair attribution, bounded to K+1 label sets per family.
+	hotK := opts.HotPairK
+	if hotK == 0 {
+		hotK = DefaultHotPairK
+	}
+	s.hotPairs = hotpair.New(hotK) // nil (disabled) when hotK < 0
+	s.hotPairs.Register(met)
 
 	// Artifact-store families bridge the store's own counters; all zero
 	// when the registry runs without -artifact-dir.
@@ -320,8 +383,82 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.route("GET /metrics.json", "metrics.json", false, false, s.handleMetricsJSON)
 	s.route("GET /debug/traces", "traces", false, false, s.handleTraces)
 	s.route("GET /debug/traces/{id}", "trace", false, false, s.handleTrace)
+	s.route("GET /debug/profiles", "profiles", false, false, s.handleProfiles)
+	s.route("GET /debug/profiles/{id}", "profile", false, false, s.handleProfile)
+	s.route("GET /debug/hotpairs", "hotpairs", false, false, s.handleHotpairs)
 	s.route("GET /healthz", "healthz", false, false, s.handleHealthz)
 	return s
+}
+
+// startProber launches the background peer health loop: every peer except
+// self gets a castd_peer_up series (resolved once, zero until its first
+// probe) refreshed by a GET /healthz round each interval. Probes use a
+// context deadline, not the shared client's Timeout, so they never
+// interfere with fetch/proxy calls on the same client.
+func (s *Server) startProber(up *telemetry.GaugeVec, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultPeerProbeInterval
+	}
+	type target struct {
+		url   string
+		gauge *telemetry.Gauge
+	}
+	var targets []target
+	for _, p := range s.cluster.peers {
+		if p != s.cluster.self {
+			targets = append(targets, target{url: p, gauge: up.With(p)})
+		}
+	}
+	s.proberStop = make(chan struct{})
+	s.proberDone = make(chan struct{})
+	probe := func() {
+		for _, t := range targets {
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url+"/healthz", nil)
+			alive := false
+			if err == nil {
+				if resp, rerr := s.cluster.client.Do(req); rerr == nil {
+					// Draining peers answer 503: alive for TCP purposes but
+					// about to leave — stop counting on them, like an LB would.
+					alive = resp.StatusCode == http.StatusOK
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			cancel()
+			if alive {
+				t.gauge.Set(1)
+			} else {
+				t.gauge.Set(0)
+			}
+		}
+	}
+	go func() {
+		defer close(s.proberDone)
+		probe() // immediately, so castd_peer_up converges at startup
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				probe()
+			case <-s.proberStop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the server's background goroutines (the peer prober; the
+// handler itself is stateless). Idempotent; does not drain in-flight
+// requests — that is http.Server.Shutdown's job.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.proberStop != nil {
+			close(s.proberStop)
+			<-s.proberDone
+		}
+	})
 }
 
 // buildIdentity reads the build's Go version and VCS revision; "unknown"
@@ -417,6 +554,11 @@ func (s *Server) route(pattern, name string, traced, governed bool, h http.Handl
 		d := time.Since(start)
 		duration.Observe(d.Seconds())
 		s.httpRequests.With(name, strconv.Itoa(sw.status)).Inc()
+		if governed {
+			// Latency anomaly trigger: only work routes feed it — a slow
+			// scrape of /debug/traces is not the hot path's problem.
+			s.profiler.ObserveLatency(d)
+		}
 
 		span.SetAttr("http.status", sw.status)
 		if sw.status >= http.StatusInternalServerError {
@@ -451,6 +593,9 @@ func (s *Server) serve(sw *statusWriter, r *http.Request, governed bool, h http.
 			panic(rec) // stdlib convention for deliberately aborting a response
 		}
 		s.mPanics.Inc()
+		// A recovered panic is exactly when a goroutine + heap snapshot is
+		// worth having: the wreckage is still on the other goroutines.
+		s.profiler.Event(profiling.TriggerPanic)
 		if s.logger != nil {
 			s.logger.LogAttrs(r.Context(), slog.LevelError, "handler panic",
 				slog.String("path", r.URL.Path),
@@ -469,6 +614,7 @@ func (s *Server) serve(sw *statusWriter, r *http.Request, governed bool, h http.
 		wait := time.Now()
 		if !s.acquire(r.Context()) {
 			s.mShed.Inc()
+			s.profiler.Event(profiling.TriggerShed)
 			sw.Header().Set("Retry-After", "1")
 			writeError(sw, http.StatusTooManyRequests,
 				"server is at its -max-in-flight capacity; retry after a short backoff")
@@ -681,6 +827,24 @@ func toStatsBody(st revalidate.StreamStats) streamStatsBody {
 	}
 }
 
+// recordPair attributes one cast's wall-clock cost and work economy to its
+// schema pair in the bounded hot-pair table. The label is the pair
+// artifact key's first 12 hex digits: content-addressed (stable across
+// nodes and schema renames) and short enough for dashboards.
+func (s *Server) recordPair(p *registry.Pair, d time.Duration, st revalidate.StreamStats, casts int64) {
+	if s.hotPairs == nil || p == nil || p.Src == nil || p.Dst == nil {
+		return
+	}
+	key := artifact.Key(p.Src.Hash, p.Dst.Hash)[:12]
+	s.hotPairs.Observe(key, p.Src.ID, p.Dst.ID, hotpair.Stats{
+		Casts:           casts,
+		Seconds:         d.Seconds(),
+		ElementsVisited: st.ElementsVisited,
+		ElementsSkimmed: st.ElementsSkimmed,
+		SubsumedSkips:   st.SubsumedSkips,
+	})
+}
+
 // recordStats folds one request's streaming work into the cumulative
 // counters (legacy JSON atomics and Prometheus families) and returns the
 // per-request JSON body. One call per request — the engines never touch
@@ -735,11 +899,13 @@ func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
 		trace []revalidate.TraceEvent
 		err   error
 	)
+	castStart := time.Now()
 	if explain {
 		st, trace, err = p.Stream.ValidateTracedContext(ctx, body, s.limits)
 	} else {
 		st, err = p.Stream.ValidateContext(ctx, body, s.limits)
 	}
+	s.recordPair(p, time.Since(castStart), st, 1)
 	annotateCastSpan(sp, st, trace, err)
 	sp.End()
 	if status, governed := governanceStatus(err); governed {
@@ -847,7 +1013,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.SpanFromContext(r.Context()).StartChild("cast.batch")
 	sp.SetAttr("docs", len(docs))
 	sp.SetAttr("workers", workers)
+	castStart := time.Now()
 	kept, st := p.Stream.ValidateAllContext(ctx, readers, workers, s.limits)
+	s.recordPair(p, time.Since(castStart), st, int64(len(keep)))
 	for j, i := range keep {
 		errs[i] = kept[j]
 	}

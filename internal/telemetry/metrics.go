@@ -112,6 +112,23 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.add(v)
 }
 
+// ObserveN records n observations of the same value v in one shot. The
+// bulk path exists for bridging pre-aggregated histograms (runtime/metrics
+// publishes sched-latency buckets that can gain millions of events between
+// samples); n <= 0 is a no-op.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	h.sum.add(v * float64(n))
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -18,13 +18,15 @@ const (
 	histogramKind
 	counterFuncKind
 	gaugeFuncKind
+	counterSamplesKind
+	gaugeSamplesKind
 )
 
 func (k metricKind) promType() string {
 	switch k {
-	case counterKind, counterFuncKind:
+	case counterKind, counterFuncKind, counterSamplesKind:
 		return "counter"
-	case gaugeKind, gaugeFuncKind:
+	case gaugeKind, gaugeFuncKind, gaugeSamplesKind:
 		return "gauge"
 	default:
 		return "histogram"
@@ -45,8 +47,9 @@ type family struct {
 	help   string
 	kind   metricKind
 	labels []string
-	bounds []float64      // histogram families
-	fn     func() float64 // *Func families
+	bounds    []float64       // histogram families
+	fn        func() float64  // *Func families
+	samplesFn func() []Sample // *Samples families
 
 	mu     sync.Mutex
 	series map[string]*series
@@ -161,6 +164,35 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, help, gaugeFuncKind, nil, nil, fn)
 }
 
+// Sample is one labeled sample produced by a *Samples family at scrape
+// time. Labels must match the family's label names positionally.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// CounterSamples registers a labeled counter family whose full sample set
+// is produced by fn at every scrape. Unlike CounterVec, no series are ever
+// materialized in the registry — the callback owns the label space — which
+// is the exposition path for subsystems that bound their own cardinality
+// (the hot-pair top-K guard evicts and re-admits label values, something a
+// grow-only series map cannot express).
+func (r *Registry) CounterSamples(name, help string, labels []string, fn func() []Sample) {
+	if len(labels) == 0 {
+		panic("telemetry: CounterSamples needs at least one label")
+	}
+	r.register(name, help, counterSamplesKind, labels, nil, nil).samplesFn = fn
+}
+
+// GaugeSamples registers a labeled gauge family rendered from fn at scrape
+// time; see CounterSamples.
+func (r *Registry) GaugeSamples(name, help string, labels []string, fn func() []Sample) {
+	if len(labels) == 0 {
+		panic("telemetry: GaugeSamples needs at least one label")
+	}
+	r.register(name, help, gaugeSamplesKind, labels, nil, nil).samplesFn = fn
+}
+
 // CounterVec is a family of counters distinguished by label values.
 type CounterVec struct{ f *family }
 
@@ -261,6 +293,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		switch f.kind {
 		case counterFuncKind, gaugeFuncKind:
 			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+			continue
+		case counterSamplesKind, gaugeSamplesKind:
+			samples := f.samplesFn()
+			sort.Slice(samples, func(i, j int) bool {
+				return strings.Join(samples[i].Labels, "\x00") < strings.Join(samples[j].Labels, "\x00")
+			})
+			for _, smp := range samples {
+				if len(smp.Labels) != len(f.labels) {
+					continue // a malformed callback must not corrupt the scrape
+				}
+				ls := labelString(f.labels, smp.Labels, "", "")
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, ls, formatFloat(smp.Value))
+			}
 			continue
 		}
 		f.mu.Lock()

@@ -1,0 +1,254 @@
+package telemetry
+
+// RuntimeCollector bridges the Go runtime's own health counters into a
+// metrics Registry: GC pauses, scheduler latencies, heap/stack footprint,
+// goroutine/thread counts. The daemon's cast metrics say how much work the
+// paper's relations saved; these say whether the *process* is healthy —
+// the first thing an operator looks at when a node's latency drifts.
+//
+// Sampling runs on a ticker, not at scrape time: runtime.ReadMemStats
+// stops the world briefly, and a scrape-time read would let every
+// Prometheus client induce STW pauses at its own cadence. The ticker pays
+// that cost at a rate the operator chose, stores the readings in atomics,
+// and the scrape just formats them.
+//
+// The two histogram families are delta-bridged from runtime/metrics'
+// pre-aggregated Float64Histograms: each sample diffs the runtime's
+// per-bucket counts against the previous sample and feeds the increments
+// through Histogram.ObserveN with the bucket's upper bound as the
+// representative value. Scheduler latencies can accumulate millions of
+// events between samples, so a per-event replay is not an option.
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Names of the runtime/metrics samples the collector reads. Unknown names
+// read as KindBad and are skipped, so a runtime that drops one of these
+// degrades that family to zero instead of breaking the collector.
+const (
+	rmGCPauses  = "/gc/pauses:seconds"
+	rmSchedLat  = "/sched/latencies:seconds"
+	rmGCCycles  = "/gc/cycles/total:gc-cycles"
+	rmCgoCalls  = "/cgo/go-to-c-calls:calls"
+	rmGoroutine = "/sched/goroutines:goroutines"
+)
+
+// RuntimeCollector samples runtime health on a ticker and exposes it
+// through a Registry. All methods are safe on a nil receiver.
+type RuntimeCollector struct {
+	interval time.Duration
+
+	// Ticker-written, scrape-read process gauges.
+	heapAlloc, heapInuse, heapIdle, heapObjects atomic.Uint64
+	stackInuse, sysBytes, nextGC                atomic.Uint64
+	mallocs, frees, gcCycles, cgoCalls          atomic.Uint64
+	goroutines, threads                         atomic.Int64
+	gcCPUFraction                               atomic.Uint64 // float64 bits
+	samplesTaken                                atomic.Uint64
+	lastSampleUnixNano                          atomic.Int64
+
+	gcPauses *Histogram // go_gc_pause_seconds
+	schedLat *Histogram // go_sched_latencies_seconds
+
+	// Sample-to-sample state; mu also serializes concurrent Sample calls.
+	mu           sync.Mutex
+	rmSamples    []metrics.Sample
+	prevGCPause  []uint64
+	prevSchedLat []uint64
+
+	startOnce, stopOnce sync.Once
+	stop                chan struct{}
+	done                chan struct{}
+}
+
+// NewRuntimeCollector registers the go_* / castd_runtime_* families on reg
+// and takes one immediate sample so the very first scrape sees live
+// values. Start launches the ticker; interval <= 0 means no background
+// sampling (the construction-time sample is all the process ever reports).
+func NewRuntimeCollector(reg *Registry, interval time.Duration) *RuntimeCollector {
+	c := &RuntimeCollector{
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	c.rmSamples = []metrics.Sample{
+		{Name: rmGCPauses},
+		{Name: rmSchedLat},
+		{Name: rmGCCycles},
+		{Name: rmCgoCalls},
+		{Name: rmGoroutine},
+	}
+
+	gauge := func(name, help string, v *atomic.Uint64) {
+		reg.GaugeFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter := func(name, help string, v *atomic.Uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	reg.GaugeFunc("go_goroutines", "Goroutines at the last runtime sample.",
+		func() float64 { return float64(c.goroutines.Load()) })
+	reg.GaugeFunc("go_threads", "OS threads created by the runtime (threadcreate profile count).",
+		func() float64 { return float64(c.threads.Load()) })
+	gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", &c.heapAlloc)
+	gauge("go_memstats_heap_inuse_bytes", "Bytes in in-use heap spans.", &c.heapInuse)
+	gauge("go_memstats_heap_idle_bytes", "Bytes in idle (unused) heap spans.", &c.heapIdle)
+	gauge("go_memstats_heap_objects", "Allocated heap objects.", &c.heapObjects)
+	gauge("go_memstats_stack_inuse_bytes", "Bytes in goroutine stack spans.", &c.stackInuse)
+	gauge("go_memstats_sys_bytes", "Total bytes obtained from the OS.", &c.sysBytes)
+	gauge("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.", &c.nextGC)
+	counter("go_memstats_mallocs_total", "Cumulative heap objects allocated.", &c.mallocs)
+	counter("go_memstats_frees_total", "Cumulative heap objects freed.", &c.frees)
+	counter("go_gc_cycles_total", "Completed GC cycles.", &c.gcCycles)
+	counter("go_cgo_calls_total", "Cumulative cgo calls made by the process.", &c.cgoCalls)
+	reg.GaugeFunc("go_gc_cpu_fraction", "Fraction of available CPU time used by the GC since process start.",
+		func() float64 { return math.Float64frombits(c.gcCPUFraction.Load()) })
+
+	// 1µs .. ~4s in powers of four: wide enough for both sub-millisecond
+	// sched latencies and pathological multi-second pauses.
+	bounds := ExponentialBuckets(1e-6, 4, 12)
+	c.gcPauses = reg.Histogram("go_gc_pause_seconds",
+		"Stop-the-world GC pause durations, delta-bridged from runtime/metrics.", bounds)
+	c.schedLat = reg.Histogram("go_sched_latencies_seconds",
+		"Time goroutines spent runnable before running, delta-bridged from runtime/metrics.", bounds)
+
+	counter("castd_runtime_samples_total", "Runtime health samples taken.", &c.samplesTaken)
+	reg.GaugeFunc("castd_runtime_last_sample_timestamp_seconds",
+		"Unix time of the last runtime health sample (staleness signal).",
+		func() float64 { return float64(c.lastSampleUnixNano.Load()) / float64(time.Second) })
+
+	c.Sample()
+	return c
+}
+
+// Start launches the background sampling loop. Safe to call once; a
+// collector constructed with interval <= 0 never starts a goroutine.
+func (c *RuntimeCollector) Start() {
+	if c == nil || c.interval <= 0 {
+		return
+	}
+	c.startOnce.Do(func() {
+		go func() {
+			defer close(c.done)
+			t := time.NewTicker(c.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					c.Sample()
+				case <-c.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the sampling loop and waits for it to exit. Safe to call
+// without Start and more than once.
+func (c *RuntimeCollector) Stop() {
+	if c == nil || c.interval <= 0 {
+		return
+	}
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.startOnce.Do(func() { close(c.done) }) // never started: unblock the wait
+		<-c.done
+	})
+}
+
+// Sample takes one reading: a batched runtime/metrics read, a ReadMemStats
+// (brief stop-the-world — this is why sampling is ticker-paced), and the
+// threadcreate profile count. Exported for tests and benchmarks.
+func (c *RuntimeCollector) Sample() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	metrics.Read(c.rmSamples)
+	for i := range c.rmSamples {
+		s := &c.rmSamples[i]
+		switch s.Name {
+		case rmGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				bridgeFloat64Histogram(c.gcPauses, s.Value.Float64Histogram(), &c.prevGCPause)
+			}
+		case rmSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				bridgeFloat64Histogram(c.schedLat, s.Value.Float64Histogram(), &c.prevSchedLat)
+			}
+		case rmGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.gcCycles.Store(s.Value.Uint64())
+			}
+		case rmCgoCalls:
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.cgoCalls.Store(s.Value.Uint64())
+			}
+		case rmGoroutine:
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.goroutines.Store(int64(s.Value.Uint64()))
+			} else {
+				c.goroutines.Store(int64(runtime.NumGoroutine()))
+			}
+		}
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heapAlloc.Store(ms.HeapAlloc)
+	c.heapInuse.Store(ms.HeapInuse)
+	c.heapIdle.Store(ms.HeapIdle)
+	c.heapObjects.Store(ms.HeapObjects)
+	c.stackInuse.Store(ms.StackInuse)
+	c.sysBytes.Store(ms.Sys)
+	c.nextGC.Store(ms.NextGC)
+	c.mallocs.Store(ms.Mallocs)
+	c.frees.Store(ms.Frees)
+	c.gcCPUFraction.Store(math.Float64bits(ms.GCCPUFraction))
+
+	n, _ := runtime.ThreadCreateProfile(nil)
+	c.threads.Store(int64(n))
+
+	c.samplesTaken.Add(1)
+	c.lastSampleUnixNano.Store(time.Now().UnixNano())
+}
+
+// bridgeFloat64Histogram feeds the growth of a runtime/metrics histogram
+// since the previous sample into dst. Bucket i of src spans
+// (Buckets[i], Buckets[i+1]]; its increment is observed at the span's
+// upper bound (or lower, when the upper is +Inf) so every event lands in a
+// dst bucket at least as large as its true value — conservative for
+// latency alerting.
+func bridgeFloat64Histogram(dst *Histogram, src *metrics.Float64Histogram, prev *[]uint64) {
+	if src == nil || len(src.Counts)+1 != len(src.Buckets) {
+		return
+	}
+	if len(*prev) != len(src.Counts) {
+		// First sample, or the runtime changed its bucket layout: reset the
+		// baseline. The first bridge then reports events since process start.
+		*prev = make([]uint64, len(src.Counts))
+	}
+	for i, cnt := range src.Counts {
+		d := cnt - (*prev)[i]
+		if d == 0 || cnt < (*prev)[i] {
+			continue
+		}
+		v := src.Buckets[i+1]
+		if math.IsInf(v, +1) {
+			v = src.Buckets[i]
+		}
+		if math.IsInf(v, -1) || math.IsNaN(v) {
+			continue
+		}
+		dst.ObserveN(v, int64(d))
+		(*prev)[i] = cnt
+	}
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorExposesFamilies(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg, 0) // one construction-time sample, no goroutine
+	defer c.Stop()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, family := range []string{
+		"go_goroutines",
+		"go_threads",
+		"go_memstats_heap_alloc_bytes",
+		"go_memstats_stack_inuse_bytes",
+		"go_memstats_sys_bytes",
+		"go_memstats_next_gc_bytes",
+		"go_memstats_mallocs_total",
+		"go_gc_cycles_total",
+		"go_gc_pause_seconds_bucket",
+		"go_sched_latencies_seconds_bucket",
+		"go_cgo_calls_total",
+		"castd_runtime_samples_total",
+		"castd_runtime_last_sample_timestamp_seconds",
+	} {
+		if !strings.Contains(out, "\n"+family) {
+			t.Errorf("scrape is missing family %s", family)
+		}
+	}
+	if strings.Contains(out, "\ngo_goroutines 0\n") {
+		t.Error("go_goroutines should be non-zero after the construction-time sample")
+	}
+	if strings.Contains(out, "\ngo_memstats_heap_alloc_bytes 0\n") {
+		t.Error("heap alloc bytes should be non-zero after the construction-time sample")
+	}
+}
+
+func TestRuntimeCollectorSampleProgress(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg, 0)
+	defer c.Stop()
+
+	before := c.samplesTaken.Load()
+	if before != 1 {
+		t.Fatalf("construction should take exactly one sample, got %d", before)
+	}
+	// Force GC cycles so the pause histogram has deltas to bridge.
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	c.Sample()
+	if got := c.samplesTaken.Load(); got != before+1 {
+		t.Fatalf("samples taken = %d, want %d", got, before+1)
+	}
+	if c.gcPauses.Count() == 0 {
+		t.Error("GC pause histogram has no observations after forced GC cycles")
+	}
+	if c.gcCycles.Load() == 0 {
+		t.Error("gc cycle counter still zero after forced GC cycles")
+	}
+	if ts := c.lastSampleUnixNano.Load(); time.Since(time.Unix(0, ts)) > time.Minute {
+		t.Errorf("last-sample timestamp is stale: %v", time.Unix(0, ts))
+	}
+}
+
+func TestRuntimeCollectorStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg, time.Millisecond)
+	c.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.samplesTaken.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.samplesTaken.Load(); got < 3 {
+		t.Fatalf("ticker took only %d samples in 2s at 1ms interval", got)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	after := c.samplesTaken.Load()
+	time.Sleep(10 * time.Millisecond)
+	if got := c.samplesTaken.Load(); got != after {
+		t.Fatalf("collector sampled after Stop: %d -> %d", after, got)
+	}
+}
+
+func TestRuntimeCollectorNilSafe(t *testing.T) {
+	var c *RuntimeCollector
+	c.Start()
+	c.Sample()
+	c.Stop()
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	h.ObserveN(5, 3)
+	h.ObserveN(1000, 2)
+	h.ObserveN(0.5, 0)  // no-op
+	h.ObserveN(0.5, -4) // no-op
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 5*3+1000*2 {
+		t.Fatalf("sum = %v, want %v", got, 5*3+1000*2)
+	}
+	want := []int64{0, 3, 0, 2} // buckets: <=1, <=10, <=100, +Inf
+	for i, b := range h.BucketCounts() {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, b, want[i], h.BucketCounts())
+		}
+	}
+}
+
+func TestSamplesFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterSamples("pairs_seconds_total", "per-pair seconds", []string{"pair"},
+		func() []Sample {
+			return []Sample{
+				{Labels: []string{"bbb"}, Value: 2},
+				{Labels: []string{"aaa"}, Value: 1.5},
+				{Labels: []string{"zzz", "extra"}, Value: 9}, // malformed: skipped
+			}
+		})
+	reg.GaugeSamples("pairs_ratio", "per-pair ratio", []string{"pair"},
+		func() []Sample { return nil })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantOrder := []string{
+		"# TYPE pairs_seconds_total counter",
+		`pairs_seconds_total{pair="aaa"} 1.5`,
+		`pairs_seconds_total{pair="bbb"} 2`,
+		"# TYPE pairs_ratio gauge",
+	}
+	last := -1
+	for _, w := range wantOrder {
+		idx := strings.Index(out, w)
+		if idx < 0 {
+			t.Fatalf("scrape missing %q:\n%s", w, out)
+		}
+		if idx < last {
+			t.Fatalf("scrape out of order at %q:\n%s", w, out)
+		}
+		last = idx
+	}
+	if strings.Contains(out, "zzz") {
+		t.Error("malformed sample (wrong label arity) must be skipped")
+	}
+}
