@@ -549,6 +549,51 @@ func runJSON(ps *wgen.PaperSchemas, path string) {
 		})
 	}
 
+	// Exemplar-recording overhead: the same streaming cast observing its
+	// latency into a histogram with a trace exemplar attached (what every
+	// traced request pays on castd's latency path) versus the plain
+	// observation (what untraced requests pay). NsPerOp is the exemplar
+	// run, BaselineNsPerOp the plain one, so Speedup ≈ 1.0 is the tracked
+	// property: one heap-allocated Exemplar and an atomic pointer store
+	// per observation must stay in the noise next to a 500-item cast.
+	{
+		data := wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 500, IncludeBillTo: true, Seed: 11}))
+		sc, err := stream.NewCaster(ps.Source1, ps.Target)
+		if err != nil {
+			fatal(err)
+		}
+		met := telemetry.NewRegistry()
+		plain := met.Histogram("bench_cast_plain_seconds", "plain path", telemetry.DefBuckets())
+		exemplar := met.Histogram("bench_cast_exemplar_seconds", "exemplar path", telemetry.DefBuckets())
+		const traceID, spanID = "4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7"
+		plainFn := func() {
+			start := time.Now()
+			if _, err := sc.Validate(bytes.NewReader(data)); err != nil {
+				fatal(err)
+			}
+			plain.Observe(time.Since(start).Seconds())
+		}
+		exemplarFn := func() {
+			start := time.Now()
+			if _, err := sc.Validate(bytes.NewReader(data)); err != nil {
+				fatal(err)
+			}
+			exemplar.ObserveExemplar(time.Since(start).Seconds(), traceID, spanID, time.Now())
+		}
+		plainTime := timeIt(plainFn)
+		exemplarTime := timeIt(exemplarFn)
+		out = append(out, benchScenario{
+			Name:                "stream-cast-exemplars-500",
+			NsPerOp:             exemplarTime.Nanoseconds(),
+			BaselineNsPerOp:     plainTime.Nanoseconds(),
+			Speedup:             float64(plainTime) / float64(exemplarTime),
+			SkipRatio:           0,
+			SymbolsScannedRatio: 1,
+			AllocsPerOp:         allocsPerOp(exemplarFn),
+			BaselineAllocsPerOp: allocsPerOp(plainFn),
+		})
+	}
+
 	// Cold vs. warm registry startup: acquiring one compiled pair by
 	// compiling it (universe load + relation fixpoints + IDA construction)
 	// versus loading its artifact blob from disk (read + decode + schema

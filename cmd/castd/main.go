@@ -17,6 +17,7 @@
 //	curl localhost:8347/debug/traces    # retained request traces (spans)
 //	curl localhost:8347/debug/profiles  # continuous-profiling ring (pprof)
 //	curl localhost:8347/debug/hotpairs  # per-pair cast cost attribution
+//	curl localhost:8347/debug/fleet     # cluster-wide merged metric view
 //
 // Logging is structured (log/slog); -log-format selects the text or JSON
 // handler. Every record emitted while a request is active carries the
@@ -24,6 +25,13 @@
 // /debug/traces. Tracing is sampled at the tail: -trace-sample sets the
 // head probability (0 disables tracing entirely), and slow (>=
 // -trace-slow) or failed requests are always retained while tracing is on.
+//
+// With -otlp-endpoint every trace the tail sampler retains and a periodic
+// snapshot of every metric family are exported to an OTLP/HTTP collector
+// as JSON (POST <endpoint>/v1/traces and /v1/metrics). Export is
+// fire-and-forget behind a bounded drop-oldest queue — a slow or down
+// collector never blocks a request — and the exporter accounts for itself
+// on /metrics (castd_otlp_*). Shutdown flushes the queue.
 //
 // With -artifact-dir the daemon persists each compiled pair as a
 // content-addressed artifact blob and warms from that directory after a
@@ -63,6 +71,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/otlp"
 )
 
 func main() {
@@ -95,6 +104,9 @@ func main() {
 		artifactDir  = flag.String("artifact-dir", "", "persist compiled pair artifacts in this directory; a restarted daemon warms from it with zero recompiles (empty = in-memory only)")
 		peersFlag    = flag.String("peers", "", "comma-separated base URLs of every cluster member; each pair is compiled once cluster-wide by its rendezvous-hash owner (empty = standalone)")
 		selfURL      = flag.String("self-url", "", "this instance's base URL as peers address it, e.g. http://10.0.0.1:8347 (required with -peers)")
+		otlpEndpoint = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL, e.g. http://collector:4318; retained traces and periodic metric snapshots are exported there (empty = export off)")
+		otlpInterval = flag.Duration("otlp-interval", otlp.DefaultInterval, "metric snapshot export cadence for -otlp-endpoint")
+		otlpQueue    = flag.Int("otlp-queue", otlp.DefaultQueueSize, "OTLP export queue capacity; the oldest batch is dropped on overflow")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: castd [flags]\n")
@@ -195,6 +207,9 @@ func main() {
 		PeerProbeInterval: *peerProbe,
 		SelfURL:           *selfURL,
 		Peers:             peers,
+		OTLPEndpoint:      *otlpEndpoint,
+		OTLPInterval:      *otlpInterval,
+		OTLPQueue:         *otlpQueue,
 	})
 	defer srv.Close()
 

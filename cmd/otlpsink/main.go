@@ -1,0 +1,172 @@
+// Command otlpsink is a minimal OTLP/HTTP collector for smoke tests and
+// local development: it accepts the JSON export requests castd's
+// -otlp-endpoint emits (POST /v1/traces and /v1/metrics), accumulates
+// what it saw, and reports the totals as JSON on GET /summary so a shell
+// script can assert "the span made it" without a real collector.
+//
+// Usage:
+//
+//	otlpsink -addr :4318
+//	otlpsink -addr :4318 -fail-first 3   # answer 503 + Retry-After to the
+//	                                     # first 3 exports, then recover —
+//	                                     # exercises the exporter's backoff
+//
+//	curl localhost:4318/summary
+//
+// The summary's traceIds list is the cross-check for exemplar smoke
+// tests: every id is a trace the sink actually received, so an exemplar
+// trace id scraped from castd's /metrics must appear in it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+)
+
+// payload is the union of both OTLP/JSON export request shapes; only the
+// fields the summary reports are decoded.
+type payload struct {
+	ResourceSpans []struct {
+		ScopeSpans []struct {
+			Spans []struct {
+				TraceID string `json:"traceId"`
+				Name    string `json:"name"`
+			} `json:"spans"`
+		} `json:"scopeSpans"`
+	} `json:"resourceSpans"`
+	ResourceMetrics []struct {
+		ScopeMetrics []struct {
+			Metrics []struct {
+				Name string `json:"name"`
+			} `json:"metrics"`
+		} `json:"scopeMetrics"`
+	} `json:"resourceMetrics"`
+}
+
+type sink struct {
+	failFirst int64
+
+	mu        sync.Mutex
+	requests  int64
+	failed    int64
+	spanCount int64
+	spanNames map[string]int64
+	traceIDs  map[string]bool
+	metrics   map[string]bool
+}
+
+// summary is the GET /summary body.
+type summary struct {
+	Requests  int64            `json:"requests"`
+	Failed    int64            `json:"failed"`
+	Spans     int64            `json:"spans"`
+	SpanNames map[string]int64 `json:"spanNames"`
+	TraceIDs  []string         `json:"traceIds"`
+	Metrics   []string         `json:"metrics"`
+}
+
+func (s *sink) handleExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var p payload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	if s.failed < s.failFirst {
+		s.failed++
+		// A short Retry-After keeps the smoke test fast while still
+		// proving the exporter honors the header.
+		w.Header().Set("Retry-After", "0.2")
+		http.Error(w, "injected failure", http.StatusServiceUnavailable)
+		return
+	}
+	for _, rs := range p.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			for _, sp := range ss.Spans {
+				s.spanCount++
+				s.spanNames[sp.Name]++
+				s.traceIDs[sp.TraceID] = true
+			}
+		}
+	}
+	for _, rm := range p.ResourceMetrics {
+		for _, sm := range rm.ScopeMetrics {
+			for _, m := range sm.Metrics {
+				s.metrics[m.Name] = true
+			}
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *sink) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := summary{
+		Requests:  s.requests,
+		Failed:    s.failed,
+		Spans:     s.spanCount,
+		SpanNames: make(map[string]int64, len(s.spanNames)),
+		TraceIDs:  make([]string, 0, len(s.traceIDs)),
+		Metrics:   make([]string, 0, len(s.metrics)),
+	}
+	for k, v := range s.spanNames {
+		out.SpanNames[k] = v
+	}
+	for id := range s.traceIDs {
+		out.TraceIDs = append(out.TraceIDs, id)
+	}
+	for m := range s.metrics {
+		out.Metrics = append(out.Metrics, m)
+	}
+	s.mu.Unlock()
+	sort.Strings(out.TraceIDs)
+	sort.Strings(out.Metrics)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func main() {
+	addr := flag.String("addr", ":4318", "listen address")
+	failFirst := flag.Int64("fail-first", 0, "answer 503 + Retry-After to this many export requests before accepting")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: otlpsink [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := &sink{
+		failFirst: *failFirst,
+		spanNames: map[string]int64{},
+		traceIDs:  map[string]bool{},
+		metrics:   map[string]bool{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/traces", s.handleExport)
+	mux.HandleFunc("/v1/metrics", s.handleExport)
+	mux.HandleFunc("/summary", s.handleSummary)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) })
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("otlpsink: listen %s: %v", *addr, err)
+	}
+	log.Printf("otlpsink: listening on %s (fail-first=%d)", ln.Addr(), *failFirst)
+	log.Fatal(http.Serve(ln, mux))
+}

@@ -38,6 +38,11 @@ type Config struct {
 	// ReadErrAfter fails document-body reads with ErrInjected once this many
 	// bytes have been delivered (0 disables read faults).
 	ReadErrAfter int64
+	// OTLPFail makes the first N OTLP export sends fail as if the collector
+	// answered 503 with a Retry-After, then lets traffic through — the storm
+	// that proves the exporter's backoff and recovery without a flaky
+	// network dependency in CI.
+	OTLPFail int64
 }
 
 // ErrInjected marks every error this package fabricates, so tests and
@@ -47,11 +52,21 @@ var ErrInjected = errors.New("faultinject: injected fault")
 // active is nil when injection is off (the steady state).
 var active atomic.Pointer[Config]
 
+// otlpRemaining counts down the OTLP sends still to be failed; it is
+// (re)armed by Enable and consumed by OTLPSend.
+var otlpRemaining atomic.Int64
+
 // Enable installs a fault configuration process-wide.
-func Enable(c Config) { active.Store(&c) }
+func Enable(c Config) {
+	otlpRemaining.Store(c.OTLPFail)
+	active.Store(&c)
+}
 
 // Disable turns all fault injection off.
-func Disable() { active.Store(nil) }
+func Disable() {
+	active.Store(nil)
+	otlpRemaining.Store(0)
+}
 
 // Enabled reports whether any fault configuration is installed.
 func Enabled() bool { return active.Load() != nil }
@@ -113,10 +128,29 @@ func (fr *faultReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// OTLPSend fires the export-stage fault: while the countdown armed by
+// Enable is positive it consumes one slot and reports (true, retryAfter),
+// telling the exporter to treat the send as a 503 carrying that
+// Retry-After. The exporter calls it once per HTTP attempt.
+func OTLPSend() (fail bool, retryAfter time.Duration) {
+	if active.Load() == nil {
+		return false, 0
+	}
+	for {
+		n := otlpRemaining.Load()
+		if n <= 0 {
+			return false, 0
+		}
+		if otlpRemaining.CompareAndSwap(n, n-1) {
+			return true, 10 * time.Millisecond
+		}
+	}
+}
+
 // Parse decodes a -fault-inject flag value: a comma-separated list of
 // directives, e.g. "compile-panic", "compile-err", "compile-delay=50ms",
-// "read-delay=10ms", "read-err-after=1024". An empty spec is the zero
-// Config.
+// "read-delay=10ms", "read-err-after=1024", "otlp-fail=2". An empty spec
+// is the zero Config.
 func Parse(spec string) (Config, error) {
 	var c Config
 	if strings.TrimSpace(spec) == "" {
@@ -151,6 +185,15 @@ func Parse(spec string) (Config, error) {
 				return Config{}, fmt.Errorf("faultinject: read-err-after: want a positive integer, got %q", val)
 			}
 			c.ReadErrAfter = n
+		case "otlp-fail":
+			if !hasVal {
+				return Config{}, fmt.Errorf("faultinject: otlp-fail needs a send count")
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return Config{}, fmt.Errorf("faultinject: otlp-fail: want a positive integer, got %q", val)
+			}
+			c.OTLPFail = n
 		default:
 			return Config{}, fmt.Errorf("faultinject: unknown directive %q", key)
 		}

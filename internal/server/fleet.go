@@ -1,0 +1,217 @@
+package server
+
+// GET /debug/fleet is the cluster-wide metric view: the queried node fans
+// out to every peer's /metrics.json, merges the per-node family snapshots
+// into one set of cluster totals (telemetry.MergeFamilies), and reports
+// each peer's liveness (from the background prober) and snapshot
+// freshness alongside. One curl against any member answers "what is the
+// whole fleet doing" — the operational mirror image of the rendezvous
+// routing that scattered the work in the first place.
+//
+// The fan-out reads peers' /metrics.json, which never fans out itself, so
+// two nodes asking each other for /debug/fleet cannot recurse. Like the
+// other observability routes it is untraced and ungoverned: a saturated
+// cluster is exactly when the merged view matters.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fleetFetchTimeout bounds one peer's /metrics.json fetch. Snapshots are
+// small; a peer that cannot answer in this window is reported down rather
+// than allowed to stall the whole view.
+const fleetFetchTimeout = 5 * time.Second
+
+// fleetPeer is one cluster member's row in the fleet view.
+type fleetPeer struct {
+	URL  string `json:"url"`
+	Self bool   `json:"self,omitempty"`
+	// Up mirrors castd_peer_up: the prober's last verdict (always true for
+	// self — this node is answering the request).
+	Up bool `json:"up"`
+	// ProbeAgeMS is the freshness of that verdict: milliseconds since the
+	// last completed probe. Absent for self and for peers never probed.
+	ProbeAgeMS int64 `json:"probeAgeMs,omitempty"`
+	// Families counts the metric families this fetch contributed; 0 with a
+	// non-empty Error means the peer's snapshot was unreachable.
+	Families int    `json:"families"`
+	Error    string `json:"error,omitempty"`
+}
+
+type fleetBody struct {
+	Self   string                     `json:"self"`
+	Peers  []fleetPeer                `json:"peers"`
+	Merged []telemetry.FamilySnapshot `json:"merged"`
+}
+
+// peerFamilies decodes the families field of one peer's /metrics.json.
+type peerFamilies struct {
+	Families []telemetry.FamilySnapshot `json:"families"`
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	self := "standalone"
+	var peers []string
+	client := http.DefaultClient
+	if s.cluster != nil {
+		self = s.cluster.self
+		peers = s.cluster.peers
+		client = s.cluster.client
+	}
+
+	// Self contributes its snapshot directly — no loopback HTTP round trip.
+	selfFams := s.met.Gather()
+	rows := []fleetPeer{{URL: self, Self: true, Up: true, Families: len(selfFams)}}
+	contributions := [][]telemetry.FamilySnapshot{selfFams}
+
+	type fetched struct {
+		row  fleetPeer
+		fams []telemetry.FamilySnapshot
+	}
+	var wg sync.WaitGroup
+	results := make([]fetched, 0, len(peers))
+	var mu sync.Mutex
+	for _, p := range peers {
+		if p == self {
+			continue
+		}
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			row := fleetPeer{URL: peer}
+			if st := s.peerHealth[peer]; st != nil {
+				row.Up = st.up.Load()
+				if last := st.lastProbe.Load(); last > 0 {
+					row.ProbeAgeMS = time.Since(time.Unix(0, last)).Milliseconds()
+				}
+			}
+			fams, err := fetchPeerFamilies(r.Context(), client, peer)
+			if err != nil {
+				row.Error = err.Error()
+			} else {
+				row.Families = len(fams)
+			}
+			mu.Lock()
+			results = append(results, fetched{row: row, fams: fams})
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	// Deterministic order: follow the configured peer list, not goroutine
+	// completion order.
+	for _, p := range peers {
+		for _, f := range results {
+			if f.row.URL == p {
+				rows = append(rows, f.row)
+				if f.fams != nil {
+					contributions = append(contributions, f.fams)
+				}
+			}
+		}
+	}
+
+	merged := telemetry.MergeFamilies(contributions...)
+	if want := r.URL.Query().Get("family"); want != "" {
+		filtered := merged[:0:0]
+		for _, f := range merged {
+			if f.Name == want {
+				filtered = append(filtered, f)
+			}
+		}
+		merged = filtered
+	}
+
+	body := fleetBody{Self: self, Peers: rows, Merged: merged}
+	if r.URL.Query().Get("format") == "html" {
+		s.renderFleet(w, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func fetchPeerFamilies(ctx context.Context, client *http.Client, peer string) ([]telemetry.FamilySnapshot, error) {
+	ctx, cancel := context.WithTimeout(ctx, fleetFetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/metrics.json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer answered %s", resp.Status)
+	}
+	var pf peerFamilies
+	if err := json.NewDecoder(resp.Body).Decode(&pf); err != nil {
+		return nil, fmt.Errorf("decoding snapshot: %w", err)
+	}
+	return pf.Families, nil
+}
+
+// fleetFamilyRow is one merged family condensed for the HTML table.
+type fleetFamilyRow struct {
+	Name   string
+	Type   string
+	Series int
+	Total  string
+}
+
+var fleetTmpl = template.Must(template.New("fleet").Parse(`<!DOCTYPE html>
+<html><head><title>castd fleet</title><style>
+body{font:13px monospace;margin:2em}
+table{border-collapse:collapse;margin-bottom:2em}
+td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}
+.down{color:#b00}.up{color:#080}
+</style></head><body>
+<h1>fleet view from {{.Self}}</h1>
+<table><tr><th>peer</th><th>state</th><th>probe age</th><th>families</th><th>error</th></tr>
+{{range .Peers}}<tr>
+<td>{{.URL}}{{if .Self}} (self){{end}}</td>
+<td class="{{if .Up}}up{{else}}down{{end}}">{{if .Up}}up{{else}}down{{end}}</td>
+<td>{{if .ProbeAgeMS}}{{.ProbeAgeMS}}ms{{else}}-{{end}}</td>
+<td>{{.Families}}</td><td class="down">{{.Error}}</td>
+</tr>{{end}}</table>
+<table><tr><th>family</th><th>type</th><th>series</th><th>cluster total</th></tr>
+{{range .Families}}<tr>
+<td>{{.Name}}</td><td>{{.Type}}</td><td>{{.Series}}</td><td>{{.Total}}</td>
+</tr>{{end}}</table>
+</body></html>
+`))
+
+func (s *Server) renderFleet(w http.ResponseWriter, body fleetBody) {
+	rows := make([]fleetFamilyRow, 0, len(body.Merged))
+	for _, f := range body.Merged {
+		var total float64
+		for _, smp := range f.Samples {
+			if f.Type == "histogram" {
+				total += smp.Sum
+			} else {
+				total += smp.Value
+			}
+		}
+		rows = append(rows, fleetFamilyRow{
+			Name:   f.Name,
+			Type:   f.Type,
+			Series: len(f.Samples),
+			Total:  fmt.Sprintf("%g", total),
+		})
+	}
+	data := struct {
+		Self     string
+		Peers    []fleetPeer
+		Families []fleetFamilyRow
+	}{Self: body.Self, Peers: body.Peers, Families: rows}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fleetTmpl.Execute(w, data)
+}

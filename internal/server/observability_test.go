@@ -48,6 +48,7 @@ func TestObservabilityRoutesBypassAdmission(t *testing.T) {
 		"/debug/traces",
 		"/debug/profiles",
 		"/debug/hotpairs",
+		"/debug/fleet",
 	} {
 		if code, body := do(t, "GET", ts.URL+route, ""); code != http.StatusOK {
 			t.Errorf("%s while saturated: %d %s", route, code, body)

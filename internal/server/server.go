@@ -13,8 +13,11 @@
 //	POST /cast/{src}/{dst}/batch  cast-validate a JSON array of documents
 //	GET  /pairs/{src}/{dst}       static-compatibility report, no document
 //	GET  /artifacts/{key}         compiled pair artifact blob (peer fetch)
-//	GET  /metrics                 Prometheus text exposition
-//	GET  /metrics.json            counter snapshot (JSON)
+//	GET  /metrics                 Prometheus text exposition (or OpenMetrics
+//	                              with exemplars, via Accept negotiation)
+//	GET  /metrics.json            metric snapshot (JSON, all families)
+//	GET  /debug/fleet             cross-peer merged metric view (JSON;
+//	                              ?format=html, ?family=NAME)
 //	GET  /debug/traces            retained request traces (JSON; ?format=html)
 //	GET  /debug/traces/{id}       one trace's span tree (JSON; ?format=html)
 //	GET  /healthz                 liveness (503 while draining)
@@ -60,6 +63,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/registry"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/otlp"
 )
 
 // maxSchemaBytes bounds a PUT /schemas body; schema texts are small, and
@@ -130,6 +134,17 @@ type Options struct {
 	// meaningful with clustering enabled.
 	PeerProbeInterval time.Duration
 
+	// OTLPEndpoint is an OTLP/HTTP collector base URL (e.g.
+	// "http://collector:4318"); retained traces and periodic metric
+	// snapshots are exported there. Empty disables export entirely.
+	OTLPEndpoint string
+	// OTLPInterval is the metric snapshot/export cadence; <= 0 means
+	// otlp.DefaultInterval. Only meaningful with OTLPEndpoint set.
+	OTLPInterval time.Duration
+	// OTLPQueue bounds the export queue (drop-oldest on overflow); <= 0
+	// means otlp.DefaultQueueSize.
+	OTLPQueue int
+
 	// SelfURL is this instance's base URL as its peers address it (e.g.
 	// "http://10.0.0.1:8080"). Clustering is enabled only when both SelfURL
 	// and Peers are set.
@@ -177,6 +192,7 @@ type Server struct {
 	met              *telemetry.Registry
 	httpRequests     *telemetry.CounterVec   // route, code
 	httpDuration     *telemetry.HistogramVec // route
+	castDuration     *telemetry.Histogram    // the cast-latency exemplar carrier
 	inFlight         *telemetry.Gauge
 	verdicts         *telemetry.CounterVec // verdict
 	mElemVisited     *telemetry.Counter
@@ -204,10 +220,23 @@ type Server struct {
 	profiler *profiling.Profiler
 	hotPairs *hotpair.Tracker
 
-	// Peer health prober state; nil channels when not clustered.
+	// OTLP exporter; nil (all methods no-op) without -otlp-endpoint.
+	exporter *otlp.Exporter
+
+	// Peer health prober state; nil channels when not clustered. peerHealth
+	// is built once in startProber (read-only map after) and feeds the
+	// /debug/fleet freshness/up-down columns.
 	proberStop chan struct{}
 	proberDone chan struct{}
+	peerHealth map[string]*peerStatus
 	closeOnce  sync.Once
+}
+
+// peerStatus is one peer's last observed liveness, shared between the
+// prober (writer) and /debug/fleet (reader).
+type peerStatus struct {
+	up        atomic.Bool
+	lastProbe atomic.Int64 // unix nanos of the last completed probe; 0 = never
 }
 
 // DefaultHotPairK is the hot-pair attribution bound when Options.HotPairK
@@ -238,6 +267,8 @@ func New(reg *registry.Registry, opts Options) *Server {
 		"HTTP requests by route and status code.", "route", "code")
 	s.httpDuration = met.HistogramVec("http_request_duration_seconds",
 		"HTTP request latency by route.", telemetry.DefBuckets(), "route")
+	s.castDuration = met.Histogram("cast_duration_seconds",
+		"Cast-validation latency (single casts and batches).", telemetry.DefBuckets())
 	s.inFlight = met.Gauge("http_in_flight_requests",
 		"HTTP requests currently being served.")
 	s.verdicts = met.CounterVec("cast_verdicts_total",
@@ -368,6 +399,25 @@ func New(reg *registry.Registry, opts Options) *Server {
 	met.CounterFunc("castd_traces_dropped_total", "Request traces dropped by the tail sampler.",
 		func() float64 { return float64(s.tracer.Stats().Dropped) })
 
+	// OTLP export: retained traces and periodic metric snapshots ship to
+	// the collector; the exporter's self-accounting families exist at zero
+	// even when export is disabled (nil exporter, nil-safe Stats).
+	resource := map[string]string{"service.name": "castd"}
+	if opts.SelfURL != "" {
+		resource["service.instance.id"] = opts.SelfURL
+	}
+	s.exporter = otlp.New(otlp.Options{
+		Endpoint:  opts.OTLPEndpoint,
+		Interval:  opts.OTLPInterval,
+		QueueSize: opts.OTLPQueue,
+		Gather:    met.Gather,
+		Resource:  resource,
+	})
+	s.exporter.Register(met)
+	if s.exporter != nil {
+		s.tracer.OnRetain(s.exporter.ExportTrace)
+	}
+
 	// Work routes are governed (admission control applies); observability
 	// routes are not — a saturated server must still answer /healthz and
 	// /metrics, or the operator loses sight of it exactly when it matters.
@@ -381,6 +431,7 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.route("GET /artifacts/{key}", "artifact", true, false, s.handleArtifact)
 	s.route("GET /metrics", "metrics", false, false, s.handlePrometheus)
 	s.route("GET /metrics.json", "metrics.json", false, false, s.handleMetricsJSON)
+	s.route("GET /debug/fleet", "fleet", false, false, s.handleFleet)
 	s.route("GET /debug/traces", "traces", false, false, s.handleTraces)
 	s.route("GET /debug/traces/{id}", "trace", false, false, s.handleTrace)
 	s.route("GET /debug/profiles", "profiles", false, false, s.handleProfiles)
@@ -400,13 +451,17 @@ func (s *Server) startProber(up *telemetry.GaugeVec, interval time.Duration) {
 		interval = DefaultPeerProbeInterval
 	}
 	type target struct {
-		url   string
-		gauge *telemetry.Gauge
+		url    string
+		gauge  *telemetry.Gauge
+		status *peerStatus
 	}
+	s.peerHealth = map[string]*peerStatus{}
 	var targets []target
 	for _, p := range s.cluster.peers {
 		if p != s.cluster.self {
-			targets = append(targets, target{url: p, gauge: up.With(p)})
+			st := &peerStatus{}
+			s.peerHealth[p] = st
+			targets = append(targets, target{url: p, gauge: up.With(p), status: st})
 		}
 	}
 	s.proberStop = make(chan struct{})
@@ -431,6 +486,8 @@ func (s *Server) startProber(up *telemetry.GaugeVec, interval time.Duration) {
 			} else {
 				t.gauge.Set(0)
 			}
+			t.status.up.Store(alive)
+			t.status.lastProbe.Store(time.Now().UnixNano())
 		}
 	}
 	go func() {
@@ -449,15 +506,20 @@ func (s *Server) startProber(up *telemetry.GaugeVec, interval time.Duration) {
 	}()
 }
 
-// Close stops the server's background goroutines (the peer prober; the
-// handler itself is stateless). Idempotent; does not drain in-flight
-// requests — that is http.Server.Shutdown's job.
+// Close stops the server's background goroutines: the peer prober first,
+// then the OTLP exporter — whose Close flushes the pending batch plus a
+// final metric snapshot, so a drained daemon's last numbers reach the
+// collector. Idempotent; does not drain in-flight requests — that is
+// http.Server.Shutdown's job (castd runs Shutdown before Close, so the
+// final snapshot already includes the stragglers).
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		if s.proberStop != nil {
 			close(s.proberStop)
 			<-s.proberDone
 		}
+		s.tracer.OnRetain(nil) // no new exports once the queue is draining
+		s.exporter.Close()
 	})
 }
 
@@ -552,7 +614,13 @@ func (s *Server) route(pattern, name string, traced, governed bool, h http.Handl
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		s.serve(sw, r, governed, h)
 		d := time.Since(start)
-		duration.Observe(d.Seconds())
+		if sc := span.Context(); sc.IsValid() {
+			// Traced request: stamp the latency bucket with this trace's
+			// identity so a dashboard outlier links to its span tree.
+			duration.ObserveExemplar(d.Seconds(), sc.TraceID.String(), sc.SpanID.String(), time.Now())
+		} else {
+			duration.Observe(d.Seconds())
+		}
 		s.httpRequests.With(name, strconv.Itoa(sw.status)).Inc()
 		if governed {
 			// Latency anomaly trigger: only work routes feed it — a slow
@@ -905,7 +973,9 @@ func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st, err = p.Stream.ValidateContext(ctx, body, s.limits)
 	}
-	s.recordPair(p, time.Since(castStart), st, 1)
+	castDur := time.Since(castStart)
+	s.recordPair(p, castDur, st, 1)
+	s.observeCast(castDur, sp)
 	annotateCastSpan(sp, st, trace, err)
 	sp.End()
 	if status, governed := governanceStatus(err); governed {
@@ -926,6 +996,16 @@ func (s *Server) handleCast(w http.ResponseWriter, r *http.Request) {
 		s.verdicts.With("valid").Inc()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// observeCast feeds the cast-latency histogram, carrying the cast span's
+// trace identity as the bucket exemplar when the request is traced.
+func (s *Server) observeCast(d time.Duration, sp *telemetry.Span) {
+	if sc := sp.Context(); sc.IsValid() {
+		s.castDuration.ObserveExemplar(d.Seconds(), sc.TraceID.String(), sc.SpanID.String(), time.Now())
+		return
+	}
+	s.castDuration.Observe(d.Seconds())
 }
 
 // annotateCastSpan attaches one cast's work economy to its span, plus the
@@ -1015,7 +1095,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	sp.SetAttr("workers", workers)
 	castStart := time.Now()
 	kept, st := p.Stream.ValidateAllContext(ctx, readers, workers, s.limits)
-	s.recordPair(p, time.Since(castStart), st, int64(len(keep)))
+	castDur := time.Since(castStart)
+	s.recordPair(p, castDur, st, int64(len(keep)))
+	s.observeCast(castDur, sp)
 	for j, i := range keep {
 		errs[i] = kept[j]
 	}
@@ -1091,8 +1173,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	ct := telemetry.NegotiateExposition(r.Header.Get("Accept"))
+	w.Header().Set("Content-Type", ct)
+	if ct == telemetry.ContentTypeOpenMetrics {
+		s.met.WriteOpenMetrics(w)
+		return
+	}
 	s.met.WritePrometheus(w)
 }
 
@@ -1109,6 +1196,11 @@ type metricsBody struct {
 	} `json:"verdicts"`
 	Stream streamStatsBody `json:"stream"`
 	Cache  registry.Stats  `json:"cache"`
+	// Families is the full registry snapshot — every family the text
+	// exposition renders, including the scrape-time callback families
+	// (hot-pair attribution, registry bridges) that the legacy fields
+	// above never covered. /debug/fleet merges peers from this field.
+	Families []telemetry.FamilySnapshot `json:"families"`
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
@@ -1126,5 +1218,6 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 		ValuesChecked:   s.valuesChecked.Load(),
 	}
 	m.Cache = s.reg.Stats()
+	m.Families = s.met.Gather()
 	writeJSON(w, http.StatusOK, m)
 }

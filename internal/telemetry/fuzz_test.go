@@ -34,3 +34,29 @@ func FuzzTraceparent(f *testing.F) {
 		}
 	})
 }
+
+// FuzzNegotiate hardens the /metrics Accept-header parser: any byte string
+// must resolve — without panicking — to exactly one of the two exposition
+// content types, and the empty header must keep its Prometheus default so
+// a fuzz-discovered quirk can never flip existing scrapers to OpenMetrics.
+func FuzzNegotiate(f *testing.F) {
+	f.Add("")
+	f.Add("*/*")
+	f.Add("text/plain; version=0.0.4; charset=utf-8")
+	f.Add("application/openmetrics-text; version=1.0.0; charset=utf-8")
+	f.Add("application/openmetrics-text;version=1.0.0;q=0.5,text/plain;version=0.0.4;q=0.3")
+	f.Add("application/openmetrics-text;q=0, */*;q=0.1")
+	f.Add("application/openmetrics-text;q=notanumber")
+	f.Add("a,b;q=,c;;q=1.0.0,APPLICATION/OPENMETRICS-TEXT ; Q=0.9")
+	f.Add(",,;q=;,")
+
+	f.Fuzz(func(t *testing.T, accept string) {
+		got := NegotiateExposition(accept)
+		if got != ContentTypePrometheus && got != ContentTypeOpenMetrics {
+			t.Fatalf("NegotiateExposition(%q) returned unknown content type %q", accept, got)
+		}
+		if accept == "" && got != ContentTypePrometheus {
+			t.Fatalf("empty Accept must default to Prometheus text, got %q", got)
+		}
+	})
+}

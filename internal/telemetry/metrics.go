@@ -20,6 +20,7 @@ package telemetry
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. The zero value is ready to
@@ -78,16 +79,36 @@ func (f *atomicFloat) add(v float64) {
 
 func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
 
+// Exemplar ties one concrete observation to the trace that produced it:
+// an operator looking at a latency bucket on a dashboard can jump straight
+// to a representative request's span tree instead of guessing. Rendered in
+// the OpenMetrics exposition (`# {trace_id=...,span_id=...} value ts`) and
+// exported on OTLP histogram data points; the Prometheus text 0.0.4 format
+// has no exemplar syntax, so that rendering is byte-for-byte unchanged.
+type Exemplar struct {
+	TraceID string    `json:"traceId"`
+	SpanID  string    `json:"spanId"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time,omitempty"`
+}
+
 // Histogram counts observations into fixed buckets. An observation v lands
 // in the first bucket whose upper bound satisfies v <= bound (Prometheus
 // `le` semantics); anything above the last bound lands in the implicit
 // +Inf bucket. Observe is lock-free: one atomic add per bucket hit, one
 // for the count, and a CAS loop for the float sum.
+//
+// Every bucket additionally carries one exemplar slot — an atomic pointer
+// updated last-write-wins by ObserveExemplar. Plain Observe never touches
+// the slots, so a daemon with tracing off (the only caller of
+// ObserveExemplar is a request that owns a live span) pays nothing for the
+// feature beyond len(bounds)+1 idle pointers.
 type Histogram struct {
-	bounds  []float64      // sorted upper bounds, exclusive of +Inf
-	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	count   atomic.Int64
-	sum     atomicFloat
+	bounds    []float64      // sorted upper bounds, exclusive of +Inf
+	buckets   []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count     atomic.Int64
+	sum       atomicFloat
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, parallel to buckets
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -98,18 +119,53 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		buckets:   make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
-// Observe records one observation.
-func (h *Histogram) Observe(v float64) {
+// bucketIndex returns the bucket an observation of v lands in.
+func (h *Histogram) bucketIndex(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := h.bucketIndex(v)
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.add(v)
+}
+
+// ObserveExemplar records one observation and stamps the landing bucket's
+// exemplar slot with the observing request's trace identity (last write
+// wins — the freshest representative is the useful one). An empty traceID
+// degrades to a plain Observe, so callers can pass their maybe-nil span's
+// ids unconditionally.
+func (h *Histogram) ObserveExemplar(v float64, traceID, spanID string, at time.Time) {
+	i := h.bucketIndex(v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, SpanID: spanID, Value: v, Time: at})
+}
+
+// BucketExemplar returns the exemplar currently held by bucket i (the last
+// index is the +Inf bucket), or nil when none has been recorded.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // ObserveN records n observations of the same value v in one shot. The

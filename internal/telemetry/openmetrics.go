@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition content types served by /metrics. Prometheus text 0.0.4 is
+// the default and stays byte-for-byte what it always was; OpenMetrics is
+// opt-in via Accept negotiation and is the only rendering that carries
+// exemplars (the 0.0.4 grammar has no syntax for them).
+const (
+	ContentTypePrometheus  = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// NegotiateExposition picks an exposition content type from an Accept
+// header. OpenMetrics is chosen only when the client asks for it with a
+// quality at least as high as any plain-text alternative; everything else
+// — empty header, wildcards, garbage — falls back to Prometheus text, so
+// existing scrapers never see a format change they didn't request.
+func NegotiateExposition(accept string) string {
+	omQ, textQ := -1.0, -1.0
+	for _, part := range strings.Split(accept, ",") {
+		mediaRange, q := parseMediaRange(part)
+		if q <= 0 {
+			continue
+		}
+		switch mediaRange {
+		case "application/openmetrics-text":
+			if q > omQ {
+				omQ = q
+			}
+		case "text/plain", "text/*", "*/*", "application/*":
+			if q > textQ {
+				textQ = q
+			}
+		}
+	}
+	if omQ > 0 && omQ >= textQ {
+		return ContentTypeOpenMetrics
+	}
+	return ContentTypePrometheus
+}
+
+// parseMediaRange splits one Accept list element into its lowercase media
+// range and quality (default 1). Malformed q parameters degrade to 0 so a
+// bad element can never outrank a well-formed one.
+func parseMediaRange(part string) (string, float64) {
+	fields := strings.Split(part, ";")
+	mediaRange := strings.ToLower(strings.TrimSpace(fields[0]))
+	q := 1.0
+	for _, f := range fields[1:] {
+		f = strings.TrimSpace(f)
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+			continue
+		}
+		parsed, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || parsed < 0 || parsed > 1 {
+			q = 0
+			continue
+		}
+		q = parsed
+	}
+	return mediaRange, q
+}
+
+// openMetricsFamilyName strips the conventional _total suffix from a
+// counter's name: OpenMetrics names the family without it and the sample
+// with it (castd_casts_total -> family castd_casts, sample
+// castd_casts_total). Counters not following the convention keep their
+// name unchanged.
+func openMetricsFamilyName(name string, kind metricKind) string {
+	switch kind {
+	case counterKind, counterFuncKind, counterSamplesKind:
+		return strings.TrimSuffix(name, "_total")
+	}
+	return name
+}
+
+// formatExemplar renders the OpenMetrics exemplar suffix for a bucket
+// line: ` # {trace_id="...",span_id="..."} value timestamp`.
+func formatExemplar(e *Exemplar) string {
+	var b strings.Builder
+	b.WriteString(" # {")
+	fmt.Fprintf(&b, `trace_id="%s",span_id="%s"`, escapeLabel(e.TraceID), escapeLabel(e.SpanID))
+	b.WriteString("} ")
+	b.WriteString(formatFloat(e.Value))
+	if !e.Time.IsZero() {
+		sec := float64(e.Time.UnixNano()) / 1e9
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(sec, 'f', 3, 64))
+	}
+	return b.String()
+}
+
+// WriteOpenMetrics renders every registered family in the OpenMetrics 1.0
+// text format: counter families named without their _total suffix,
+// histogram buckets carrying exemplars where one has been recorded, and
+// the mandatory `# EOF` terminator. Ordering matches WritePrometheus so
+// the two expositions diff cleanly.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		famName := openMetricsFamilyName(f.name, f.kind)
+		fmt.Fprintf(&b, "# HELP %s %s\n", famName, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", famName, f.kind.promType())
+		switch f.kind {
+		case counterFuncKind, gaugeFuncKind:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+			continue
+		case counterSamplesKind, gaugeSamplesKind:
+			samples := f.samplesFn()
+			sort.Slice(samples, func(i, j int) bool {
+				return strings.Join(samples[i].Labels, "\x00") < strings.Join(samples[j].Labels, "\x00")
+			})
+			for _, smp := range samples {
+				if len(smp.Labels) != len(f.labels) {
+					continue
+				}
+				ls := labelString(f.labels, smp.Labels, "", "")
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, ls, formatFloat(smp.Value))
+			}
+			continue
+		}
+		f.mu.Lock()
+		ser := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		sort.Slice(ser, func(i, j int) bool {
+			return strings.Join(ser[i].labelValues, "\x00") < strings.Join(ser[j].labelValues, "\x00")
+		})
+		for _, s := range ser {
+			ls := labelString(f.labels, s.labelValues, "", "")
+			switch f.kind {
+			case counterKind:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, s.counter.Value())
+			case gaugeKind:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, s.gauge.Value())
+			case histogramKind:
+				cum := int64(0)
+				for i := range s.hist.buckets {
+					cum += s.hist.buckets[i].Load()
+					leVal := "+Inf"
+					if i < len(s.hist.bounds) {
+						leVal = formatFloat(s.hist.bounds[i])
+					}
+					le := labelString(f.labels, s.labelValues, "le", leVal)
+					fmt.Fprintf(&b, "%s_bucket%s %d", f.name, le, cum)
+					if e := s.hist.BucketExemplar(i); e != nil {
+						b.WriteString(formatExemplar(e))
+					}
+					b.WriteByte('\n')
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, ls, formatFloat(s.hist.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, ls, s.hist.Count())
+			}
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildExemplarRegistry mirrors buildExerciseRegistry's families and
+// values exactly, but records the histogram observations through
+// ObserveExemplar with fixed trace identities — so the Prometheus
+// rendering of this registry must stay byte-identical to the existing
+// exposition.golden (the 0.0.4 format has no exemplar syntax), while the
+// OpenMetrics rendering gains exemplar suffixes.
+func buildExemplarRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.Counter("cast_subtrees_skipped_total", "Subtrees skipped because (τ, τ') ∈ R_sub.")
+	c.Add(42)
+	g := reg.Gauge("http_in_flight_requests", "Requests currently being served.")
+	g.Set(3)
+	v := reg.CounterVec("http_requests_total", "Requests by route and status code.", "route", "code")
+	v.With("cast", "200").Add(7)
+	v.With("cast", "404").Add(1)
+	v.With("he\"llo\nwor\\ld", "200").Inc()
+	at := time.Unix(1700000000, 123000000).UTC()
+	h := reg.Histogram("registry_compile_seconds", "Schema-pair compile latency.", []float64{0.01, 0.1, 1})
+	for i, o := range []float64{0.005, 0.05, 0.5, 5} {
+		h.ObserveExemplar(o, "4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", at.Add(time.Duration(i)*time.Second))
+	}
+	hv := reg.HistogramVec("http_request_duration_seconds", "Request latency by route.", []float64{0.25}, "route")
+	hv.With("cast").ObserveExemplar(0.125, "abad1deaabad1deaabad1deaabad1dea", "b7ad6b7169203331", at)
+	hv.With("cast").Observe(0.5) // +Inf bucket left without an exemplar
+	reg.CounterFunc("registry_hits_total", "Pair-cache hits.", func() float64 { return 9 })
+	reg.GaugeFunc("registry_pairs", "Cached compiled pairs.", func() float64 { return 2 })
+	return reg
+}
+
+// TestOpenMetricsGolden locks the OpenMetrics exposition byte-for-byte
+// against testdata/openmetrics.golden (regenerate with
+// `go test -run Golden -update`).
+func TestOpenMetricsGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildExemplarRegistry().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "openmetrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Fatalf("OpenMetrics exposition drifted from golden file.\n-- got --\n%s\n-- want --\n%s", b.String(), want)
+	}
+	if !strings.HasSuffix(b.String(), "# EOF\n") {
+		t.Fatal("OpenMetrics exposition must end with # EOF")
+	}
+}
+
+// TestPrometheusUnchangedByExemplars is the satellite's core guarantee: a
+// registry full of recorded exemplars renders the Prometheus text format
+// byte-for-byte identically to the exemplar-free exercise registry.
+func TestPrometheusUnchangedByExemplars(t *testing.T) {
+	var withEx, without strings.Builder
+	if err := buildExemplarRegistry().WritePrometheus(&withEx); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildExerciseRegistry().WritePrometheus(&without); err != nil {
+		t.Fatal(err)
+	}
+	if withEx.String() != without.String() {
+		t.Fatalf("exemplars leaked into the Prometheus rendering.\n-- with --\n%s\n-- without --\n%s", withEx.String(), without.String())
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "exposition.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEx.String() != string(want) {
+		t.Fatal("Prometheus rendering with exemplars drifted from exposition.golden")
+	}
+}
+
+func TestOpenMetricsExemplarSyntax(t *testing.T) {
+	var b strings.Builder
+	if err := buildExemplarRegistry().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The 0.25 bucket holds the 0.125 observation's exemplar with its
+	// timestamp; the +Inf bucket saw only a plain Observe so it has none.
+	wantLine := `http_request_duration_seconds_bucket{route="cast",le="0.25"} 1 # {trace_id="abad1deaabad1deaabad1deaabad1dea",span_id="b7ad6b7169203331"} 0.125 1700000000.123`
+	if !strings.Contains(out, wantLine+"\n") {
+		t.Fatalf("missing exemplar line %q in:\n%s", wantLine, out)
+	}
+	if strings.Contains(out, `http_request_duration_seconds_bucket{route="cast",le="+Inf"} 2 #`) {
+		t.Fatalf("+Inf bucket should have no exemplar:\n%s", out)
+	}
+	// Counter families drop _total in HELP/TYPE but keep it on samples.
+	if !strings.Contains(out, "# TYPE cast_subtrees_skipped counter\n") {
+		t.Fatalf("counter TYPE should strip _total:\n%s", out)
+	}
+	if !strings.Contains(out, "cast_subtrees_skipped_total 42\n") {
+		t.Fatalf("counter sample should keep _total:\n%s", out)
+	}
+}
+
+func TestNegotiateExposition(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   string
+	}{
+		{"", ContentTypePrometheus},
+		{"*/*", ContentTypePrometheus},
+		{"text/plain", ContentTypePrometheus},
+		{"text/plain; version=0.0.4", ContentTypePrometheus},
+		{"application/openmetrics-text", ContentTypeOpenMetrics},
+		{"application/openmetrics-text; version=1.0.0; charset=utf-8", ContentTypeOpenMetrics},
+		// The canonical Prometheus scraper header: OpenMetrics preferred.
+		{"application/openmetrics-text;version=1.0.0;q=0.5,text/plain;version=0.0.4;q=0.3", ContentTypeOpenMetrics},
+		// Client explicitly prefers plain text.
+		{"application/openmetrics-text;q=0.1, text/plain;q=0.9", ContentTypePrometheus},
+		// q=0 means "never".
+		{"application/openmetrics-text;q=0", ContentTypePrometheus},
+		{"application/openmetrics-text;q=0, */*;q=0.1", ContentTypePrometheus},
+		// Equal quality: the richer format wins.
+		{"application/openmetrics-text, text/plain", ContentTypeOpenMetrics},
+		// Garbage degrades safely.
+		{"blorp;;;q=zzz", ContentTypePrometheus},
+		{"application/openmetrics-text;q=notanumber", ContentTypePrometheus},
+		{"APPLICATION/OPENMETRICS-TEXT", ContentTypeOpenMetrics},
+	}
+	for _, tc := range cases {
+		if got := NegotiateExposition(tc.accept); got != tc.want {
+			t.Errorf("NegotiateExposition(%q) = %q, want %q", tc.accept, got, tc.want)
+		}
+	}
+}

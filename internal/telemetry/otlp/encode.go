@@ -1,0 +1,329 @@
+package otlp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// OTLP/HTTP JSON encoding of the repo's native telemetry shapes
+// (TraceData, FamilySnapshot), following the proto3 JSON mapping the
+// collector expects: trace/span ids as lowercase hex, 64-bit integers and
+// nanosecond timestamps as decimal strings, enums as numbers.
+
+type otlpKeyValue struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+}
+
+func otlpAttr(key string, value any) otlpKeyValue {
+	kv := otlpKeyValue{Key: key}
+	switch v := value.(type) {
+	case string:
+		kv.Value.StringValue = &v
+	case bool:
+		kv.Value.BoolValue = &v
+	case int:
+		s := strconv.FormatInt(int64(v), 10)
+		kv.Value.IntValue = &s
+	case int64:
+		s := strconv.FormatInt(v, 10)
+		kv.Value.IntValue = &s
+	case uint64:
+		s := strconv.FormatUint(v, 10)
+		kv.Value.IntValue = &s
+	case float64:
+		kv.Value.DoubleValue = &v
+	case json.Number:
+		s := v.String()
+		if strings.ContainsAny(s, ".eE") {
+			if f, err := v.Float64(); err == nil {
+				kv.Value.DoubleValue = &f
+				return kv
+			}
+		}
+		kv.Value.IntValue = &s
+	default:
+		s := fmt.Sprint(v)
+		kv.Value.StringValue = &s
+	}
+	return kv
+}
+
+func otlpAttrs(attrs []telemetry.Attr) []otlpKeyValue {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]otlpKeyValue, 0, len(attrs))
+	for _, a := range attrs {
+		out = append(out, otlpAttr(a.Key, a.Value))
+	}
+	return out
+}
+
+func resourceAttrs(resource map[string]string) []otlpKeyValue {
+	keys := make([]string, 0, len(resource))
+	for k := range resource {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]otlpKeyValue, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, otlpAttr(k, resource[k]))
+	}
+	return out
+}
+
+func unixNano(t time.Time) string { return strconv.FormatInt(t.UnixNano(), 10) }
+
+const scopeName = "castd"
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+// --- traces ---
+
+type otlpStatus struct {
+	Code    int    `json:"code,omitempty"` // 2 = STATUS_CODE_ERROR
+	Message string `json:"message,omitempty"`
+}
+
+type otlpEvent struct {
+	TimeUnixNano string         `json:"timeUnixNano"`
+	Name         string         `json:"name"`
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpLink struct {
+	TraceID string `json:"traceId"`
+	SpanID  string `json:"spanId"`
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"` // 1 internal, 2 server
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Events            []otlpEvent    `json:"events,omitempty"`
+	Links             []otlpLink     `json:"links,omitempty"`
+	Status            otlpStatus     `json:"status"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type tracesPayload struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+// encodeTraces renders retained traces as one OTLP/JSON export request.
+func encodeTraces(traces []*telemetry.TraceData, resource map[string]string) []byte {
+	spans := make([]otlpSpan, 0, len(traces)*4)
+	for _, td := range traces {
+		for i, sd := range td.Spans {
+			os := otlpSpan{
+				TraceID:           sd.TraceID,
+				SpanID:            sd.SpanID,
+				ParentSpanID:      sd.ParentID,
+				Name:              sd.Name,
+				Kind:              1, // SPAN_KIND_INTERNAL
+				StartTimeUnixNano: unixNano(sd.Start),
+				EndTimeUnixNano:   unixNano(sd.Start.Add(time.Duration(sd.DurationNS))),
+				Attributes:        otlpAttrs(sd.Attrs),
+			}
+			if i == 0 {
+				os.Kind = 2 // the request root: SPAN_KIND_SERVER
+			}
+			for _, ev := range sd.Events {
+				os.Events = append(os.Events, otlpEvent{
+					TimeUnixNano: unixNano(ev.Time),
+					Name:         ev.Name,
+					Attributes:   otlpAttrs(ev.Attrs),
+				})
+			}
+			for _, l := range sd.Links {
+				tid, sid, ok := strings.Cut(l, ":")
+				if !ok {
+					continue
+				}
+				os.Links = append(os.Links, otlpLink{TraceID: tid, SpanID: sid})
+			}
+			if sd.Error != "" {
+				os.Status = otlpStatus{Code: 2, Message: sd.Error}
+			}
+			spans = append(spans, os)
+		}
+	}
+	body, _ := json.Marshal(tracesPayload{ResourceSpans: []otlpResourceSpans{{
+		Resource:   otlpResource{Attributes: resourceAttrs(resource)},
+		ScopeSpans: []otlpScopeSpans{{Scope: otlpScope{Name: scopeName}, Spans: spans}},
+	}}})
+	return body
+}
+
+// --- metrics ---
+
+type otlpExemplar struct {
+	TimeUnixNano string  `json:"timeUnixNano,omitempty"`
+	AsDouble     float64 `json:"asDouble"`
+	TraceID      string  `json:"traceId,omitempty"`
+	SpanID       string  `json:"spanId,omitempty"`
+}
+
+type otlpNumberPoint struct {
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+	TimeUnixNano string         `json:"timeUnixNano"`
+	AsDouble     float64        `json:"asDouble"`
+}
+
+type otlpHistogramPoint struct {
+	Attributes     []otlpKeyValue `json:"attributes,omitempty"`
+	TimeUnixNano   string         `json:"timeUnixNano"`
+	Count          string         `json:"count"`
+	Sum            float64        `json:"sum"`
+	BucketCounts   []string       `json:"bucketCounts,omitempty"`
+	ExplicitBounds []float64      `json:"explicitBounds,omitempty"`
+	Exemplars      []otlpExemplar `json:"exemplars,omitempty"`
+}
+
+type otlpSum struct {
+	DataPoints             []otlpNumberPoint `json:"dataPoints"`
+	AggregationTemporality int               `json:"aggregationTemporality"` // 2 = cumulative
+	IsMonotonic            bool              `json:"isMonotonic"`
+}
+
+type otlpGauge struct {
+	DataPoints []otlpNumberPoint `json:"dataPoints"`
+}
+
+type otlpHistogram struct {
+	DataPoints             []otlpHistogramPoint `json:"dataPoints"`
+	AggregationTemporality int                  `json:"aggregationTemporality"`
+}
+
+type otlpMetric struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description,omitempty"`
+	Sum         *otlpSum       `json:"sum,omitempty"`
+	Gauge       *otlpGauge     `json:"gauge,omitempty"`
+	Histogram   *otlpHistogram `json:"histogram,omitempty"`
+}
+
+type otlpScopeMetrics struct {
+	Scope   otlpScope    `json:"scope"`
+	Metrics []otlpMetric `json:"metrics"`
+}
+
+type otlpResourceMetrics struct {
+	Resource     otlpResource       `json:"resource"`
+	ScopeMetrics []otlpScopeMetrics `json:"scopeMetrics"`
+}
+
+type metricsPayload struct {
+	ResourceMetrics []otlpResourceMetrics `json:"resourceMetrics"`
+}
+
+func pointAttrs(labels map[string]string) []otlpKeyValue {
+	if len(labels) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]otlpKeyValue, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, otlpAttr(k, labels[k]))
+	}
+	return out
+}
+
+// encodeMetrics renders one registry snapshot as an OTLP/JSON export
+// request stamped at time at.
+func encodeMetrics(fams []telemetry.FamilySnapshot, resource map[string]string, at time.Time) []byte {
+	ts := unixNano(at)
+	metrics := make([]otlpMetric, 0, len(fams))
+	for _, f := range fams {
+		m := otlpMetric{Name: f.Name, Description: f.Help}
+		switch f.Type {
+		case "histogram":
+			h := &otlpHistogram{AggregationTemporality: 2}
+			for _, s := range f.Samples {
+				p := otlpHistogramPoint{
+					Attributes:   pointAttrs(s.Labels),
+					TimeUnixNano: ts,
+					Count:        strconv.FormatInt(s.Count, 10),
+					Sum:          s.Sum,
+				}
+				for _, b := range s.Buckets {
+					p.BucketCounts = append(p.BucketCounts, strconv.FormatInt(b.Count, 10))
+					if b.LE != "+Inf" {
+						if bound, err := strconv.ParseFloat(b.LE, 64); err == nil {
+							p.ExplicitBounds = append(p.ExplicitBounds, bound)
+						}
+					}
+					if e := b.Exemplar; e != nil {
+						ox := otlpExemplar{AsDouble: e.Value, TraceID: e.TraceID, SpanID: e.SpanID}
+						if !e.Time.IsZero() {
+							ox.TimeUnixNano = unixNano(e.Time)
+						}
+						p.Exemplars = append(p.Exemplars, ox)
+					}
+				}
+				h.DataPoints = append(h.DataPoints, p)
+			}
+			m.Histogram = h
+		case "counter":
+			sum := &otlpSum{AggregationTemporality: 2, IsMonotonic: true}
+			for _, s := range f.Samples {
+				sum.DataPoints = append(sum.DataPoints, otlpNumberPoint{
+					Attributes: pointAttrs(s.Labels), TimeUnixNano: ts, AsDouble: s.Value,
+				})
+			}
+			m.Sum = sum
+		default: // gauge
+			g := &otlpGauge{}
+			for _, s := range f.Samples {
+				g.DataPoints = append(g.DataPoints, otlpNumberPoint{
+					Attributes: pointAttrs(s.Labels), TimeUnixNano: ts, AsDouble: s.Value,
+				})
+			}
+			m.Gauge = g
+		}
+		metrics = append(metrics, m)
+	}
+	body, _ := json.Marshal(metricsPayload{ResourceMetrics: []otlpResourceMetrics{{
+		Resource:     otlpResource{Attributes: resourceAttrs(resource)},
+		ScopeMetrics: []otlpScopeMetrics{{Scope: otlpScope{Name: scopeName}, Metrics: metrics}},
+	}}})
+	return body
+}

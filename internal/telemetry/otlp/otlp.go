@@ -1,0 +1,410 @@
+// Package otlp exports castd's retained traces and metric snapshots to an
+// OpenTelemetry collector over OTLP/HTTP JSON — stdlib only, like every
+// other layer of the telemetry stack.
+//
+// The exporter is a single background goroutine behind a bounded queue.
+// Signals arrive from two producers: the tail sampler's retention hook
+// (every trace that lands in /debug/traces is also enqueued here, so the
+// collector sees exactly what the operator can see locally) and a ticker
+// that snapshots the metric registry every Interval. The queue drops
+// oldest on overflow — under collector outage the freshest telemetry is
+// the telemetry worth keeping — and every fate is self-accounted in
+// castd_otlp_* families so the exporter's own health shows up on the same
+// /metrics page it exports.
+//
+// Failure handling follows the OTLP spec's retryable/non-retryable split:
+// 429/5xx (and transport errors) are retried with exponential backoff plus
+// jitter, honoring Retry-After when the collector sends one; other 4xx
+// responses are counted as rejected and dropped immediately, because
+// resending a payload the collector has already refused only amplifies
+// the outage. Close flushes what is queued — including a final metric
+// snapshot — before the goroutine exits, so a drained daemon never
+// strands its last batch.
+package otlp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// Defaults applied by New when the corresponding option is zero.
+const (
+	DefaultInterval   = 10 * time.Second
+	DefaultQueueSize  = 1024
+	DefaultBatchSize  = 64
+	DefaultMaxRetries = 5
+	defaultBackoff    = 200 * time.Millisecond
+)
+
+// Options configure an Exporter.
+type Options struct {
+	// Endpoint is the collector base URL (e.g. http://collector:4318);
+	// signals POST to Endpoint + /v1/traces and /v1/metrics. Empty
+	// disables the exporter: New returns nil.
+	Endpoint string
+	// Interval between metric registry snapshots (and periodic flushes);
+	// 0 means DefaultInterval.
+	Interval time.Duration
+	// QueueSize bounds the pending-item queue; 0 means DefaultQueueSize.
+	QueueSize int
+	// BatchSize triggers an early flush when this many items are queued;
+	// 0 means DefaultBatchSize.
+	BatchSize int
+	// MaxRetries bounds send attempts per batch beyond the first;
+	// 0 means DefaultMaxRetries.
+	MaxRetries int
+	// Gather snapshots the metric registry; nil disables metric export.
+	Gather func() []telemetry.FamilySnapshot
+	// Resource key/values stamped on every export (service.name etc.).
+	Resource map[string]string
+	// Client is the HTTP client; nil uses a 10s-timeout client.
+	Client *http.Client
+
+	// backoffBase and now are test seams.
+	backoffBase time.Duration
+	now         func() time.Time
+}
+
+// Stats is a point-in-time snapshot of the exporter's self-accounting.
+type Stats struct {
+	ExportedSpans   uint64 `json:"exportedSpans"`
+	ExportedMetrics uint64 `json:"exportedMetrics"`
+	DroppedFull     uint64 `json:"droppedFull"`
+	DroppedRetry    uint64 `json:"droppedRetry"`
+	DroppedRejected uint64 `json:"droppedRejected"`
+	Retries         uint64 `json:"retries"`
+	QueueDepth      int    `json:"queueDepth"`
+}
+
+// item is one queued export unit: a retained trace or a metric snapshot.
+type item struct {
+	trace   *telemetry.TraceData
+	metrics []telemetry.FamilySnapshot
+}
+
+// Exporter ships traces and metrics to one OTLP/HTTP endpoint. A nil
+// *Exporter is a disabled exporter: every method no-ops, so callers wire
+// it unconditionally.
+type Exporter struct {
+	endpoint    string
+	interval    time.Duration
+	queueSize   int
+	batchSize   int
+	maxRetries  int
+	backoffBase time.Duration
+	gather      func() []telemetry.FamilySnapshot
+	resource    map[string]string
+	client      *http.Client
+	now         func() time.Time
+
+	exportedSpans   atomic.Uint64
+	exportedMetrics atomic.Uint64
+	droppedFull     atomic.Uint64
+	droppedRetry    atomic.Uint64
+	droppedRejected atomic.Uint64
+	retries         atomic.Uint64
+
+	mu    sync.Mutex
+	queue []item
+
+	wake      chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds and starts an exporter, or returns nil when no endpoint is
+// configured.
+func New(opts Options) *Exporter {
+	if opts.Endpoint == "" {
+		return nil
+	}
+	e := &Exporter{
+		endpoint:    opts.Endpoint,
+		interval:    opts.Interval,
+		queueSize:   opts.QueueSize,
+		batchSize:   opts.BatchSize,
+		maxRetries:  opts.MaxRetries,
+		backoffBase: opts.backoffBase,
+		gather:      opts.Gather,
+		resource:    opts.Resource,
+		client:      opts.Client,
+		now:         opts.now,
+		wake:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if e.interval <= 0 {
+		e.interval = DefaultInterval
+	}
+	if e.queueSize <= 0 {
+		e.queueSize = DefaultQueueSize
+	}
+	if e.batchSize <= 0 {
+		e.batchSize = DefaultBatchSize
+	}
+	if e.maxRetries <= 0 {
+		e.maxRetries = DefaultMaxRetries
+	}
+	if e.backoffBase <= 0 {
+		e.backoffBase = defaultBackoff
+	}
+	if e.client == nil {
+		e.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	go e.loop()
+	return e
+}
+
+// ExportTrace enqueues one retained trace; this is the function handed to
+// Tracer.OnRetain. Nil-safe on both sides.
+func (e *Exporter) ExportTrace(td *telemetry.TraceData) {
+	if e == nil || td == nil {
+		return
+	}
+	e.enqueue(item{trace: td})
+}
+
+// ExportMetrics snapshots the registry now and enqueues the result;
+// exposed for tests and the final drain flush. Nil-safe.
+func (e *Exporter) ExportMetrics() {
+	if e == nil || e.gather == nil {
+		return
+	}
+	fams := e.gather()
+	if len(fams) == 0 {
+		return
+	}
+	e.enqueue(item{metrics: fams})
+}
+
+func (e *Exporter) enqueue(it item) {
+	e.mu.Lock()
+	if len(e.queue) >= e.queueSize {
+		// Drop-oldest: shift rather than reject, so the queue always holds
+		// the freshest telemetry when the collector comes back.
+		copy(e.queue, e.queue[1:])
+		e.queue = e.queue[:len(e.queue)-1]
+		e.droppedFull.Add(1)
+	}
+	e.queue = append(e.queue, it)
+	depth := len(e.queue)
+	e.mu.Unlock()
+	if depth >= e.batchSize {
+		select {
+		case e.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Stats snapshots the self-accounting counters. Nil-safe.
+func (e *Exporter) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	e.mu.Lock()
+	depth := len(e.queue)
+	e.mu.Unlock()
+	return Stats{
+		ExportedSpans:   e.exportedSpans.Load(),
+		ExportedMetrics: e.exportedMetrics.Load(),
+		DroppedFull:     e.droppedFull.Load(),
+		DroppedRetry:    e.droppedRetry.Load(),
+		DroppedRejected: e.droppedRejected.Load(),
+		Retries:         e.retries.Load(),
+		QueueDepth:      depth,
+	}
+}
+
+// Register exposes the exporter's self-accounting as castd_otlp_*
+// families. Safe to call on a nil exporter — the families then exist at
+// zero, per the repo's "families exist from birth" exposition rule.
+func (e *Exporter) Register(reg *telemetry.Registry) {
+	reg.CounterSamples("castd_otlp_exported_total",
+		"Telemetry batches exported to the OTLP collector, by signal.",
+		[]string{"signal"}, func() []telemetry.Sample {
+			st := e.Stats()
+			return []telemetry.Sample{
+				{Labels: []string{"metrics"}, Value: float64(st.ExportedMetrics)},
+				{Labels: []string{"spans"}, Value: float64(st.ExportedSpans)},
+			}
+		})
+	reg.CounterSamples("castd_otlp_dropped_total",
+		"Telemetry items dropped before reaching the collector, by reason.",
+		[]string{"reason"}, func() []telemetry.Sample {
+			st := e.Stats()
+			return []telemetry.Sample{
+				{Labels: []string{"queue_full"}, Value: float64(st.DroppedFull)},
+				{Labels: []string{"rejected"}, Value: float64(st.DroppedRejected)},
+				{Labels: []string{"retry_exhausted"}, Value: float64(st.DroppedRetry)},
+			}
+		})
+	reg.CounterFunc("castd_otlp_retries_total",
+		"OTLP send attempts beyond the first, across all batches.",
+		func() float64 { return float64(e.Stats().Retries) })
+	reg.GaugeFunc("castd_otlp_queue_depth",
+		"Telemetry items waiting in the OTLP export queue.",
+		func() float64 { return float64(e.Stats().QueueDepth) })
+}
+
+// Close flushes the queue (plus a final metric snapshot) and stops the
+// background goroutine, blocking until it has exited. Nil-safe and
+// idempotent.
+func (e *Exporter) Close() {
+	if e == nil {
+		return
+	}
+	e.closeOnce.Do(func() { close(e.stop) })
+	<-e.done
+}
+
+func (e *Exporter) loop() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			e.ExportMetrics() // the drain snapshot: ship the final numbers
+			e.flush(true)
+			return
+		case <-ticker.C:
+			e.ExportMetrics()
+			e.flush(false)
+		case <-e.wake:
+			e.flush(false)
+		}
+	}
+}
+
+// flush drains the queue, sending one traces batch and one metrics batch
+// per drain pass. final marks the Close-time flush, whose retry waits must
+// not block shutdown on a dead collector.
+func (e *Exporter) flush(final bool) {
+	for {
+		e.mu.Lock()
+		if len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		n := len(e.queue)
+		if n > e.batchSize {
+			n = e.batchSize
+		}
+		batch := make([]item, n)
+		copy(batch, e.queue)
+		rest := copy(e.queue, e.queue[n:])
+		e.queue = e.queue[:rest]
+		e.mu.Unlock()
+
+		var traces []*telemetry.TraceData
+		var metrics [][]telemetry.FamilySnapshot
+		for _, it := range batch {
+			if it.trace != nil {
+				traces = append(traces, it.trace)
+			}
+			if it.metrics != nil {
+				metrics = append(metrics, it.metrics)
+			}
+		}
+		if len(traces) > 0 {
+			if e.send("/v1/traces", encodeTraces(traces, e.resource), final) {
+				e.exportedSpans.Add(uint64(len(traces)))
+			}
+		}
+		for _, fams := range metrics {
+			if e.send("/v1/metrics", encodeMetrics(fams, e.resource, e.now()), final) {
+				e.exportedMetrics.Add(1)
+			}
+		}
+	}
+}
+
+// send POSTs one encoded batch, retrying retryable failures with
+// exponential backoff + jitter and honoring Retry-After. Returns true when
+// the collector accepted the batch.
+func (e *Exporter) send(path string, body []byte, final bool) bool {
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err := e.post(path, body)
+		if err == nil && status >= 200 && status < 300 {
+			return true
+		}
+		retryable := err != nil || status == http.StatusTooManyRequests || status >= 500
+		if !retryable {
+			e.droppedRejected.Add(1)
+			return false
+		}
+		if attempt >= e.maxRetries {
+			e.droppedRetry.Add(1)
+			return false
+		}
+		e.retries.Add(1)
+		wait := e.backoffBase << attempt
+		wait += time.Duration(rand.Int64N(int64(wait)/2 + 1)) // jitter: [base, 1.5*base)
+		if retryAfter > 0 {
+			wait = retryAfter
+		}
+		if final {
+			// Shutdown flush: sleep without listening for stop (it is
+			// already closed) but never longer than one backoff step.
+			time.Sleep(wait)
+			continue
+		}
+		select {
+		case <-e.stop:
+			// Shutting down mid-backoff: leave the batch unsent; the Close
+			// flush path gets one more attempt sequence.
+			e.droppedRetry.Add(1)
+			return false
+		case <-time.After(wait):
+		}
+	}
+}
+
+// post performs one HTTP attempt, first consulting the faultinject seam so
+// chaos tests can synthesize a 503 storm without a network.
+func (e *Exporter) post(path string, body []byte) (status int, retryAfter time.Duration, err error) {
+	if fail, ra := faultinject.OTLPSend(); fail {
+		return http.StatusServiceUnavailable, ra, nil
+	}
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost, e.endpoint+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, fmt.Errorf("otlp: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After")), nil
+}
+
+// parseRetryAfter decodes a Retry-After header as (possibly fractional)
+// seconds; the HTTP-date form and garbage both yield 0 (use backoff).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.ParseFloat(v, 64)
+	if err != nil || sec < 0 || sec > 3600 {
+		return 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}

@@ -1,0 +1,416 @@
+package otlp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+	"repro/internal/telemetry"
+)
+
+// collector is an in-process fake OTLP collector: it accumulates decoded
+// trace and metric payloads and can be told to fail its first N requests
+// with 503 + Retry-After.
+type collector struct {
+	mu        sync.Mutex
+	traces    []tracesPayload
+	metrics   []metricsPayload
+	failFirst atomic.Int64
+	requests  atomic.Int64
+	srv       *httptest.Server
+}
+
+func newCollector(t *testing.T) *collector {
+	t.Helper()
+	c := &collector{}
+	c.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.requests.Add(1)
+		if c.failFirst.Load() > 0 {
+			c.failFirst.Add(-1)
+			w.Header().Set("Retry-After", "0.01")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		switch r.URL.Path {
+		case "/v1/traces":
+			var p tracesPayload
+			if err := json.Unmarshal(body, &p); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			c.traces = append(c.traces, p)
+		case "/v1/metrics":
+			var p metricsPayload
+			if err := json.Unmarshal(body, &p); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			c.metrics = append(c.metrics, p)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(c.srv.Close)
+	return c
+}
+
+func (c *collector) spanNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, p := range c.traces {
+		for _, rs := range p.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				for _, s := range ss.Spans {
+					out = append(out, s.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *collector) metricNames() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]bool{}
+	for _, p := range c.metrics {
+		for _, rm := range p.ResourceMetrics {
+			for _, sm := range rm.ScopeMetrics {
+				for _, m := range sm.Metrics {
+					out[m.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func sampleTrace(name string) *telemetry.TraceData {
+	start := time.Unix(1700000000, 0)
+	return &telemetry.TraceData{
+		TraceID:    "4bf92f3577b34da6a3ce929d0e0e4736",
+		Name:       name,
+		Start:      start,
+		DurationNS: int64(5 * time.Millisecond),
+		Reason:     telemetry.ReasonSlow,
+		Spans: []telemetry.SpanData{
+			{
+				TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", SpanID: "00f067aa0ba902b7",
+				Name: name, Start: start, DurationNS: int64(5 * time.Millisecond),
+				Attrs: []telemetry.Attr{{Key: "route", Value: "cast"}, {Key: "bytes", Value: 123}},
+			},
+			{
+				TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", SpanID: "b7ad6b7169203331",
+				ParentID: "00f067aa0ba902b7", Name: "cast", Start: start,
+				DurationNS: int64(3 * time.Millisecond), Error: "boom",
+				Links: []string{"abad1deaabad1deaabad1deaabad1dea:0102030405060708"},
+			},
+		},
+	}
+}
+
+func TestExportTraceAndMetrics(t *testing.T) {
+	col := newCollector(t)
+	base := leakcheck.Snapshot()
+	reg := telemetry.NewRegistry()
+	reg.Counter("casts_total", "casts").Add(3)
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.1})
+	h.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", time.Unix(1700000000, 0))
+
+	e := New(Options{
+		Endpoint:  col.srv.URL,
+		Interval:  20 * time.Millisecond,
+		BatchSize: 1,
+		Gather:    reg.Gather,
+		Resource:  map[string]string{"service.name": "castd", "service.instance.id": "node-a"},
+	})
+	e.ExportTrace(sampleTrace("GET /cast"))
+
+	waitFor(t, "span arrival", func() bool { return len(col.spanNames()) > 0 })
+	waitFor(t, "metric arrival", func() bool { return col.metricNames()["casts_total"] })
+	e.Close()
+	leakcheck.Check(t, base)
+
+	names := col.spanNames()
+	if names[0] != "GET /cast" || len(names) < 2 {
+		t.Fatalf("unexpected spans: %v", names)
+	}
+	// Shape assertions on the first trace payload.
+	col.mu.Lock()
+	p := col.traces[0]
+	col.mu.Unlock()
+	rs := p.ResourceSpans[0]
+	var svc string
+	for _, kv := range rs.Resource.Attributes {
+		if kv.Key == "service.name" && kv.Value.StringValue != nil {
+			svc = *kv.Value.StringValue
+		}
+	}
+	if svc != "castd" {
+		t.Fatalf("resource service.name missing: %+v", rs.Resource)
+	}
+	spans := rs.ScopeSpans[0].Spans
+	if spans[0].Kind != 2 || spans[1].Kind != 1 {
+		t.Fatalf("root should be SERVER, child INTERNAL: %+v", spans)
+	}
+	if spans[1].Status.Code != 2 || spans[1].Status.Message != "boom" {
+		t.Fatalf("error span should carry STATUS_CODE_ERROR: %+v", spans[1].Status)
+	}
+	if spans[1].ParentSpanID != "00f067aa0ba902b7" {
+		t.Fatalf("child parent id lost: %+v", spans[1])
+	}
+	if len(spans[1].Links) != 1 || spans[1].Links[0].TraceID != "abad1deaabad1deaabad1deaabad1dea" {
+		t.Fatalf("link lost: %+v", spans[1].Links)
+	}
+
+	// Histogram exemplar must ride the metric export.
+	col.mu.Lock()
+	mp := col.metrics[0]
+	col.mu.Unlock()
+	var found bool
+	for _, m := range mp.ResourceMetrics[0].ScopeMetrics[0].Metrics {
+		if m.Name != "lat_seconds" || m.Histogram == nil {
+			continue
+		}
+		dp := m.Histogram.DataPoints[0]
+		if dp.Count != "1" || len(dp.BucketCounts) != 2 || len(dp.ExplicitBounds) != 1 {
+			t.Fatalf("histogram shape wrong: %+v", dp)
+		}
+		if len(dp.Exemplars) != 1 || dp.Exemplars[0].TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Fatalf("exemplar missing from OTLP histogram: %+v", dp.Exemplars)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("lat_seconds histogram not exported")
+	}
+
+	st := e.Stats()
+	if st.ExportedSpans == 0 || st.ExportedMetrics == 0 {
+		t.Fatalf("self-accounting missed exports: %+v", st)
+	}
+}
+
+// TestRetryBackoffAndRecovery drives the 503 storm: the collector fails
+// the first two sends with Retry-After, and the exporter must retry and
+// deliver without dropping.
+func TestRetryBackoffAndRecovery(t *testing.T) {
+	col := newCollector(t)
+	col.failFirst.Store(2)
+	e := New(Options{
+		Endpoint:    col.srv.URL,
+		Interval:    time.Hour, // only explicit flushes
+		BatchSize:   1,
+		backoffBase: time.Millisecond,
+	})
+	defer e.Close()
+	e.ExportTrace(sampleTrace("retry me"))
+
+	waitFor(t, "recovery after 503 storm", func() bool { return len(col.spanNames()) == 2 })
+	st := e.Stats()
+	if st.Retries < 2 {
+		t.Fatalf("want >=2 retries, got %+v", st)
+	}
+	if st.DroppedRetry != 0 || st.DroppedRejected != 0 {
+		t.Fatalf("storm should not drop: %+v", st)
+	}
+	if got := col.requests.Load(); got != 3 {
+		t.Fatalf("want exactly 3 attempts (2 failed + 1 ok), got %d", got)
+	}
+}
+
+// TestFaultinjectStorm exercises the same storm through the chaos seam —
+// no collector failures, the faults are synthesized client-side.
+func TestFaultinjectStorm(t *testing.T) {
+	col := newCollector(t)
+	faultinject.Enable(faultinject.Config{OTLPFail: 2})
+	defer faultinject.Disable()
+	e := New(Options{
+		Endpoint:    col.srv.URL,
+		Interval:    time.Hour,
+		BatchSize:   1,
+		backoffBase: time.Millisecond,
+	})
+	defer e.Close()
+	e.ExportTrace(sampleTrace("chaos"))
+
+	waitFor(t, "recovery after injected storm", func() bool { return len(col.spanNames()) == 2 })
+	if st := e.Stats(); st.Retries < 2 {
+		t.Fatalf("injected failures should count as retries: %+v", st)
+	}
+	// Only the successful attempt reached the network.
+	if got := col.requests.Load(); got != 1 {
+		t.Fatalf("injected faults must not hit the wire, got %d requests", got)
+	}
+}
+
+func TestRetryExhaustionDrops(t *testing.T) {
+	col := newCollector(t)
+	col.failFirst.Store(100)
+	e := New(Options{
+		Endpoint:    col.srv.URL,
+		Interval:    time.Hour,
+		BatchSize:   1,
+		MaxRetries:  2,
+		backoffBase: time.Millisecond,
+	})
+	defer e.Close()
+	e.ExportTrace(sampleTrace("doomed"))
+	waitFor(t, "retry exhaustion", func() bool { return e.Stats().DroppedRetry == 1 })
+	if st := e.Stats(); st.Retries != 2 || st.ExportedSpans != 0 {
+		t.Fatalf("want 2 retries then drop: %+v", st)
+	}
+}
+
+func TestRejectedNotRetried(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	e := New(Options{Endpoint: srv.URL, Interval: time.Hour, BatchSize: 1, backoffBase: time.Millisecond})
+	defer e.Close()
+	e.ExportTrace(sampleTrace("bad"))
+	waitFor(t, "rejection", func() bool { return e.Stats().DroppedRejected == 1 })
+	if st := e.Stats(); st.Retries != 0 {
+		t.Fatalf("4xx must not be retried: %+v", st)
+	}
+}
+
+func TestQueueDropsOldest(t *testing.T) {
+	// No server needed: nothing flushes (huge batch size, long interval).
+	e := New(Options{
+		Endpoint:    "http://127.0.0.1:0",
+		Interval:    time.Hour,
+		QueueSize:   2,
+		BatchSize:   1000,
+		MaxRetries:  1,
+		backoffBase: time.Millisecond,
+	})
+	e.ExportTrace(sampleTrace("one"))
+	e.ExportTrace(sampleTrace("two"))
+	e.ExportTrace(sampleTrace("three"))
+	st := e.Stats()
+	if st.DroppedFull != 1 || st.QueueDepth != 2 {
+		t.Fatalf("want drop-oldest at capacity 2: %+v", st)
+	}
+	e.mu.Lock()
+	first := e.queue[0].trace.Name
+	e.mu.Unlock()
+	if first != "two" {
+		t.Fatalf("oldest item should have been dropped, head is %q", first)
+	}
+	// Close flush will fail against the dead endpoint; just verify the
+	// goroutine exits promptly anyway.
+	done := make(chan struct{})
+	go func() { e.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on a dead collector")
+	}
+}
+
+// TestCloseFlushesPending is the drain-order satellite at unit level: items
+// enqueued but not yet flushed must reach the collector during Close, along
+// with a final metric snapshot, and the goroutine must be gone after.
+func TestCloseFlushesPending(t *testing.T) {
+	col := newCollector(t)
+	base := leakcheck.Snapshot()
+	reg := telemetry.NewRegistry()
+	reg.Counter("final_total", "final").Add(9)
+	e := New(Options{
+		Endpoint:  col.srv.URL,
+		Interval:  time.Hour, // ticker never fires: only Close can flush
+		BatchSize: 1000,      // size never triggers either
+		Gather:    reg.Gather,
+	})
+	e.ExportTrace(sampleTrace("pending"))
+	if len(col.spanNames()) != 0 {
+		t.Fatal("nothing should flush before Close")
+	}
+	e.Close()
+	if names := col.spanNames(); len(names) != 2 {
+		t.Fatalf("Close must flush the pending trace, got %v", names)
+	}
+	if !col.metricNames()["final_total"] {
+		t.Fatal("Close must ship a final metric snapshot")
+	}
+	leakcheck.Check(t, base)
+	// Idempotent, nil-safe.
+	e.Close()
+	var nilExp *Exporter
+	nilExp.Close()
+	nilExp.ExportTrace(sampleTrace("x"))
+	if nilExp.Stats() != (Stats{}) {
+		t.Fatal("nil exporter stats should be zero")
+	}
+}
+
+func TestRegisterFamiliesExistAtZero(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var nilExp *Exporter
+	nilExp.Register(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`castd_otlp_exported_total{signal="spans"} 0`,
+		`castd_otlp_dropped_total{reason="queue_full"} 0`,
+		"castd_otlp_retries_total 0",
+		"castd_otlp_queue_depth 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"1", time.Second},
+		{"0.25", 250 * time.Millisecond},
+		{"-3", 0},
+		{"99999", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -43,10 +43,10 @@ type series struct {
 
 // family is a named metric with a fixed label set.
 type family struct {
-	name   string
-	help   string
-	kind   metricKind
-	labels []string
+	name      string
+	help      string
+	kind      metricKind
+	labels    []string
 	bounds    []float64       // histogram families
 	fn        func() float64  // *Func families
 	samplesFn func() []Sample // *Samples families

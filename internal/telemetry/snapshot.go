@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// Snapshotting is the machine-readable sibling of the text exposition:
+// where WritePrometheus renders for a scraper, Gather renders for a
+// program — the /metrics.json endpoint, the OTLP metric exporter, and the
+// /debug/fleet cross-peer merge all consume the same FamilySnapshot slice,
+// so the three views can never disagree about what a family contains.
+
+// BucketSnapshot is one histogram bucket. Counts are per-bucket
+// (non-cumulative) so merging across peers is a plain element-wise sum;
+// LE is a string because JSON has no encoding for +Inf.
+type BucketSnapshot struct {
+	LE       string    `json:"le"`
+	Count    int64     `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
+}
+
+// SampleSnapshot is one labeled series of a family. Counters and gauges
+// carry Value; histograms carry Count/Sum/Buckets instead.
+type SampleSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one metric family at a point in time. Type is the
+// Prometheus type string ("counter", "gauge", "histogram").
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help"`
+	Type    string           `json:"type"`
+	Samples []SampleSnapshot `json:"samples"`
+}
+
+// Gather snapshots every registered family, including the scrape-time
+// *Func and *Samples families (callback-backed families used to be
+// invisible to JSON consumers — the hot-pair attribution bug this fixes).
+// Series are sorted by label values for deterministic output.
+func (r *Registry) Gather() []FamilySnapshot {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.kind.promType()}
+		switch f.kind {
+		case counterFuncKind, gaugeFuncKind:
+			fs.Samples = append(fs.Samples, SampleSnapshot{Value: f.fn()})
+		case counterSamplesKind, gaugeSamplesKind:
+			samples := f.samplesFn()
+			sort.Slice(samples, func(i, j int) bool {
+				return strings.Join(samples[i].Labels, "\x00") < strings.Join(samples[j].Labels, "\x00")
+			})
+			for _, smp := range samples {
+				if len(smp.Labels) != len(f.labels) {
+					continue
+				}
+				fs.Samples = append(fs.Samples, SampleSnapshot{
+					Labels: labelMap(f.labels, smp.Labels),
+					Value:  smp.Value,
+				})
+			}
+		default:
+			f.mu.Lock()
+			ser := append([]*series(nil), f.order...)
+			f.mu.Unlock()
+			sort.Slice(ser, func(i, j int) bool {
+				return strings.Join(ser[i].labelValues, "\x00") < strings.Join(ser[j].labelValues, "\x00")
+			})
+			for _, s := range ser {
+				ss := SampleSnapshot{Labels: labelMap(f.labels, s.labelValues)}
+				switch f.kind {
+				case counterKind:
+					ss.Value = float64(s.counter.Value())
+				case gaugeKind:
+					ss.Value = float64(s.gauge.Value())
+				case histogramKind:
+					ss.Count = s.hist.Count()
+					ss.Sum = s.hist.Sum()
+					ss.Buckets = make([]BucketSnapshot, 0, len(s.hist.buckets))
+					for i := range s.hist.buckets {
+						le := "+Inf"
+						if i < len(s.hist.bounds) {
+							le = formatFloat(s.hist.bounds[i])
+						}
+						ss.Buckets = append(ss.Buckets, BucketSnapshot{
+							LE:       le,
+							Count:    s.hist.buckets[i].Load(),
+							Exemplar: s.hist.BucketExemplar(i),
+						})
+					}
+				}
+				fs.Samples = append(fs.Samples, ss)
+			}
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+func labelMap(names, values []string) map[string]string {
+	if len(names) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(names))
+	for i, n := range names {
+		m[n] = values[i]
+	}
+	return m
+}
+
+// seriesKey canonicalizes a label map for merge matching.
+func seriesKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\x00')
+		b.WriteString(labels[k])
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// MergeFamilies folds the families of many peers into one cluster view:
+// counters and gauges sum per label set, histograms sum count/sum and —
+// when the bucket layouts agree — per-bucket counts, keeping the freshest
+// exemplar per bucket. Peers running different builds may disagree on
+// bucket bounds; those histograms degrade to count/sum only rather than
+// fabricating a bucket layout no peer has. Family identity is the metric
+// name; the first peer to present a family fixes its help/type.
+func MergeFamilies(peers ...[]FamilySnapshot) []FamilySnapshot {
+	type famAcc struct {
+		fam   *FamilySnapshot
+		index map[string]int // seriesKey -> index into fam.Samples
+	}
+	var order []string
+	acc := map[string]*famAcc{}
+
+	for _, fams := range peers {
+		for _, f := range fams {
+			a, ok := acc[f.Name]
+			if !ok {
+				a = &famAcc{
+					fam:   &FamilySnapshot{Name: f.Name, Help: f.Help, Type: f.Type},
+					index: map[string]int{},
+				}
+				acc[f.Name] = a
+				order = append(order, f.Name)
+			}
+			for _, s := range f.Samples {
+				key := seriesKey(s.Labels)
+				idx, seen := a.index[key]
+				if !seen {
+					a.index[key] = len(a.fam.Samples)
+					a.fam.Samples = append(a.fam.Samples, copySample(s))
+					continue
+				}
+				dst := &a.fam.Samples[idx]
+				dst.Value += s.Value
+				dst.Count += s.Count
+				dst.Sum += s.Sum
+				mergeBuckets(dst, s.Buckets)
+			}
+		}
+	}
+
+	out := make([]FamilySnapshot, 0, len(order))
+	for _, name := range order {
+		fam := acc[name].fam
+		sort.Slice(fam.Samples, func(i, j int) bool {
+			return seriesKey(fam.Samples[i].Labels) < seriesKey(fam.Samples[j].Labels)
+		})
+		out = append(out, *fam)
+	}
+	return out
+}
+
+func copySample(s SampleSnapshot) SampleSnapshot {
+	out := s
+	if s.Labels != nil {
+		out.Labels = make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			out.Labels[k] = v
+		}
+	}
+	if s.Buckets != nil {
+		out.Buckets = append([]BucketSnapshot(nil), s.Buckets...)
+	}
+	return out
+}
+
+// mergeBuckets adds src's bucket counts into dst when the LE layouts
+// match; on any mismatch dst's buckets are discarded so the merged series
+// honestly reports only count/sum.
+func mergeBuckets(dst *SampleSnapshot, src []BucketSnapshot) {
+	if len(dst.Buckets) == 0 && len(src) == 0 {
+		return
+	}
+	if len(dst.Buckets) != len(src) {
+		dst.Buckets = nil
+		return
+	}
+	for i := range src {
+		if dst.Buckets[i].LE != src[i].LE {
+			dst.Buckets = nil
+			return
+		}
+	}
+	for i := range src {
+		dst.Buckets[i].Count += src[i].Count
+		if e := src[i].Exemplar; e != nil {
+			cur := dst.Buckets[i].Exemplar
+			if cur == nil || e.Time.After(cur.Time) {
+				dst.Buckets[i].Exemplar = e
+			}
+		}
+	}
+}

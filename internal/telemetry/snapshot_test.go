@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGatherIncludesCallbackFamilies is the /metrics.json regression: the
+// scrape-time *Func and *Samples families (hot-pair attribution) must
+// appear in the snapshot, not only in the text exposition.
+func TestGatherIncludesCallbackFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("plain_total", "plain").Add(5)
+	reg.CounterFunc("func_total", "func-backed", func() float64 { return 7 })
+	reg.CounterSamples("cast_pair_casts_total", "per-pair casts", []string{"pair"}, func() []Sample {
+		return []Sample{{Labels: []string{"b:a"}, Value: 3}, {Labels: []string{"a:b"}, Value: 11}}
+	})
+	reg.GaugeSamples("cast_pair_resident", "residency", []string{"pair"}, func() []Sample {
+		return []Sample{{Labels: []string{"a:b"}, Value: 1}}
+	})
+
+	fams := map[string]FamilySnapshot{}
+	for _, f := range reg.Gather() {
+		fams[f.Name] = f
+	}
+	if f, ok := fams["func_total"]; !ok || len(f.Samples) != 1 || f.Samples[0].Value != 7 {
+		t.Fatalf("CounterFunc family missing or wrong: %+v", fams["func_total"])
+	}
+	f, ok := fams["cast_pair_casts_total"]
+	if !ok || f.Type != "counter" {
+		t.Fatalf("CounterSamples family missing: %+v", f)
+	}
+	if len(f.Samples) != 2 || f.Samples[0].Labels["pair"] != "a:b" || f.Samples[0].Value != 11 {
+		t.Fatalf("CounterSamples samples wrong (want sorted by label): %+v", f.Samples)
+	}
+	if g, ok := fams["cast_pair_resident"]; !ok || g.Type != "gauge" || len(g.Samples) != 1 {
+		t.Fatalf("GaugeSamples family missing: %+v", g)
+	}
+}
+
+func TestGatherHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	at := time.Unix(1700000000, 0)
+	h.ObserveExemplar(0.05, "aa11", "bb22", at)
+	h.Observe(5)
+
+	fams := reg.Gather()
+	if len(fams) != 1 {
+		t.Fatalf("want 1 family, got %d", len(fams))
+	}
+	s := fams[0].Samples[0]
+	if s.Count != 2 || s.Sum != 5.05 {
+		t.Fatalf("count/sum wrong: %+v", s)
+	}
+	wantLE := []string{"0.1", "1", "+Inf"}
+	wantCount := []int64{1, 0, 1} // non-cumulative
+	for i, b := range s.Buckets {
+		if b.LE != wantLE[i] || b.Count != wantCount[i] {
+			t.Fatalf("bucket %d = %+v, want le=%s count=%d", i, b, wantLE[i], wantCount[i])
+		}
+	}
+	if e := s.Buckets[0].Exemplar; e == nil || e.TraceID != "aa11" || e.Value != 0.05 {
+		t.Fatalf("bucket 0 exemplar wrong: %+v", s.Buckets[0].Exemplar)
+	}
+	if s.Buckets[2].Exemplar != nil {
+		t.Fatalf("+Inf bucket should have no exemplar: %+v", s.Buckets[2].Exemplar)
+	}
+}
+
+func TestMergeFamilies(t *testing.T) {
+	older := time.Unix(1700000000, 0)
+	newer := older.Add(time.Minute)
+	peerA := []FamilySnapshot{
+		{Name: "casts_total", Help: "casts", Type: "counter", Samples: []SampleSnapshot{
+			{Labels: map[string]string{"route": "cast"}, Value: 10},
+		}},
+		{Name: "lat_seconds", Type: "histogram", Samples: []SampleSnapshot{
+			{Count: 3, Sum: 0.5, Buckets: []BucketSnapshot{
+				{LE: "0.1", Count: 2, Exemplar: &Exemplar{TraceID: "old", Time: older}},
+				{LE: "+Inf", Count: 1},
+			}},
+		}},
+		{Name: "only_a_total", Type: "counter", Samples: []SampleSnapshot{{Value: 1}}},
+	}
+	peerB := []FamilySnapshot{
+		{Name: "casts_total", Help: "casts", Type: "counter", Samples: []SampleSnapshot{
+			{Labels: map[string]string{"route": "cast"}, Value: 4},
+			{Labels: map[string]string{"route": "batch"}, Value: 2},
+		}},
+		{Name: "lat_seconds", Type: "histogram", Samples: []SampleSnapshot{
+			{Count: 5, Sum: 1.5, Buckets: []BucketSnapshot{
+				{LE: "0.1", Count: 4, Exemplar: &Exemplar{TraceID: "new", Time: newer}},
+				{LE: "+Inf", Count: 1},
+			}},
+		}},
+	}
+
+	merged := map[string]FamilySnapshot{}
+	for _, f := range MergeFamilies(peerA, peerB) {
+		merged[f.Name] = f
+	}
+
+	casts := merged["casts_total"]
+	if len(casts.Samples) != 2 {
+		t.Fatalf("want 2 cast series, got %+v", casts.Samples)
+	}
+	for _, s := range casts.Samples {
+		switch s.Labels["route"] {
+		case "cast":
+			if s.Value != 14 {
+				t.Fatalf("cast counter should sum to 14: %+v", s)
+			}
+		case "batch":
+			if s.Value != 2 {
+				t.Fatalf("batch counter should stay 2: %+v", s)
+			}
+		}
+	}
+
+	lat := merged["lat_seconds"].Samples[0]
+	if lat.Count != 8 || lat.Sum != 2.0 {
+		t.Fatalf("histogram count/sum wrong: %+v", lat)
+	}
+	if lat.Buckets[0].Count != 6 || lat.Buckets[1].Count != 2 {
+		t.Fatalf("bucket counts should sum element-wise: %+v", lat.Buckets)
+	}
+	if lat.Buckets[0].Exemplar.TraceID != "new" {
+		t.Fatalf("freshest exemplar should win: %+v", lat.Buckets[0].Exemplar)
+	}
+	if merged["only_a_total"].Samples[0].Value != 1 {
+		t.Fatal("family present on one peer only must survive the merge")
+	}
+
+	// Source snapshots must not be mutated by the merge.
+	if peerA[0].Samples[0].Value != 10 || peerA[1].Samples[0].Buckets[0].Count != 2 {
+		t.Fatalf("merge mutated its input: %+v", peerA)
+	}
+}
+
+func TestMergeFamiliesBucketMismatch(t *testing.T) {
+	a := []FamilySnapshot{{Name: "h", Type: "histogram", Samples: []SampleSnapshot{
+		{Count: 1, Sum: 0.1, Buckets: []BucketSnapshot{{LE: "0.1", Count: 1}, {LE: "+Inf"}}},
+	}}}
+	b := []FamilySnapshot{{Name: "h", Type: "histogram", Samples: []SampleSnapshot{
+		{Count: 2, Sum: 0.4, Buckets: []BucketSnapshot{{LE: "0.5", Count: 2}, {LE: "+Inf"}}},
+	}}}
+	m := MergeFamilies(a, b)
+	s := m[0].Samples[0]
+	if s.Count != 3 || s.Sum != 0.5 {
+		t.Fatalf("count/sum must still merge: %+v", s)
+	}
+	if s.Buckets != nil {
+		t.Fatalf("mismatched bucket layouts must drop buckets, got %+v", s.Buckets)
+	}
+}

@@ -262,10 +262,30 @@ type Tracer struct {
 
 	started, retained, dropped atomic.Uint64
 
+	// onRetain, when set, observes every trace the tail sampler keeps —
+	// the seam the OTLP exporter hangs off: exporting only retained traces
+	// means the collector sees exactly what /debug/traces shows.
+	onRetain atomic.Pointer[func(*TraceData)]
+
 	mu   sync.Mutex
 	ring []*TraceData // capacity-bounded; next points at the oldest slot
 	next int
 	full bool
+}
+
+// OnRetain registers fn to be called with every trace the tail sampler
+// retains, after it is published to the ring and outside the ring mutex.
+// The TraceData is shared with the ring and must be treated as immutable.
+// Nil-safe; a nil fn clears the hook.
+func (t *Tracer) OnRetain(fn func(*TraceData)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.onRetain.Store(nil)
+		return
+	}
+	t.onRetain.Store(&fn)
 }
 
 // NewTracer builds a tracer. A SampleRate <= 0 returns nil — the disabled
@@ -413,6 +433,10 @@ func (t *Tracer) finish(rt *requestTrace, root *Span) {
 		t.full = true
 	}
 	t.mu.Unlock()
+
+	if fn := t.onRetain.Load(); fn != nil {
+		(*fn)(td)
+	}
 }
 
 func hasError(spans []*Span) bool {

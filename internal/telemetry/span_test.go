@@ -307,3 +307,44 @@ func TestCorrelateHandlerStampsIDs(t *testing.T) {
 		t.Errorf("record outside a request got correlation attrs: %s", lines[1])
 	}
 }
+
+// TestOnRetain verifies the exporter seam: the hook fires for every trace
+// the tail sampler keeps, never for dropped traces, and is nil-safe.
+func TestOnRetain(t *testing.T) {
+	clk := newFakeClock()
+	tr := testTracer(0, time.Millisecond, 4, clk, 0.5) // rate 0 would be nil; use tiny rate
+	if tr != nil {
+		t.Fatal("rate 0 should be a nil tracer")
+	}
+	var nilTracer *Tracer
+	nilTracer.OnRetain(func(*TraceData) { t.Fatal("nil tracer must not call the hook") })
+
+	tr = testTracer(0.01, 50*time.Millisecond, 4, clk, 0.99) // head roll always drops
+	var got []*TraceData
+	tr.OnRetain(func(td *TraceData) { got = append(got, td) })
+
+	// Fast, no error, roll above rate: dropped — hook must not fire.
+	s := tr.StartRequest("fast", SpanContext{})
+	clk.Advance(time.Millisecond)
+	s.End()
+	if len(got) != 0 {
+		t.Fatalf("hook fired for a dropped trace: %+v", got)
+	}
+
+	// Slow: retained — hook fires with the published trace.
+	s = tr.StartRequest("slow", SpanContext{})
+	clk.Advance(100 * time.Millisecond)
+	s.End()
+	if len(got) != 1 || got[0].Name != "slow" || got[0].Reason != ReasonSlow {
+		t.Fatalf("hook should see the retained slow trace, got %+v", got)
+	}
+
+	// Clearing the hook stops deliveries.
+	tr.OnRetain(nil)
+	s = tr.StartRequest("slow2", SpanContext{})
+	clk.Advance(100 * time.Millisecond)
+	s.End()
+	if len(got) != 1 {
+		t.Fatalf("cleared hook still fired: %d deliveries", len(got))
+	}
+}
