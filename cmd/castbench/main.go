@@ -42,6 +42,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/baseline"
 	"repro/internal/cast"
+	"repro/internal/resilience"
 	"repro/internal/strcast"
 	"repro/internal/stream"
 	"repro/internal/subsume"
@@ -591,6 +592,58 @@ func runJSON(ps *wgen.PaperSchemas, path string) {
 			SymbolsScannedRatio: 1,
 			AllocsPerOp:         allocsPerOp(exemplarFn),
 			BaselineAllocsPerOp: allocsPerOp(plainFn),
+		})
+	}
+
+	// Resilience-guard overhead: the same streaming cast with the full
+	// per-operation guard sequence a clustered cast pays on a healthy
+	// peer path — breaker admission check, retry-budget deposit, success
+	// record, latency observation, and the hedge-delay percentile read —
+	// versus the bare cast. NsPerOp is the guarded run, BaselineNsPerOp
+	// the bare one, so Speedup ≈ 1.0 is the tracked property: a few
+	// mutex-guarded counter updates must stay invisible next to a
+	// 500-item cast, and the guard must not allocate (the percentile
+	// read sorts into a stack array, the breaker window is a fixed ring).
+	{
+		data := wgen.POXMLBytes(wgen.PODocument(wgen.PODocOptions{Items: 500, IncludeBillTo: true, Seed: 11}))
+		sc, err := stream.NewCaster(ps.Source1, ps.Target)
+		if err != nil {
+			fatal(err)
+		}
+		br := resilience.NewBreaker(resilience.BreakerConfig{})
+		budget := resilience.NewBudget(0, 0)
+		lat := &resilience.LatencyTracker{}
+		bareFn := func() {
+			if _, err := sc.Validate(bytes.NewReader(data)); err != nil {
+				fatal(err)
+			}
+		}
+		guardedFn := func() {
+			if !br.Allow() {
+				fatal(fmt.Errorf("breaker opened on an all-success run"))
+			}
+			budget.Deposit()
+			start := time.Now()
+			if _, err := sc.Validate(bytes.NewReader(data)); err != nil {
+				fatal(err)
+			}
+			br.Record(true)
+			lat.Observe(time.Since(start))
+			if lat.Percentile(0.95) < 0 {
+				fatal(fmt.Errorf("negative latency percentile"))
+			}
+		}
+		bareTime := timeIt(bareFn)
+		guardedTime := timeIt(guardedFn)
+		out = append(out, benchScenario{
+			Name:                "stream-cast-resilience-guard-500",
+			NsPerOp:             guardedTime.Nanoseconds(),
+			BaselineNsPerOp:     bareTime.Nanoseconds(),
+			Speedup:             float64(bareTime) / float64(guardedTime),
+			SkipRatio:           0,
+			SymbolsScannedRatio: 1,
+			AllocsPerOp:         allocsPerOp(guardedFn),
+			BaselineAllocsPerOp: allocsPerOp(bareFn),
 		})
 	}
 

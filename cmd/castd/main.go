@@ -101,6 +101,14 @@ func main() {
 		profHeap     = flag.Int64("profile-heap-growth", 0, "capture a heap profile when live heap grows by at least this many bytes between checks (0 = trigger off)")
 		hotPairs     = flag.Int("hot-pairs", server.DefaultHotPairK, "schema pairs tracked individually on /metrics and /debug/hotpairs; the rest fold into pair=\"other\" (negative = off)")
 		peerProbe    = flag.Duration("peer-probe-interval", server.DefaultPeerProbeInterval, "peer health probe cadence feeding castd_peer_up (clustered daemons only)")
+		peerTimeout  = flag.Duration("peer-timeout", server.DefaultPeerTimeout, "deadline per peer attempt (artifact fetch or hedge); the whole chain is bounded by -cast-timeout")
+		peerRetries  = flag.Int("peer-retries", server.DefaultPeerRetries, "retries per failed peer fetch, granted by the global retry budget (negative = no retries)")
+		brkFailures  = flag.Int("peer-breaker-failures", 5, "consecutive peer failures that open its circuit breaker")
+		brkWindow    = flag.Duration("peer-breaker-window", 30*time.Second, "rolling window for the breaker's error-rate trip")
+		brkRate      = flag.Float64("peer-breaker-rate", 0.5, "windowed error rate in (0,1] that opens the breaker (with enough samples)")
+		brkOpenFor   = flag.Duration("peer-breaker-open-for", 5*time.Second, "cool-off an open breaker waits before admitting one probe request")
+		hedgeAfter   = flag.Duration("hedge-after", 100*time.Millisecond, "hedge an artifact fetch to another warm peer after this long (floor under the observed p95; 0 = hedging off)")
+		degradedMode = flag.String("degraded-mode", server.DegradedModeLocal, "what a non-owner serves while the owner's breaker is open: local (compile here), stale (serve disk artifacts only), fail (503 + Retry-After)")
 		artifactDir  = flag.String("artifact-dir", "", "persist compiled pair artifacts in this directory; a restarted daemon warms from it with zero recompiles (empty = in-memory only)")
 		peersFlag    = flag.String("peers", "", "comma-separated base URLs of every cluster member; each pair is compiled once cluster-wide by its rendezvous-hash owner (empty = standalone)")
 		selfURL      = flag.String("self-url", "", "this instance's base URL as peers address it, e.g. http://10.0.0.1:8347 (required with -peers)")
@@ -138,6 +146,13 @@ func main() {
 		SlowThreshold: *traceSlow,
 		Capacity:      *traceBuffer,
 	})
+
+	switch *degradedMode {
+	case server.DegradedModeLocal, server.DegradedModeStale, server.DegradedModeFail:
+	default:
+		fmt.Fprintf(os.Stderr, "castd: -degraded-mode must be local, stale or fail, got %q\n", *degradedMode)
+		os.Exit(2)
+	}
 
 	var peers []string
 	if *peersFlag != "" {
@@ -193,23 +208,31 @@ func main() {
 	defer prof.Stop()
 
 	srv := server.New(reg, server.Options{
-		Workers:           *workers,
-		Logger:            logger,
-		AccessLog:         *accessLog,
-		Tracer:            tracer,
-		CastTimeout:       *castTimeout,
-		MaxDocBytes:       *maxDocBytes,
-		MaxDepth:          *maxDepth,
-		MaxElements:       *maxElements,
-		MaxInFlight:       *maxInFlight,
-		Profiler:          prof,
-		HotPairK:          *hotPairs,
-		PeerProbeInterval: *peerProbe,
-		SelfURL:           *selfURL,
-		Peers:             peers,
-		OTLPEndpoint:      *otlpEndpoint,
-		OTLPInterval:      *otlpInterval,
-		OTLPQueue:         *otlpQueue,
+		Workers:             *workers,
+		Logger:              logger,
+		AccessLog:           *accessLog,
+		Tracer:              tracer,
+		CastTimeout:         *castTimeout,
+		MaxDocBytes:         *maxDocBytes,
+		MaxDepth:            *maxDepth,
+		MaxElements:         *maxElements,
+		MaxInFlight:         *maxInFlight,
+		Profiler:            prof,
+		HotPairK:            *hotPairs,
+		PeerProbeInterval:   *peerProbe,
+		PeerTimeout:         *peerTimeout,
+		PeerRetries:         *peerRetries,
+		PeerBreakerFailures: *brkFailures,
+		PeerBreakerWindow:   *brkWindow,
+		PeerBreakerRate:     *brkRate,
+		PeerBreakerOpenFor:  *brkOpenFor,
+		HedgeAfter:          *hedgeAfter,
+		DegradedMode:        *degradedMode,
+		SelfURL:             *selfURL,
+		Peers:               peers,
+		OTLPEndpoint:        *otlpEndpoint,
+		OTLPInterval:        *otlpInterval,
+		OTLPQueue:           *otlpQueue,
 	})
 	defer srv.Close()
 

@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/faultinject"
 )
 
 func TestStoreMissHitCorrupt(t *testing.T) {
@@ -96,5 +99,124 @@ func TestKeyShape(t *testing.T) {
 	}
 	if k == Key("bbb", "aaa") {
 		t.Fatal("key is direction-insensitive; (src,dst) and (dst,src) must differ")
+	}
+}
+
+func TestStorePartialWriteRecovery(t *testing.T) {
+	defer faultinject.Disable()
+	store, err := OpenStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	blob := encodeFigPair(t)
+	info, err := Inspect(blob)
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	key := info.Key
+
+	// A write that tears mid-blob must not publish anything: the next
+	// lookup is a clean miss — no live file, no quarantine, no corrupt
+	// counter. The torn temp file is cleaned up by Put itself.
+	faultinject.Enable(faultinject.Config{DiskErrAfter: int64(len(blob) / 2)})
+	if err := store.Put(key, blob); err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if _, err := os.Stat(filepath.Join(store.Dir(), key+".xca")); !os.IsNotExist(err) {
+		t.Fatalf("torn blob published under live key: %v", err)
+	}
+	if _, err := store.LoadPair(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after torn write: want clean ErrNotFound, got %v", err)
+	}
+	if st := store.Stats(); st.Corrupt != 0 || st.Writes != 0 {
+		t.Fatalf("torn write moved counters: %+v", st)
+	}
+	ents, err := os.ReadDir(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".corrupt" {
+			t.Fatalf("torn write left a quarantine file %s", e.Name())
+		}
+	}
+	if store.Degraded() {
+		t.Fatal("a single torn write must not degrade the store")
+	}
+
+	// Heal the disk: the same Put goes through and the blob decodes.
+	faultinject.Disable()
+	if err := store.Put(key, blob); err != nil {
+		t.Fatalf("put after heal: %v", err)
+	}
+	if _, err := store.LoadPair(key); err != nil {
+		t.Fatalf("load after heal: %v", err)
+	}
+}
+
+func TestStoreDegradesOnENOSPC(t *testing.T) {
+	defer faultinject.Disable()
+	store, err := OpenStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	blob := encodeFigPair(t)
+	info, _ := Inspect(blob)
+	key := info.Key
+
+	faultinject.Enable(faultinject.Config{DiskFull: true})
+	if err := store.Put(key, blob); errors.Is(err, ErrDegraded) || err == nil {
+		t.Fatalf("first ENOSPC Put: want the underlying error, got %v", err)
+	}
+	if !store.Degraded() {
+		t.Fatal("store not degraded after ENOSPC")
+	}
+	// While degraded, Puts short-circuit with ErrDegraded — no disk I/O.
+	if err := store.Put(key, blob); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded Put: want ErrDegraded, got %v", err)
+	}
+	// Reads still work while degraded.
+	if _, err := store.LoadPair(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("degraded read: want ErrNotFound passthrough, got %v", err)
+	}
+
+	// Heal the disk and expire the retry window: the next Put probes the
+	// disk, succeeds, and clears the degradation.
+	faultinject.Disable()
+	store.degradedAt.Store(time.Now().Add(-degradedRetryAfter - time.Second).UnixNano())
+	if err := store.Put(key, blob); err != nil {
+		t.Fatalf("probe Put after heal: %v", err)
+	}
+	if store.Degraded() {
+		t.Fatal("store still degraded after successful probe")
+	}
+	if _, err := store.LoadPair(key); err != nil {
+		t.Fatalf("load after recovery: %v", err)
+	}
+}
+
+func TestStoreDegradedProbeFailureStaysDegraded(t *testing.T) {
+	defer faultinject.Disable()
+	store, err := OpenStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	blob := encodeFigPair(t)
+	info, _ := Inspect(blob)
+	key := info.Key
+
+	faultinject.Enable(faultinject.Config{DiskFull: true})
+	store.Put(key, blob) // trips degraded
+	// Expire the window with the disk still full: the probe fails and the
+	// store stays degraded with a refreshed window.
+	store.degradedAt.Store(time.Now().Add(-degradedRetryAfter - time.Second).UnixNano())
+	if err := store.Put(key, blob); err == nil || errors.Is(err, ErrDegraded) {
+		t.Fatalf("probe against a full disk: want the underlying error, got %v", err)
+	}
+	if !store.Degraded() {
+		t.Fatal("store recovered though the probe failed")
+	}
+	if err := store.Put(key, blob); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("post-probe Put: want ErrDegraded, got %v", err)
 	}
 }

@@ -17,9 +17,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -43,6 +45,30 @@ type Config struct {
 	// that proves the exporter's backoff and recovery without a flaky
 	// network dependency in CI.
 	OTLPFail int64
+	// PeerBlackhole drops every outbound peer request (artifact fetches,
+	// proxies, health probes): the request blocks until its context
+	// expires, then fails with ErrInjected — a network partition, not a
+	// fast refusal.
+	PeerBlackhole bool
+	// PeerBlackholeFor bounds PeerBlackhole: the partition heals by
+	// itself this long after Enable. Zero means the blackhole lasts
+	// until Disable. This exists for CI smokes, where the flag cannot be
+	// flipped at runtime.
+	PeerBlackholeFor time.Duration
+	// PeerSlow delays every outbound peer request by this much before
+	// letting it through (a browning-out peer rather than a dead one).
+	PeerSlow time.Duration
+	// PeerFlap alternates blackhole/healthy windows of this period — the
+	// flapping peer that opens and re-opens breakers.
+	PeerFlap time.Duration
+	// DiskErr fails every artifact-store write immediately.
+	DiskErr bool
+	// DiskErrAfter fails each artifact-store write once this many bytes
+	// were accepted — the torn partial write (0 disables).
+	DiskErrAfter int64
+	// DiskFull fails artifact-store writes with an ENOSPC-wrapping error,
+	// which the store must recognize and degrade to memory-only mode.
+	DiskFull bool
 }
 
 // ErrInjected marks every error this package fabricates, so tests and
@@ -56,9 +82,14 @@ var active atomic.Pointer[Config]
 // (re)armed by Enable and consumed by OTLPSend.
 var otlpRemaining atomic.Int64
 
+// armedAt records when Enable installed the current config (unix nanos);
+// the time base for PeerBlackholeFor auto-healing and PeerFlap windows.
+var armedAt atomic.Int64
+
 // Enable installs a fault configuration process-wide.
 func Enable(c Config) {
 	otlpRemaining.Store(c.OTLPFail)
+	armedAt.Store(time.Now().UnixNano())
 	active.Store(&c)
 }
 
@@ -147,10 +178,111 @@ func OTLPSend() (fail bool, retryAfter time.Duration) {
 	}
 }
 
+// peerPartitioned reports whether outbound peer traffic is currently cut,
+// combining the static blackhole (with its optional auto-heal horizon) and
+// the flap schedule.
+func peerPartitioned(c *Config) bool {
+	now := time.Now().UnixNano()
+	if c.PeerBlackhole {
+		if c.PeerBlackholeFor <= 0 {
+			return true
+		}
+		if now-armedAt.Load() < int64(c.PeerBlackholeFor) {
+			return true
+		}
+	}
+	if c.PeerFlap > 0 {
+		// Windows alternate starting with a blackhole window at arm time,
+		// so a flap fault disturbs traffic immediately.
+		window := (now - armedAt.Load()) / int64(c.PeerFlap)
+		return window%2 == 0
+	}
+	return false
+}
+
+// PeerTransport wraps an http.RoundTripper with the peer-stage faults. It
+// is installed once on the cluster's HTTP client (shared by artifact
+// fetches, proxies, and the health prober — a partition cuts probes too);
+// when no peer fault is armed each request costs one atomic load.
+func PeerTransport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &peerTransport{base: base}
+}
+
+type peerTransport struct {
+	base http.RoundTripper
+}
+
+func (t *peerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	c := active.Load()
+	if c == nil {
+		return t.base.RoundTrip(req)
+	}
+	if peerPartitioned(c) {
+		// A partition doesn't refuse fast — it swallows packets until
+		// the caller's deadline gives up.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("peer blackhole: %w (%w)", ErrInjected, req.Context().Err())
+	}
+	if c.PeerSlow > 0 {
+		select {
+		case <-time.After(c.PeerSlow):
+		case <-req.Context().Done():
+			return nil, fmt.Errorf("peer slow: %w (%w)", ErrInjected, req.Context().Err())
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// DiskWriter wraps an artifact-store writer with the disk-stage faults;
+// it returns w unchanged when no disk fault is armed. disk-err-after
+// counts bytes per wrapped writer (per file), so a faulted Put leaves a
+// genuine partial temp file behind.
+func DiskWriter(w io.Writer) io.Writer {
+	c := active.Load()
+	if c == nil || (!c.DiskErr && !c.DiskFull && c.DiskErrAfter == 0) {
+		return w
+	}
+	return &diskWriter{w: w, c: c}
+}
+
+type diskWriter struct {
+	w io.Writer
+	c *Config
+	n int64
+}
+
+func (dw *diskWriter) Write(p []byte) (int, error) {
+	switch {
+	case dw.c.DiskFull:
+		return 0, fmt.Errorf("disk full: %w: %w", syscall.ENOSPC, ErrInjected)
+	case dw.c.DiskErr:
+		return 0, fmt.Errorf("disk write failed: %w", ErrInjected)
+	case dw.c.DiskErrAfter > 0:
+		if dw.n >= dw.c.DiskErrAfter {
+			return 0, fmt.Errorf("disk write failed after %d bytes: %w", dw.n, ErrInjected)
+		}
+		if rem := dw.c.DiskErrAfter - dw.n; int64(len(p)) > rem {
+			// Accept exactly the fault boundary, then fail the next call:
+			// a short write with an error, like a real full disk.
+			n, _ := dw.w.Write(p[:rem])
+			dw.n += int64(n)
+			return n, fmt.Errorf("disk write failed after %d bytes: %w", dw.n, ErrInjected)
+		}
+	}
+	n, err := dw.w.Write(p)
+	dw.n += int64(n)
+	return n, err
+}
+
 // Parse decodes a -fault-inject flag value: a comma-separated list of
 // directives, e.g. "compile-panic", "compile-err", "compile-delay=50ms",
-// "read-delay=10ms", "read-err-after=1024", "otlp-fail=2". An empty spec
-// is the zero Config.
+// "read-delay=10ms", "read-err-after=1024", "otlp-fail=2",
+// "peer-blackhole", "peer-blackhole-for=10s", "peer-slow=200ms",
+// "peer-flap=2s", "disk-err", "disk-err-after=512", "disk-full". An empty
+// spec is the zero Config.
 func Parse(spec string) (Config, error) {
 	var c Config
 	if strings.TrimSpace(spec) == "" {
@@ -163,7 +295,13 @@ func Parse(spec string) (Config, error) {
 			c.CompilePanic = true
 		case "compile-err":
 			c.CompileErr = true
-		case "compile-delay", "read-delay":
+		case "peer-blackhole":
+			c.PeerBlackhole = true
+		case "disk-err":
+			c.DiskErr = true
+		case "disk-full":
+			c.DiskFull = true
+		case "compile-delay", "read-delay", "peer-blackhole-for", "peer-slow", "peer-flap":
 			if !hasVal {
 				return Config{}, fmt.Errorf("faultinject: %s needs a duration value", key)
 			}
@@ -171,20 +309,32 @@ func Parse(spec string) (Config, error) {
 			if err != nil {
 				return Config{}, fmt.Errorf("faultinject: %s: %w", key, err)
 			}
-			if key == "compile-delay" {
+			switch key {
+			case "compile-delay":
 				c.CompileDelay = d
-			} else {
+			case "read-delay":
 				c.ReadDelay = d
+			case "peer-blackhole-for":
+				c.PeerBlackhole = true
+				c.PeerBlackholeFor = d
+			case "peer-slow":
+				c.PeerSlow = d
+			case "peer-flap":
+				c.PeerFlap = d
 			}
-		case "read-err-after":
+		case "read-err-after", "disk-err-after":
 			if !hasVal {
-				return Config{}, fmt.Errorf("faultinject: read-err-after needs a byte count")
+				return Config{}, fmt.Errorf("faultinject: %s needs a byte count", key)
 			}
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil || n <= 0 {
-				return Config{}, fmt.Errorf("faultinject: read-err-after: want a positive integer, got %q", val)
+				return Config{}, fmt.Errorf("faultinject: %s: want a positive integer, got %q", key, val)
 			}
-			c.ReadErrAfter = n
+			if key == "read-err-after" {
+				c.ReadErrAfter = n
+			} else {
+				c.DiskErrAfter = n
+			}
 		case "otlp-fail":
 			if !hasVal {
 				return Config{}, fmt.Errorf("faultinject: otlp-fail needs a send count")

@@ -1,9 +1,14 @@
 package faultinject
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -78,6 +83,173 @@ func TestParse(t *testing.T) {
 		t.Fatalf("empty spec: %+v %v", c, err)
 	}
 	for _, bad := range []string{"wat", "compile-delay", "read-err-after=-1", "read-err-after=x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPeerTransportBlackhole(t *testing.T) {
+	defer Disable()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: PeerTransport(nil)}
+
+	// No fault armed: transparent.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	Enable(Config{PeerBlackhole: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("blackholed request succeeded")
+	} else if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("blackhole returned before the caller's deadline")
+	}
+}
+
+func TestPeerTransportBlackholeAutoHeals(t *testing.T) {
+	defer Disable()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: PeerTransport(nil)}
+
+	Enable(Config{PeerBlackhole: true, PeerBlackholeFor: 30 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if _, err := client.Do(req); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want blackhole during window, got %v", err)
+	}
+	cancel()
+
+	time.Sleep(40 * time.Millisecond)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request after auto-heal horizon: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestPeerTransportSlow(t *testing.T) {
+	defer Disable()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: PeerTransport(nil)}
+
+	Enable(Config{PeerSlow: 30 * time.Millisecond})
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("peer-slow did not delay the request")
+	}
+
+	// A deadline shorter than the delay cuts the wait and fails injected.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if _, err := client.Do(req); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected on slow+deadline, got %v", err)
+	}
+}
+
+func TestPeerTransportFlap(t *testing.T) {
+	defer Disable()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: PeerTransport(nil)}
+
+	Enable(Config{PeerFlap: 40 * time.Millisecond})
+	// First window is a blackhole.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if _, err := client.Do(req); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want blackhole in first flap window, got %v", err)
+	}
+	cancel()
+	// Second window is healthy.
+	time.Sleep(35 * time.Millisecond)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request in healthy flap window: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestDiskWriterFaults(t *testing.T) {
+	defer Disable()
+
+	// Disabled: returns the writer unchanged.
+	Disable()
+	var sink bytes.Buffer
+	if DiskWriter(&sink) != io.Writer(&sink) {
+		t.Fatal("disabled DiskWriter must return its argument unchanged")
+	}
+
+	Enable(Config{DiskErr: true})
+	if _, err := DiskWriter(&sink).Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("disk-err: want ErrInjected, got %v", err)
+	}
+
+	Enable(Config{DiskFull: true})
+	_, err := DiskWriter(&sink).Write([]byte("x"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("disk-full: want ErrInjected wrapping ENOSPC, got %v", err)
+	}
+
+	// Partial write: exactly N bytes land, then every write fails.
+	Enable(Config{DiskErrAfter: 4})
+	sink.Reset()
+	w := DiskWriter(&sink)
+	n, err := w.Write([]byte("0123456789"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("disk-err-after: n=%d err=%v, want 4 bytes then injected error", n, err)
+	}
+	if sink.String() != "0123" {
+		t.Fatalf("partial write delivered %q, want %q", sink.String(), "0123")
+	}
+	if _, err := w.Write([]byte("more")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past fault boundary: %v", err)
+	}
+}
+
+func TestParsePeerAndDiskDirectives(t *testing.T) {
+	c, err := Parse("peer-blackhole, disk-err, disk-full, peer-slow=200ms, peer-flap=2s, disk-err-after=512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.PeerBlackhole || !c.DiskErr || !c.DiskFull ||
+		c.PeerSlow != 200*time.Millisecond || c.PeerFlap != 2*time.Second || c.DiskErrAfter != 512 {
+		t.Fatalf("parsed wrong: %+v", c)
+	}
+	c, err = Parse("peer-blackhole-for=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.PeerBlackhole || c.PeerBlackholeFor != 10*time.Second {
+		t.Fatalf("peer-blackhole-for must imply peer-blackhole: %+v", c)
+	}
+	for _, bad := range []string{"peer-slow", "peer-flap=x", "disk-err-after=0", "peer-blackhole-for"} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) should fail", bad)
 		}

@@ -405,7 +405,7 @@ func (r *Registry) PairCtx(ctx context.Context, srcID, dstID string) (*Pair, Loo
 			pair.CompileTime = d
 		}
 		if err == nil && blob != nil && r.store != nil {
-			if perr := r.store.Put(artifact.Key(src.Hash, dst.Hash), blob); perr != nil && r.logger != nil {
+			if perr := r.store.Put(artifact.Key(src.Hash, dst.Hash), blob); perr != nil && !errors.Is(perr, artifact.ErrDegraded) && r.logger != nil {
 				r.logger.LogAttrs(ctx, slog.LevelWarn, "registry: artifact write-through failed",
 					slog.String("src", src.ID),
 					slog.String("dst", dst.ID),
@@ -596,6 +596,56 @@ func (r *Registry) CachedPair(srcID, dstID string) (*Pair, bool) {
 	return e.pair, true
 }
 
+// DiskPair resolves a pair from local state only — the in-memory cache or
+// the on-disk artifact store — never compiling and never touching peers.
+// It backs the degraded-mode "stale" policy: while the pair's owner is
+// unreachable, a previously-fetched artifact keeps serving verdicts, and a
+// pair this node has never seen reports (nil, false) so the caller can
+// answer 503 instead of paying a compile. A disk hit is inserted into the
+// cache, so the next request is a plain memory hit.
+func (r *Registry) DiskPair(ctx context.Context, srcID, dstID string) (*Pair, bool) {
+	if p, ok := r.CachedPair(srcID, dstID); ok {
+		return p, true
+	}
+	r.mu.Lock()
+	src, ok := r.schemas[srcID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false
+	}
+	dst, ok := r.schemas[dstID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false
+	}
+	r.mu.Unlock()
+	pair := r.loadArtifactPair(ctx, src, dst)
+	if pair == nil {
+		return nil, false
+	}
+	key := src.Hash + "\x00" + dst.Hash
+	r.mu.Lock()
+	if e, ok := r.pairs[key]; ok {
+		// Raced with a concurrent lookup or install; keep whichever landed.
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false
+		}
+		return e.pair, true
+	}
+	e := &pairEntry{key: key, srcID: srcID, dstID: dstID, ready: make(chan struct{}), pair: pair, cost: pair.Cost}
+	close(e.ready)
+	e.elem = r.lru.PushFront(e)
+	r.pairs[key] = e
+	r.bytes += e.cost
+	victims := r.evictLocked(e)
+	r.mu.Unlock()
+	r.logEvictions(ctx, victims)
+	return pair, true
+}
+
 // InstallArtifact decodes a peer-fetched artifact blob and inserts the pair
 // into the cache under the current versions of the two schema ids, without
 // counting a compile. The blob must address exactly those versions — its
@@ -655,7 +705,7 @@ func (r *Registry) InstallArtifact(ctx context.Context, srcID, dstID string, blo
 	r.logEvictions(ctx, victims)
 
 	if r.store != nil {
-		if perr := r.store.Put(artifact.Key(src.Hash, dst.Hash), blob); perr != nil && r.logger != nil {
+		if perr := r.store.Put(artifact.Key(src.Hash, dst.Hash), blob); perr != nil && !errors.Is(perr, artifact.ErrDegraded) && r.logger != nil {
 			r.logger.LogAttrs(ctx, slog.LevelWarn, "registry: artifact write-through failed",
 				slog.String("src", srcID),
 				slog.String("dst", dstID),

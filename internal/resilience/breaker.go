@@ -1,0 +1,288 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a breaker's position. The numeric values are the wire contract
+// for the castd_breaker_state gauge: 0 closed (healthy), 1 half-open
+// (probing), 2 open (refusing traffic).
+type State int32
+
+const (
+	Closed   State = 0
+	HalfOpen State = 1
+	Open     State = 2
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// ErrOpen is returned (by convention — Allow itself returns a bool) when a
+// caller refuses work because the breaker denied admission.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerConfig tunes a Breaker. Zero fields take the defaults noted on
+// each field.
+type BreakerConfig struct {
+	// FailureThreshold opens the breaker after this many consecutive
+	// failures. Default 5.
+	FailureThreshold int
+	// Window is the rolling interval over which the error rate is
+	// measured. Default 30s.
+	Window time.Duration
+	// RateThreshold opens the breaker when the windowed failure rate
+	// reaches this fraction, provided at least MinSamples outcomes were
+	// observed. Default 0.5.
+	RateThreshold float64
+	// MinSamples guards the rate trip against tiny denominators.
+	// Default 10.
+	MinSamples int
+	// OpenFor is the cool-off after opening before one probe is
+	// admitted. Default 5s.
+	OpenFor time.Duration
+	// Now is the clock seam for tests. Default time.Now.
+	Now func() time.Time
+	// OnChange, if set, is called (outside the breaker lock) on every
+	// state transition.
+	OnChange func(from, to State)
+}
+
+// windowBuckets subdivides Window so old outcomes age out smoothly rather
+// than all at once.
+const windowBuckets = 10
+
+type bucket struct {
+	ok, fail int
+}
+
+// Breaker is a three-state circuit breaker for one peer.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	consec   int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // half-open: one probe is in flight
+
+	buckets   [windowBuckets]bucket
+	bucketIdx int
+	bucketAt  time.Time // start of the current bucket
+}
+
+// NewBreaker returns a closed breaker with defaults applied.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 30 * time.Second
+	}
+	if cfg.RateThreshold <= 0 {
+		cfg.RateThreshold = 0.5
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 10
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	b := &Breaker{cfg: cfg}
+	b.bucketAt = cfg.Now()
+	return b
+}
+
+// Allow reports whether a call may proceed. Every Allow()==true MUST be
+// paired with exactly one Record — in half-open the admitted call holds
+// the single probe slot until its outcome is recorded, and leaking it
+// would wedge the breaker in half-open.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	now := b.cfg.Now()
+	var change func()
+	allowed := false
+	switch b.state {
+	case Closed:
+		allowed = true
+	case Open:
+		if now.Sub(b.openedAt) >= b.cfg.OpenFor {
+			change = b.transition(HalfOpen)
+			b.probing = true
+			allowed = true
+		}
+	case HalfOpen:
+		if !b.probing {
+			b.probing = true
+			allowed = true
+		}
+	}
+	b.mu.Unlock()
+	if change != nil {
+		change()
+	}
+	return allowed
+}
+
+// Record reports the outcome of a call previously admitted by Allow.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	now := b.cfg.Now()
+	b.rotate(now)
+	if ok {
+		b.buckets[b.bucketIdx].ok++
+	} else {
+		b.buckets[b.bucketIdx].fail++
+	}
+	var change func()
+	switch b.state {
+	case HalfOpen:
+		b.probing = false
+		if ok {
+			change = b.transition(Closed)
+		} else {
+			change = b.transition(Open)
+			b.openedAt = now
+		}
+	case Closed:
+		if ok {
+			b.consec = 0
+		} else {
+			b.consec++
+			if b.consec >= b.cfg.FailureThreshold || b.rateTripped() {
+				change = b.transition(Open)
+				b.openedAt = now
+			}
+		}
+	case Open:
+		// A straggler finishing after the breaker opened; outcome is
+		// already in the window, nothing else to do.
+	}
+	b.mu.Unlock()
+	if change != nil {
+		change()
+	}
+}
+
+// RecordProbe feeds an out-of-band health probe (castd's /healthz prober).
+// A live probe closes an open or half-open breaker without waiting for
+// user traffic; a dead probe refreshes an open breaker's cool-off (the
+// peer is still down, don't bother admitting a live-traffic probe) and
+// re-opens a half-open one.
+func (b *Breaker) RecordProbe(ok bool) {
+	b.mu.Lock()
+	now := b.cfg.Now()
+	var change func()
+	switch {
+	case ok && b.state != Closed:
+		change = b.transition(Closed)
+	case !ok && b.state == Open:
+		b.openedAt = now
+	case !ok && b.state == HalfOpen:
+		change = b.transition(Open)
+		b.openedAt = now
+	}
+	b.mu.Unlock()
+	if change != nil {
+		change()
+	}
+}
+
+// State returns the current state without side effects.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter returns how long until an open breaker will admit a probe
+// (minimum 1s, so a Retry-After header is never zero). For closed or
+// half-open breakers it returns 1s.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open {
+		if rem := b.cfg.OpenFor - b.cfg.Now().Sub(b.openedAt); rem > time.Second {
+			return rem
+		}
+	}
+	return time.Second
+}
+
+// transition must be called with b.mu held; it returns the OnChange thunk
+// to invoke after unlocking (or nil).
+func (b *Breaker) transition(to State) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	if to == Closed {
+		b.consec = 0
+		b.probing = false
+		b.buckets = [windowBuckets]bucket{}
+		b.bucketAt = b.cfg.Now()
+		b.bucketIdx = 0
+	}
+	if to == Open {
+		b.probing = false
+	}
+	if cb := b.cfg.OnChange; cb != nil {
+		return func() { cb(from, to) }
+	}
+	return nil
+}
+
+// rotate advances the bucket ring, zeroing any buckets whose interval has
+// fully passed. Must be called with b.mu held.
+func (b *Breaker) rotate(now time.Time) {
+	span := b.cfg.Window / windowBuckets
+	if span <= 0 {
+		span = time.Millisecond
+	}
+	steps := int(now.Sub(b.bucketAt) / span)
+	if steps <= 0 {
+		return
+	}
+	if steps > windowBuckets {
+		steps = windowBuckets
+	}
+	for i := 0; i < steps; i++ {
+		b.bucketIdx = (b.bucketIdx + 1) % windowBuckets
+		b.buckets[b.bucketIdx] = bucket{}
+	}
+	b.bucketAt = b.bucketAt.Add(time.Duration(steps) * span)
+	if now.Sub(b.bucketAt) > b.cfg.Window {
+		// The clock jumped far past the window; resync.
+		b.bucketAt = now
+	}
+}
+
+// rateTripped reports whether the windowed failure rate crosses the
+// threshold with enough samples. Must be called with b.mu held.
+func (b *Breaker) rateTripped() bool {
+	var ok, fail int
+	for _, bk := range b.buckets {
+		ok += bk.ok
+		fail += bk.fail
+	}
+	total := ok + fail
+	if total < b.cfg.MinSamples {
+		return false
+	}
+	return float64(fail)/float64(total) >= b.cfg.RateThreshold
+}

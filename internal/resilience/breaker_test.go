@@ -1,0 +1,344 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for deterministic breaker
+// tests under -race.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+type transitions struct {
+	mu   sync.Mutex
+	list []string
+}
+
+func (tr *transitions) record(from, to State) {
+	tr.mu.Lock()
+	tr.list = append(tr.list, from.String()+"->"+to.String())
+	tr.mu.Unlock()
+}
+
+func (tr *transitions) snapshot() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]string(nil), tr.list...)
+}
+
+func newTestBreaker(clk *fakeClock, tr *transitions) *Breaker {
+	cfg := BreakerConfig{
+		FailureThreshold: 3,
+		Window:           10 * time.Second,
+		RateThreshold:    0.5,
+		MinSamples:       10,
+		OpenFor:          5 * time.Second,
+		Now:              clk.Now,
+	}
+	if tr != nil {
+		cfg.OnChange = tr.record
+	}
+	return NewBreaker(cfg)
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	tr := &transitions{}
+	b := newTestBreaker(clk, tr)
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Record(false)
+		if got := b.State(); got != Closed {
+			t.Fatalf("after %d failures state = %v, want Closed", i+1, got)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused third call")
+	}
+	b.Record(false)
+	if got := b.State(); got != Open {
+		t.Fatalf("after threshold failures state = %v, want Open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cool-off")
+	}
+	want := []string{"closed->open"}
+	if got := tr.snapshot(); len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, nil)
+
+	// Alternate fail/ok: never reaches the consecutive threshold, and
+	// the 50% windowed rate needs >= MinSamples with rate >= 0.5; keep
+	// below MinSamples.
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(false)
+		b.Allow()
+		b.Record(true)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want Closed", got)
+	}
+}
+
+func TestBreakerOpensOnErrorRate(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, nil)
+
+	// 6 failures / 12 samples = 50% rate with samples >= MinSamples,
+	// but never 3 consecutive failures.
+	for i := 0; i < 6; i++ {
+		b.Allow()
+		b.Record(true)
+		b.Allow()
+		b.Record(false)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want Open on 50%% windowed error rate", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := newFakeClock()
+	tr := &transitions{}
+	b := newTestBreaker(clk, tr)
+
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want Open", got)
+	}
+
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit a probe after cool-off")
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state = %v, want HalfOpen", got)
+	}
+	// Second caller while the probe is outstanding must be refused.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe succeeds: breaker closes and traffic flows.
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probe = %v, want Closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic after recovery")
+	}
+	b.Record(true)
+
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	got := tr.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, nil)
+
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe admitted")
+	}
+	b.Record(false)
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want Open after failed probe", got)
+	}
+	// Cool-off restarts from the failed probe.
+	clk.Advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("breaker admitted a probe before the renewed cool-off elapsed")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit a probe after renewed cool-off")
+	}
+	b.Record(true)
+}
+
+func TestBreakerHealthProbeRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, nil)
+
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want Open", got)
+	}
+
+	// Dead probes keep refreshing the cool-off: even after OpenFor
+	// elapses from the original trip, Allow stays refused.
+	clk.Advance(4 * time.Second)
+	b.RecordProbe(false)
+	clk.Advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("breaker admitted traffic though probes still failing")
+	}
+
+	// A live probe closes the breaker without any live traffic.
+	b.RecordProbe(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after live probe = %v, want Closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("breaker refused traffic after probe-driven recovery")
+	}
+	b.Record(true)
+}
+
+func TestBreakerProbeOnClosedIsNoop(t *testing.T) {
+	clk := newFakeClock()
+	tr := &transitions{}
+	b := newTestBreaker(clk, tr)
+	b.RecordProbe(true)
+	b.RecordProbe(false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want Closed", got)
+	}
+	if got := tr.snapshot(); len(got) != 0 {
+		t.Fatalf("unexpected transitions %v", got)
+	}
+}
+
+func TestBreakerWindowAgesOut(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, nil)
+
+	// 5 failures and 6 successes interleaved — just under both trips.
+	for i := 0; i < 5; i++ {
+		b.Allow()
+		b.Record(false)
+		b.Allow()
+		b.Record(true)
+	}
+	b.Allow()
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want Closed", got)
+	}
+
+	// Let the window fully age out, then a burst of fresh successes and
+	// two failures: old failures must not count toward the rate.
+	clk.Advance(11 * time.Second)
+	for i := 0; i < 10; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	b.Allow()
+	b.Record(false)
+	b.Allow()
+	b.Record(false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want Closed after old window aged out", got)
+	}
+}
+
+func TestBreakerRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, nil)
+	if got := b.RetryAfter(); got != time.Second {
+		t.Fatalf("closed RetryAfter = %v, want 1s", got)
+	}
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if got := b.RetryAfter(); got != 5*time.Second {
+		t.Fatalf("open RetryAfter = %v, want 5s", got)
+	}
+	clk.Advance(3 * time.Second)
+	if got := b.RetryAfter(); got != 2*time.Second {
+		t.Fatalf("open RetryAfter after 3s = %v, want 2s", got)
+	}
+	clk.Advance(10 * time.Second)
+	if got := b.RetryAfter(); got != time.Second {
+		t.Fatalf("expired-open RetryAfter = %v, want 1s floor", got)
+	}
+}
+
+func TestBreakerConcurrentDeterministic(t *testing.T) {
+	// Hammer Allow/Record/RecordProbe from many goroutines with a fake
+	// clock; under -race this validates the locking, and afterwards the
+	// breaker must still be in a coherent, usable state.
+	clk := newFakeClock()
+	b := newTestBreaker(clk, &transitions{})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() {
+					b.Record(i%3 != 0)
+				}
+				if i%17 == 0 {
+					b.RecordProbe(i%2 == 0)
+				}
+				if i%29 == 0 {
+					clk.Advance(time.Second)
+				}
+				_ = b.State()
+				_ = b.RetryAfter()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Whatever state it landed in, a live probe must restore service.
+	b.RecordProbe(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want Closed after live probe", got)
+	}
+	if !b.Allow() {
+		t.Fatal("breaker unusable after concurrent hammering")
+	}
+	b.Record(true)
+}

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudgetBurstThenExhaustion(t *testing.T) {
+	b := NewBudget(0.1, 3)
+	for i := 0; i < 3; i++ {
+		if !b.Withdraw() {
+			t.Fatalf("withdraw %d refused within burst", i)
+		}
+	}
+	if b.Withdraw() {
+		t.Fatal("withdraw succeeded past burst with no deposits")
+	}
+	if got := b.Exhausted(); got != 1 {
+		t.Fatalf("Exhausted = %d, want 1", got)
+	}
+}
+
+func TestBudgetRatioCapsAmplification(t *testing.T) {
+	b := NewBudget(0.1, 5)
+	// Drain the burst.
+	for b.Withdraw() {
+	}
+	// 100 base operations at ratio 0.1 afford 10 retries, no more.
+	granted := 0
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+		if b.Withdraw() {
+			granted++
+		}
+	}
+	if granted < 9 || granted > 10 {
+		t.Fatalf("granted %d retries for 100 base ops at ratio 0.1, want ~10", granted)
+	}
+}
+
+func TestBudgetDepositCapped(t *testing.T) {
+	b := NewBudget(1.0, 2)
+	for i := 0; i < 50; i++ {
+		b.Deposit()
+	}
+	got := 0
+	for b.Withdraw() {
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("bucket held %d tokens, want burst cap 2", got)
+	}
+}
+
+func TestBudgetDefaults(t *testing.T) {
+	b := NewBudget(0, 0)
+	if b.ratio != DefaultRetryRatio || b.burst != DefaultRetryBurst {
+		t.Fatalf("defaults not applied: ratio=%v burst=%v", b.ratio, b.burst)
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	base := 50 * time.Millisecond
+	max := 400 * time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		ceil := base << attempt
+		if ceil > max || ceil <= 0 {
+			ceil = max
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := Backoff(attempt, base, max, nil)
+			if d < 0 || d >= ceil {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v)", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicWithInjectedRand(t *testing.T) {
+	rnd := func() float64 { return 0.5 }
+	if got := Backoff(0, 100*time.Millisecond, time.Second, rnd); got != 50*time.Millisecond {
+		t.Fatalf("Backoff(0) = %v, want 50ms", got)
+	}
+	if got := Backoff(2, 100*time.Millisecond, time.Second, rnd); got != 200*time.Millisecond {
+		t.Fatalf("Backoff(2) = %v, want 200ms (half of 400ms ceil)", got)
+	}
+	if got := Backoff(10, 100*time.Millisecond, time.Second, rnd); got != 500*time.Millisecond {
+		t.Fatalf("Backoff(10) = %v, want 500ms (half of capped 1s)", got)
+	}
+}
+
+func TestBackoffZeroBase(t *testing.T) {
+	if got := Backoff(3, 0, time.Second, nil); got != 0 {
+		t.Fatalf("Backoff with zero base = %v, want 0", got)
+	}
+}

@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// latencySamples is the LatencyTracker ring size. 64 observations is
+// enough to steer a hedge delay and small enough that Percentile can sort
+// a stack copy without allocating.
+const latencySamples = 64
+
+// LatencyTracker keeps a ring of recent operation latencies and answers
+// percentile queries. Percentile is alloc-free by design — it is consulted
+// on the hot all-healthy fetch path, which the benchmark gate pins at
+// +0 allocs.
+type LatencyTracker struct {
+	mu      sync.Mutex
+	samples [latencySamples]time.Duration
+	n       int // total observed (ring index = n % latencySamples)
+}
+
+// Observe records one operation latency.
+func (l *LatencyTracker) Observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.n%latencySamples] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// Percentile returns the p-th percentile (0 < p <= 1) of the recorded
+// window, or 0 if nothing was observed yet. It copies the live samples to
+// a stack array and insertion-sorts them — no heap allocation.
+func (l *LatencyTracker) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	n := l.n
+	if n > latencySamples {
+		n = latencySamples
+	}
+	var buf [latencySamples]time.Duration
+	copy(buf[:n], l.samples[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	for i := 1; i < n; i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] > v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
+	if p <= 0 {
+		p = 0.5
+	}
+	if p > 1 {
+		p = 1
+	}
+	idx := int(p*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx]
+}
+
+// HedgeResult carries one attempt's outcome plus whether it was the
+// hedged (secondary) attempt.
+type HedgeResult[T any] struct {
+	Val    T
+	Err    error
+	Hedged bool
+}
+
+// Hedge runs primary immediately and, if it has not finished after delay,
+// races secondary against it. The first success wins and the loser's
+// context is cancelled; if both fail, the primary's error is returned.
+// delay <= 0 disables hedging entirely. onHedge (optional) fires when the
+// secondary is actually launched, for telemetry.
+//
+// Both attempt functions must honor context cancellation; Hedge waits for
+// neither after a winner is chosen (results are delivered on buffered
+// channels, so losing goroutines never leak).
+func Hedge[T any](ctx context.Context, delay time.Duration,
+	primary func(context.Context) (T, error),
+	secondary func(context.Context) (T, error),
+	onHedge func(),
+) (T, error, bool) {
+	if delay <= 0 || secondary == nil {
+		v, err := primary(ctx)
+		return v, err, false
+	}
+
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	pch := make(chan HedgeResult[T], 1)
+	go func() {
+		v, err := primary(pctx)
+		pch <- HedgeResult[T]{Val: v, Err: err}
+	}()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	select {
+	case r := <-pch:
+		return r.Val, r.Err, false
+	case <-ctx.Done():
+		pcancel()
+		var zero T
+		return zero, ctx.Err(), false
+	case <-timer.C:
+	}
+
+	// Primary is slow: launch the hedge.
+	if onHedge != nil {
+		onHedge()
+	}
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	sch := make(chan HedgeResult[T], 1)
+	go func() {
+		v, err := secondary(sctx)
+		sch <- HedgeResult[T]{Val: v, Err: err, Hedged: true}
+	}()
+
+	var firstErr *HedgeResult[T]
+	for {
+		select {
+		case r := <-pch:
+			if r.Err == nil {
+				scancel()
+				return r.Val, nil, false
+			}
+			if firstErr != nil {
+				// Both failed; report the primary's error.
+				return r.Val, r.Err, false
+			}
+			firstErr = &r
+			pch = nil
+		case r := <-sch:
+			if r.Err == nil {
+				pcancel()
+				return r.Val, nil, true
+			}
+			if firstErr != nil {
+				return firstErr.Val, firstErr.Err, false
+			}
+			firstErr = &r
+			sch = nil
+		case <-ctx.Done():
+			pcancel()
+			scancel()
+			var zero T
+			return zero, ctx.Err(), false
+		}
+	}
+}

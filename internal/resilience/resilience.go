@@ -1,0 +1,125 @@
+// Package resilience is the cluster fabric's failure-handling core: the
+// building blocks that keep one slow or dead peer from stalling every cast
+// on its key range. It is deliberately dependency-free (stdlib only, no
+// telemetry imports — state changes surface through callbacks) and
+// deterministic under test (every time source is an injectable clock).
+//
+// Three mechanisms compose:
+//
+//   - Breaker: a per-peer three-state circuit breaker (closed → open →
+//     half-open). Consecutive failures or a windowed error rate open it;
+//     while open every call is refused instantly, so a dead peer costs a
+//     map lookup instead of a connect timeout. After a cool-off one probe
+//     request is admitted (half-open); its outcome closes or re-opens the
+//     circuit. An external health probe (castd's /healthz prober) can close
+//     the breaker without live traffic, so recovery does not depend on a
+//     user request volunteering to be the guinea pig.
+//
+//   - Budget: a token-bucket retry budget shared by all peers. Every base
+//     peer operation deposits a fraction of a token; every retry withdraws
+//     a whole one. With the default 0.1 ratio, retries can never amplify
+//     peer traffic by more than ~10% no matter how many callers are
+//     retrying at once — the classic defense against retry storms turning
+//     a brownout into an outage.
+//
+//   - Hedged calls: a second attempt raced against a slow first one after a
+//     delay derived from observed latency (LatencyTracker percentile with a
+//     configured floor). First response wins, the loser's context is
+//     cancelled. Hedging converts tail latency into a bounded second
+//     request instead of a user-visible stall.
+//
+// All types are safe for concurrent use.
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff returns the sleep before retry attempt (0-based: the delay after
+// the first failure is Backoff(0, ...)), using capped exponential growth
+// with full jitter: a uniformly random duration in [0, min(cap, base<<n)).
+// Full jitter desynchronizes retrying callers, so a burst of failures does
+// not re-converge into a burst of retries. rnd may be nil (global source).
+func Backoff(attempt int, base, max time.Duration, rnd func() float64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	f := rand.Float64
+	if rnd != nil {
+		f = rnd
+	}
+	return time.Duration(f() * float64(ceil))
+}
+
+// Budget is the global retry token bucket. The zero value is unusable; use
+// NewBudget.
+type Budget struct {
+	mu     sync.Mutex
+	ratio  float64 // tokens deposited per base operation
+	burst  float64 // bucket capacity
+	tokens float64
+	// exhausted counts withdrawals refused for lack of tokens, for
+	// telemetry bridging.
+	exhausted int64
+}
+
+// DefaultRetryRatio caps retry amplification at ~10% of base traffic.
+const DefaultRetryRatio = 0.1
+
+// DefaultRetryBurst lets a quiet system afford a small retry burst before
+// the ratio governs.
+const DefaultRetryBurst = 10
+
+// NewBudget returns a budget seeded to its burst capacity. ratio <= 0
+// means DefaultRetryRatio; burst <= 0 means DefaultRetryBurst.
+func NewBudget(ratio, burst float64) *Budget {
+	if ratio <= 0 {
+		ratio = DefaultRetryRatio
+	}
+	if burst <= 0 {
+		burst = DefaultRetryBurst
+	}
+	return &Budget{ratio: ratio, burst: burst, tokens: burst}
+}
+
+// Deposit credits one base operation: ratio tokens, capped at burst. Call
+// it once per first attempt, never per retry.
+func (b *Budget) Deposit() {
+	b.mu.Lock()
+	if b.tokens += b.ratio; b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw takes one whole token for a retry. false means the budget is
+// exhausted and the caller must not retry.
+func (b *Budget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.exhausted++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Exhausted returns how many retries the budget has refused.
+func (b *Budget) Exhausted() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.exhausted
+}

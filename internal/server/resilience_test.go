@@ -1,0 +1,428 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+	"repro/internal/registry"
+	"repro/internal/wgen"
+)
+
+// sweepForPeerPair registers generated source schemas (s0, s1, ...) until
+// the (src, v2) pair key rendezvous-hashes to wantOwner, returning the
+// source id. registerFigSchemas must have run first (for v2).
+func sweepForPeerPair(t *testing.T, base string, reg *registry.Registry, c *cluster, wantOwner string) string {
+	t.Helper()
+	sv2, ok := reg.Schema("v2")
+	if !ok {
+		t.Fatal("v2 not registered")
+	}
+	for i := 0; i < 32; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if code, body := do(t, "PUT", base+"/schemas/"+id, wgen.Figure2XSD(true, 100+i)); code != 200 {
+			t.Fatalf("register %s: %d %s", id, code, body)
+		}
+		se, _ := reg.Schema(id)
+		if c.owner(artifact.Key(se.Hash, sv2.Hash)) == normalizePeer(wantOwner) {
+			return id
+		}
+	}
+	t.Fatal("no pair owned by the target peer in 32 tries (astronomically unlikely)")
+	return ""
+}
+
+func castVerdict(t *testing.T, url string) (int, bool, string) {
+	t.Helper()
+	code, body := do(t, "POST", url, poXML(true))
+	var v struct {
+		Valid bool `json:"valid"`
+	}
+	if code == 200 {
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("bad verdict JSON: %v in %s", err, body)
+		}
+	}
+	return code, v.Valid, body
+}
+
+// TestDegradedModeFail: with the owner down and -degraded-mode fail, the
+// non-owner answers 503 + Retry-After instead of compiling, and the
+// degraded counter attributes the request.
+func TestDegradedModeFail(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	lh := &lateHandler{}
+	ts := httptest.NewServer(lh)
+	t.Cleanup(ts.Close)
+	reg := registry.New(registry.Config{})
+	srv := New(reg, Options{
+		SelfURL: ts.URL, Peers: []string{ts.URL, deadURL},
+		PeerTimeout: 200 * time.Millisecond, PeerRetries: -1,
+		DegradedMode: DegradedModeFail,
+	})
+	t.Cleanup(srv.Close)
+	lh.set(srv)
+	registerFigSchemas(t, ts.URL)
+	c := newCluster(ts.URL, []string{ts.URL, deadURL})
+	pairSrc := sweepForPeerPair(t, ts.URL, reg, c, deadURL)
+
+	resp, err := http.Post(ts.URL+"/cast/"+pairSrc+"/v2", "application/xml", strings.NewReader(poXML(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded-mode fail cast: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if got := reg.Stats().Compiles; got != 0 {
+		t.Fatalf("fail mode compiled anyway: %d compiles", got)
+	}
+	_, metrics := do(t, "GET", ts.URL+"/metrics", "")
+	if !strings.Contains(metrics, `castd_degraded_total{mode="fail"} 1`) {
+		t.Fatalf("metrics missing degraded fail count:\n%s", metrics)
+	}
+}
+
+// TestDegradedModeStale: a non-owner with -degraded-mode stale serves
+// pairs whose artifacts it already holds on disk — zero compiles — and
+// answers 503 for pairs it has never seen, instead of compiling either.
+func TestDegradedModeStale(t *testing.T) {
+	dir := t.TempDir()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	lh := &lateHandler{}
+	ts := httptest.NewServer(lh)
+	t.Cleanup(ts.Close)
+
+	// Seed the artifact store: a standalone daemon compiles one pair and
+	// writes it through, then goes away (yesterday's healthy fleet).
+	seedStore, err := artifact.OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedReg := registry.New(registry.Config{Store: seedStore})
+	seedLh := &lateHandler{}
+	seedTs := httptest.NewServer(seedLh)
+	seedSrv := New(seedReg, Options{})
+	seedLh.set(seedSrv)
+	registerFigSchemas(t, seedTs.URL)
+	c := newCluster(ts.URL, []string{ts.URL, deadURL})
+	pairSrc := sweepForPeerPair(t, seedTs.URL, seedReg, c, deadURL)
+	if code, _, body := 0, false, ""; true {
+		code, _, body = castVerdict(t, seedTs.URL+"/cast/"+pairSrc+"/v2")
+		if code != 200 {
+			t.Fatalf("seed cast: %d %s", code, body)
+		}
+	}
+	seedSrv.Close()
+	seedTs.Close()
+
+	// The degraded node: fresh registry, same artifact directory, owner
+	// unreachable.
+	store, err := artifact.OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(registry.Config{Store: store})
+	srv := New(reg, Options{
+		SelfURL: ts.URL, Peers: []string{ts.URL, deadURL},
+		PeerTimeout: 200 * time.Millisecond, PeerRetries: -1,
+		DegradedMode: DegradedModeStale,
+	})
+	t.Cleanup(srv.Close)
+	lh.set(srv)
+	registerFigSchemas(t, ts.URL)
+	stale := sweepForPeerPair(t, ts.URL, reg, c, deadURL)
+	if stale != pairSrc {
+		t.Fatalf("sweep diverged between runs: %s vs %s", stale, pairSrc)
+	}
+
+	// The seeded pair serves from disk: correct verdict, zero compiles.
+	code, valid, body := castVerdict(t, ts.URL+"/cast/"+pairSrc+"/v2")
+	if code != 200 || !valid {
+		t.Fatalf("stale cast: %d valid=%v %s", code, valid, body)
+	}
+	if got := reg.Stats().Compiles; got != 0 {
+		t.Fatalf("stale mode compiled: %d compiles", got)
+	}
+	// A dead-peer pair with no stored artifact fails fast instead of
+	// compiling.
+	fresh := ""
+	sv2, _ := reg.Schema("v2")
+	for i := 32; i < 64 && fresh == ""; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if code, body := do(t, "PUT", ts.URL+"/schemas/"+id, wgen.Figure2XSD(true, 100+i)); code != 200 {
+			t.Fatalf("register %s: %d %s", id, code, body)
+		}
+		se, _ := reg.Schema(id)
+		if c.owner(artifact.Key(se.Hash, sv2.Hash)) == normalizePeer(deadURL) {
+			fresh = id
+		}
+	}
+	if fresh == "" {
+		t.Fatal("no fresh pair owned by the dead peer in 32 tries")
+	}
+	if code, _, _ := castVerdict(t, ts.URL+"/cast/"+fresh+"/v2"); code != http.StatusServiceUnavailable {
+		t.Fatalf("stale mode with no artifact: %d, want 503", code)
+	}
+	_, metrics := do(t, "GET", ts.URL+"/metrics", "")
+	for _, want := range []string{
+		`castd_degraded_total{mode="stale"} 1`,
+		`castd_degraded_total{mode="fail"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestProxyFailureFailsOverWithBufferedBody: the owner accepts the proxied
+// cast and then kills the connection mid-flight. Because the non-owner
+// buffered the request body first, it rewinds and serves through the
+// degraded path (local compile) instead of bailing with 502 on a
+// half-consumed body.
+func TestProxyFailureFailsOverWithBufferedBody(t *testing.T) {
+	lh := &lateHandler{}
+	ts := httptest.NewServer(lh)
+	t.Cleanup(ts.Close)
+
+	// A fake owner: alive (so the breaker stays closed and fetches answer
+	// 404 cleanly), but every proxied cast dies mid-response.
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/artifacts/"):
+			http.NotFound(w, r)
+		case r.URL.Path == "/healthz":
+			w.WriteHeader(http.StatusOK)
+		default:
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("test server not hijackable")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close() // the proxy sees a torn connection
+			}
+		}
+	}))
+	t.Cleanup(fake.Close)
+
+	reg := registry.New(registry.Config{})
+	srv := New(reg, Options{
+		SelfURL: ts.URL, Peers: []string{ts.URL, fake.URL},
+		PeerTimeout: time.Second, PeerRetries: -1,
+		MaxDocBytes: 1 << 20,
+	})
+	t.Cleanup(srv.Close)
+	lh.set(srv)
+	registerFigSchemas(t, ts.URL)
+	c := newCluster(ts.URL, []string{ts.URL, fake.URL})
+	pairSrc := sweepForPeerPair(t, ts.URL, reg, c, fake.URL)
+
+	code, valid, body := castVerdict(t, ts.URL+"/cast/"+pairSrc+"/v2")
+	if code != 200 || !valid {
+		t.Fatalf("cast after proxy failure: %d valid=%v %s — want local failover", code, valid, body)
+	}
+	if got := reg.Stats().Compiles; got != 1 {
+		t.Fatalf("failover compiles = %d, want 1", got)
+	}
+	_, metrics := do(t, "GET", ts.URL+"/metrics", "")
+	for _, want := range []string{
+		`castd_degraded_total{mode="local-compile"} 1`,
+		"castd_peer_forwards_total 1", // the proxy was attempted
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestDeadlineHeaderPropagation: a tighter X-Castd-Deadline from the
+// forwarding hop overrides the local -cast-timeout, so a chain of hops
+// shares one budget.
+func TestDeadlineHeaderPropagation(t *testing.T) {
+	defer faultinject.Disable()
+	ts := newGovernedServer(t, Options{CastTimeout: 30 * time.Second})
+	registerFigSchemas(t, ts.URL)
+
+	// The walker polls ctx every 256 tokens, so the document must be big
+	// enough to reach a poll, and each body read is stalled past the
+	// propagated deadline so the poll is guaranteed to see it expired.
+	// Only the header deadline can fail this request — the local timeout
+	// is 30s.
+	doc := poXMLItems(t, 400)
+	faultinject.Enable(faultinject.Config{ReadDelay: 5 * time.Millisecond})
+	req, err := http.NewRequest("POST", ts.URL+"/cast/v1/v2", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(deadlineHeader, "1") // 1ms remaining upstream
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("propagated-deadline cast: %d, want 408", resp.StatusCode)
+	}
+
+	// Without the header the same stalled read finishes fine.
+	code, _, _ := castVerdict(t, ts.URL+"/cast/v1/v2")
+	if code != 200 {
+		t.Fatalf("cast without header: %d, want 200", code)
+	}
+}
+
+// TestClusterPartition is the two-node chaos story end to end: partition
+// the cluster, watch the non-owner keep answering with bounded latency
+// through the open breaker and the degraded-mode path, heal, and watch the
+// prober close the breaker and peer traffic resume. Zero goroutine leaks.
+func TestClusterPartition(t *testing.T) {
+	base := leakcheck.Snapshot()
+	defer faultinject.Disable()
+
+	lhA, lhB := &lateHandler{}, &lateHandler{}
+	tsA, tsB := httptest.NewServer(lhA), httptest.NewServer(lhB)
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+	peers := []string{tsA.URL, tsB.URL}
+	opts := func(self string) Options {
+		return Options{
+			SelfURL: self, Peers: peers,
+			PeerProbeInterval:   50 * time.Millisecond,
+			PeerTimeout:         100 * time.Millisecond,
+			PeerRetries:         1,
+			PeerBreakerFailures: 2,
+			PeerBreakerOpenFor:  200 * time.Millisecond,
+			CastTimeout:         5 * time.Second,
+		}
+	}
+	regA, regB := registry.New(registry.Config{}), registry.New(registry.Config{})
+	srvA, srvB := New(regA, opts(tsA.URL)), New(regB, opts(tsB.URL))
+	lhA.set(srvA)
+	lhB.set(srvB)
+	registerFigSchemas(t, tsA.URL)
+	registerFigSchemas(t, tsB.URL)
+
+	// A pair owned by B, cast via A.
+	c := newCluster(tsA.URL, peers)
+	pairSrc := sweepForPeerPair(t, tsA.URL, regA, c, tsB.URL)
+	if code, body := do(t, "PUT", tsB.URL+"/schemas/"+pairSrc, wgen.Figure2XSD(true, 100+mustAtoi(t, pairSrc[1:]))); code != 200 {
+		t.Fatalf("register %s on B: %d %s", pairSrc, code, body)
+	}
+
+	// Partition. Every cast through A must still answer correctly, fast:
+	// the first pays the fetch timeout + one retry, the rest are refused
+	// instantly by the open breaker and served through local compiles.
+	faultinject.Enable(faultinject.Config{PeerBlackhole: true})
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		code, valid, body := castVerdict(t, tsA.URL+"/cast/"+pairSrc+"/v2")
+		elapsed := time.Since(start)
+		if code != 200 || !valid {
+			t.Fatalf("partitioned cast %d: %d valid=%v %s", i, code, valid, body)
+		}
+		if elapsed > 2*time.Second {
+			t.Fatalf("partitioned cast %d took %v — the 10s stall is back", i, elapsed)
+		}
+	}
+	_, metrics := do(t, "GET", tsA.URL+"/metrics", "")
+	for _, want := range []string{
+		`castd_breaker_state{peer="` + tsB.URL + `"} 2`,
+		`castd_breaker_transitions_total{peer="` + tsB.URL + `",to="open"} 1`,
+		`castd_degraded_total{mode="local-compile"}`,
+		"castd_peer_retries_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("partitioned metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if regA.Stats().Compiles == 0 {
+		t.Fatal("non-owner did not compile locally during the partition")
+	}
+
+	// Heal: the prober's next live probe closes the breaker without any
+	// cast volunteering as the guinea pig.
+	faultinject.Disable()
+	deadline := time.Now().Add(5 * time.Second)
+	closed := false
+	for !closed && time.Now().Before(deadline) {
+		_, m := do(t, "GET", tsA.URL+"/metrics", "")
+		closed = strings.Contains(m, `castd_breaker_state{peer="`+tsB.URL+`"} 0`)
+		if !closed {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if !closed {
+		t.Fatal("breaker did not close after the partition healed")
+	}
+
+	// Peer traffic resumes: a fresh pair owned by B, cast via A, proxies
+	// to B (first contact compiles there).
+	fresh := ""
+	sv2, _ := regA.Schema("v2")
+	for i := 32; i < 64 && fresh == ""; i++ {
+		id := fmt.Sprintf("s%d", i)
+		xsd := wgen.Figure2XSD(true, 100+i)
+		if code, body := do(t, "PUT", tsA.URL+"/schemas/"+id, xsd); code != 200 {
+			t.Fatalf("register %s: %d %s", id, code, body)
+		}
+		if code, body := do(t, "PUT", tsB.URL+"/schemas/"+id, xsd); code != 200 {
+			t.Fatalf("register %s on B: %d %s", id, code, body)
+		}
+		se, _ := regA.Schema(id)
+		if c.owner(artifact.Key(se.Hash, sv2.Hash)) == normalizePeer(tsB.URL) {
+			fresh = id
+		}
+	}
+	if fresh == "" {
+		t.Fatal("no fresh pair owned by B in 32 tries")
+	}
+	if code, valid, body := castVerdict(t, tsA.URL+"/cast/"+fresh+"/v2"); code != 200 || !valid {
+		t.Fatalf("post-heal cast: %d valid=%v %s", code, valid, body)
+	}
+	_, metrics = do(t, "GET", tsA.URL+"/metrics", "")
+	for _, want := range []string{
+		"castd_peer_forwards_total 1",
+		`castd_breaker_transitions_total{peer="` + tsB.URL + `",to="closed"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("post-heal metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	srvA.Close()
+	srvB.Close()
+	tsA.Close()
+	tsB.Close()
+	http.DefaultClient.CloseIdleConnections()
+	leakcheck.Check(t, base)
+}
+
+func mustAtoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}

@@ -62,6 +62,7 @@ import (
 	"repro/internal/hotpair"
 	"repro/internal/profiling"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/otlp"
 )
@@ -133,6 +134,34 @@ type Options struct {
 	// feeding castd_peer_up; <= 0 means DefaultPeerProbeInterval. Only
 	// meaningful with clustering enabled.
 	PeerProbeInterval time.Duration
+	// PeerTimeout bounds each individual peer attempt (one artifact fetch
+	// or hedge); <= 0 means DefaultPeerTimeout. The whole retry/hedge
+	// chain is additionally bounded by the request deadline (CastTimeout,
+	// propagated across hops).
+	PeerTimeout time.Duration
+	// PeerRetries is how many times a failed peer fetch is retried (with
+	// exponential backoff + full jitter, under the global retry budget).
+	// 0 means DefaultPeerRetries; negative disables retries.
+	PeerRetries int
+	// PeerBreakerFailures, PeerBreakerWindow, PeerBreakerRate and
+	// PeerBreakerOpenFor tune the per-peer circuit breakers; zero fields
+	// take the resilience package defaults (5 consecutive failures, 30s
+	// window, 0.5 error rate, 5s cool-off).
+	PeerBreakerFailures int
+	PeerBreakerWindow   time.Duration
+	PeerBreakerRate     float64
+	PeerBreakerOpenFor  time.Duration
+	// HedgeAfter launches a second artifact fetch against another warm
+	// peer when the first has not answered after this long (or the
+	// observed p95 fetch latency, whichever is larger). <= 0 disables
+	// hedging.
+	HedgeAfter time.Duration
+	// DegradedMode picks what a non-owner does when the owner's breaker
+	// is open (or all attempts failed): DegradedModeLocal compiles
+	// locally (the default), DegradedModeStale serves a disk-cached
+	// artifact without compiling, DegradedModeFail answers 503 with
+	// Retry-After.
+	DegradedMode string
 
 	// OTLPEndpoint is an OTLP/HTTP collector base URL (e.g.
 	// "http://collector:4318"); retained traces and periodic metric
@@ -215,6 +244,21 @@ type Server struct {
 	mPeerFetch    *telemetry.Counter
 	mPeerErrors   *telemetry.Counter
 
+	// Resilience state: per-peer circuit breakers (built once in New,
+	// read-only map after), the global retry budget, and the fetch
+	// latency window steering hedge delays. All nil-safe on single nodes.
+	breakers       map[string]*resilience.Breaker
+	retryBudget    *resilience.Budget
+	fetchLat       *resilience.LatencyTracker
+	peerRetries    int
+	peerTimeout    time.Duration
+	hedgeAfter     time.Duration
+	degradedMode   string
+	mPeerRetries   *telemetry.Counter
+	mPeerHedges    *telemetry.Counter
+	mPeerHedgeWins *telemetry.Counter
+	mDegraded      *telemetry.CounterVec // mode
+
 	// Diagnostics: the profile ring's triggers, and bounded per-pair cast
 	// attribution. Both are nil-safe no-ops when unconfigured.
 	profiler *profiling.Profiler
@@ -247,6 +291,28 @@ const DefaultHotPairK = 32
 // DefaultPeerProbeInterval is the peer health probe cadence when
 // Options.PeerProbeInterval is unset.
 const DefaultPeerProbeInterval = 5 * time.Second
+
+// DefaultPeerTimeout bounds one peer attempt when Options.PeerTimeout is
+// unset. Blobs are small (schema texts plus automata tables), so a slower
+// fetch means a sick peer — better to retry, hedge or degrade than wait.
+const DefaultPeerTimeout = 10 * time.Second
+
+// DefaultPeerRetries is the retry count when Options.PeerRetries is zero.
+const DefaultPeerRetries = 2
+
+// Degraded-mode policies for Options.DegradedMode.
+const (
+	// DegradedModeLocal compiles the pair locally when the owner is
+	// unavailable: availability beats the once-per-cluster compile
+	// economy during an outage.
+	DegradedModeLocal = "local"
+	// DegradedModeStale serves the pair from the local artifact store
+	// without compiling; casts for pairs this node never saw answer 503.
+	DegradedModeStale = "stale"
+	// DegradedModeFail answers 503 + Retry-After immediately — for
+	// fleets that prefer fast failover upstream over degraded work here.
+	DegradedModeFail = "fail"
+)
 
 // New wires the routes over a registry.
 func New(reg *registry.Registry, opts Options) *Server {
@@ -303,6 +369,72 @@ func New(reg *registry.Registry, opts Options) *Server {
 		"Pair artifacts fetched from the owning peer and installed locally.")
 	s.mPeerErrors = met.Counter("castd_peer_errors_total",
 		"Peer fetches, installs or proxies that failed.")
+	// Resilience: retry budget, hedging latency window, per-peer circuit
+	// breakers, degraded-mode policy. The families exist at zero on
+	// single nodes like the peer counters above.
+	s.peerTimeout = opts.PeerTimeout
+	if s.peerTimeout <= 0 {
+		s.peerTimeout = DefaultPeerTimeout
+	}
+	s.peerRetries = opts.PeerRetries
+	if s.peerRetries == 0 {
+		s.peerRetries = DefaultPeerRetries
+	} else if s.peerRetries < 0 {
+		s.peerRetries = 0
+	}
+	s.hedgeAfter = opts.HedgeAfter
+	s.degradedMode = opts.DegradedMode
+	if s.degradedMode == "" {
+		s.degradedMode = DegradedModeLocal
+	}
+	s.retryBudget = resilience.NewBudget(0, 0)
+	s.fetchLat = &resilience.LatencyTracker{}
+	s.mPeerRetries = met.Counter("castd_peer_retries_total",
+		"Peer fetch attempts beyond the first, granted by the retry budget.")
+	met.CounterFunc("castd_peer_retry_budget_exhausted_total",
+		"Retries refused because the global retry budget was empty.",
+		func() float64 { return float64(s.retryBudget.Exhausted()) })
+	s.mPeerHedges = met.Counter("castd_peer_hedges_total",
+		"Hedged artifact fetches launched because the first attempt ran long.")
+	s.mPeerHedgeWins = met.Counter("castd_peer_hedge_wins_total",
+		"Hedged artifact fetches that answered before the original attempt.")
+	s.mDegraded = met.CounterVec("castd_degraded_total",
+		"Requests served through a degraded-mode path because the pair's owner was unavailable.",
+		"mode")
+	breakerState := met.GaugeVec("castd_breaker_state",
+		"Per-peer circuit breaker state: 0 closed, 1 half-open, 2 open.", "peer")
+	breakerTransitions := met.CounterVec("castd_breaker_transitions_total",
+		"Circuit breaker state transitions by peer and destination state.", "peer", "to")
+	met.GaugeFunc("castd_artifact_store_degraded",
+		"1 while the artifact store is in memory-only degraded mode (disk full or read-only).",
+		func() float64 {
+			if st := reg.Store(); st != nil && st.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	if s.cluster != nil {
+		s.breakers = map[string]*resilience.Breaker{}
+		for _, p := range s.cluster.peers {
+			if p == s.cluster.self {
+				continue
+			}
+			peer := p
+			stateGauge := breakerState.With(peer)
+			stateGauge.Set(int64(resilience.Closed))
+			s.breakers[peer] = resilience.NewBreaker(resilience.BreakerConfig{
+				FailureThreshold: opts.PeerBreakerFailures,
+				Window:           opts.PeerBreakerWindow,
+				RateThreshold:    opts.PeerBreakerRate,
+				OpenFor:          opts.PeerBreakerOpenFor,
+				OnChange: func(from, to resilience.State) {
+					stateGauge.Set(int64(to))
+					breakerTransitions.With(peer, to.String()).Inc()
+				},
+			})
+		}
+	}
+
 	// Peer liveness from the background prober. Standalone daemons render
 	// the family with no series (HELP/TYPE only): the label space is the
 	// peer list, and a standalone node has none.
@@ -488,6 +620,12 @@ func (s *Server) startProber(up *telemetry.GaugeVec, interval time.Duration) {
 			}
 			t.status.up.Store(alive)
 			t.status.lastProbe.Store(time.Now().UnixNano())
+			// Feed the breaker: a live probe closes an open breaker
+			// without waiting for user traffic to volunteer as the probe;
+			// a dead one keeps it open past its cool-off.
+			if br := s.breakers[t.url]; br != nil {
+				br.RecordProbe(alive)
+			}
 		}
 	}
 	go func() {
@@ -791,13 +929,25 @@ func (s *Server) pair(w http.ResponseWriter, r *http.Request) (*registry.Pair, b
 // inside Read, where only the connection deadline can reach it (the failed
 // read surfaces as os.ErrDeadlineExceeded and maps to 408).
 func (s *Server) castContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc) {
-	if s.castTimeout <= 0 {
+	timeout := s.castTimeout
+	// Deadline propagation: a proxied request carries the forwarding
+	// node's remaining budget; honor it when tighter than our own, so the
+	// caller's -cast-timeout bounds the whole peer chain instead of
+	// resetting per hop.
+	if v := r.Header.Get(deadlineHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; timeout <= 0 || d < timeout {
+				timeout = d
+			}
+		}
+	}
+	if timeout <= 0 {
 		return r.Context(), func() {}
 	}
 	// Best effort: test recorders don't implement deadlines, real
 	// connections do.
-	http.NewResponseController(w).SetReadDeadline(time.Now().Add(s.castTimeout))
-	return context.WithTimeout(r.Context(), s.castTimeout)
+	http.NewResponseController(w).SetReadDeadline(time.Now().Add(timeout))
+	return context.WithTimeout(r.Context(), timeout)
 }
 
 // governanceStatus maps a validation error produced by a resource limit to
